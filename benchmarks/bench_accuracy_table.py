@@ -1,0 +1,57 @@
+"""E6 — the accuracy experiments: estimated vs actual execution time.
+
+The paper's three rows:
+
+* s = 36:          489.79 us estimated / 515.2 us actual  -> 95 %
+* s = 18:          560.16 us / 600.02 us                  -> ~93 %
+* P9 -> segment 3: 540.4 us / 570.12 us                   -> just below 95 %
+
+"Actual" here is the reference simulator (the FPGA-platform substitute,
+DESIGN.md section 3).  The timed kernel is one full estimate+actual pair.
+"""
+
+import pytest
+
+from repro.apps.mp3 import PAPER_ACCURACY_EXPERIMENTS, paper_allocation, paper_platform
+from repro.reference.accuracy import compare_estimate_to_reference
+
+from conftest import fmt_row, print_once
+
+
+def run_pair(mp3_graph, package_size, allocation):
+    platform = paper_platform(3, package_size=package_size, allocation=allocation)
+    return compare_estimate_to_reference(mp3_graph, platform)
+
+
+@pytest.fixture(scope="module")
+def results(mp3_graph):
+    return {
+        "s36": run_pair(mp3_graph, 36, None),
+        "s18": run_pair(mp3_graph, 18, None),
+        "p9_moved": run_pair(mp3_graph, 36, paper_allocation(3).moved("P9", 3)),
+    }
+
+
+def test_accuracy_table(benchmark, mp3_graph, results):
+    benchmark(run_pair, mp3_graph, 36, None)
+
+    lines = ["E6 — estimated vs actual execution time:"]
+    for label, result in results.items():
+        paper = PAPER_ACCURACY_EXPERIMENTS[label]
+        lines.append(
+            f"  {label:<10} paper: {paper['estimated_us']:7.2f}/"
+            f"{paper['actual_us']:7.2f} us ({paper['accuracy']:.0%})   "
+            f"measured: {result.estimated_us:7.2f}/{result.actual_us:7.2f} us "
+            f"({result.accuracy:.1%})"
+        )
+    print_once("accuracy", "\n".join(lines))
+
+    # gates (DESIGN.md E6)
+    for result in results.values():
+        assert result.estimated_us < result.actual_us
+    assert 0.93 <= results["s36"].accuracy <= 0.97
+    assert results["s18"].accuracy < results["s36"].accuracy
+    assert results["p9_moved"].estimated_us > results["s36"].estimated_us
+    assert results["p9_moved"].actual_us > results["s36"].actual_us
+    for label, result in results.items():
+        benchmark.extra_info[f"{label}_accuracy"] = round(result.accuracy, 3)

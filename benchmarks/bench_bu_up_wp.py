@@ -1,0 +1,44 @@
+"""E7 — BU utilization: useful period vs waiting period.
+
+The paper's Discussion computes, from the emulator's TCTs:
+UP12 = 2304, TCT12 = 2336, W̄P12 = 1; UP23 = 144, TCT23 = 146, W̄P23 = 1.
+This reproduction matches all six numbers exactly.  The timed kernel is
+emulation plus the UP/WP analysis.
+"""
+
+from repro.analysis.bu_utilization import bu_utilization
+from repro.apps.mp3 import PAPER_BU_ANALYSIS
+from repro.emulator.emulator import emulate
+
+from conftest import fmt_row, print_once
+
+
+def run_analysis(mp3_graph, platform_3seg):
+    return bu_utilization(emulate(mp3_graph, platform_3seg))
+
+
+def test_bu_useful_and_waiting_periods(benchmark, mp3_graph, platform_3seg):
+    utilization = benchmark(run_analysis, mp3_graph, platform_3seg)
+    by_name = {u.name: u for u in utilization}
+    paper = PAPER_BU_ANALYSIS
+
+    lines = ["E7 — BU useful period / waiting period (clock ticks):"]
+    lines.append(fmt_row("UP12", paper["UP12"], by_name["BU12"].useful_period))
+    lines.append(fmt_row("TCT12", paper["TCT12"], by_name["BU12"].tct))
+    lines.append(fmt_row("mean WP12", paper["WP12"],
+                         by_name["BU12"].mean_waiting_period))
+    lines.append(fmt_row("UP23", paper["UP23"], by_name["BU23"].useful_period))
+    lines.append(fmt_row("TCT23", paper["TCT23"], by_name["BU23"].tct))
+    lines.append(fmt_row("mean WP23", paper["WP23"],
+                         by_name["BU23"].mean_waiting_period))
+    print_once("bu_up_wp", "\n".join(lines))
+
+    # gates: exact reproduction of all six numbers
+    assert by_name["BU12"].useful_period == paper["UP12"]
+    assert by_name["BU12"].tct == paper["TCT12"]
+    assert by_name["BU12"].mean_waiting_period == paper["WP12"]
+    assert by_name["BU23"].useful_period == paper["UP23"]
+    assert by_name["BU23"].tct == paper["TCT23"]
+    assert by_name["BU23"].mean_waiting_period == paper["WP23"]
+    benchmark.extra_info["wp12"] = by_name["BU12"].mean_waiting_period
+    benchmark.extra_info["wp23"] = by_name["BU23"].mean_waiting_period

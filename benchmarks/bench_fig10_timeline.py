@@ -1,0 +1,55 @@
+"""E4 — Fig. 10: progress on time of each application process.
+
+Regenerates the per-process start/end series (3 segments, linear topology,
+s = 36) and checks the published checkpoints.  The timed kernel is the
+emulation plus timeline extraction.
+"""
+
+from repro.apps.mp3 import PAPER_3SEG_RESULTS
+from repro.emulator.emulator import SegBusEmulator
+
+from conftest import fmt_row, print_once
+
+
+def run_and_extract(mp3_graph, platform_3seg):
+    report = SegBusEmulator.from_models(mp3_graph, platform_3seg).run()
+    return report.timeline
+
+
+def test_fig10_process_timeline(benchmark, mp3_graph, platform_3seg):
+    timeline = benchmark(run_and_extract, mp3_graph, platform_3seg)
+
+    lines = ["E4 / Fig. 10 — process progress (start -> end, us):"]
+    for entry in timeline:
+        start = (entry.start_ps or 0) / 1e6
+        end = (entry.end_ps or 0) / 1e6
+        bar_start = int(start / 10)
+        bar_len = max(1, int((end - start) / 10))
+        lines.append(
+            f"  {entry.process:>4} {start:8.2f} -> {end:8.2f}  "
+            + " " * bar_start + "#" * bar_len
+        )
+    paper = PAPER_3SEG_RESULTS
+    lines.append("")
+    lines.append(fmt_row("P0 start (ps)", paper["p0_start_ps"],
+                         timeline.entry("P0").start_ps))
+    lines.append(fmt_row("P0 end (ps)", paper["p0_end_ps"],
+                         timeline.entry("P0").end_ps))
+    lines.append(fmt_row("P8 end (ps)", paper["p8_end_ps"],
+                         timeline.entry("P8").end_ps))
+    lines.append(fmt_row("P7 start (ps)", paper["p7_start_ps"],
+                         timeline.entry("P7").start_ps))
+    lines.append(fmt_row("P14 last package (ps)", paper["p14_last_package_ps"],
+                         timeline.entry("P14").last_input_fs // 1000))
+    print_once("fig10", "\n".join(lines))
+
+    # gates: exact tick-one start; checkpoint proximity; finishing order
+    assert timeline.entry("P0").start_ps == paper["p0_start_ps"]
+    assert abs(timeline.entry("P0").end_ps - paper["p0_end_ps"]) \
+        / paper["p0_end_ps"] < 0.01
+    assert abs(timeline.entry("P7").start_ps - paper["p7_start_ps"]) \
+        / paper["p7_start_ps"] < 0.05
+    order = timeline.finishing_order()
+    pos = {name: i for i, name in enumerate(order)}
+    assert pos["P0"] < pos["P8"] < pos["P3"] < pos["P7"]
+    benchmark.extra_info["finishing_order"] = " ".join(order)

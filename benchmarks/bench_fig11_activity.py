@@ -1,0 +1,54 @@
+"""E5 — Fig. 11: activity graph of platform elements, s in {18, 36}.
+
+Regenerates the per-element utilization-over-time series of the 3-segment
+linear configuration at both package sizes.  The timed kernel is the
+emulation plus activity binning for one package size.
+"""
+
+from repro.apps.mp3 import paper_platform
+from repro.emulator.activity import activity_series
+from repro.emulator.emulator import SegBusEmulator
+
+from conftest import print_once
+
+BINS = 24
+
+
+def run_activity(mp3_graph, package_size):
+    platform = paper_platform(3, package_size=package_size)
+    emulator = SegBusEmulator.from_models(mp3_graph, platform)
+    emulator.run()
+    return activity_series(emulator.simulation, bins=BINS)
+
+
+def _sparkline(series):
+    marks = " .:-=+*#%@"
+    return "".join(marks[min(int(v * (len(marks) - 1) + 0.5), len(marks) - 1)]
+                   for v in series)
+
+
+def test_fig11_activity_graph(benchmark, mp3_graph):
+    series36 = benchmark(run_activity, mp3_graph, 36)
+    series18 = run_activity(mp3_graph, 18)
+
+    lines = ["E5 / Fig. 11 — activity of platform elements (utilization per bin):"]
+    for size, series in ((36, series36), (18, series18)):
+        lines.append(f"  package size {size} "
+                     f"(run length {series.bin_edges_us[-1]:.1f} us):")
+        for element in series.elements:
+            lines.append(
+                f"    {element:<10} |{_sparkline(series.utilization[element])}| "
+                f"avg {series.busy_fraction(element):.1%}"
+            )
+    print_once("fig11", "\n".join(lines))
+
+    # gates: the Fig. 11 shape — segment 1 active early, segment 2 late,
+    # BU23 nearly idle; the s=18 run is longer than the s=36 run
+    assert series36.peak_bin("Segment 1") < series36.peak_bin("Segment 2")
+    assert series36.busy_fraction("BU23") < series36.busy_fraction("BU12")
+    assert series18.bin_edges_us[-1] > series36.bin_edges_us[-1]
+    for series in (series36, series18):
+        for element in series.elements:
+            assert all(0 <= v <= 1 for v in series.utilization[element])
+    benchmark.extra_info["run_us_s36"] = round(series36.bin_edges_us[-1], 2)
+    benchmark.extra_info["run_us_s18"] = round(series18.bin_edges_us[-1], 2)

@@ -1,0 +1,39 @@
+"""E1 — Fig. 8: the communication matrix of the MP3 decoder.
+
+Regenerates the 15x15 matrix from the PSDF model (the emulator's first
+setup step, section 3.5) and prints it in the paper's layout.  The timed
+kernel is matrix construction.
+"""
+
+from repro.psdf.matrix import build_communication_matrix
+
+from conftest import print_once
+
+# Fig. 8's non-zero cells, for the correctness gate.
+FIG8 = {
+    ("P0", "P1"): 576, ("P0", "P8"): 576,
+    ("P1", "P2"): 540, ("P1", "P3"): 36,
+    ("P2", "P3"): 540,
+    ("P3", "P4"): 36, ("P3", "P5"): 540, ("P3", "P10"): 36, ("P3", "P11"): 540,
+    ("P4", "P5"): 36,
+    ("P5", "P6"): 576, ("P6", "P7"): 576, ("P7", "P14"): 576,
+    ("P8", "P3"): 36, ("P8", "P9"): 540,
+    ("P9", "P3"): 540,
+    ("P10", "P11"): 36,
+    ("P11", "P12"): 576, ("P12", "P13"): 576, ("P13", "P14"): 576,
+}
+
+
+def test_fig8_communication_matrix(benchmark, mp3_graph):
+    matrix = benchmark(build_communication_matrix, mp3_graph)
+    # gate: cell-exact reproduction of Fig. 8
+    for source in matrix.names:
+        for target in matrix.names:
+            assert matrix[source, target] == FIG8.get((source, target), 0)
+    benchmark.extra_info["total_items"] = matrix.total_items()
+    benchmark.extra_info["nonzero_cells"] = len(list(matrix.pairs()))
+    print_once(
+        "fig8",
+        "E1 / Fig. 8 — communication matrix (cell-exact vs paper):\n"
+        + matrix.to_table(),
+    )

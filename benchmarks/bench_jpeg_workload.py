@@ -1,0 +1,46 @@
+"""A6 — extension: the JPEG decoder as a second application study.
+
+The paper's future work asks for more application models on the emulator;
+this bench runs the baseline-JPEG pipeline (4:2:0, luma/chroma fork-join)
+across the three platform configurations and reports the comparison table.
+The timed kernel is one 3-segment emulation.
+"""
+
+from repro.apps.jpeg import jpeg_decoder_psdf, jpeg_platform
+from repro.emulator.emulator import emulate
+from repro.reference.accuracy import compare_estimate_to_reference
+
+from conftest import print_once
+
+
+def run_jpeg(segments):
+    return emulate(jpeg_decoder_psdf(), jpeg_platform(segments))
+
+
+def test_jpeg_workload(benchmark):
+    benchmark(run_jpeg, 3)
+    application = jpeg_decoder_psdf()
+
+    lines = ["A6 — JPEG decoder on 1/2/3 segments (uniform 100 MHz, s=36):",
+             f"  {'config':>7} {'time (us)':>10} {'BU crossings':>13} "
+             f"{'accuracy':>9}"]
+    results = {}
+    for segments in (1, 2, 3):
+        platform = jpeg_platform(segments)
+        accuracy = compare_estimate_to_reference(application, platform)
+        crossings = sum(
+            b.input_packages for b in accuracy.estimated_report.bu_results
+        )
+        results[segments] = accuracy
+        lines.append(
+            f"  {segments:>4}seg {accuracy.estimated_us:>10.2f} "
+            f"{crossings:>13} {accuracy.accuracy:>9.1%}"
+        )
+    print_once("jpeg", "\n".join(lines))
+
+    # gates: all configurations run; the estimator stays below the
+    # reference everywhere; accuracy in the same band as the MP3 study
+    for accuracy in results.values():
+        assert accuracy.estimated_us < accuracy.actual_us
+        assert 0.88 <= accuracy.accuracy <= 0.99
+    benchmark.extra_info["jpeg_3seg_us"] = round(results[3].estimated_us, 2)

@@ -1,0 +1,52 @@
+"""A1 — ablation: package-size sweep.
+
+The paper's Discussion predicts: *"the higher the data package, the less
+impact of these figures should be observed in the estimation results"* —
+i.e. larger packages mean fewer transfers, less per-package overhead,
+shorter execution and better accuracy.  This sweep verifies the trend over
+s in {9, 12, 18, 24, 36, 72}.  The timed kernel is one sweep point.
+"""
+
+from repro.analysis.sweep import package_size_sweep
+from repro.apps.mp3 import paper_platform
+
+from conftest import print_once
+
+SIZES = (9, 12, 18, 24, 36, 72)
+
+
+def one_point(mp3_graph):
+    return package_size_sweep(
+        mp3_graph,
+        platform_factory=lambda s: paper_platform(3, package_size=s),
+        package_sizes=[36],
+    )
+
+
+def test_package_size_sweep(benchmark, mp3_graph):
+    benchmark(one_point, mp3_graph)
+    points = package_size_sweep(
+        mp3_graph,
+        platform_factory=lambda s: paper_platform(3, package_size=s),
+        package_sizes=SIZES,
+    )
+
+    lines = ["A1 — package-size sweep (3 segments, paper clocks):",
+             "  size   estimated(us)   actual(us)   accuracy"]
+    for point in points:
+        lines.append(
+            f"  {point.parameter:>4}   {point.estimated_us:12.2f}  "
+            f"{point.actual_us:11.2f}   {point.accuracy:8.1%}"
+        )
+    print_once("pkg_sweep", "\n".join(lines))
+
+    by_size = {p.parameter: p for p in points}
+    # trends: time decreases with package size, accuracy increases
+    assert by_size[9].estimated_us > by_size[36].estimated_us
+    assert by_size[18].estimated_us > by_size[36].estimated_us
+    assert by_size[9].accuracy < by_size[36].accuracy <= by_size[72].accuracy + 0.01
+    for point in points:
+        assert point.estimated_us < point.actual_us
+    benchmark.extra_info["accuracies"] = {
+        p.parameter: round(p.accuracy, 3) for p in points
+    }

@@ -1,0 +1,65 @@
+"""A3 — ablation: which skipped timing factor contributes what error.
+
+The paper attributes its 5–7 % estimation error to clock-domain
+synchronization, SA granting activity and related control timing (section
+4, Discussion).  This ablation enables the reference simulator's penalty
+knobs one at a time and reports each factor's share of the estimate-vs-
+actual gap.  The timed kernel is one single-knob run.
+"""
+
+from repro.apps.mp3 import paper_platform
+from repro.emulator.config import EmulationConfig
+from repro.emulator.emulator import emulate
+
+from conftest import print_once
+
+KNOBS = (
+    "grant_latency_ticks",
+    "bus_turnaround_ticks",
+    "master_handshake_ticks",
+    "bu_sync_ticks",
+    "ca_decision_ticks",
+    "slave_ack_ticks",
+)
+
+
+def run_with(mp3_graph, platform, **overrides):
+    return emulate(
+        mp3_graph, platform, config=EmulationConfig(**overrides)
+    ).execution_time_us
+
+
+def test_penalty_ablation(benchmark, mp3_graph, platform_3seg):
+    reference = EmulationConfig.reference()
+    baseline = run_with(mp3_graph, platform_3seg)
+    benchmark(run_with, mp3_graph, platform_3seg, grant_latency_ticks=3)
+
+    full = emulate(
+        mp3_graph, platform_3seg, config=reference
+    ).execution_time_us
+    gap = full - baseline
+
+    lines = ["A3 — per-factor contribution to the estimation gap:",
+             f"  emulator (all factors skipped): {baseline:9.2f} us",
+             f"  reference (all factors on):     {full:9.2f} us  "
+             f"(gap {gap:.2f} us, {gap / full:.1%})"]
+    contributions = {}
+    for knob in KNOBS:
+        value = getattr(reference, knob)
+        with_knob = run_with(mp3_graph, platform_3seg, **{knob: value})
+        delta = with_knob - baseline
+        contributions[knob] = delta
+        lines.append(
+            f"  + {knob:<24} = {value}  ->  {with_knob:9.2f} us "
+            f"(+{delta:6.2f} us, {delta / gap:5.1%} of gap)"
+        )
+    print_once("penalty_ablation", "\n".join(lines))
+
+    # gates: every factor slows execution; factors roughly compose the gap
+    assert all(delta >= 0 for delta in contributions.values())
+    assert sum(contributions.values()) > 0.5 * gap
+    assert gap > 0
+    benchmark.extra_info["gap_us"] = round(gap, 2)
+    benchmark.extra_info["contributions_us"] = {
+        k: round(v, 2) for k, v in contributions.items()
+    }

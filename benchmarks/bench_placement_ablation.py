@@ -1,0 +1,79 @@
+"""A2 — ablation: segment count and allocation quality.
+
+Compares the three paper configurations (Fig. 9) against PlaceTool-derived
+allocations, and quantifies the cost of a deliberately bad allocation —
+the designer's decision loop the emulator exists to support.  The timed
+kernel is one design-space exploration pass.
+"""
+
+from repro.analysis.dse import explore_design_space
+from repro.apps.mp3 import (
+    PAPER_CA_FREQUENCY_MHZ,
+    paper_allocation,
+    paper_platform,
+    paper_segment_frequencies_mhz,
+)
+from repro.emulator.emulator import emulate
+
+from conftest import print_once
+
+
+def explore(mp3_graph):
+    return explore_design_space(
+        mp3_graph,
+        segment_counts=[2, 3],
+        package_sizes=[36],
+        segment_frequencies_mhz=paper_segment_frequencies_mhz,
+        ca_frequency_mhz=PAPER_CA_FREQUENCY_MHZ,
+        extra_allocations=[
+            ("paper[2seg]", paper_allocation(2)),
+            ("paper[3seg]", paper_allocation(3)),
+        ],
+    )
+
+
+def test_placement_ablation(benchmark, mp3_graph):
+    points = benchmark(explore, mp3_graph)
+
+    lines = ["A2 — placement / segment-count ablation (s = 36):",
+             f"  {'rank':>4} {'segs':>4} {'time (us)':>10}  allocation"]
+    for rank, point in enumerate(points, start=1):
+        lines.append(
+            f"  {rank:>4} {point.segment_count:>4} "
+            f"{point.execution_time_us:>10.2f}  "
+            f"{point.allocation_source}: {point.allocation}"
+        )
+    # the deliberately bad allocation: split the hot P0-P1/P8 cluster apart
+    bad = paper_allocation(3).moved("P1", 3).moved("P8", 2).moved("P9", 3)
+    bad_report = emulate(mp3_graph, paper_platform(3, allocation=bad))
+    good_time = min(p.execution_time_us for p in points
+                    if p.segment_count == 3)
+    lines.append(
+        f"  bad allocation ({bad}): {bad_report.execution_time_us:.2f} us "
+        f"(best 3-seg: {good_time:.2f} us)"
+    )
+    # emulation-validated placement: the cost model as filter, the emulator
+    # as judge (PlaceTool.solve_emulated)
+    from repro.apps.mp3 import paper_segment_frequencies_mhz, PAPER_CA_FREQUENCY_MHZ
+    from repro.placement.placetool import PlaceTool
+
+    validated = PlaceTool().solve_emulated(
+        mp3_graph, 3,
+        segment_frequencies_mhz=paper_segment_frequencies_mhz(3),
+        ca_frequency_mhz=PAPER_CA_FREQUENCY_MHZ,
+    )
+    lines.append(
+        f"  emulation-validated placement: {validated.execution_time_us:.2f} us "
+        f"({validated.candidates_evaluated} candidates emulated)"
+    )
+    print_once("placement_ablation", "\n".join(lines))
+
+    # gates: every point ran; the bad allocation is strictly worse; the
+    # emulation-validated allocation is at least as good as the paper's
+    assert len(points) == 4
+    assert bad_report.execution_time_us > good_time
+    assert validated.execution_time_us <= good_time + 1e-6
+    benchmark.extra_info["best_time_us"] = round(points[0].execution_time_us, 2)
+    benchmark.extra_info["bad_alloc_time_us"] = round(
+        bad_report.execution_time_us, 2
+    )

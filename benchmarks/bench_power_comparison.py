@@ -1,0 +1,54 @@
+"""A4 — extension: activity-based energy comparison across configurations.
+
+The paper argues early configuration decisions *"also improve power
+consumption up to some extent"* (section 5) without quantifying; this bench
+adds the numbers: per-element energy for the three Fig. 9 configurations
+and two package sizes, using the activity model of
+:mod:`repro.analysis.power`.  The timed kernel is one emulate+estimate pass.
+"""
+
+from repro.analysis.power import estimate_power
+from repro.apps.mp3 import paper_platform
+from repro.emulator.emulator import SegBusEmulator
+
+from conftest import print_once
+
+
+def run_power(mp3_graph, segments, package_size):
+    emulator = SegBusEmulator.from_models(
+        mp3_graph, paper_platform(segments, package_size=package_size)
+    )
+    emulator.run()
+    return estimate_power(emulator.simulation)
+
+
+def test_power_comparison(benchmark, mp3_graph):
+    benchmark(run_power, mp3_graph, 3, 36)
+
+    lines = ["A4 — energy comparison (arbitrary units):",
+             f"  {'config':<12} {'runtime(us)':>12} {'dynamic':>10} "
+             f"{'static':>10} {'total':>10} {'avg power':>10}"]
+    results = {}
+    for segments in (1, 2, 3):
+        for size in (18, 36):
+            report = run_power(mp3_graph, segments, size)
+            results[(segments, size)] = report
+            lines.append(
+                f"  {segments}seg/s{size:<6} {report.runtime_us:>12.2f} "
+                f"{report.dynamic_energy:>10.0f} {report.static_energy:>10.0f} "
+                f"{report.total_energy:>10.0f} {report.average_power:>10.2f}"
+            )
+    print_once("power", "\n".join(lines))
+
+    # gates: BU energy appears only on segmented configs; smaller packages
+    # cost more dynamic energy (more transfers); totals positive everywhere
+    assert "BU12" not in results[(1, 36)].elements
+    assert "BU12" in results[(3, 36)].elements
+    assert (
+        results[(3, 18)].dynamic_energy > results[(3, 36)].dynamic_energy
+    )
+    for report in results.values():
+        assert report.total_energy > 0
+    benchmark.extra_info["total_3seg_s36"] = round(
+        results[(3, 36)].total_energy
+    )

@@ -1,0 +1,52 @@
+"""E3 — the section-4 results listing (3 segments, s = 36).
+
+Regenerates the full emulator output block — per-process times, CA/SA
+TCTs, BU package counts, request counters, execution time — and compares
+every published number.  The timed kernel is the complete emulation from
+the XML schemes (parse + setup + run), the paper's tool invocation.
+"""
+
+from repro.apps.mp3 import PAPER_3SEG_RESULTS
+from repro.emulator.emulator import SegBusEmulator
+from repro.xmlio.psdf_writer import psdf_to_xml
+from repro.xmlio.psm_writer import psm_to_xml
+
+from conftest import fmt_row, print_once
+
+
+def run_from_xml(psdf_xml, psm_xml):
+    return SegBusEmulator(psdf_xml, psm_xml).run()
+
+
+def test_results_listing_3seg(benchmark, mp3_graph, platform_3seg):
+    psdf_xml = psdf_to_xml(mp3_graph, 36)
+    psm_xml = psm_to_xml(platform_3seg)
+    report = benchmark(run_from_xml, psdf_xml, psm_xml)
+
+    paper = PAPER_3SEG_RESULTS
+    lines = ["E3 — emulation results, 3 segments, s = 36:", report.format_listing(), ""]
+    lines.append(fmt_row("Execution time (us)", paper["execution_time_us"],
+                         round(report.execution_time_us, 2)))
+    lines.append(fmt_row("CA TCT", paper["ca_tct"], report.ca_tct))
+    lines.append(fmt_row("BU12 TCT", paper["bu12_tct"], report.bu(1, 2).tct))
+    lines.append(fmt_row("BU23 TCT", paper["bu23_tct"], report.bu(2, 3).tct))
+    for index in (1, 2, 3):
+        sa = report.sa(index)
+        lines.append(fmt_row(f"SA{index} TCT", paper[f"sa{index}_tct"], sa.tct))
+        lines.append(fmt_row(f"SA{index} intra requests",
+                             paper[f"sa{index}_intra_requests"], sa.intra_requests))
+        lines.append(fmt_row(f"SA{index} inter requests",
+                             paper[f"sa{index}_inter_requests"], sa.inter_requests))
+    print_once("results3seg", "\n".join(lines))
+
+    # gates (DESIGN.md E3): exact package accounting, ±15 % on the headline
+    assert report.bu(1, 2).received_from_left == 32
+    assert report.bu(2, 3).input_packages == 2
+    assert report.sa(3).inter_requests == 1
+    assert report.bu(1, 2).tct == paper["bu12_tct"]
+    assert report.bu(2, 3).tct == paper["bu23_tct"]
+    measured = report.execution_time_us
+    assert abs(measured - paper["execution_time_us"]) / paper["execution_time_us"] < 0.15
+    assert report.execution_time_ps == report.ca_time_ps  # CA dominates
+    benchmark.extra_info["execution_time_us"] = round(measured, 2)
+    benchmark.extra_info["paper_execution_time_us"] = paper["execution_time_us"]

@@ -1,0 +1,70 @@
+"""A9 — tool scalability: emulator cost vs application size.
+
+The emulator must stay interactive for the design loop; this bench measures
+how its wall time and event count grow with the application (random layered
+DAGs of 10–160 processes on a 3-segment platform).  Events grow linearly
+with the package count and the emulator sustains hundreds of thousands of
+events per second in pure Python — comfortably within "early design
+estimate" budgets.  The timed kernel is the 40-process case.
+"""
+
+from repro.emulator.kernel import PlatformSpec, Simulation
+from repro.psdf.generators import random_dag_psdf
+from repro.psdf.metrics import summary
+
+from conftest import print_once
+
+SIZES = (10, 20, 40, 80, 160)
+
+
+def build_case(processes):
+    graph = random_dag_psdf(processes, seed=processes, max_items=360, max_ticks=150)
+    placement = {
+        name: (i % 3) + 1 for i, name in enumerate(graph.process_names)
+    }
+    spec = PlatformSpec(
+        package_size=36,
+        segment_frequencies_mhz={1: 91.0, 2: 98.0, 3: 89.0},
+        ca_frequency_mhz=111.0,
+        placement=placement,
+    )
+    return graph, spec
+
+
+def run_case(processes):
+    graph, spec = build_case(processes)
+    return Simulation(graph, spec).run()
+
+
+def test_emulator_scalability(benchmark):
+    import time
+
+    benchmark(run_case, 40)
+
+    lines = ["A9 — emulator scalability on random layered DAGs:",
+             f"  {'procs':>6} {'flows':>6} {'packages':>9} {'events':>8} "
+             f"{'sim time(us)':>13} {'wall (ms)':>10} {'events/s':>10}"]
+    rows = {}
+    for processes in SIZES:
+        graph, spec = build_case(processes)
+        start = time.perf_counter()
+        sim = Simulation(graph, spec).run()
+        wall = time.perf_counter() - start
+        rows[processes] = (sim, wall)
+        shape = summary(graph)
+        lines.append(
+            f"  {processes:>6} {shape.flows:>6} "
+            f"{graph.total_packages(36):>9} {sim.queue.executed:>8} "
+            f"{sim.execution_time_fs() / 1e9:>13.1f} {wall * 1e3:>10.2f} "
+            f"{sim.queue.executed / wall:>10.0f}"
+        )
+    print_once("scalability", "\n".join(lines))
+
+    # gates: events scale with packages (linear-ish), never explode
+    for processes, (sim, _) in rows.items():
+        graph, _spec = build_case(processes)
+        packages = graph.total_packages(36)
+        assert sim.queue.executed < 25 * packages + 200
+    # throughput stays usable even at the largest size
+    big_sim, big_wall = rows[160]
+    assert big_sim.queue.executed / big_wall > 20_000  # events per second

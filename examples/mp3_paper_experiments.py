@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's section-4 experiments on the MP3 decoder.
+
+Runs the three-segment configuration (Fig. 9, s = 36), prints the results
+listing, the BU useful/waiting-period analysis, and the three accuracy
+experiments (s = 36, s = 18, P9 moved to segment 3) against the reference
+simulator — the full evaluation of the paper in one script.
+
+Run:  python examples/mp3_paper_experiments.py
+"""
+
+from repro import compare_estimate_to_reference
+from repro.analysis.bu_utilization import bu_utilization
+from repro.apps.mp3 import (
+    PAPER_3SEG_RESULTS,
+    PAPER_ACCURACY_EXPERIMENTS,
+    PAPER_BU_ANALYSIS,
+    mp3_decoder_psdf,
+    paper_allocation,
+    paper_platform,
+)
+from repro.emulator.emulator import emulate
+
+
+def main() -> None:
+    application = mp3_decoder_psdf()
+
+    print("=" * 70)
+    print("Three-segment configuration, package size 36 (paper section 4)")
+    print("=" * 70)
+    report = emulate(application, paper_platform(3))
+    print(report.format_listing())
+    print()
+    print(
+        f"Execution time: {report.execution_time_us:.2f} us "
+        f"(paper: {PAPER_3SEG_RESULTS['execution_time_us']} us)"
+    )
+
+    print()
+    print("BU utilization (paper: UP12=%d TCT12=%d WP12=%d, UP23=%d TCT23=%d WP23=%d)"
+          % (PAPER_BU_ANALYSIS["UP12"], PAPER_BU_ANALYSIS["TCT12"],
+             PAPER_BU_ANALYSIS["WP12"], PAPER_BU_ANALYSIS["UP23"],
+             PAPER_BU_ANALYSIS["TCT23"], PAPER_BU_ANALYSIS["WP23"]))
+    for util in bu_utilization(report):
+        print(
+            f"  {util.name}: UP = {util.useful_period}, TCT = {util.tct}, "
+            f"mean WP = {util.mean_waiting_period:.0f}"
+        )
+
+    print()
+    print("=" * 70)
+    print("Accuracy experiments (estimated vs reference-simulated 'actual')")
+    print("=" * 70)
+    experiments = (
+        ("s36", paper_platform(3, package_size=36)),
+        ("s18", paper_platform(3, package_size=18)),
+        (
+            "p9_moved",
+            paper_platform(3, allocation=paper_allocation(3).moved("P9", 3)),
+        ),
+    )
+    for label, platform in experiments:
+        result = compare_estimate_to_reference(application, platform, label=label)
+        paper = PAPER_ACCURACY_EXPERIMENTS[label]
+        print(
+            f"  {label:<9} measured {result.estimated_us:7.2f}/"
+            f"{result.actual_us:7.2f} us = {result.accuracy:5.1%}   "
+            f"(paper {paper['estimated_us']:7.2f}/{paper['actual_us']:7.2f} us "
+            f"= {paper['accuracy']:.0%})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim: lets ``pip install -e .`` work offline (no wheel package
+available in this environment, so pip falls back to setup.py develop)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,131 @@
+"""repro — reproduction of *A Performance Estimation Technique for the
+SegBus Distributed Architecture* (Niazi, Seceleanu, Tenhunen; ICPP 2010 /
+TUCS TR 980).
+
+The library covers the paper's full flow (Fig. 3):
+
+1. model the application as a **PSDF** graph (:mod:`repro.psdf`);
+2. model the **platform** and map the application onto segments to obtain
+   the PSM (:mod:`repro.model`), optionally letting the **PlaceTool**
+   substitute (:mod:`repro.placement`) choose the allocation;
+3. transform both models into **XML schemes** (:mod:`repro.xmlio`);
+4. feed the schemes to the **emulator** (:mod:`repro.emulator`) and read
+   the performance report;
+5. compare against the **reference simulator** (:mod:`repro.reference`) —
+   our stand-in for the real FPGA platform — and analyze bottlenecks and
+   design alternatives (:mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro import emulate, mp3_decoder_psdf, paper_platform
+
+    report = emulate(mp3_decoder_psdf(), paper_platform(segment_count=3))
+    print(report.format_listing())
+"""
+
+from repro.errors import (
+    ConstraintViolation,
+    DeadlockError,
+    EmulationError,
+    MappingError,
+    ModelError,
+    PlacementError,
+    PSDFError,
+    SegBusError,
+    XMLFormatError,
+)
+from repro.units import Frequency
+from repro.psdf import (
+    FlowCost,
+    PacketFlow,
+    Process,
+    ProcessKind,
+    PSDFGraph,
+    CommunicationMatrix,
+    build_communication_matrix,
+)
+from repro.model import (
+    Allocation,
+    PlatformBuilder,
+    PlatformSpecificModel,
+    SegBusPlatform,
+    map_application,
+    validate_platform,
+)
+from repro.xmlio import (
+    parse_psdf_xml,
+    parse_psm_xml,
+    psdf_to_xml,
+    psm_to_xml,
+)
+from repro.emulator import (
+    EmulationConfig,
+    EmulationReport,
+    SegBusEmulator,
+    emulate,
+)
+from repro.reference import (
+    AccuracyResult,
+    ReferenceSimulator,
+    compare_estimate_to_reference,
+)
+from repro.placement import PlaceTool, PlacementResult
+from repro.apps import (
+    mp3_decoder_psdf,
+    paper_allocation,
+    paper_platform,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors
+    "SegBusError",
+    "PSDFError",
+    "ModelError",
+    "ConstraintViolation",
+    "MappingError",
+    "XMLFormatError",
+    "EmulationError",
+    "DeadlockError",
+    "PlacementError",
+    # units
+    "Frequency",
+    # psdf
+    "FlowCost",
+    "PacketFlow",
+    "Process",
+    "ProcessKind",
+    "PSDFGraph",
+    "CommunicationMatrix",
+    "build_communication_matrix",
+    # model
+    "Allocation",
+    "PlatformBuilder",
+    "PlatformSpecificModel",
+    "SegBusPlatform",
+    "map_application",
+    "validate_platform",
+    # xml
+    "psdf_to_xml",
+    "psm_to_xml",
+    "parse_psdf_xml",
+    "parse_psm_xml",
+    # emulator
+    "EmulationConfig",
+    "EmulationReport",
+    "SegBusEmulator",
+    "emulate",
+    # reference
+    "ReferenceSimulator",
+    "AccuracyResult",
+    "compare_estimate_to_reference",
+    # placement
+    "PlaceTool",
+    "PlacementResult",
+    # apps
+    "mp3_decoder_psdf",
+    "paper_allocation",
+    "paper_platform",
+    "__version__",
+]

@@ -1,0 +1,83 @@
+"""Communication bottleneck identification.
+
+*"The tool helps us observe the communication bottlenecks, expressed here as
+the time one package has to wait in one of the BUs until it can be delivered
+to the next segment"* (section 4).  We rank BUs by total waiting time and
+segments by bus utilization, and suggest the rebalancing lever the paper
+mentions: adjusting granularity / placement to drain the congested BU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.analysis.bu_utilization import BUUtilization, bu_utilization
+from repro.emulator.kernel import Simulation
+from repro.emulator.report import EmulationReport
+
+
+@dataclass(frozen=True)
+class SegmentLoad:
+    """Bus utilization of one segment over the whole run."""
+
+    index: int
+    busy_fs: int
+    horizon_fs: int
+
+    @property
+    def utilization(self) -> float:
+        return self.busy_fs / self.horizon_fs if self.horizon_fs else 0.0
+
+
+@dataclass(frozen=True)
+class BottleneckReport:
+    """Ranked congestion view of one emulation."""
+
+    bu_ranking: Tuple[BUUtilization, ...]
+    segment_loads: Tuple[SegmentLoad, ...]
+
+    @property
+    def worst_bu(self) -> BUUtilization:
+        if not self.bu_ranking:
+            raise ValueError("platform has no border units")
+        return self.bu_ranking[0]
+
+    @property
+    def hottest_segment(self) -> SegmentLoad:
+        return max(self.segment_loads, key=lambda s: s.utilization)
+
+    def advice(self) -> str:
+        """The paper's rebalancing hint, instantiated with the findings."""
+        lines = []
+        if self.bu_ranking and self.bu_ranking[0].waiting_total > 0:
+            bu = self.bu_ranking[0]
+            lines.append(
+                f"{bu.name} accumulated {bu.waiting_total} waiting ticks over "
+                f"{bu.packages} packages (W̄P = {bu.mean_waiting_period:.2f}); "
+                "consider moving one endpoint of its heaviest flow into the "
+                "adjacent segment or increasing the package size."
+            )
+        hot = self.hottest_segment
+        lines.append(
+            f"segment {hot.index} is the busiest bus "
+            f"({hot.utilization:.0%} occupied)."
+        )
+        return " ".join(lines)
+
+
+def find_bottlenecks(sim: Simulation, report: EmulationReport) -> BottleneckReport:
+    """Build the congestion view from a finished simulation + its report."""
+    ranking = sorted(
+        bu_utilization(report), key=lambda u: (-(u.tct - u.useful_period), u.name)
+    )
+    horizon = max(sim.global_end_fs, 1)
+    loads = tuple(
+        SegmentLoad(
+            index=index,
+            busy_fs=sim.segments[index].counters.busy_fs,
+            horizon_fs=horizon,
+        )
+        for index in sorted(sim.segments)
+    )
+    return BottleneckReport(bu_ranking=tuple(ranking), segment_loads=loads)

@@ -1,0 +1,59 @@
+"""BU useful-period / waiting-period analysis (paper section 4, Discussion).
+
+*"The useful period (UP) of any given BU is the time (in clock ticks)
+required to load and then unload the data package — twice the size of a
+package.  Once a package is loaded, before unloading, the BU has to wait for
+a grant signal coming from the next segment — the waiting period (WP) ...
+An average value for WP over the number of transfers can easily be computed
+given the data offered by the emulator (corresponding TCTs)."*
+
+For the paper's example: UP12 = 2304, TCT12 = 2336, W̄P12 = 1;
+UP23 = 144, TCT23 = 146, W̄P23 = 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.emulator.report import BUResult, EmulationReport
+
+
+@dataclass(frozen=True)
+class BUUtilization:
+    """UP/WP breakdown of one border unit."""
+
+    name: str
+    packages: int
+    useful_period: int
+    tct: int
+    mean_waiting_period: float
+
+    @property
+    def waiting_total(self) -> int:
+        return self.tct - self.useful_period
+
+    @property
+    def congested(self) -> bool:
+        """Heuristic congestion flag: waiting exceeds half a package per transfer."""
+        return self.packages > 0 and self.mean_waiting_period > 0.5 * (
+            self.useful_period / (2 * max(self.packages, 1))
+        )
+
+
+def _analyze(bu: BUResult, package_size: int) -> BUUtilization:
+    packages = bu.output_packages
+    useful = 2 * package_size * packages
+    wp = 0.0 if packages == 0 else (bu.tct - useful) / packages
+    return BUUtilization(
+        name=bu.name,
+        packages=packages,
+        useful_period=useful,
+        tct=bu.tct,
+        mean_waiting_period=wp,
+    )
+
+
+def bu_utilization(report: EmulationReport) -> Tuple[BUUtilization, ...]:
+    """UP/W̄P for every BU of a finished emulation, in platform order."""
+    return tuple(_analyze(bu, report.package_size) for bu in report.bu_results)

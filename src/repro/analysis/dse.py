@@ -1,0 +1,84 @@
+"""Design-space exploration: the designer's decision loop of Fig. 3.
+
+*"After the analysis of the returned results, the designer is able to decide
+whether the emulated configuration will be optimal or not for the target
+application, and can change the platform configuration before moving to
+lower levels of the design process."*  :func:`explore_design_space`
+automates the loop: enumerate candidate configurations (segment counts ×
+package sizes × allocations), emulate each, and rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.emulator.config import EmulationConfig
+from repro.emulator.emulator import emulate
+from repro.emulator.report import EmulationReport
+from repro.model.mapping import Allocation, map_application
+from repro.placement.placetool import PlaceTool
+from repro.psdf.graph import PSDFGraph
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One candidate configuration with its emulated performance."""
+
+    segment_count: int
+    package_size: int
+    allocation: Allocation
+    allocation_source: str
+    report: EmulationReport
+
+    @property
+    def execution_time_us(self) -> float:
+        return self.report.execution_time_us
+
+
+def explore_design_space(
+    application: PSDFGraph,
+    segment_counts: Sequence[int],
+    package_sizes: Sequence[int],
+    segment_frequencies_mhz: Callable[[int], Sequence[float]],
+    ca_frequency_mhz: float,
+    extra_allocations: Optional[Sequence[Tuple[str, Allocation]]] = None,
+    config: Optional[EmulationConfig] = None,
+    place_tool: Optional[PlaceTool] = None,
+) -> Tuple[DesignPoint, ...]:
+    """Emulate every candidate configuration; return points sorted best-first.
+
+    For each segment count an allocation is produced by the PlaceTool;
+    ``extra_allocations`` adds hand-made candidates (e.g. the paper's
+    Fig. 9 rows) labelled by name.
+    """
+    tool = place_tool or PlaceTool()
+    candidates: List[Tuple[str, Allocation]] = []
+    for count in segment_counts:
+        solved = tool.solve(application, count)
+        candidates.append((f"placetool[{solved.solver}]", solved.allocation()))
+    for label, allocation in extra_allocations or ():
+        candidates.append((label, allocation))
+
+    points: List[DesignPoint] = []
+    for label, allocation in candidates:
+        count = allocation.segment_count
+        for size in package_sizes:
+            psm = map_application(
+                application,
+                allocation,
+                segment_frequencies_mhz=segment_frequencies_mhz(count),
+                ca_frequency_mhz=ca_frequency_mhz,
+                package_size=size,
+            )
+            report = emulate(application, psm.platform, config=config)
+            points.append(
+                DesignPoint(
+                    segment_count=count,
+                    package_size=size,
+                    allocation=allocation,
+                    allocation_source=label,
+                    report=report,
+                )
+            )
+    return tuple(sorted(points, key=lambda p: p.execution_time_us))

@@ -1,0 +1,239 @@
+"""Granularity rebalancing of PSDF applications.
+
+*"The granularity level of application components can also be balanced in
+order to eliminate the traffic congestion located at certain BUs, that will
+further improve the overall performance"* (section 5).  This module provides
+the two granularity transformations and a rebalancing driver:
+
+* :func:`merge_processes` — fuse two processes into one FU; their mutual
+  flows become internal (vanish from the bus), external flows re-point to
+  the merged process.  Legal only when the fusion cannot create a cycle.
+* :func:`split_process` — split a process into a two-stage chain; the second
+  stage takes over a chosen subset of the output flows, fed by a new
+  internal flow sized to the moved traffic.  The two halves can then be
+  placed on different segments.
+* :func:`suggest_rebalance` — locate the most congested BU, pick the
+  heaviest flow crossing it and produce the merge candidate that removes
+  that traffic from the bus, with the emulated effect quantified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import PSDFError
+from repro.psdf.flow import FlowCost, PacketFlow
+from repro.psdf.graph import PSDFGraph
+
+
+def _reachable(graph: PSDFGraph, start: str, goal: str, skip_direct: bool) -> bool:
+    """True if ``goal`` is reachable from ``start``; optionally ignoring the
+    direct edges start->goal."""
+    frontier = [start]
+    seen: Set[str] = set()
+    while frontier:
+        node = frontier.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        for flow in graph.outgoing(node):
+            if skip_direct and node == start and flow.target == goal:
+                continue
+            if flow.target == goal:
+                return True
+            frontier.append(flow.target)
+    return False
+
+
+def merge_processes(
+    graph: PSDFGraph, first: str, second: str, merged_name: Optional[str] = None
+) -> PSDFGraph:
+    """Fuse ``first`` and ``second`` into one process.
+
+    Flows between the pair become FU-internal and disappear; every other
+    flow endpoint is redirected to the merged process.  Parallel flows from
+    the merged process to one target (or from one source) are aggregated by
+    summing their data items under the smaller T, keeping the PSDF
+    well-formedness rule of one flow per (source, target, T).
+
+    Raises :class:`~repro.errors.PSDFError` when the merge would create a
+    cycle (an indirect path exists between the two processes).
+    """
+    graph.process(first)
+    graph.process(second)
+    if first == second:
+        raise PSDFError("cannot merge a process with itself")
+    for a, b in ((first, second), (second, first)):
+        if _reachable(graph, a, b, skip_direct=True):
+            raise PSDFError(
+                f"merging {first!r} and {second!r} would create a cycle: "
+                f"an indirect path {a} -> ... -> {b} exists"
+            )
+    name = merged_name or f"{first}{second}"
+    pair = {first, second}
+
+    def endpoint(p: str) -> str:
+        return name if p in pair else p
+
+    aggregated: Dict[Tuple[str, str], List[PacketFlow]] = {}
+    for flow in graph.flows:
+        if flow.source in pair and flow.target in pair:
+            continue  # internalized
+        key = (endpoint(flow.source), endpoint(flow.target))
+        aggregated.setdefault(key, []).append(flow)
+
+    flows: List[PacketFlow] = []
+    for (source, target), members in aggregated.items():
+        if len(members) == 1 and source == members[0].source and \
+                target == members[0].target:
+            flows.append(members[0])
+            continue
+        # aggregate re-pointed (possibly parallel) flows
+        by_order: Dict[int, List[PacketFlow]] = {}
+        for member in members:
+            by_order.setdefault(member.order, []).append(member)
+        for order, group in by_order.items():
+            total = sum(m.data_items for m in group)
+            # keep the heaviest member's cost model
+            cost = max(group, key=lambda m: m.data_items).cost
+            flows.append(
+                PacketFlow(
+                    source=source,
+                    target=target,
+                    data_items=total,
+                    order=order,
+                    cost=cost,
+                )
+            )
+    return PSDFGraph.from_edges(
+        [(f.source, f.target, f.data_items, f.order, f.cost) for f in flows],
+        name=f"{graph.name}_merged",
+    )
+
+
+def split_process(
+    graph: PSDFGraph,
+    process: str,
+    moved_targets: Iterable[str],
+    stage_names: Optional[Tuple[str, str]] = None,
+    internal_cost: Optional[FlowCost] = None,
+) -> PSDFGraph:
+    """Split ``process`` into a two-stage chain.
+
+    Stage 1 keeps the incoming flows and the outgoing flows *not* listed in
+    ``moved_targets``; stage 2 takes over the moved flows, fed by a new
+    internal flow whose data volume equals the moved traffic (the tokens
+    stage 2 transforms).  The internal flow's T is the smallest moved T so
+    scheduling order is preserved.
+    """
+    graph.process(process)
+    moved = set(moved_targets)
+    outgoing = {f.target: f for f in graph.outgoing(process)}
+    unknown = sorted(moved - set(outgoing))
+    if unknown:
+        raise PSDFError(
+            f"{process!r} has no flows to: {', '.join(unknown)}"
+        )
+    if not moved:
+        raise PSDFError("no targets selected for the second stage")
+    if moved == set(outgoing):
+        raise PSDFError(
+            "cannot move every output flow: stage 1 would become a dead end"
+        )
+    stage1, stage2 = stage_names or (f"{process}a", f"{process}b")
+    moved_flows = [outgoing[t] for t in sorted(moved)]
+    internal_items = sum(f.data_items for f in moved_flows)
+    internal_order = min(f.order for f in moved_flows)
+    cost = internal_cost or FlowCost(c_fixed=8, c_item=1)
+
+    edges: List[Tuple] = []
+    for flow in graph.flows:
+        source, target = flow.source, flow.target
+        if source == process:
+            source = stage2 if target in moved else stage1
+        if target == process:
+            target = stage1
+        edges.append((source, target, flow.data_items, flow.order, flow.cost))
+    edges.append((stage1, stage2, internal_items, internal_order, cost))
+    return PSDFGraph.from_edges(edges, name=f"{graph.name}_split")
+
+
+@dataclass(frozen=True)
+class RebalanceSuggestion:
+    """One granularity-rebalancing candidate with its measured effect."""
+
+    congested_bu: str
+    flow_source: str
+    flow_target: str
+    flow_items: int
+    merged_graph: PSDFGraph
+    merged_process: str
+    baseline_us: float
+    rebalanced_us: float
+
+    @property
+    def improvement(self) -> float:
+        """Relative execution-time change (positive = faster)."""
+        return 1.0 - self.rebalanced_us / self.baseline_us
+
+
+def suggest_rebalance(
+    graph: PSDFGraph,
+    placement: Dict[str, int],
+    segment_frequencies_mhz,
+    ca_frequency_mhz: float,
+    package_size: int,
+) -> Optional[RebalanceSuggestion]:
+    """Merge the endpoints of the heaviest congested-BU flow and measure.
+
+    Returns ``None`` when there is no inter-segment traffic or no legal
+    merge.  The merged process is placed on the segment of the flow's
+    source (removing the crossing entirely).
+    """
+    from repro.emulator.emulator import emulate  # local import: avoid cycle
+    from repro.model.mapping import Allocation, map_application
+
+    def run(app: PSDFGraph, place: Dict[str, int]) -> float:
+        psm = map_application(
+            app,
+            Allocation.from_placement(place),
+            segment_frequencies_mhz=segment_frequencies_mhz,
+            ca_frequency_mhz=ca_frequency_mhz,
+            package_size=package_size,
+        )
+        return emulate(app, psm.platform).execution_time_us
+
+    crossing = [
+        f for f in graph.flows if placement[f.source] != placement[f.target]
+    ]
+    if not crossing:
+        return None
+    crossing.sort(key=lambda f: (-f.data_items, f.source, f.target))
+    baseline = run(graph, placement)
+    for flow in crossing:
+        try:
+            merged = merge_processes(graph, flow.source, flow.target)
+        except PSDFError:
+            continue  # would create a cycle; try the next flow
+        merged_name = f"{flow.source}{flow.target}"
+        new_placement = {
+            name: seg for name, seg in placement.items()
+            if name not in (flow.source, flow.target)
+        }
+        new_placement[merged_name] = placement[flow.source]
+        if not set(new_placement.values()) == set(placement.values()):
+            continue  # merge emptied a segment; not a legal PSM
+        rebalanced = run(merged, new_placement)
+        bu_pair = tuple(sorted((placement[flow.source], placement[flow.target])))
+        return RebalanceSuggestion(
+            congested_bu=f"BU{bu_pair[0]}{bu_pair[1]}",
+            flow_source=flow.source,
+            flow_target=flow.target,
+            flow_items=flow.data_items,
+            merged_graph=merged,
+            merged_process=merged_name,
+            baseline_us=baseline,
+            rebalanced_us=rebalanced,
+        )
+    return None

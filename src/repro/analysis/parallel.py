@@ -1,0 +1,82 @@
+"""Parallel execution of emulation batches.
+
+One emulation is sub-second, but campaigns and design-space explorations
+multiply: segment counts × package sizes × allocations × fidelity levels.
+Each run is independent and CPU-bound, so the right lever (per the
+profile-first optimization workflow) is process-level parallelism across
+*configurations*, not threads inside the deterministic kernel.
+
+:func:`parallel_emulate` maps a list of job descriptions over a
+``ProcessPoolExecutor``, preserving input order and falling back to serial
+execution for small batches or ``workers=1`` (also the path used on
+platforms without fork).  Results are identical to serial execution —
+asserted by the test suite — because the kernel is deterministic and each
+job is self-contained.
+
+Job descriptions are picklable primitives (graphs and specs), not live
+simulations; each worker rebuilds its own kernel.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.emulator.config import EmulationConfig
+from repro.emulator.kernel import PlatformSpec, Simulation
+from repro.psdf.graph import PSDFGraph
+from repro.units import fs_to_us
+
+
+@dataclass(frozen=True)
+class EmulationJob:
+    """One independent emulation: everything a worker needs, picklable."""
+
+    label: str
+    application: PSDFGraph
+    spec: PlatformSpec
+    config: EmulationConfig = EmulationConfig()
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """The summary a worker ships back (small, picklable)."""
+
+    label: str
+    execution_time_us: float
+    total_events: int
+    ca_tct: int
+    sa_tcts: Tuple[int, ...]
+    packages_delivered: int
+
+
+def _run_job(job: EmulationJob) -> JobResult:
+    sim = Simulation(job.application, job.spec, job.config).run()
+    return JobResult(
+        label=job.label,
+        execution_time_us=fs_to_us(sim.execution_time_fs()),
+        total_events=sim.queue.executed,
+        ca_tct=sim.ca.counters.tct,
+        sa_tcts=tuple(sim.sa_tct(i) for i in sorted(sim.segments)),
+        packages_delivered=sum(
+            c.packages_received for c in sim.process_counters.values()
+        ),
+    )
+
+
+def parallel_emulate(
+    jobs: Sequence[EmulationJob],
+    workers: Optional[int] = None,
+    serial_threshold: int = 3,
+) -> List[JobResult]:
+    """Run ``jobs`` and return results in input order.
+
+    ``workers=None`` lets the executor pick (CPU count); batches smaller
+    than ``serial_threshold`` or ``workers=1`` run serially — process
+    startup would cost more than it buys.
+    """
+    if workers == 1 or len(jobs) < serial_threshold:
+        return [_run_job(job) for job in jobs]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_run_job, jobs))

@@ -1,0 +1,50 @@
+"""Small statistics helpers shared by sweeps and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.n} mean={self.mean:.3f} std={self.std:.3f} "
+            f"min={self.minimum:.3f} max={self.maximum:.3f}"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summarize a non-empty sample.
+
+    >>> summarize([1.0, 2.0, 3.0]).mean
+    2.0
+    """
+    if not len(values):
+        raise ValueError("cannot summarize an empty sample")
+    arr = np.asarray(values, dtype=float)
+    return Summary(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std()),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+    )
+
+
+def relative_error(measured: float, reference: float) -> float:
+    """``|measured - reference| / |reference|`` (reference must be non-zero)."""
+    if reference == 0:
+        raise ValueError("reference must be non-zero")
+    return abs(measured - reference) / abs(reference)

@@ -1,0 +1,129 @@
+"""Parameter sweeps over platform configurations.
+
+The emulator's purpose is comparing configurations early (section 1); these
+drivers run the same application across package sizes or segment counts and
+collect (estimated, actual, accuracy) triples — the machinery behind
+benchmarks A1/A2 and the paper's 36-vs-18 experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple
+
+from repro.emulator.config import EmulationConfig
+from repro.model.elements import SegBusPlatform
+from repro.model.mapping import Allocation, map_application
+from repro.psdf.graph import PSDFGraph
+from repro.reference.accuracy import AccuracyResult, compare_estimate_to_reference
+
+PlatformFactory = Callable[[int], SegBusPlatform]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep sample: the varied parameter plus the accuracy pair."""
+
+    parameter: int
+    result: AccuracyResult
+
+    @property
+    def estimated_us(self) -> float:
+        return self.result.estimated_us
+
+    @property
+    def actual_us(self) -> float:
+        return self.result.actual_us
+
+    @property
+    def accuracy(self) -> float:
+        return self.result.accuracy
+
+
+def package_size_sweep(
+    application: PSDFGraph,
+    platform_factory: PlatformFactory,
+    package_sizes: Sequence[int],
+    reference_config: Optional[EmulationConfig] = None,
+) -> Tuple[SweepPoint, ...]:
+    """Run the application at each package size.
+
+    ``platform_factory(s)`` must return the platform configured with package
+    size ``s`` (allocation and clocks held fixed).
+    """
+    points = []
+    for size in package_sizes:
+        platform = platform_factory(size)
+        result = compare_estimate_to_reference(
+            application,
+            platform,
+            label=f"s={size}",
+            reference_config=reference_config,
+        )
+        points.append(SweepPoint(parameter=size, result=result))
+    return tuple(points)
+
+
+def frequency_sweep(
+    application: PSDFGraph,
+    allocation: Allocation,
+    base_frequencies_mhz: Sequence[float],
+    ca_frequency_mhz: float,
+    package_size: int,
+    scales: Sequence[float],
+    reference_config: Optional[EmulationConfig] = None,
+) -> Tuple[SweepPoint, ...]:
+    """Scale every segment clock by each factor in ``scales``.
+
+    The sweep parameter of the returned points is the scale in percent
+    (so 1.25 appears as 125).  Used to find where the platform stops being
+    compute-bound: beyond the knee, faster clocks stop paying off because
+    inter-segment transfers and the CA dominate.
+    """
+    points = []
+    for scale in scales:
+        frequencies = [mhz * scale for mhz in base_frequencies_mhz]
+        psm = map_application(
+            application,
+            allocation,
+            segment_frequencies_mhz=frequencies,
+            ca_frequency_mhz=ca_frequency_mhz,
+            package_size=package_size,
+        )
+        result = compare_estimate_to_reference(
+            application,
+            psm.platform,
+            label=f"x{scale:g}",
+            reference_config=reference_config,
+        )
+        points.append(SweepPoint(parameter=int(round(scale * 100)), result=result))
+    return tuple(points)
+
+
+def segment_count_sweep(
+    application: PSDFGraph,
+    allocations: Sequence[Allocation],
+    segment_frequencies_mhz: Callable[[int], Sequence[float]],
+    ca_frequency_mhz: float,
+    package_size: int,
+    reference_config: Optional[EmulationConfig] = None,
+) -> Tuple[SweepPoint, ...]:
+    """Run the application on each allocation (one per segment count)."""
+    points = []
+    for allocation in allocations:
+        count = allocation.segment_count
+        psm = map_application(
+            application,
+            allocation,
+            segment_frequencies_mhz=segment_frequencies_mhz(count),
+            ca_frequency_mhz=ca_frequency_mhz,
+            package_size=package_size,
+        )
+        result = compare_estimate_to_reference(
+            application,
+            psm.platform,
+            label=f"{count} segment(s)",
+            reference_config=reference_config,
+        )
+        points.append(SweepPoint(parameter=count, result=result))
+    return tuple(points)

@@ -1,0 +1,118 @@
+"""Text-artifact visualization exports: DOT graphs, Gantt charts, CSV series.
+
+Plotting libraries are deliberately not a dependency; these exporters
+produce the standard text formats that external tools render:
+
+* :func:`psdf_to_dot` — the application graph in Graphviz DOT, nodes
+  colored by segment when a placement is given, edges weighted by traffic;
+* :func:`timeline_to_gantt` — the Fig. 10 progress chart as ASCII art or
+  as Mermaid ``gantt`` markup for documentation;
+* :func:`activity_to_csv` — the Fig. 11 series as CSV (one column per
+  element) for spreadsheets or gnuplot.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, Mapping, Optional
+
+from repro.emulator.activity import ActivitySeries
+from repro.emulator.timeline import ProcessTimeline
+from repro.psdf.graph import PSDFGraph
+
+#: fill colors per segment index for DOT output (colorblind-safe-ish)
+_SEGMENT_COLORS = (
+    "#a6cee3", "#b2df8a", "#fdbf6f", "#cab2d6", "#fb9a99",
+    "#ffff99", "#1f78b4", "#33a02c",
+)
+
+
+def psdf_to_dot(
+    graph: PSDFGraph,
+    placement: Optional[Mapping[str, int]] = None,
+    package_size: Optional[int] = None,
+) -> str:
+    """Render the PSDF graph as Graphviz DOT.
+
+    With ``placement``, nodes are clustered and colored by segment; with
+    ``package_size``, edge labels show packages instead of raw items.
+    """
+    out = io.StringIO()
+    out.write(f'digraph "{graph.name}" {{\n')
+    out.write("  rankdir=LR;\n  node [shape=box, style=filled];\n")
+    if placement:
+        by_segment: Dict[int, list] = {}
+        for name in graph.process_names:
+            by_segment.setdefault(placement[name], []).append(name)
+        for segment in sorted(by_segment):
+            color = _SEGMENT_COLORS[(segment - 1) % len(_SEGMENT_COLORS)]
+            out.write(f"  subgraph cluster_segment{segment} {{\n")
+            out.write(f'    label="Segment {segment}";\n')
+            for name in by_segment[segment]:
+                out.write(f'    "{name}" [fillcolor="{color}"];\n')
+            out.write("  }\n")
+    else:
+        for name in graph.process_names:
+            out.write(f'  "{name}" [fillcolor="#eeeeee"];\n')
+    for flow in graph.flows:
+        if package_size:
+            label = f"{flow.packages(package_size)} pkg (T={flow.order})"
+        else:
+            label = f"{flow.data_items} (T={flow.order})"
+        crossing = placement and placement[flow.source] != placement[flow.target]
+        style = ' color="red", penwidth=2.0,' if crossing else ""
+        out.write(
+            f'  "{flow.source}" -> "{flow.target}" [{style} label="{label}"];\n'
+        )
+    out.write("}\n")
+    return out.getvalue()
+
+
+def timeline_to_gantt(
+    timeline: ProcessTimeline,
+    width: int = 60,
+    mermaid: bool = False,
+) -> str:
+    """Render the process timeline as an ASCII Gantt chart (or Mermaid).
+
+    ASCII: one row per process, ``#`` spanning [start, end] scaled to
+    ``width`` columns.  Mermaid: a ``gantt`` block for Markdown docs.
+    """
+    entries = [e for e in timeline if e.start_ps is not None]
+    if not entries:
+        return "(empty timeline)"
+    horizon = max(e.end_ps or 0 for e in entries) or 1
+    if mermaid:
+        lines = ["gantt", "    dateFormat X", "    axisFormat %s",
+                 "    title Process progress (us)"]
+        for entry in entries:
+            start_us = int((entry.start_ps or 0) / 1e6)
+            end_us = max(int((entry.end_ps or 0) / 1e6), start_us + 1)
+            lines.append(
+                f"    {entry.process} : {start_us}, {end_us}"
+            )
+        return "\n".join(lines)
+    lines = []
+    for entry in entries:
+        start_col = int((entry.start_ps or 0) / horizon * (width - 1))
+        end_col = max(int((entry.end_ps or 0) / horizon * (width - 1)),
+                      start_col + 1)
+        bar = " " * start_col + "#" * (end_col - start_col)
+        lines.append(
+            f"{entry.process:>6} |{bar:<{width}}| "
+            f"{(entry.start_ps or 0) / 1e6:8.2f} -> "
+            f"{(entry.end_ps or 0) / 1e6:8.2f} us"
+        )
+    return "\n".join(lines)
+
+
+def activity_to_csv(series: ActivitySeries) -> str:
+    """The activity series as CSV: ``bin_start_us`` plus one column per element."""
+    out = io.StringIO()
+    elements = list(series.elements)
+    out.write("bin_start_us," + ",".join(elements) + "\n")
+    for i in range(series.bins):
+        cells = [f"{series.bin_edges_us[i]:.3f}"]
+        cells += [f"{series.utilization[e][i]:.4f}" for e in elements]
+        out.write(",".join(cells) + "\n")
+    return out.getvalue()

@@ -1,0 +1,33 @@
+"""Application models: the paper's MP3 decoder case study plus synthetic workloads."""
+
+from repro.apps.mp3 import (
+    mp3_decoder_psdf,
+    paper_allocation,
+    paper_platform,
+    paper_segment_frequencies_mhz,
+    PAPER_CA_FREQUENCY_MHZ,
+    PAPER_PACKAGE_SIZE,
+)
+from repro.apps.jpeg import (
+    jpeg_allocation,
+    jpeg_decoder_psdf,
+    jpeg_platform,
+)
+from repro.apps.workloads import (
+    workload_catalog,
+    named_workload,
+)
+
+__all__ = [
+    "mp3_decoder_psdf",
+    "paper_allocation",
+    "paper_platform",
+    "paper_segment_frequencies_mhz",
+    "PAPER_CA_FREQUENCY_MHZ",
+    "PAPER_PACKAGE_SIZE",
+    "jpeg_allocation",
+    "jpeg_decoder_psdf",
+    "jpeg_platform",
+    "workload_catalog",
+    "named_workload",
+]

@@ -1,0 +1,123 @@
+"""A baseline-JPEG decoder as a second SegBus case study.
+
+The paper's future work calls for more application models; JPEG decoding is
+the natural sibling of the MP3 study — a real multimedia pipeline with a
+fork into per-component chains (Y, Cb, Cr) and a join at color conversion:
+
+    ED (entropy decode)
+      -> DQy -> IDCTy ------------------\\
+      -> DQcb -> IDCTcb -> UPcb ---------+--> CC (color convert) -> OUT
+      -> DQcr -> IDCTcr -> UPcr ---------/
+
+Traffic follows 4:2:0 chroma subsampling for one MCU row of a 640-pixel
+image: the luma path carries four 8x8 blocks per MCU (2560 coefficients
+per row ~= 71 packages of 36), each chroma path one block (640 items).
+Per-package costs use the two-part model with IDCT as the heavy stage.
+All parameters are documented assumptions — there is no published SegBus
+JPEG dataset; the model exists to exercise the tooling on a second
+realistic topology (wider fork, asymmetric branch loads).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import SegBusError
+from repro.model.elements import SegBusPlatform
+from repro.model.mapping import Allocation, map_application
+from repro.psdf.flow import FlowCost
+from repro.psdf.graph import PSDFGraph
+
+#: data items per MCU row (one 640-wide 4:2:0 image row of MCUs)
+LUMA_ITEMS = 2556  # 71 packages of 36
+CHROMA_ITEMS = 648  # 18 packages of 36
+
+_FLOWS: Tuple[Tuple[str, str, int, int, FlowCost], ...] = (
+    # entropy decode fans out coefficient blocks per component
+    ("ED", "DQy", LUMA_ITEMS, 1, FlowCost(c_fixed=30, c_item=5)),
+    ("ED", "DQcb", CHROMA_ITEMS, 2, FlowCost(c_fixed=30, c_item=5)),
+    ("ED", "DQcr", CHROMA_ITEMS, 3, FlowCost(c_fixed=30, c_item=5)),
+    # dequantization
+    ("DQy", "IDCTy", LUMA_ITEMS, 4, FlowCost(c_fixed=20, c_item=3)),
+    ("DQcb", "IDCTcb", CHROMA_ITEMS, 4, FlowCost(c_fixed=20, c_item=3)),
+    ("DQcr", "IDCTcr", CHROMA_ITEMS, 4, FlowCost(c_fixed=20, c_item=3)),
+    # inverse DCT: the heavy stage
+    ("IDCTy", "CC", LUMA_ITEMS, 5, FlowCost(c_fixed=60, c_item=9)),
+    ("IDCTcb", "UPcb", CHROMA_ITEMS, 5, FlowCost(c_fixed=60, c_item=9)),
+    ("IDCTcr", "UPcr", CHROMA_ITEMS, 5, FlowCost(c_fixed=60, c_item=9)),
+    # chroma upsampling doubles the items towards color conversion
+    ("UPcb", "CC", 2 * CHROMA_ITEMS, 6, FlowCost(c_fixed=16, c_item=2)),
+    ("UPcr", "CC", 2 * CHROMA_ITEMS, 6, FlowCost(c_fixed=16, c_item=2)),
+    # color conversion emits interleaved RGB rows
+    ("CC", "OUT", LUMA_ITEMS, 7, FlowCost(c_fixed=24, c_item=4)),
+)
+
+#: functional role of each process
+PROCESS_ROLES: Dict[str, str] = {
+    "ED": "entropy (Huffman) decoding",
+    "DQy": "dequantization, luma",
+    "DQcb": "dequantization, Cb",
+    "DQcr": "dequantization, Cr",
+    "IDCTy": "inverse DCT, luma",
+    "IDCTcb": "inverse DCT, Cb",
+    "IDCTcr": "inverse DCT, Cr",
+    "UPcb": "chroma upsampling, Cb",
+    "UPcr": "chroma upsampling, Cr",
+    "CC": "color conversion",
+    "OUT": "pixel output",
+}
+
+_ALLOCATIONS: Dict[int, Tuple[Tuple[str, ...], ...]] = {
+    1: (tuple(PROCESS_ROLES),),
+    2: (
+        ("ED", "DQy", "IDCTy", "CC", "OUT"),
+        ("DQcb", "DQcr", "IDCTcb", "IDCTcr", "UPcb", "UPcr"),
+    ),
+    3: (
+        ("ED", "DQy", "IDCTy"),
+        ("DQcb", "IDCTcb", "UPcb", "DQcr", "IDCTcr", "UPcr"),
+        ("CC", "OUT"),
+    ),
+}
+
+
+def jpeg_decoder_psdf() -> PSDFGraph:
+    """The PSDF model of the baseline JPEG decoder."""
+    return PSDFGraph.from_edges(list(_FLOWS), name="JPEGDecoder")
+
+
+def jpeg_allocation(segment_count: int) -> Allocation:
+    """A documented allocation for 1, 2 or 3 segments (luma/chroma split)."""
+    try:
+        return Allocation.from_groups(_ALLOCATIONS[segment_count])
+    except KeyError:
+        raise SegBusError(
+            f"JPEG allocations defined for 1, 2 or 3 segments, "
+            f"not {segment_count}"
+        ) from None
+
+
+def jpeg_platform(
+    segment_count: int = 3,
+    package_size: int = 36,
+    allocation: Allocation = None,
+) -> SegBusPlatform:
+    """A validated platform for the JPEG study (uniform 100 MHz segments,
+    120 MHz CA — the chroma path tolerates slower clocks but uniform keeps
+    the study focused on structure)."""
+    if allocation is None:
+        allocation = jpeg_allocation(segment_count)
+    if allocation.segment_count != segment_count:
+        raise SegBusError(
+            f"allocation has {allocation.segment_count} segments, "
+            f"expected {segment_count}"
+        )
+    psm = map_application(
+        jpeg_decoder_psdf(),
+        allocation,
+        segment_frequencies_mhz=[100.0] * segment_count,
+        ca_frequency_mhz=120.0,
+        package_size=package_size,
+        name="SBPJpeg",
+    )
+    return psm.platform

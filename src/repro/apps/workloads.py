@@ -1,0 +1,47 @@
+"""A named catalog of synthetic workloads for exploration and benchmarking.
+
+The paper's future work asks for *"more application models to be tested on
+the emulator platform"*; this module curates deterministic instances of the
+generator families in :mod:`repro.psdf.generators` so examples, tests and
+benchmarks can reference workloads by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.errors import SegBusError
+from repro.psdf.generators import (
+    chain_psdf,
+    fork_join_psdf,
+    random_dag_psdf,
+    stereo_pipeline_psdf,
+)
+from repro.psdf.graph import PSDFGraph
+
+_CATALOG: Dict[str, Callable[[], PSDFGraph]] = {
+    "chain4": lambda: chain_psdf(4, items_per_stage=576, ticks_per_package=250),
+    "chain8": lambda: chain_psdf(8, items_per_stage=360, ticks_per_package=200),
+    "fork_join4": lambda: fork_join_psdf(4, items_per_worker=360),
+    "fork_join8": lambda: fork_join_psdf(8, items_per_worker=180),
+    "stereo3": lambda: stereo_pipeline_psdf(3),
+    "stereo5": lambda: stereo_pipeline_psdf(5, items=360),
+    "random12": lambda: random_dag_psdf(12, seed=7),
+    "random20": lambda: random_dag_psdf(20, seed=11),
+}
+
+
+def workload_catalog() -> Tuple[str, ...]:
+    """Names of the curated workloads, sorted."""
+    return tuple(sorted(_CATALOG))
+
+
+def named_workload(name: str) -> PSDFGraph:
+    """Instantiate a catalog workload by name (deterministic)."""
+    try:
+        factory = _CATALOG[name]
+    except KeyError:
+        raise SegBusError(
+            f"unknown workload {name!r}; available: {', '.join(workload_catalog())}"
+        ) from None
+    return factory()

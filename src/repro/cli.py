@@ -1,0 +1,356 @@
+"""Command-line interface: ``segbus`` — generate, emulate, explore.
+
+Subcommands mirror the design flow of Fig. 3:
+
+``segbus generate``
+    write the PSDF and PSM XML schemes of a built-in configuration
+    (the M2T step);
+``segbus emulate``
+    run the emulator on two scheme files and print the results listing;
+``segbus accuracy``
+    run emulator + reference simulator on a built-in configuration and
+    print the estimated/actual/accuracy row;
+``segbus explore``
+    design-space exploration over segment counts and package sizes;
+``segbus power``
+    activity-based energy breakdown of a configuration;
+``segbus codegen``
+    generate the arbiter VHDL (schedule ROM, SAs, CA) for a configuration;
+``segbus trace``
+    emulate and write a VCD waveform of the platform activity;
+``segbus campaign``
+    run a package-size campaign, print the Markdown table, export CSV;
+``segbus analytic``
+    instant contention-free estimate vs emulation;
+``segbus report``
+    re-run the headline experiments and write the Markdown
+    paper-vs-measured report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.dse import explore_design_space
+from repro.apps.mp3 import (
+    PAPER_CA_FREQUENCY_MHZ,
+    mp3_decoder_psdf,
+    paper_allocation,
+    paper_platform,
+    paper_segment_frequencies_mhz,
+)
+from repro.apps.workloads import named_workload, workload_catalog
+from repro.emulator.config import EmulationConfig
+from repro.emulator.emulator import SegBusEmulator
+from repro.reference.accuracy import compare_estimate_to_reference
+from repro.xmlio.codegen import CodeEngineeringSet, generate_models
+
+
+def _application(name: str):
+    if name == "mp3":
+        return mp3_decoder_psdf()
+    return named_workload(name)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    application = _application(args.app)
+    platform = paper_platform(
+        segment_count=args.segments, package_size=args.package_size
+    )
+    if args.app != "mp3":
+        print(
+            "generate currently pairs the paper platform with the MP3 "
+            "application only",
+            file=sys.stderr,
+        )
+        return 2
+    sets = [
+        CodeEngineeringSet(
+            name="psdf",
+            model=application,
+            output_file="psdf.xml",
+            package_size=args.package_size,
+        ),
+        CodeEngineeringSet(name="psm", model=platform, output_file="psm.xml"),
+    ]
+    written = generate_models(sets, args.output_dir)
+    for path in written:
+        print(path)
+    return 0
+
+
+def _cmd_emulate(args: argparse.Namespace) -> int:
+    emulator = SegBusEmulator.from_files(args.psdf, args.psm)
+    report = emulator.run()
+    print(report.format_listing())
+    print(
+        f"\nTotal execution time: {report.execution_time_us:.2f} us "
+        f"({report.total_events} events)"
+    )
+    return 0
+
+
+def _cmd_accuracy(args: argparse.Namespace) -> int:
+    application = mp3_decoder_psdf()
+    platform = paper_platform(
+        segment_count=args.segments, package_size=args.package_size
+    )
+    result = compare_estimate_to_reference(
+        application,
+        platform,
+        label=f"{args.segments} segments, s={args.package_size}",
+    )
+    print(
+        f"{result.label}: estimated {result.estimated_us:.2f} us, "
+        f"actual {result.actual_us:.2f} us, accuracy {result.accuracy:.1%}"
+    )
+    return 0
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    application = _application(args.app)
+    if args.app == "mp3":
+        freq = paper_segment_frequencies_mhz
+        ca = PAPER_CA_FREQUENCY_MHZ
+        extra = [
+            (f"paper[{n}seg]", paper_allocation(n)) for n in args.segment_counts
+            if n in (1, 2, 3)
+        ]
+    else:
+        freq = lambda n: [100.0] * n  # noqa: E731 - tiny local adapter
+        ca = 111.0
+        extra = []
+    points = explore_design_space(
+        application,
+        segment_counts=args.segment_counts,
+        package_sizes=args.package_sizes,
+        segment_frequencies_mhz=freq,
+        ca_frequency_mhz=ca,
+        extra_allocations=extra,
+    )
+    print(f"{'rank':>4} {'segments':>8} {'pkg':>4} {'time (us)':>10}  allocation")
+    for rank, point in enumerate(points, start=1):
+        print(
+            f"{rank:>4} {point.segment_count:>8} {point.package_size:>4} "
+            f"{point.execution_time_us:>10.2f}  "
+            f"{point.allocation_source}: {point.allocation}"
+        )
+    return 0
+
+
+def _cmd_power(args: argparse.Namespace) -> int:
+    from repro.analysis.power import estimate_power
+    from repro.emulator.emulator import SegBusEmulator
+
+    application = mp3_decoder_psdf()
+    platform = paper_platform(
+        segment_count=args.segments, package_size=args.package_size
+    )
+    emulator = SegBusEmulator.from_models(application, platform)
+    emulator.run()
+    report = estimate_power(emulator.simulation)
+    print(report.format_table())
+    print(
+        f"\nRuntime: {report.runtime_us:.2f} us, "
+        f"average power: {report.average_power:.2f} au/us"
+    )
+    return 0
+
+
+def _cmd_codegen(args: argparse.Namespace) -> int:
+    from repro.codegen import ArbiterCodeGenerator
+
+    application = mp3_decoder_psdf()
+    platform = paper_platform(
+        segment_count=args.segments, package_size=args.package_size
+    )
+    generator = ArbiterCodeGenerator(application, platform)
+    for path in generator.write(args.output_dir):
+        print(path)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.emulator.kernel import PlatformSpec, Simulation
+    from repro.emulator.trace import Tracer, export_vcd
+
+    application = mp3_decoder_psdf()
+    platform = paper_platform(
+        segment_count=args.segments, package_size=args.package_size
+    )
+    tracer = Tracer()
+    sim = Simulation(
+        application, PlatformSpec.from_platform(platform), tracer=tracer
+    ).run()
+    export_vcd(sim, path=args.output)
+    print(f"{args.output}: {len(tracer)} events, "
+          f"run length {sim.global_end_fs / 1e9:.2f} us")
+    if args.log:
+        print(tracer.format_log(limit=args.log))
+    return 0
+
+
+def _cmd_analytic(args: argparse.Namespace) -> int:
+    from repro.analysis.analytic import diagnose_contention
+    from repro.emulator.kernel import PlatformSpec
+
+    application = mp3_decoder_psdf()
+    platform = paper_platform(
+        segment_count=args.segments, package_size=args.package_size
+    )
+    diagnosis = diagnose_contention(
+        application, PlatformSpec.from_platform(platform)
+    )
+    print(
+        f"analytic (contention-free): {diagnosis.analytic_us:.2f} us\n"
+        f"emulated:                   {diagnosis.emulated_us:.2f} us\n"
+        f"contention cost:            {diagnosis.contention_us:.2f} us "
+        f"({diagnosis.contention_share:.1%})"
+    )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.model.compare import diff_platforms
+    from repro.xmlio.psm_parser import parse_psm_xml
+
+    a = parse_psm_xml(Path(args.psm_a).read_text(encoding="utf-8")).to_platform()
+    b = parse_psm_xml(Path(args.psm_b).read_text(encoding="utf-8")).to_platform()
+    diff = diff_platforms(a, b)
+    print(diff.format())
+    return 0 if diff.identical else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.reporting import write_experiment_report
+
+    target = write_experiment_report(args.output)
+    print(f"wrote {target}")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.analysis.campaign import Campaign
+    from repro.apps.jpeg import jpeg_decoder_psdf, jpeg_platform
+
+    campaign = Campaign(args.name)
+    if args.app == "mp3":
+        application = mp3_decoder_psdf()
+        factory = lambda s: paper_platform(args.segments, package_size=s)  # noqa: E731
+    elif args.app == "jpeg":
+        application = jpeg_decoder_psdf()
+        factory = lambda s: jpeg_platform(args.segments, package_size=s)  # noqa: E731
+    else:
+        print(f"campaign supports mp3 or jpeg, not {args.app!r}", file=sys.stderr)
+        return 2
+    campaign.add_grid(application, factory, package_sizes=args.package_sizes)
+    print(campaign.to_markdown())
+    if args.csv:
+        campaign.to_csv(args.csv)
+        print(f"\nwrote {args.csv}")
+    best = campaign.best()
+    print(f"\nbest: {best.name} at {best.execution_time_us:.2f} us")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="segbus",
+        description="SegBus performance estimation (ICPP 2010 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="write PSDF/PSM XML schemes")
+    gen.add_argument("--app", default="mp3", help="application name (default mp3)")
+    gen.add_argument("--segments", type=int, default=3)
+    gen.add_argument("--package-size", type=int, default=36)
+    gen.add_argument("--output-dir", default="generated")
+    gen.set_defaults(func=_cmd_generate)
+
+    emu = sub.add_parser("emulate", help="emulate from XML schemes")
+    emu.add_argument("psdf", type=Path)
+    emu.add_argument("psm", type=Path)
+    emu.set_defaults(func=_cmd_emulate)
+
+    acc = sub.add_parser("accuracy", help="estimated vs reference execution")
+    acc.add_argument("--segments", type=int, default=3)
+    acc.add_argument("--package-size", type=int, default=36)
+    acc.set_defaults(func=_cmd_accuracy)
+
+    exp = sub.add_parser("explore", help="design-space exploration")
+    exp.add_argument(
+        "--app",
+        default="mp3",
+        help=f"mp3 or one of: {', '.join(workload_catalog())}",
+    )
+    exp.add_argument(
+        "--segment-counts", type=int, nargs="+", default=[1, 2, 3]
+    )
+    exp.add_argument("--package-sizes", type=int, nargs="+", default=[18, 36])
+    exp.set_defaults(func=_cmd_explore)
+
+    pwr = sub.add_parser("power", help="energy breakdown of a configuration")
+    pwr.add_argument("--segments", type=int, default=3)
+    pwr.add_argument("--package-size", type=int, default=36)
+    pwr.set_defaults(func=_cmd_power)
+
+    gen = sub.add_parser("codegen", help="generate arbiter VHDL")
+    gen.add_argument("--segments", type=int, default=3)
+    gen.add_argument("--package-size", type=int, default=36)
+    gen.add_argument("--output-dir", default="rtl")
+    gen.set_defaults(func=_cmd_codegen)
+
+    trc = sub.add_parser("trace", help="emulate and write a VCD waveform")
+    trc.add_argument("--segments", type=int, default=3)
+    trc.add_argument("--package-size", type=int, default=36)
+    trc.add_argument("--output", default="segbus.vcd")
+    trc.add_argument(
+        "--log", type=int, default=0, metavar="N",
+        help="also print the first N trace events",
+    )
+    trc.set_defaults(func=_cmd_trace)
+
+    camp = sub.add_parser(
+        "campaign", help="run a package-size campaign and export the table"
+    )
+    camp.add_argument("--name", default="campaign")
+    camp.add_argument("--app", default="mp3", help="mp3 or jpeg")
+    camp.add_argument("--segments", type=int, default=3)
+    camp.add_argument(
+        "--package-sizes", type=int, nargs="+", default=[18, 36, 72]
+    )
+    camp.add_argument("--csv", default="", help="also write a CSV file here")
+    camp.set_defaults(func=_cmd_campaign)
+
+    ana = sub.add_parser(
+        "analytic", help="instant contention-free estimate vs emulation"
+    )
+    ana.add_argument("--segments", type=int, default=3)
+    ana.add_argument("--package-size", type=int, default=36)
+    ana.set_defaults(func=_cmd_analytic)
+
+    rep = sub.add_parser(
+        "report", help="re-run the headline experiments, write a Markdown report"
+    )
+    rep.add_argument("--output", default="reproduction_report.md")
+    rep.set_defaults(func=_cmd_report)
+
+    cmp_ = sub.add_parser(
+        "compare", help="diff two PSM scheme files (exit 1 when they differ)"
+    )
+    cmp_.add_argument("psm_a", type=Path)
+    cmp_.add_argument("psm_b", type=Path)
+    cmp_.set_defaults(func=_cmd_compare)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

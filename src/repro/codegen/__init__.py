@@ -1,0 +1,25 @@
+"""Arbiter code generation — the paper's stated future work.
+
+*"Future work will necessarily address ... extended support in the form of
+arbiter code generation, for the implementation of the application
+schedules"* (section 5).  This package generates synthesizable-style VHDL
+for the platform's arbiters from a validated PSM + PSDF pair:
+
+* :mod:`repro.codegen.vhdl` — a minimal VHDL document model and emitter;
+* :mod:`repro.codegen.schedule_rom` — the application schedule as a VHDL
+  constant package (one entry per package transfer: source master, target
+  slave, target segment, ordering);
+* :mod:`repro.codegen.sa_gen` — one Segment Arbiter entity per segment:
+  request/grant ports per local master, the configured arbitration policy
+  as an FSM, and the inter-segment forward port towards the CA;
+* :mod:`repro.codegen.ca_gen` — the Central Arbiter entity: per-segment
+  request/grant/busy ports and the linear-topology path table;
+* :mod:`repro.codegen.generator` — the facade producing the full file set.
+
+The output is deterministic (same models → byte-identical files) so it can
+be checked into a hardware project and diffed.
+"""
+
+from repro.codegen.generator import ArbiterCodeGenerator, GeneratedFile
+
+__all__ = ["ArbiterCodeGenerator", "GeneratedFile"]

@@ -1,0 +1,96 @@
+"""The arbiter code generation facade.
+
+Takes the same inputs as the emulator (PSDF graph + platform model) and
+produces the full VHDL file set: one SA entity per segment, the CA entity
+and the schedule ROM package.  Generation is deterministic and validated —
+the platform goes through the full constraint registry first, exactly like
+an emulation run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Union
+
+from repro.codegen.ca_gen import ca_entity
+from repro.codegen.sa_gen import sa_entity
+from repro.codegen.schedule_rom import schedule_rom_package
+from repro.model.elements import SegBusPlatform
+from repro.model.validation import validate_platform
+from repro.psdf.graph import PSDFGraph
+
+
+@dataclass(frozen=True)
+class GeneratedFile:
+    """One generated source file."""
+
+    filename: str
+    content: str
+
+    @property
+    def line_count(self) -> int:
+        return self.content.count("\n")
+
+
+class ArbiterCodeGenerator:
+    """Generate the arbiter VHDL for one (application, platform) pair."""
+
+    def __init__(self, application: PSDFGraph, platform: SegBusPlatform) -> None:
+        report = validate_platform(platform, application)
+        report.raise_if_invalid()
+        self.application = application
+        self.platform = platform
+
+    def generate(self) -> List[GeneratedFile]:
+        """Produce the full file set, deterministically ordered."""
+        placement = self.platform.process_placement()
+        files: List[GeneratedFile] = []
+        files.append(
+            GeneratedFile(
+                filename="schedule_rom_pkg.vhd",
+                content=schedule_rom_package(
+                    self.application, placement, self.platform.package_size
+                ).render(),
+            )
+        )
+        for segment in self.platform.segments:
+            masters = [
+                fu.process for fu in segment.fus
+                if self.application.outgoing(fu.process)
+            ]
+            slaves = [
+                fu.process for fu in segment.fus
+                if self.application.incoming(fu.process)
+            ]
+            entity = sa_entity(
+                segment_index=segment.index,
+                masters=masters,
+                slaves=slaves,
+                policy=segment.arbiter.policy,
+                package_size=self.platform.package_size,
+            )
+            files.append(
+                GeneratedFile(
+                    filename=f"sa{segment.index}_arbiter.vhd",
+                    content=entity.render(),
+                )
+            )
+        files.append(
+            GeneratedFile(
+                filename="central_arbiter.vhd",
+                content=ca_entity(self.platform.segment_count).render(),
+            )
+        )
+        return files
+
+    def write(self, output_dir: Union[str, Path]) -> List[Path]:
+        """Generate and write the files; returns the written paths."""
+        directory = Path(output_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        written: List[Path] = []
+        for generated in self.generate():
+            path = directory / generated.filename
+            path.write_text(generated.content, encoding="utf-8")
+            written.append(path)
+        return written

@@ -1,0 +1,100 @@
+"""Activity series of platform elements (the data behind paper Fig. 11).
+
+Figure 11 shows, per platform element (segments, BUs, CA), when the element
+was busy over the run.  We record exact busy intervals during emulation and
+bin them here into utilization-over-time series: the fraction of each time
+bin the element spent active.  The same series with two package sizes is
+the paper's 18-vs-36 comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.emulator.kernel import Simulation
+from repro.units import fs_to_us
+
+
+@dataclass(frozen=True)
+class ActivitySeries:
+    """Binned busy fractions per element.
+
+    ``bin_edges_us[i]``/``bin_edges_us[i+1]`` bound bin ``i``;
+    ``utilization[element][i]`` is the busy fraction of that bin.
+    """
+
+    bin_edges_us: Tuple[float, ...]
+    utilization: Dict[str, Tuple[float, ...]]
+
+    @property
+    def elements(self) -> Tuple[str, ...]:
+        return tuple(self.utilization)
+
+    @property
+    def bins(self) -> int:
+        return len(self.bin_edges_us) - 1
+
+    def busy_fraction(self, element: str) -> float:
+        """Overall busy fraction of ``element`` across the whole run."""
+        series = self.utilization[element]
+        if not series:
+            return 0.0
+        return float(np.mean(series))
+
+    def peak_bin(self, element: str) -> int:
+        """Index of the bin where ``element`` was most active."""
+        series = self.utilization[element]
+        return int(np.argmax(series)) if series else 0
+
+
+def _bin_intervals(
+    intervals: Sequence[Tuple[int, int]], edges_fs: np.ndarray
+) -> Tuple[float, ...]:
+    """Busy fraction of each bin given raw femtosecond intervals."""
+    bins = len(edges_fs) - 1
+    busy = np.zeros(bins, dtype=float)
+    widths = np.diff(edges_fs).astype(float)
+    for start, end in intervals:
+        if end <= start:
+            continue
+        first = int(np.searchsorted(edges_fs, start, side="right")) - 1
+        last = int(np.searchsorted(edges_fs, end, side="left")) - 1
+        first = max(first, 0)
+        last = min(last, bins - 1)
+        for b in range(first, last + 1):
+            lo = max(start, int(edges_fs[b]))
+            hi = min(end, int(edges_fs[b + 1]))
+            if hi > lo:
+                busy[b] += hi - lo
+    with np.errstate(invalid="ignore", divide="ignore"):
+        fractions = np.where(widths > 0, busy / widths, 0.0)
+    return tuple(float(f) for f in np.clip(fractions, 0.0, 1.0))
+
+
+def activity_series(sim: Simulation, bins: int = 50) -> ActivitySeries:
+    """Build the activity graph data from a finished simulation.
+
+    Elements covered: every segment bus (``Segment x``), every BU and the
+    CA's circuit-active periods.
+    """
+    if bins < 1:
+        raise ValueError(f"need at least one bin, got {bins}")
+    horizon = max(sim.global_end_fs, 1)
+    edges_fs = np.linspace(0, horizon, bins + 1).astype(np.int64)
+    utilization: Dict[str, Tuple[float, ...]] = {}
+    for index in sorted(sim.segments):
+        segment = sim.segments[index]
+        utilization[f"Segment {index}"] = _bin_intervals(
+            segment.counters.busy_intervals, edges_fs
+        )
+    for pair in sorted(sim.bus_units):
+        bu = sim.bus_units[pair]
+        utilization[bu.name] = _bin_intervals(bu.counters.busy_intervals, edges_fs)
+    utilization["CA"] = _bin_intervals(sim.ca.counters.active_intervals, edges_fs)
+    return ActivitySeries(
+        bin_edges_us=tuple(fs_to_us(int(e)) for e in edges_fs),
+        utilization=utilization,
+    )

@@ -1,0 +1,75 @@
+"""Runtime state of a Border Unit.
+
+BUs are *"basically FIFO elements with some additional logic, controlled by
+the CA and the neighboring SAs"* (section 2.1).  The runtime keeps one FIFO
+**per direction** (rightward/leftward virtual channels): under the paper's
+circuit-switched protocol at most one package transits a BU at a time, so
+the split is invisible; under the store-and-forward exploration protocol it
+is what keeps opposing traffic from deadlocking on a shared slot.
+
+Each queue entry is the load-completion timestamp of a package, consumed by
+waiting-period accounting when the downstream segment unloads it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.emulator.counters import BUCounters
+
+#: direction constants: +1 = rightward (left->right), -1 = leftward
+RIGHTWARD = 1
+LEFTWARD = -1
+
+
+@dataclass
+class BURT:
+    """Mutable per-BU simulation state."""
+
+    left: int
+    right: int
+    depth: int
+    counters: BUCounters
+
+    #: per-direction FIFO of load-completion timestamps
+    queues: Dict[int, List[int]] = field(
+        default_factory=lambda: {RIGHTWARD: [], LEFTWARD: []}
+    )
+
+    @property
+    def name(self) -> str:
+        return f"BU{self.left}{self.right}"
+
+    @property
+    def occupancy(self) -> int:
+        """Total packages currently inside the FIFO (both directions)."""
+        return len(self.queues[RIGHTWARD]) + len(self.queues[LEFTWARD])
+
+    def has_space(self, direction: int) -> bool:
+        """True when the direction's virtual channel has a free slot."""
+        return len(self.queues[direction]) < self.depth
+
+    def push(self, loaded_at_fs: int, direction: int) -> None:
+        if not self.has_space(direction):  # pragma: no cover - protocol guard
+            raise RuntimeError(
+                f"{self.name}: FIFO overflow (depth {self.depth}, "
+                f"direction {direction})"
+            )
+        self.queues[direction].append(loaded_at_fs)
+
+    def pop(self, direction: int) -> int:
+        if not self.queues[direction]:  # pragma: no cover - protocol guard
+            raise RuntimeError(f"{self.name}: FIFO underflow (direction {direction})")
+        return self.queues[direction].pop(0)
+
+    def head_loaded_at(self, direction: int) -> int:
+        """Load-completion time of the package at the direction's head."""
+        return self.queues[direction][0]
+
+    def other_side(self, segment_index: int) -> int:
+        if segment_index == self.left:
+            return self.right
+        if segment_index == self.right:
+            return self.left
+        raise ValueError(f"segment {segment_index} is not adjacent to {self.name}")

@@ -1,0 +1,40 @@
+"""Runtime state of the Central Arbiter.
+
+The CA *"identifies the target segment address and decides which segments
+need to be dynamically connected in order to establish a link between the
+initiating and targeted devices"* (section 2.1).  The runtime keeps the
+FIFO of forwarded inter-segment requests and the set of segments currently
+held by circuits; the granting logic lives in the kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.emulator.clock import ClockDomain
+from repro.emulator.counters import CACounters
+from repro.emulator.fu import TransferJob
+
+
+@dataclass
+class CART:
+    """Mutable Central Arbiter state."""
+
+    clock: ClockDomain
+    counters: CACounters
+
+    #: inter-segment jobs awaiting a full free path, FIFO arrival order
+    queue: List[TransferJob] = field(default_factory=list)
+    #: circuits in flight: job label -> grant timestamp (for active-interval
+    #: accounting in the activity graph)
+    active_circuits: Dict[str, int] = field(default_factory=dict)
+
+    def begin_circuit(self, job: TransferJob, t_fs: int) -> None:
+        self.counters.grants += 1
+        self.active_circuits[job.label] = t_fs
+
+    def end_circuit(self, job: TransferJob, t_fs: int) -> None:
+        start = self.active_circuits.pop(job.label, None)
+        if start is not None:
+            self.counters.record_active(start, t_fs)

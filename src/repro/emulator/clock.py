@@ -1,0 +1,58 @@
+"""Clock domains for the emulator.
+
+Every segment and the CA has its own clock (paper section 4 sets 91, 98,
+89 and 111 MHz).  A :class:`ClockDomain` wraps a :class:`~repro.units.Frequency`
+with the edge arithmetic the kernel needs; all simulation time is integer
+femtoseconds, edges sit at integer multiples of the period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import Frequency
+
+
+@dataclass(frozen=True)
+class ClockDomain:
+    """A named clock with exact femtosecond period."""
+
+    name: str
+    frequency: Frequency
+
+    @property
+    def period_fs(self) -> int:
+        return self.frequency.period_fs
+
+    def edge_at_or_after(self, t_fs: int) -> int:
+        """First clock edge at or after ``t_fs``."""
+        period = self.period_fs
+        return -(-t_fs // period) * period
+
+    def edge_after(self, t_fs: int) -> int:
+        """First clock edge strictly after ``t_fs``.
+
+        Used for *enablement*: an event enabling a component at time ``t``
+        is sampled at the next edge, so a process enabled at t = 0 starts
+        at tick 1 (the paper's ``P0, Start Time = 10989 ps`` at 91 MHz).
+        """
+        period = self.period_fs
+        return (t_fs // period + 1) * period
+
+    def ticks(self, duration_fs: int) -> int:
+        """Whole ticks covering ``duration_fs`` (ceiling)."""
+        period = self.period_fs
+        return -(-duration_fs // period)
+
+    def ticks_to_fs(self, ticks: int) -> int:
+        return ticks * self.period_fs
+
+    def ticks_between(self, start_fs: int, end_fs: int) -> int:
+        """Number of clock edges in the half-open interval ``(start, end]``."""
+        if end_fs < start_fs:
+            raise ValueError(f"interval end {end_fs} before start {start_fs}")
+        period = self.period_fs
+        return end_fs // period - start_fs // period
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}@{self.frequency}"

@@ -1,0 +1,125 @@
+"""Emulation fidelity configuration.
+
+The paper's emulator deliberately *skips* some timing factors (section 3.6):
+clock-domain synchronization at the BUs (~2 ticks per crossing), the SAs'
+grant set/response time (~2–3 ticks) and similar control overheads — they
+are small against a 36-item package and overlap with ongoing activity.  The
+"real platform" includes them, which is where the 5–7 % estimation error
+comes from.
+
+:class:`EmulationConfig` makes every skipped factor an explicit knob:
+
+* the **default** config zeroes them — that is the paper's emulator;
+* :meth:`EmulationConfig.reference` enables them — that is our substitute
+  for the real FPGA platform (see DESIGN.md, substitutions table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class EmulationConfig:
+    """Timing-fidelity knobs of the emulator kernel.
+
+    All values are clock ticks in the domain where the activity happens.
+
+    ``grant_latency_ticks``
+        SA delay between picking a winner and the transfer driving the bus
+        (the "setting the grant signal and corresponding master responds"
+        factor the emulator skips).
+    ``bus_turnaround_ticks``
+        dead cycles between back-to-back transfers on one segment
+        (bus hand-over in the real arbiter).
+    ``bu_sync_ticks``
+        clock-domain synchronization per BU crossing ("a value of two clock
+        ticks is usually considered, at the translation of any signal across
+        two clock domains").
+    ``ca_decision_ticks``
+        CA latency from receiving an inter-segment request to issuing the
+        segment grants.
+    ``slave_ack_ticks``
+        slave-side acknowledge appended to a package delivery.
+    ``master_handshake_ticks``
+        master-side request/acknowledge signalling before each package's bus
+        request reaches the arbiter (part of the "granting activity ...
+        overlapping in time with on-going activities" the emulator omits).
+    ``bu_sampling_ticks``
+        downstream SA sampling delay before a loaded BU is unloaded — this
+        is the one tick of waiting period the emulator *does* model (the
+        paper measures W̄P = 1 on both BUs).
+    ``ca_epilogue_ticks``
+        CA cycles spent clearing grants/flags after the last delivery.
+    ``inter_segment_protocol``
+        ``"circuit"`` (default) is the paper's protocol: the CA connects the
+        whole source→target path before the transfer and segments release in
+        cascade.  ``"store-and-forward"`` is an exploration alternative: the
+        CA grants only the source segment; the package then competes for
+        each downstream bus hop-by-hop, with one BU slot per direction
+        (virtual channels, which keeps the protocol deadlock-free).
+    ``max_events``
+        kernel safety budget.
+    """
+
+    grant_latency_ticks: int = 0
+    bus_turnaround_ticks: int = 0
+    master_handshake_ticks: int = 0
+    bu_sync_ticks: int = 0
+    ca_decision_ticks: int = 0
+    slave_ack_ticks: int = 0
+    bu_sampling_ticks: int = 1
+    ca_epilogue_ticks: int = 2
+    inter_segment_protocol: str = "circuit"
+    max_events: int = 50_000_000
+
+    def __post_init__(self) -> None:
+        if self.inter_segment_protocol not in ("circuit", "store-and-forward"):
+            raise ValueError(
+                f"unknown inter_segment_protocol "
+                f"{self.inter_segment_protocol!r} (expected 'circuit' or "
+                "'store-and-forward')"
+            )
+        for name in (
+            "grant_latency_ticks",
+            "bus_turnaround_ticks",
+            "master_handshake_ticks",
+            "bu_sync_ticks",
+            "ca_decision_ticks",
+            "slave_ack_ticks",
+            "bu_sampling_ticks",
+            "ca_epilogue_ticks",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.max_events <= 0:
+            raise ValueError("max_events must be positive")
+
+    @classmethod
+    def emulator(cls) -> "EmulationConfig":
+        """The paper's emulator: skipped control-timing factors (default)."""
+        return cls()
+
+    @classmethod
+    def reference(cls) -> "EmulationConfig":
+        """The "real platform" substitute: all skipped factors enabled.
+
+        Values follow the paper's own estimates (2 ticks per clock-domain
+        crossing, 2–3 ticks of granting activity) plus bus turnaround and
+        slave acknowledgement, calibrated so the accuracy lands in the
+        published 93–95 % band (see EXPERIMENTS.md, E6).
+        """
+        return cls(
+            grant_latency_ticks=3,
+            bus_turnaround_ticks=2,
+            master_handshake_ticks=8,
+            bu_sync_ticks=2,
+            ca_decision_ticks=3,
+            slave_ack_ticks=2,
+            bu_sampling_ticks=1,
+            ca_epilogue_ticks=2,
+        )
+
+    def with_overrides(self, **kwargs: int) -> "EmulationConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **kwargs)

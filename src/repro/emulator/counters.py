@@ -1,0 +1,95 @@
+"""Monitoring counters of the platform elements.
+
+The paper instruments the ``arbitrate`` methods and the BU code with
+monitoring statements (section 3.5); these dataclasses are the Python
+equivalent.  Counters are plain mutable records owned by the kernel's
+runtime objects and snapshotted into the report at the end of emulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class ProcessCounters:
+    """Per-process (FU) progress: the Process Status Flag plus timing."""
+
+    name: str
+    start_fs: Optional[int] = None
+    end_fs: Optional[int] = None
+    last_input_fs: Optional[int] = None
+    packages_sent: int = 0
+    packages_received: int = 0
+    expected_inputs: int = 0
+    done: bool = False  # the paper's "Process Status Flag"
+
+    @property
+    def fired(self) -> bool:
+        return self.start_fs is not None
+
+
+@dataclass
+class SegmentCounters:
+    """Per-segment/SA counters (the SA's ``arbitrate`` instrumentation)."""
+
+    index: int
+    intra_requests: int = 0
+    inter_requests: int = 0
+    packets_to_left: int = 0
+    packets_to_right: int = 0
+    grants: int = 0
+    busy_fs: int = 0
+    quiesce_fs: int = 0
+    busy_intervals: List[Tuple[int, int]] = field(default_factory=list)
+
+    def record_busy(self, start_fs: int, end_fs: int) -> None:
+        self.busy_intervals.append((start_fs, end_fs))
+        self.busy_fs += end_fs - start_fs
+        if end_fs > self.quiesce_fs:
+            self.quiesce_fs = end_fs
+
+
+@dataclass
+class BUCounters:
+    """Per-BU counters: package flow per side, load/unload tick accounting."""
+
+    left: int
+    right: int
+    input_packages: int = 0
+    output_packages: int = 0
+    received_from_left: int = 0
+    received_from_right: int = 0
+    transferred_to_left: int = 0
+    transferred_to_right: int = 0
+    tct: int = 0
+    waiting_ticks: int = 0
+    busy_intervals: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return f"BU{self.left}{self.right}"
+
+    def useful_period(self, package_size: int) -> int:
+        """UP = 2 * s * packages (load + unload for every package)."""
+        return 2 * package_size * self.output_packages
+
+    def mean_waiting_period(self, package_size: int) -> float:
+        """W̄P = (TCT - UP) / packages (0 when idle)."""
+        if self.output_packages == 0:
+            return 0.0
+        return (self.tct - self.useful_period(package_size)) / self.output_packages
+
+
+@dataclass
+class CACounters:
+    """Central-arbiter counters."""
+
+    inter_requests: int = 0
+    grants: int = 0
+    tct: int = 0
+    active_intervals: List[Tuple[int, int]] = field(default_factory=list)
+
+    def record_active(self, start_fs: int, end_fs: int) -> None:
+        self.active_intervals.append((start_fs, end_fs))

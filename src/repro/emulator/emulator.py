@@ -1,0 +1,147 @@
+"""The emulator facade: the paper's ``SegBusEmulatorView``.
+
+Accepts the two XML schemes (or, for convenience, model objects that are
+routed *through* the XML writers and parsers — the design flow of Fig. 3
+always passes via the schemes, so nothing the schemes cannot carry can
+influence the emulation), builds the communication matrix, instantiates the
+platform-element runtimes and runs the emulation.
+
+>>> from repro.apps.mp3 import mp3_decoder_psdf, paper_platform
+>>> emulator = SegBusEmulator.from_models(mp3_decoder_psdf(), paper_platform())
+>>> report = emulator.run()
+>>> report.segment_count
+3
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.emulator.config import EmulationConfig
+from repro.emulator.kernel import PlatformSpec, Simulation
+from repro.emulator.report import EmulationReport, build_report
+from repro.errors import EmulationError
+from repro.model.elements import SegBusPlatform
+from repro.psdf.flow import FlowCost, PacketFlow
+from repro.psdf.graph import PSDFGraph
+from repro.psdf.matrix import CommunicationMatrix, build_communication_matrix
+from repro.xmlio.psdf_parser import parse_psdf_xml
+from repro.xmlio.psdf_writer import psdf_to_xml
+from repro.xmlio.psm_parser import parse_psm_xml
+from repro.xmlio.psm_writer import psm_to_xml
+
+
+class SegBusEmulator:
+    """One emulation session: parse schemes, set up, run, report."""
+
+    def __init__(
+        self,
+        psdf_xml: str,
+        psm_xml: str,
+        config: Optional[EmulationConfig] = None,
+    ) -> None:
+        self._parsed_psdf = parse_psdf_xml(psdf_xml)
+        self._parsed_psm = parse_psm_xml(psm_xml)
+        self.config = config or EmulationConfig()
+        self.application: PSDFGraph = self._parsed_psdf.to_graph()
+        self.spec = PlatformSpec.from_parsed_psm(self._parsed_psm)
+        self.communication_matrix: CommunicationMatrix = build_communication_matrix(
+            self.application
+        )
+        self._simulation: Optional[Simulation] = None
+        self._report: Optional[EmulationReport] = None
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def from_files(
+        cls,
+        psdf_path: Union[str, Path],
+        psm_path: Union[str, Path],
+        config: Optional[EmulationConfig] = None,
+    ) -> "SegBusEmulator":
+        """Load the generated schemes from disk (the tool's normal input)."""
+        return cls(
+            Path(psdf_path).read_text(encoding="utf-8"),
+            Path(psm_path).read_text(encoding="utf-8"),
+            config=config,
+        )
+
+    @classmethod
+    def from_models(
+        cls,
+        application: PSDFGraph,
+        platform: SegBusPlatform,
+        config: Optional[EmulationConfig] = None,
+        preserve_costs: bool = True,
+    ) -> "SegBusEmulator":
+        """Build from model objects, still routing through the XML schemes.
+
+        The schemes store the per-package tick count ``C`` at the platform's
+        package size, flattening the two-part cost model.  With
+        ``preserve_costs=True`` (default) the original
+        :class:`~repro.psdf.flow.FlowCost` objects are re-attached after the
+        round trip so package-size sweeps re-evaluate ``C(s)`` faithfully;
+        pass ``False`` to emulate exactly what the schemes carry.
+        """
+        emulator = cls(
+            psdf_to_xml(application, platform.package_size),
+            psm_to_xml(platform),
+            config=config,
+        )
+        if preserve_costs:
+            emulator._reattach_costs(application)
+        return emulator
+
+    def _reattach_costs(self, original: PSDFGraph) -> None:
+        by_key = {
+            (f.source, f.target, f.order): f.cost for f in original.flows
+        }
+        flows = []
+        for flow in self.application.flows:
+            cost = by_key.get((flow.source, flow.target, flow.order))
+            if cost is None:  # pragma: no cover - roundtrip guarantees presence
+                raise EmulationError(
+                    f"flow {flow.source}->{flow.target} missing from original model"
+                )
+            flows.append(
+                PacketFlow(
+                    source=flow.source,
+                    target=flow.target,
+                    data_items=flow.data_items,
+                    order=flow.order,
+                    cost=cost,
+                )
+            )
+        self.application = PSDFGraph(
+            self.application.processes, flows, name=self.application.name
+        )
+        self.communication_matrix = build_communication_matrix(self.application)
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self) -> EmulationReport:
+        """Run the emulation (cached: repeated calls return the same report)."""
+        if self._report is None:
+            self._simulation = Simulation(
+                self.application, self.spec, self.config
+            ).run()
+            self._report = build_report(self._simulation)
+        return self._report
+
+    @property
+    def simulation(self) -> Simulation:
+        """The underlying finished simulation (runs it if needed)."""
+        self.run()
+        assert self._simulation is not None
+        return self._simulation
+
+
+def emulate(
+    application: PSDFGraph,
+    platform: SegBusPlatform,
+    config: Optional[EmulationConfig] = None,
+) -> EmulationReport:
+    """One-shot convenience: model objects in, report out."""
+    return SegBusEmulator.from_models(application, platform, config=config).run()

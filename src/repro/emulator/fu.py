@@ -1,0 +1,86 @@
+"""Runtime state of Functional Units: masters, slaves and transfer jobs.
+
+FUs *"are modeled as counters, performing for an established duration; the
+ranges of the counters stand as processing time"* (section 3.3).  A
+:class:`MasterRT` walks the process's scheduled transfers package by
+package: compute ``C`` ticks, request the bus, transfer, repeat.  Slave-side
+behaviour is pure bookkeeping on the shared :class:`ProcessCounters` (a
+delivery may fire the receiving process).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.emulator.counters import ProcessCounters
+from repro.psdf.schedule import ScheduledTransfer
+
+
+@dataclass(frozen=True)
+class TransferJob:
+    """One package ready for the bus: the SA/CA arbitration unit."""
+
+    master: str
+    source_segment: int
+    target_segment: int
+    transfer: ScheduledTransfer
+    package_seq: int
+
+    @property
+    def is_inter_segment(self) -> bool:
+        return self.source_segment != self.target_segment
+
+    @property
+    def label(self) -> str:
+        return (
+            f"{self.transfer.source}->{self.transfer.target}"
+            f"#{self.package_seq + 1}/{self.transfer.packages}"
+        )
+
+
+@dataclass
+class MasterRT:
+    """Mutable per-process master state.
+
+    ``transfer_index``/``package_index`` form the program counter over the
+    schedule; ``outstanding_deliveries`` counts packages still in flight
+    through BUs (the master resumes computing once its segment's part of an
+    inter-segment transfer is done, but its Process Status Flag only rises
+    when every package reached its destination).
+    """
+
+    process: str
+    segment_index: int
+    transfers: Tuple[ScheduledTransfer, ...]
+    counters: ProcessCounters
+
+    transfer_index: int = 0
+    package_index: int = 0
+    outstanding_deliveries: int = 0
+    computing: bool = False
+    waiting_grant: bool = False
+
+    @property
+    def current_transfer(self) -> Optional[ScheduledTransfer]:
+        if self.transfer_index >= len(self.transfers):
+            return None
+        return self.transfers[self.transfer_index]
+
+    @property
+    def all_issued(self) -> bool:
+        """True when every package of every transfer has left the master."""
+        return self.transfer_index >= len(self.transfers)
+
+    def advance(self) -> None:
+        """Move the program counter past the package just sent."""
+        transfer = self.current_transfer
+        assert transfer is not None
+        self.package_index += 1
+        if self.package_index >= transfer.packages:
+            self.package_index = 0
+            self.transfer_index += 1
+
+    @property
+    def is_done(self) -> bool:
+        return self.all_issued and self.outstanding_deliveries == 0

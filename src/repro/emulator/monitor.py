@@ -1,0 +1,61 @@
+"""The monitor: Process Status Flags and end-of-emulation conditions.
+
+The paper's ``MonitorClass`` runs as a thread *"responsible for analyzing
+the status flags for all FUs and monitoring activity within other platform
+elements; when it detects no communication activity, it sets a particular
+flag to inform the emulator about the end of emulation"* (section 3.6).  In
+the discrete-event kernel the end is the drained event queue; this module
+provides the equivalent *observations*: the flag array, and the activity
+predicate the kernel asserts after the queue drains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from repro.emulator.kernel import Simulation
+
+
+@dataclass(frozen=True)
+class ProcessStatusFlags:
+    """The emulator's flag array: one flag per application process."""
+
+    flags: Mapping[str, bool]
+
+    @property
+    def all_high(self) -> bool:
+        return all(self.flags.values())
+
+    def low(self) -> Tuple[str, ...]:
+        """Processes whose flag is still low."""
+        return tuple(sorted(n for n, f in self.flags.items() if not f))
+
+    def __getitem__(self, process: str) -> bool:
+        return self.flags[process]
+
+
+def status_flags(sim: Simulation) -> ProcessStatusFlags:
+    """Snapshot the Process Status Flags of a simulation."""
+    return ProcessStatusFlags(
+        flags={name: c.done for name, c in sim.process_counters.items()}
+    )
+
+
+def no_activity(sim: Simulation) -> bool:
+    """True when no platform element has communication activity left."""
+    if any(
+        seg.locked or seg.pending_intra or seg.pending_bu
+        for seg in sim.segments.values()
+    ):
+        return False
+    if sim.ca.queue:
+        return False
+    if any(bu.occupancy for bu in sim.bus_units.values()):
+        return False
+    return True
+
+
+def emulation_finished(sim: Simulation) -> bool:
+    """The paper's end condition: all flags high and no activity anywhere."""
+    return status_flags(sim).all_high and no_activity(sim)

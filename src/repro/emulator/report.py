@@ -1,0 +1,281 @@
+"""The emulation report: the paper's results listing as a structured object.
+
+Upon completion *"the emulator returns results from platform elements'
+execution: total clock ticks consumed for the operation of the CA and each
+of the SAs, total inter-segment requests received, total clock ticks
+consumed by each of the BUs, etc."* (section 3.6).  :class:`EmulationReport`
+captures every number of the paper's section-4 listing and renders the same
+text layout via :meth:`format_listing`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.emulator.kernel import Simulation
+from repro.emulator.timeline import ProcessTimeline, build_timeline
+from repro.units import fs_to_ps, fs_to_us
+
+
+@dataclass(frozen=True)
+class SAResult:
+    """Per-segment-arbiter results block."""
+
+    index: int
+    tct: int
+    intra_requests: int
+    inter_requests: int
+    packets_to_left: int
+    packets_to_right: int
+    frequency_mhz: float
+    execution_time_ps: int
+
+    @property
+    def name(self) -> str:
+        return f"SA{self.index}"
+
+
+@dataclass(frozen=True)
+class BUResult:
+    """Per-border-unit results block."""
+
+    left: int
+    right: int
+    input_packages: int
+    output_packages: int
+    received_from_left: int
+    received_from_right: int
+    transferred_to_left: int
+    transferred_to_right: int
+    tct: int
+    waiting_ticks: int
+
+    @property
+    def name(self) -> str:
+        return f"BU{self.left}{self.right}"
+
+
+@dataclass(frozen=True)
+class EmulationReport:
+    """Everything the emulator reports for one run."""
+
+    application: str
+    segment_count: int
+    package_size: int
+    ca_tct: int
+    ca_requests: int
+    ca_frequency_mhz: float
+    ca_time_ps: int
+    sa_results: Tuple[SAResult, ...]
+    bu_results: Tuple[BUResult, ...]
+    timeline: ProcessTimeline
+    execution_time_fs: int
+    total_events: int
+
+    # -- headline numbers ---------------------------------------------------------
+
+    @property
+    def execution_time_ps(self) -> int:
+        return fs_to_ps(self.execution_time_fs)
+
+    @property
+    def execution_time_us(self) -> float:
+        return fs_to_us(self.execution_time_fs)
+
+    def sa(self, index: int) -> SAResult:
+        for result in self.sa_results:
+            if result.index == index:
+                return result
+        raise KeyError(f"no SA{index}")
+
+    def bu(self, left: int, right: int) -> BUResult:
+        for result in self.bu_results:
+            if (result.left, result.right) == (left, right):
+                return result
+        raise KeyError(f"no BU{left}{right}")
+
+    def total_inter_segment_packages(self) -> int:
+        """Packages that crossed at least one BU (counted at first BU entry)."""
+        firsts = 0
+        for result in self.bu_results:
+            firsts += result.received_from_left + result.received_from_right
+        # Every crossing counts once per BU; packages entering from segments
+        # equal the inter-segment package count only on the first BU of each
+        # path, so derive from SA counters instead.
+        return sum(r.inter_requests for r in self.sa_results)
+
+    # -- serialization ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """The full report as plain data (for JSON archival / comparison)."""
+        return {
+            "application": self.application,
+            "segment_count": self.segment_count,
+            "package_size": self.package_size,
+            "execution_time_ps": self.execution_time_ps,
+            "execution_time_us": round(self.execution_time_us, 6),
+            "total_events": self.total_events,
+            "ca": {
+                "tct": self.ca_tct,
+                "inter_requests": self.ca_requests,
+                "frequency_mhz": self.ca_frequency_mhz,
+                "time_ps": self.ca_time_ps,
+            },
+            "segment_arbiters": [
+                {
+                    "index": sa.index,
+                    "tct": sa.tct,
+                    "intra_requests": sa.intra_requests,
+                    "inter_requests": sa.inter_requests,
+                    "packets_to_left": sa.packets_to_left,
+                    "packets_to_right": sa.packets_to_right,
+                    "frequency_mhz": sa.frequency_mhz,
+                    "execution_time_ps": sa.execution_time_ps,
+                }
+                for sa in self.sa_results
+            ],
+            "border_units": [
+                {
+                    "name": bu.name,
+                    "input_packages": bu.input_packages,
+                    "output_packages": bu.output_packages,
+                    "received_from_left": bu.received_from_left,
+                    "received_from_right": bu.received_from_right,
+                    "transferred_to_left": bu.transferred_to_left,
+                    "transferred_to_right": bu.transferred_to_right,
+                    "tct": bu.tct,
+                    "waiting_ticks": bu.waiting_ticks,
+                }
+                for bu in self.bu_results
+            ],
+            "timeline": [
+                {
+                    "process": entry.process,
+                    "start_ps": entry.start_ps,
+                    "end_ps": entry.end_ps,
+                    "packages_sent": entry.packages_sent,
+                    "packages_received": entry.packages_received,
+                }
+                for entry in self.timeline
+            ],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The report as a JSON string."""
+        import json
+
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    # -- presentation -----------------------------------------------------------
+
+    def format_listing(self) -> str:
+        """Render the paper's section-4 results listing."""
+        lines: List[str] = []
+        for entry in self.timeline:
+            if entry.packages_sent:
+                lines.append(
+                    f"{entry.process}, Start Time = {entry.start_ps}ps, "
+                    f"End Time = {entry.end_ps}ps"
+                )
+        for entry in self.timeline:
+            if not entry.packages_sent and entry.last_input_fs is not None:
+                lines.append(
+                    f"{entry.process} received last package at "
+                    f"{fs_to_ps(entry.last_input_fs)}ps"
+                )
+        lines.append(f"CA TCT = {self.ca_tct}")
+        lines.append(
+            f"Execution time = {self.execution_time_ps}ps @ "
+            f"{self.ca_frequency_mhz:.2f}MHz"
+        )
+        for bu in self.bu_results:
+            lines.append(f"{bu.name}:")
+            lines.append(f"    Total input packages = {bu.input_packages},")
+            lines.append(f"    Total output packages = {bu.output_packages}")
+            lines.append(
+                f"    Package Received from Segment {bu.left} = "
+                f"{bu.received_from_left},"
+            )
+            lines.append(
+                f"    Package Transfered to Segment {bu.left} = "
+                f"{bu.transferred_to_left}"
+            )
+            lines.append(
+                f"    Package Received from Segment {bu.right} = "
+                f"{bu.received_from_right},"
+            )
+            lines.append(
+                f"    Package Transfered to Segment {bu.right} = "
+                f"{bu.transferred_to_right}"
+            )
+            lines.append(f"    TCT = {bu.tct}")
+        for sa in self.sa_results:
+            lines.append(
+                f"Segment {sa.index}: Packets transfered to Left = "
+                f"{sa.packets_to_left}, Packets transfered to Right = "
+                f"{sa.packets_to_right}"
+            )
+        for sa in self.sa_results:
+            lines.append(f"{sa.name}: TCT = {sa.tct},")
+            lines.append(
+                f"    Total intra-segment requests = {sa.intra_requests},"
+            )
+            lines.append(
+                f"    Total inter-segment requests = {sa.inter_requests}"
+            )
+            lines.append(
+                f"    Execution Time = {sa.execution_time_ps}ps @ "
+                f"{sa.frequency_mhz:.2f}MHz"
+            )
+        return "\n".join(lines)
+
+
+def build_report(sim: Simulation) -> EmulationReport:
+    """Assemble the report from a finished :class:`Simulation`."""
+    sa_results = []
+    for index in sorted(sim.segments):
+        segment = sim.segments[index]
+        sa_results.append(
+            SAResult(
+                index=index,
+                tct=sim.sa_tct(index),
+                intra_requests=segment.counters.intra_requests,
+                inter_requests=segment.counters.inter_requests,
+                packets_to_left=segment.counters.packets_to_left,
+                packets_to_right=segment.counters.packets_to_right,
+                frequency_mhz=segment.clock.frequency.mhz,
+                execution_time_ps=fs_to_ps(sim.sa_time_fs(index)),
+            )
+        )
+    bu_results = []
+    for pair in sorted(sim.bus_units):
+        bu = sim.bus_units[pair]
+        bu_results.append(
+            BUResult(
+                left=bu.left,
+                right=bu.right,
+                input_packages=bu.counters.input_packages,
+                output_packages=bu.counters.output_packages,
+                received_from_left=bu.counters.received_from_left,
+                received_from_right=bu.counters.received_from_right,
+                transferred_to_left=bu.counters.transferred_to_left,
+                transferred_to_right=bu.counters.transferred_to_right,
+                tct=bu.counters.tct,
+                waiting_ticks=bu.counters.waiting_ticks,
+            )
+        )
+    return EmulationReport(
+        application=sim.application.name,
+        segment_count=sim.spec.segment_count,
+        package_size=sim.package_size,
+        ca_tct=sim.ca.counters.tct,
+        ca_requests=sim.ca.counters.inter_requests,
+        ca_frequency_mhz=sim.ca.clock.frequency.mhz,
+        ca_time_ps=fs_to_ps(sim.ca_time_fs()),
+        sa_results=tuple(sa_results),
+        bu_results=tuple(bu_results),
+        timeline=build_timeline(sim),
+        execution_time_fs=sim.execution_time_fs(),
+        total_events=sim.queue.executed,
+    )

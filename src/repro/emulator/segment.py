@@ -1,0 +1,53 @@
+"""Runtime state of one bus segment and its Segment Arbiter.
+
+A segment *"acts as a normal bus between modules connected to it and
+operates in parallel with other segments"* (section 2.1).  The runtime
+object tracks bus occupancy, the CA's circuit-switching lock, and the local
+request queue its SA arbitrates; the behaviour lives in
+:class:`repro.emulator.kernel.Simulation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.emulator.clock import ClockDomain
+from repro.emulator.counters import SegmentCounters
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.emulator.fu import TransferJob
+
+
+@dataclass
+class SegmentRT:
+    """Mutable per-segment simulation state."""
+
+    index: int
+    clock: ClockDomain
+    counters: SegmentCounters
+
+    #: femtosecond timestamp until which the segment bus is occupied
+    bus_busy_until_fs: int = 0
+    #: additional dead time after the last transfer (bus turnaround)
+    next_grant_fs: int = 0
+    #: True while the CA holds this segment for an inter-segment circuit
+    locked: bool = False
+    #: local (intra-segment) jobs awaiting the SA's grant, FIFO arrival order
+    pending_intra: List["TransferJob"] = field(default_factory=list)
+    #: store-and-forward hops awaiting this segment's bus (job, path, index)
+    pending_bu: List[tuple] = field(default_factory=list)
+    #: round-robin pointer: name of the master granted most recently
+    last_granted_master: Optional[str] = None
+
+    def bus_free_at(self, t_fs: int) -> bool:
+        """True when the bus is idle and past turnaround at time ``t_fs``."""
+        return (
+            not self.locked
+            and self.bus_busy_until_fs <= t_fs
+            and self.next_grant_fs <= t_fs
+        )
+
+    @property
+    def name(self) -> str:
+        return f"Segment{self.index}"

@@ -1,0 +1,90 @@
+"""Exception hierarchy for the SegBus reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`SegBusError` so that
+callers can catch library failures with a single ``except`` clause while the
+concrete subclasses preserve the failing subsystem:
+
+* :class:`PSDFError` -- ill-formed application (PSDF) models.
+* :class:`ModelError` -- ill-formed platform (PSM) models; its subclass
+  :class:`ConstraintViolation` carries the structured diagnostics produced by
+  the OCL-style constraint engine in :mod:`repro.model.constraints`.
+* :class:`XMLFormatError` -- malformed XML schemes handed to the parsers in
+  :mod:`repro.xmlio`.
+* :class:`EmulationError` -- runtime failures of the discrete-event emulator
+  (deadlock, unroutable transfer, exhausted event budget).
+* :class:`PlacementError` -- infeasible allocation problems.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+class SegBusError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class PSDFError(SegBusError):
+    """An application model (PSDF graph, flow, or schedule) is ill-formed."""
+
+
+class FlowError(PSDFError):
+    """A single packet flow violates the PSDF flow definition."""
+
+
+class ScheduleError(PSDFError):
+    """The T-ordering of flows cannot be turned into a valid schedule."""
+
+
+class ModelError(SegBusError):
+    """A platform model (PSM) is structurally ill-formed."""
+
+
+class ConstraintViolation(ModelError):
+    """One or more OCL-style structural constraints failed validation.
+
+    Mirrors the paper's DSL behaviour: *"Upon breach of any constraint
+    requirement during the design process, the tool provides appropriate
+    error message"* (section 2.2).  The ``diagnostics`` attribute holds the
+    individual messages, one per breached constraint.
+    """
+
+    def __init__(self, diagnostics: Sequence[str], model_name: Optional[str] = None):
+        self.diagnostics: List[str] = list(diagnostics)
+        self.model_name = model_name
+        heading = f"model {model_name!r}" if model_name else "model"
+        message = (
+            f"{len(self.diagnostics)} constraint violation(s) in {heading}:\n"
+            + "\n".join(f"  - {d}" for d in self.diagnostics)
+        )
+        super().__init__(message)
+
+
+class MappingError(ModelError):
+    """An application process could not be mapped onto the platform."""
+
+
+class XMLFormatError(SegBusError):
+    """An XML scheme does not follow the expected M2T output structure."""
+
+
+class EmulationError(SegBusError):
+    """The emulator reached an invalid runtime state."""
+
+
+class DeadlockError(EmulationError):
+    """Emulation stalled: pending work exists but no event can make progress."""
+
+    def __init__(self, message: str, pending: Optional[Sequence[str]] = None):
+        self.pending: List[str] = list(pending or [])
+        if self.pending:
+            message = message + "; pending: " + ", ".join(self.pending)
+        super().__init__(message)
+
+
+class RoutingError(EmulationError):
+    """A transfer targets a device that is not reachable on the platform."""
+
+
+class PlacementError(SegBusError):
+    """The placement problem is infeasible or the solver misbehaved."""

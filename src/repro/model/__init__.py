@@ -1,0 +1,61 @@
+"""The SegBus platform DSL: a typed object model of the UML profile.
+
+The paper models platforms in MagicDraw using a UML profile with stereotypes
+for every SegBus element (section 2.2, Fig. 5).  This package re-implements
+that DSL as a plain Python object model:
+
+* :mod:`repro.model.stereotypes` — the profile machinery (stereotype names,
+  tag values) mirroring the ``SegBus UML profile``;
+* :mod:`repro.model.elements` — ``SegBusPlatform``, ``Segment``, ``CA``,
+  ``SA``, ``BU``, ``FU``, ``Master``, ``Slave`` following the hierarchical
+  structure of Fig. 5;
+* :mod:`repro.model.constraints` — the OCL-style structural rules, evaluated
+  by :func:`repro.model.validation.validate_platform`;
+* :mod:`repro.model.builder` — a fluent :class:`PlatformBuilder`;
+* :mod:`repro.model.topology` — linear-topology adjacency and hop routing;
+* :mod:`repro.model.mapping` — binding PSDF processes to FUs, producing the
+  Platform Specific Model (PSM).
+"""
+
+from repro.model.stereotypes import Stereotype, STEREOTYPES
+from repro.model.elements import (
+    BorderUnit,
+    CentralArbiter,
+    FunctionalUnit,
+    Master,
+    Segment,
+    SegmentArbiter,
+    SegBusPlatform,
+    Slave,
+)
+from repro.model.builder import PlatformBuilder
+from repro.model.constraints import Constraint, STRUCTURAL_CONSTRAINTS
+from repro.model.validation import ValidationReport, validate_platform
+from repro.model.topology import LinearTopology
+from repro.model.mapping import Allocation, PlatformSpecificModel, map_application
+from repro.model.compare import Change, PlatformDiff, diff_platforms
+
+__all__ = [
+    "Stereotype",
+    "STEREOTYPES",
+    "BorderUnit",
+    "CentralArbiter",
+    "FunctionalUnit",
+    "Master",
+    "Segment",
+    "SegmentArbiter",
+    "SegBusPlatform",
+    "Slave",
+    "PlatformBuilder",
+    "Constraint",
+    "STRUCTURAL_CONSTRAINTS",
+    "ValidationReport",
+    "validate_platform",
+    "LinearTopology",
+    "Allocation",
+    "PlatformSpecificModel",
+    "map_application",
+    "Change",
+    "PlatformDiff",
+    "diff_platforms",
+]

@@ -1,0 +1,160 @@
+"""Fluent construction of SegBus platform models.
+
+The builder plays the role of drawing the PSM diagram in the DSL: declare
+segments with their clock frequencies, set the CA clock, choose the package
+size, and (optionally) let the builder insert the linear-topology BUs
+automatically.  ``build()`` returns the :class:`SegBusPlatform`; validation
+remains a separate, explicit step (as in the tool) via
+:func:`repro.model.validation.validate_platform`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Union
+
+from repro.errors import ModelError
+from repro.model.elements import (
+    BorderUnit,
+    CentralArbiter,
+    FunctionalUnit,
+    Segment,
+    SegmentArbiter,
+    SegBusPlatform,
+)
+from repro.units import Frequency
+
+FrequencyLike = Union[Frequency, float, int]
+
+
+def _freq(value: FrequencyLike) -> Frequency:
+    if isinstance(value, Frequency):
+        return value
+    return Frequency.from_mhz(float(value))
+
+
+class PlatformBuilder:
+    """Incrementally assemble a :class:`SegBusPlatform`.
+
+    >>> platform = (
+    ...     PlatformBuilder("SBP", package_size=36)
+    ...     .segment(frequency_mhz=91)
+    ...     .segment(frequency_mhz=98)
+    ...     .central_arbiter(frequency_mhz=111)
+    ...     .auto_border_units()
+    ...     .build()
+    ... )
+    >>> platform.segment_count
+    2
+    """
+
+    def __init__(self, name: str = "SBP", package_size: int = 36) -> None:
+        self._platform = SegBusPlatform(name=name, package_size=package_size)
+        self._built = False
+
+    def _check_open(self) -> None:
+        if self._built:
+            raise ModelError("builder already produced its platform; create a new one")
+
+    # -- structure -------------------------------------------------------------
+
+    def segment(
+        self,
+        frequency_mhz: FrequencyLike,
+        index: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> "PlatformBuilder":
+        """Append a segment (index defaults to the next free one)."""
+        self._check_open()
+        idx = index if index is not None else self._platform.segment_count + 1
+        self._platform.add_segment(Segment(idx, _freq(frequency_mhz), name=name))
+        return self
+
+    def central_arbiter(
+        self, frequency_mhz: FrequencyLike, name: str = "CA"
+    ) -> "PlatformBuilder":
+        self._check_open()
+        self._platform.set_central_arbiter(CentralArbiter(name, _freq(frequency_mhz)))
+        return self
+
+    def arbitration_policy(self, segment_index: int, policy: str) -> "PlatformBuilder":
+        """Set a segment's SA arbitration policy (round-robin default)."""
+        self._check_open()
+        segment = self._platform.segment(segment_index)
+        segment.arbiter = SegmentArbiter(f"SA{segment_index}", policy=policy)
+        return self
+
+    def border_unit(self, left: int, right: int, depth: int = 1) -> "PlatformBuilder":
+        self._check_open()
+        self._platform.add_border_unit(BorderUnit(left, right, depth=depth))
+        return self
+
+    def auto_border_units(self, depth: int = 1) -> "PlatformBuilder":
+        """Insert the linear-topology BUs between every adjacent pair."""
+        self._check_open()
+        existing = {(bu.left, bu.right) for bu in self._platform.border_units}
+        for left in range(1, self._platform.segment_count):
+            if (left, left + 1) not in existing:
+                self._platform.add_border_unit(BorderUnit(left, left + 1, depth=depth))
+        return self
+
+    # -- application mapping -----------------------------------------------------
+
+    def place(
+        self, process: str, segment_index: int, library: str = "generic"
+    ) -> "PlatformBuilder":
+        """Map one process onto a segment (creates its FU)."""
+        self._check_open()
+        segment = self._platform.segment(segment_index)
+        segment.add_fu(FunctionalUnit(f"FU_{process}", process=process, library=library))
+        return self
+
+    def place_all(
+        self, placement: Mapping[str, int]
+    ) -> "PlatformBuilder":
+        """Map many processes at once from a name -> segment-index mapping."""
+        for process in sorted(placement):
+            self.place(process, placement[process])
+        return self
+
+    def place_groups(self, groups: Sequence[Iterable[str]]) -> "PlatformBuilder":
+        """Map group ``i`` (0-based) of process names onto segment ``i + 1``.
+
+        Convenient for the paper's Fig. 9 allocations given as per-segment
+        lists.
+        """
+        for offset, group in enumerate(groups):
+            for process in group:
+                self.place(process, offset + 1)
+        return self
+
+    # -- result -----------------------------------------------------------------
+
+    def build(self) -> SegBusPlatform:
+        """Finalize and return the platform (builder becomes unusable)."""
+        self._check_open()
+        self._built = True
+        return self._platform
+
+
+def uniform_platform(
+    segment_count: int,
+    frequency_mhz: FrequencyLike = 100,
+    ca_frequency_mhz: Optional[FrequencyLike] = None,
+    package_size: int = 36,
+    name: str = "SBP",
+) -> PlatformBuilder:
+    """A builder pre-populated with ``segment_count`` same-frequency segments.
+
+    Returns the builder (not the platform) so callers can continue with
+    process placement.
+    """
+    if segment_count < 1:
+        raise ModelError(f"segment count must be >= 1, got {segment_count}")
+    builder = PlatformBuilder(name=name, package_size=package_size)
+    for _ in range(segment_count):
+        builder.segment(frequency_mhz=frequency_mhz)
+    builder.central_arbiter(
+        frequency_mhz=ca_frequency_mhz if ca_frequency_mhz is not None else frequency_mhz
+    )
+    builder.auto_border_units()
+    return builder

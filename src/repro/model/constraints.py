@@ -1,0 +1,136 @@
+"""OCL-style structural constraints of the SegBus DSL.
+
+The DSL *"comprises a number of structural constraints related to the
+platform, written in OCL, to implement the correct component approach to
+platform design"* (section 2.2).  Each :class:`Constraint` carries an
+identifier, the informal rule text and a checker returning diagnostic
+strings (empty = satisfied).  :data:`STRUCTURAL_CONSTRAINTS` is the registry
+evaluated by :func:`repro.model.validation.validate_platform`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+from repro.model.elements import SegBusPlatform
+
+Checker = Callable[[SegBusPlatform], List[str]]
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """One structural rule: an id, the rule text, and its checker."""
+
+    identifier: str
+    rule: str
+    check: Checker
+
+    def evaluate(self, platform: SegBusPlatform) -> List[str]:
+        """Diagnostics for ``platform`` (empty list when satisfied)."""
+        return [f"[{self.identifier}] {msg}" for msg in self.check(platform)]
+
+
+def _has_one_ca(p: SegBusPlatform) -> List[str]:
+    if p.central_arbiter is None:
+        return ["platform has no Central Arbiter (exactly one CA required)"]
+    return []
+
+
+def _has_segments(p: SegBusPlatform) -> List[str]:
+    if not p.segments:
+        return ["platform has no segments (at least one required)"]
+    return []
+
+
+def _contiguous_indices(p: SegBusPlatform) -> List[str]:
+    indices = [s.index for s in p.segments]
+    expected = list(range(1, len(indices) + 1))
+    if indices != expected:
+        return [f"segment indices {indices} are not contiguous from 1"]
+    return []
+
+
+def _segment_has_fu(p: SegBusPlatform) -> List[str]:
+    return [
+        f"segment {seg.index} has no Functional Unit (at least one required)"
+        for seg in p.segments
+        if not seg.fus
+    ]
+
+
+def _segment_has_sa(p: SegBusPlatform) -> List[str]:
+    # Segment construction always attaches an SA; guard against tampering.
+    return [
+        f"segment {seg.index} has no Segment Arbiter"
+        for seg in p.segments
+        if seg.arbiter is None
+    ]
+
+
+def _bus_between_neighbours(p: SegBusPlatform) -> List[str]:
+    problems: List[str] = []
+    needed = {(i, i + 1) for i in range(1, len(p.segments))}
+    present = {(bu.left, bu.right) for bu in p.border_units}
+    for pair in sorted(needed - present):
+        problems.append(f"missing BU between adjacent segments {pair[0]} and {pair[1]}")
+    for pair in sorted(present - needed):
+        problems.append(
+            f"BU between segments {pair[0]} and {pair[1]} does not match the "
+            "linear topology"
+        )
+    return problems
+
+
+def _fu_has_endpoint(p: SegBusPlatform) -> List[str]:
+    return [
+        f"FU {fu.name!r} (segment {seg.index}) has neither a Master nor a Slave"
+        for seg in p.segments
+        for fu in seg.fus
+        if not fu.masters and not fu.slaves
+    ]
+
+
+def _unique_process_mapping(p: SegBusPlatform) -> List[str]:
+    seen = {}
+    problems: List[str] = []
+    for seg in p.segments:
+        for proc in seg.processes:
+            if proc in seen and seen[proc] != seg.index:
+                problems.append(
+                    f"process {proc!r} mapped to both segment {seen[proc]} "
+                    f"and segment {seg.index}"
+                )
+            seen.setdefault(proc, seg.index)
+    return problems
+
+
+def _positive_package_size(p: SegBusPlatform) -> List[str]:
+    if p.package_size < 1:
+        return [f"package size {p.package_size} must be >= 1"]
+    return []
+
+
+def _clock_sanity(p: SegBusPlatform) -> List[str]:
+    problems: List[str] = []
+    for seg in p.segments:
+        if seg.frequency.hz <= 0:
+            problems.append(f"segment {seg.index} has non-positive clock frequency")
+    if p.central_arbiter is not None and p.central_arbiter.frequency.hz <= 0:
+        problems.append("central arbiter has non-positive clock frequency")
+    return problems
+
+
+#: The constraint registry evaluated during model validation.
+STRUCTURAL_CONSTRAINTS: Tuple[Constraint, ...] = (
+    Constraint("SBP-CA-1", "the platform contains exactly one Central Arbiter", _has_one_ca),
+    Constraint("SBP-SEG-1", "the platform contains at least one Segment", _has_segments),
+    Constraint("SBP-SEG-2", "segment indices are contiguous starting at 1", _contiguous_indices),
+    Constraint("SEG-FU-1", "every segment contains at least one Functional Unit", _segment_has_fu),
+    Constraint("SEG-SA-1", "every segment contains exactly one Segment Arbiter", _segment_has_sa),
+    Constraint("SBP-BU-1", "adjacent segments are connected through exactly one BU", _bus_between_neighbours),
+    Constraint("FU-EP-1", "every FU contains at least one Master or one Slave", _fu_has_endpoint),
+    Constraint("MAP-1", "every application process is mapped to exactly one segment", _unique_process_mapping),
+    Constraint("SBP-PKG-1", "the platform package size is positive", _positive_package_size),
+    Constraint("SBP-CLK-1", "all clock frequencies are positive", _clock_sanity),
+)

@@ -1,0 +1,242 @@
+"""The SegBus platform element classes (paper Fig. 5 hierarchy).
+
+At the top level is the ``SegBusPlatform`` itself, composed of ``Segment``\\ s
+and exactly one ``CA``.  Every segment is composed of at least one ``FU`` and
+exactly one ``SA``; adjacent segments are connected through ``BU``\\ s; one
+``FU`` contains at least one ``Master`` or one ``Slave``.
+
+These classes are *descriptive*: they hold structure and parameters only.
+The runtime behaviour (arbitration, transfers, counters) lives in
+:mod:`repro.emulator`, which instantiates its own runtime objects from this
+model — the same split as the paper's MagicDraw model vs. Java emulator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ModelError
+from repro.model.stereotypes import StereotypedElement
+from repro.units import Frequency
+
+
+class Master(StereotypedElement):
+    """A bus master inside an FU: initiates package transfers."""
+
+    STEREOTYPE = "Master"
+
+
+class Slave(StereotypedElement):
+    """A bus slave inside an FU: receives package transfers."""
+
+    STEREOTYPE = "Slave"
+
+
+class FunctionalUnit(StereotypedElement):
+    """A functional unit: a library component executing one PSDF process.
+
+    The application is realized *"with the support of (library available)
+    Functional Units"* (section 2.1).  ``process`` names the PSDF process
+    the FU executes; masters/slaves are created on demand by the mapping
+    step (a process with outgoing flows needs a master, one with incoming
+    flows needs a slave).
+    """
+
+    STEREOTYPE = "FunctionalUnit"
+
+    def __init__(self, name: str, process: str, library: str = "generic") -> None:
+        super().__init__(name)
+        if not process:
+            raise ModelError(f"FU {name!r} must execute a named process")
+        self.process = process
+        self.set_tag("library", library)
+        self.masters: List[Master] = []
+        self.slaves: List[Slave] = []
+
+    def add_master(self, name: Optional[str] = None) -> Master:
+        master = Master(name or f"{self.name}_m{len(self.masters)}")
+        self.masters.append(master)
+        return master
+
+    def add_slave(self, name: Optional[str] = None) -> Slave:
+        slave = Slave(name or f"{self.name}_s{len(self.slaves)}")
+        self.slaves.append(slave)
+        return slave
+
+
+class SegmentArbiter(StereotypedElement):
+    """The per-segment arbiter (SA): grants the local bus per transfer burst."""
+
+    STEREOTYPE = "SegmentArbiter"
+
+    def __init__(self, name: str, policy: str = "round-robin") -> None:
+        super().__init__(name)
+        if policy not in ("round-robin", "fixed-priority"):
+            raise ModelError(
+                f"SA {name!r}: unknown arbitration policy {policy!r} "
+                "(expected 'round-robin' or 'fixed-priority')"
+            )
+        self.set_tag("policy", policy)
+
+    @property
+    def policy(self) -> str:
+        return self.get_tag("policy")
+
+
+class CentralArbiter(StereotypedElement):
+    """The single central arbiter (CA): owns inter-segment circuit switching."""
+
+    STEREOTYPE = "CentralArbiter"
+
+    def __init__(self, name: str, frequency: Frequency) -> None:
+        super().__init__(name)
+        self.frequency = frequency
+        self.set_tag("frequencyMHz", float(frequency.mhz))
+
+
+class BorderUnit(StereotypedElement):
+    """A border unit (BU): the FIFO bridging two adjacent segments.
+
+    ``left``/``right`` are segment indices with ``left + 1 == right`` in the
+    linear topology; ``depth`` is the FIFO capacity in packages.
+    """
+
+    STEREOTYPE = "BorderUnit"
+
+    def __init__(self, left: int, right: int, depth: int = 1, name: Optional[str] = None) -> None:
+        if right != left + 1:
+            raise ModelError(
+                f"BU must bridge adjacent segments, got {left} and {right}"
+            )
+        if depth < 1:
+            raise ModelError(f"BU FIFO depth must be >= 1, got {depth}")
+        super().__init__(name or f"BU{left}{right}")
+        self.left = left
+        self.right = right
+        self.set_tag("depth", depth)
+
+    @property
+    def depth(self) -> int:
+        return self.get_tag("depth")
+
+    def bridges(self, a: int, b: int) -> bool:
+        return {a, b} == {self.left, self.right}
+
+
+class Segment(StereotypedElement):
+    """One bus segment: an SA, at least one FU, its own clock domain."""
+
+    STEREOTYPE = "Segment"
+
+    def __init__(self, index: int, frequency: Frequency, name: Optional[str] = None) -> None:
+        if index < 1:
+            raise ModelError(f"segment indices start at 1, got {index}")
+        super().__init__(name or f"Segment{index}")
+        self.index = index
+        self.frequency = frequency
+        self.set_tag("index", index)
+        self.set_tag("frequencyMHz", float(frequency.mhz))
+        self.arbiter = SegmentArbiter(f"SA{index}")
+        self.fus: List[FunctionalUnit] = []
+
+    def add_fu(self, fu: FunctionalUnit) -> FunctionalUnit:
+        if any(existing.process == fu.process for existing in self.fus):
+            raise ModelError(
+                f"segment {self.index}: process {fu.process!r} is already mapped here"
+            )
+        self.fus.append(fu)
+        return fu
+
+    @property
+    def processes(self) -> Tuple[str, ...]:
+        return tuple(fu.process for fu in self.fus)
+
+
+class SegBusPlatform(StereotypedElement):
+    """The platform root: segments, exactly one CA, BUs between neighbours.
+
+    Use :class:`repro.model.builder.PlatformBuilder` for convenient
+    construction; this class only aggregates and offers lookups.  Structural
+    correctness is asserted by :func:`repro.model.validation.validate_platform`
+    (construction keeps partial states legal so the builder can work
+    incrementally, exactly like drawing an unfinished diagram in the tool).
+    """
+
+    STEREOTYPE = "SegBusPlatform"
+
+    def __init__(self, name: str = "SBP", package_size: int = 36) -> None:
+        super().__init__(name)
+        if package_size < 1:
+            raise ModelError(f"package size must be >= 1, got {package_size}")
+        self.package_size = package_size
+        self.set_tag("packageSize", package_size)
+        self.segments: List[Segment] = []
+        self.border_units: List[BorderUnit] = []
+        self.central_arbiter: Optional[CentralArbiter] = None
+
+    # -- composition -----------------------------------------------------------
+
+    def add_segment(self, segment: Segment) -> Segment:
+        if any(s.index == segment.index for s in self.segments):
+            raise ModelError(f"duplicate segment index {segment.index}")
+        self.segments.append(segment)
+        self.segments.sort(key=lambda s: s.index)
+        return segment
+
+    def add_border_unit(self, bu: BorderUnit) -> BorderUnit:
+        if any(existing.bridges(bu.left, bu.right) for existing in self.border_units):
+            raise ModelError(f"duplicate BU between segments {bu.left} and {bu.right}")
+        self.border_units.append(bu)
+        self.border_units.sort(key=lambda b: b.left)
+        return bu
+
+    def set_central_arbiter(self, ca: CentralArbiter) -> CentralArbiter:
+        if self.central_arbiter is not None:
+            raise ModelError("platform already has a central arbiter (exactly one CA)")
+        self.central_arbiter = ca
+        return ca
+
+    # -- lookups ---------------------------------------------------------------
+
+    @property
+    def segment_count(self) -> int:
+        return len(self.segments)
+
+    def segment(self, index: int) -> Segment:
+        for seg in self.segments:
+            if seg.index == index:
+                return seg
+        raise ModelError(f"no segment with index {index}")
+
+    def border_unit(self, left: int, right: int) -> BorderUnit:
+        for bu in self.border_units:
+            if bu.bridges(left, right):
+                return bu
+        raise ModelError(f"no BU between segments {left} and {right}")
+
+    def segment_of_process(self, process: str) -> int:
+        """Segment index hosting ``process`` (raises if unmapped)."""
+        for seg in self.segments:
+            if process in seg.processes:
+                return seg.index
+        raise ModelError(f"process {process!r} is not mapped on platform {self.name!r}")
+
+    def process_placement(self) -> Dict[str, int]:
+        """Mapping of every placed process name to its segment index."""
+        placement: Dict[str, int] = {}
+        for seg in self.segments:
+            for proc in seg.processes:
+                if proc in placement:
+                    raise ModelError(
+                        f"process {proc!r} mapped to both segment "
+                        f"{placement[proc]} and {seg.index}"
+                    )
+                placement[proc] = seg.index
+        return placement
+
+    def fu_of_process(self, process: str) -> FunctionalUnit:
+        for seg in self.segments:
+            for fu in seg.fus:
+                if fu.process == process:
+                    return fu
+        raise ModelError(f"process {process!r} is not mapped on platform {self.name!r}")

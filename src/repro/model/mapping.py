@@ -1,0 +1,162 @@
+"""Application-to-platform mapping: producing the Platform Specific Model.
+
+A PSM is a platform whose segments host FUs for every application process,
+with masters/slaves instantiated according to the process's flows: *"the
+constructor method of the FU class analyzes the passed information and
+instantiates the required number of objects of masters and slaves"*
+(section 3.5).  :func:`map_application` performs exactly that analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+from repro.errors import MappingError
+from repro.model.builder import PlatformBuilder, FrequencyLike
+from repro.model.elements import SegBusPlatform
+from repro.model.validation import validate_platform
+from repro.psdf.graph import PSDFGraph
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """An allocation of processes to segments (paper Fig. 9 rows).
+
+    ``groups[i]`` lists the processes on segment ``i + 1``.  The string form
+    uses the paper's ``||`` segment-border notation.
+    """
+
+    groups: Tuple[Tuple[str, ...], ...]
+
+    @classmethod
+    def from_groups(cls, groups: Sequence[Iterable[str]]) -> "Allocation":
+        return cls(tuple(tuple(g) for g in groups))
+
+    @classmethod
+    def from_placement(cls, placement: Mapping[str, int]) -> "Allocation":
+        if not placement:
+            raise MappingError("empty placement")
+        count = max(placement.values())
+        if min(placement.values()) < 1:
+            raise MappingError("segment indices start at 1")
+        groups: Tuple = tuple(
+            tuple(sorted((p for p, s in placement.items() if s == idx),
+                         key=_natural_key))
+            for idx in range(1, count + 1)
+        )
+        return cls(groups)
+
+    @property
+    def segment_count(self) -> int:
+        return len(self.groups)
+
+    def placement(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for offset, group in enumerate(self.groups):
+            for process in group:
+                if process in out:
+                    raise MappingError(f"process {process!r} allocated twice")
+                out[process] = offset + 1
+        return out
+
+    def moved(self, process: str, to_segment: int) -> "Allocation":
+        """A copy with ``process`` moved to ``to_segment`` (1-based)."""
+        if not 1 <= to_segment <= self.segment_count:
+            raise MappingError(
+                f"target segment {to_segment} outside 1..{self.segment_count}"
+            )
+        placement = self.placement()
+        if process not in placement:
+            raise MappingError(f"process {process!r} not in allocation")
+        placement[process] = to_segment
+        groups = tuple(
+            tuple(p for p in group if p != process) for group in self.groups
+        )
+        groups = tuple(
+            group + ((process,) if idx + 1 == to_segment else ())
+            for idx, group in enumerate(groups)
+        )
+        return Allocation(groups)
+
+    def __str__(self) -> str:
+        return " || ".join(" ".join(group) for group in self.groups)
+
+
+def _natural_key(name: str):
+    digits = "".join(ch for ch in name if ch.isdigit())
+    return (name.rstrip("0123456789"), int(digits) if digits else -1)
+
+
+@dataclass
+class PlatformSpecificModel:
+    """A validated (platform, application, allocation) triple ready to emulate."""
+
+    platform: SegBusPlatform
+    application: PSDFGraph
+    allocation: Allocation
+
+    @property
+    def package_size(self) -> int:
+        return self.platform.package_size
+
+    def placement(self) -> Dict[str, int]:
+        return self.allocation.placement()
+
+
+def map_application(
+    application: PSDFGraph,
+    allocation: Allocation,
+    segment_frequencies_mhz: Sequence[FrequencyLike],
+    ca_frequency_mhz: FrequencyLike,
+    package_size: int = 36,
+    name: str = "SBP",
+    validate: bool = True,
+) -> PlatformSpecificModel:
+    """Build the PSM for ``application`` under ``allocation``.
+
+    ``segment_frequencies_mhz[i]`` clocks segment ``i + 1``.  Masters and
+    slaves are instantiated per flow direction: a process with outgoing
+    flows gets a Master, one with incoming flows gets a Slave (both when it
+    has both).  With ``validate=True`` (default) the PSM is checked against
+    the full constraint registry and the application cross-checks before it
+    is returned.
+    """
+    if len(segment_frequencies_mhz) != allocation.segment_count:
+        raise MappingError(
+            f"{allocation.segment_count} segments but "
+            f"{len(segment_frequencies_mhz)} frequencies given"
+        )
+    builder = PlatformBuilder(name=name, package_size=package_size)
+    for freq in segment_frequencies_mhz:
+        builder.segment(frequency_mhz=freq)
+    builder.central_arbiter(frequency_mhz=ca_frequency_mhz)
+    builder.auto_border_units()
+    placement = allocation.placement()
+    unknown = sorted(set(placement) - set(application.process_names))
+    if unknown:
+        raise MappingError(
+            "allocation names processes absent from the application: "
+            + ", ".join(unknown)
+        )
+    builder.place_all(placement)
+    platform = builder.build()
+    for process in application.process_names:
+        if process not in placement:
+            raise MappingError(f"application process {process!r} is not allocated")
+        fu = platform.fu_of_process(process)
+        if application.outgoing(process):
+            fu.add_master()
+        if application.incoming(process):
+            fu.add_slave()
+        if not fu.masters and not fu.slaves:
+            # isolated process: give it a slave so FU-EP-1 holds; the graph
+            # validator rejects disconnected processes in multi-flow graphs.
+            fu.add_slave()
+    psm = PlatformSpecificModel(
+        platform=platform, application=application, allocation=allocation
+    )
+    if validate:
+        report = validate_platform(platform, application)
+        report.raise_if_invalid()
+    return psm

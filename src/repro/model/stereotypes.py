@@ -1,0 +1,112 @@
+"""The SegBus UML profile: stereotypes and tag definitions.
+
+The DSL of [11] stores platform concepts as stereotypes in a UML profile;
+section 2.2 of the paper extends it with the PSDF stereotypes
+``InitialNode``/``ProcessNode``/``FinalNode``, each a generalization of the
+UML2 ``Kernel::Class`` metaclass.  We reproduce the profile as a small
+registry: each :class:`Stereotype` records its name, the metaclass it
+extends and its tag definitions (name -> expected Python type).  Model
+elements point at their stereotype, and tag values are checked when set —
+the moral equivalent of MagicDraw's profile-driven validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Tuple
+
+from repro.errors import ModelError
+
+#: The UML metaclass all SegBus stereotypes extend (paper section 2.2).
+KERNEL_CLASS = "UML Standard Profile::UML2MetaModel::Classes::Kernel::Class"
+
+
+@dataclass(frozen=True)
+class Stereotype:
+    """One stereotype of the SegBus profile.
+
+    ``tags`` maps tag names to the Python type expected for their values.
+    """
+
+    name: str
+    metaclass: str = KERNEL_CLASS
+    tags: Mapping[str, type] = field(default_factory=dict)
+
+    def check_tag(self, tag: str, value: Any) -> None:
+        """Validate a tag assignment against the profile definition."""
+        if tag not in self.tags:
+            raise ModelError(
+                f"stereotype {self.name!r} has no tag {tag!r}; "
+                f"known tags: {sorted(self.tags)}"
+            )
+        expected = self.tags[tag]
+        if not isinstance(value, expected):
+            raise ModelError(
+                f"tag {tag!r} of stereotype {self.name!r} expects "
+                f"{expected.__name__}, got {type(value).__name__}"
+            )
+
+
+def _st(name: str, **tags: type) -> Stereotype:
+    return Stereotype(name=name, tags=dict(tags))
+
+
+#: The profile registry: platform stereotypes from [11] plus the three PSDF
+#: stereotypes introduced by this paper.
+STEREOTYPES: Dict[str, Stereotype] = {
+    s.name: s
+    for s in (
+        _st("SegBusPlatform", packageSize=int),
+        _st("Segment", frequencyMHz=float, index=int),
+        _st("CentralArbiter", frequencyMHz=float),
+        _st("SegmentArbiter", policy=str),
+        _st("BorderUnit", depth=int),
+        _st("FunctionalUnit", library=str),
+        _st("Master",),
+        _st("Slave",),
+        # PSDF stereotypes added by the paper (section 2.2)
+        _st("InitialNode",),
+        _st("ProcessNode",),
+        _st("FinalNode",),
+    )
+}
+
+
+class StereotypedElement:
+    """Base class for model elements carrying a profile stereotype.
+
+    Subclasses set ``STEREOTYPE`` to a name in :data:`STEREOTYPES`; instances
+    hold tag values validated against the profile.
+    """
+
+    STEREOTYPE: str = ""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ModelError(f"{type(self).__name__} needs a non-empty name")
+        if self.STEREOTYPE not in STEREOTYPES:
+            raise ModelError(
+                f"{type(self).__name__} declares unknown stereotype "
+                f"{self.STEREOTYPE!r}"
+            )
+        self.name = name
+        self._tags: Dict[str, Any] = {}
+
+    @property
+    def stereotype(self) -> Stereotype:
+        return STEREOTYPES[self.STEREOTYPE]
+
+    def set_tag(self, tag: str, value: Any) -> None:
+        """Assign a stereotype tag value (type-checked against the profile)."""
+        self.stereotype.check_tag(tag, value)
+        self._tags[tag] = value
+
+    def get_tag(self, tag: str, default: Any = None) -> Any:
+        return self._tags.get(tag, default)
+
+    @property
+    def tag_items(self) -> Tuple[Tuple[str, Any], ...]:
+        return tuple(sorted(self._tags.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r})"

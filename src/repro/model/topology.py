@@ -1,0 +1,80 @@
+"""Linear segmented-bus topology: adjacency, paths and BU routing.
+
+The paper's configurations all use a *linear* topology (Fig. 9): segments
+``1..n`` in a row, one BU between each adjacent pair.  A transfer from
+segment ``k`` to segment ``n`` traverses every intermediate segment and the
+``n - k`` BUs between them, with segments released in cascade from the
+source side (Fig. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ModelError, RoutingError
+
+
+@dataclass(frozen=True)
+class LinearTopology:
+    """A linear arrangement of ``segment_count`` segments (indices 1..n)."""
+
+    segment_count: int
+
+    def __post_init__(self) -> None:
+        if self.segment_count < 1:
+            raise ModelError(
+                f"topology needs at least 1 segment, got {self.segment_count}"
+            )
+
+    @property
+    def bu_pairs(self) -> Tuple[Tuple[int, int], ...]:
+        """The (left, right) BU positions: one per adjacent pair."""
+        return tuple((i, i + 1) for i in range(1, self.segment_count))
+
+    def validate_index(self, index: int) -> None:
+        if not 1 <= index <= self.segment_count:
+            raise RoutingError(
+                f"segment index {index} outside 1..{self.segment_count}"
+            )
+
+    def hops(self, source: int, target: int) -> int:
+        """Number of BUs crossed from segment ``source`` to ``target``."""
+        self.validate_index(source)
+        self.validate_index(target)
+        return abs(target - source)
+
+    def path(self, source: int, target: int) -> Tuple[int, ...]:
+        """The segments visited, inclusive of both endpoints, in travel order.
+
+        >>> LinearTopology(4).path(1, 3)
+        (1, 2, 3)
+        >>> LinearTopology(4).path(3, 1)
+        (3, 2, 1)
+        """
+        self.validate_index(source)
+        self.validate_index(target)
+        step = 1 if target >= source else -1
+        return tuple(range(source, target + step, step))
+
+    def bus_on_path(self, source: int, target: int) -> Tuple[Tuple[int, int], ...]:
+        """The (left, right) BU positions crossed, in travel order.
+
+        >>> LinearTopology(3).bus_on_path(1, 3)
+        ((1, 2), (2, 3))
+        >>> LinearTopology(3).bus_on_path(3, 2)
+        ((2, 3),)
+        """
+        segments = self.path(source, target)
+        pairs: List[Tuple[int, int]] = []
+        for a, b in zip(segments, segments[1:]):
+            pairs.append((min(a, b), min(a, b) + 1))
+        return tuple(pairs)
+
+    def direction(self, source: int, target: int) -> int:
+        """``+1`` for rightward transfers, ``-1`` leftward, ``0`` local."""
+        if target > source:
+            return 1
+        if target < source:
+            return -1
+        return 0

@@ -1,0 +1,89 @@
+"""Model validation: evaluating the constraint registry over a platform.
+
+Mirrors the DSL's validation step: *"we apply validation process to get the
+correct PSM of the application; if there exists some errors in the model, we
+get error message(s) and associated model element become highlighted"*
+(section 2.2).  The "highlighting" here is the per-constraint diagnostic
+list of :class:`ValidationReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConstraintViolation
+from repro.model.constraints import Constraint, STRUCTURAL_CONSTRAINTS
+from repro.model.elements import SegBusPlatform
+from repro.psdf.graph import PSDFGraph
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating a platform (and optionally its application)."""
+
+    model_name: str
+    diagnostics: List[str] = field(default_factory=list)
+    checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics
+
+    def raise_if_invalid(self) -> None:
+        """Raise :class:`~repro.errors.ConstraintViolation` on any breach."""
+        if not self.ok:
+            raise ConstraintViolation(self.diagnostics, model_name=self.model_name)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        status = "OK" if self.ok else f"{len(self.diagnostics)} violation(s)"
+        return f"ValidationReport({self.model_name}: {status}, {self.checked} constraints)"
+
+
+def validate_platform(
+    platform: SegBusPlatform,
+    application: Optional[PSDFGraph] = None,
+    constraints: Sequence[Constraint] = STRUCTURAL_CONSTRAINTS,
+) -> ValidationReport:
+    """Evaluate every constraint; optionally cross-check the application.
+
+    With ``application`` given, additionally verifies that every PSDF process
+    is mapped onto the platform and that the platform hosts no stray FUs for
+    processes absent from the application — the correctness precondition for
+    emulation.
+    """
+    report = ValidationReport(model_name=platform.name)
+    for constraint in constraints:
+        report.checked += 1
+        report.diagnostics.extend(constraint.evaluate(platform))
+    if application is not None:
+        report.checked += 1
+        report.diagnostics.extend(_cross_check(platform, application))
+    return report
+
+
+def _cross_check(platform: SegBusPlatform, application: PSDFGraph) -> List[str]:
+    problems: List[str] = []
+    try:
+        placement = platform.process_placement()
+    except Exception as exc:  # duplicate mapping already reported by MAP-1
+        return [f"[MAP-2] cannot derive placement: {exc}"]
+    app_names = set(application.process_names)
+    placed = set(placement)
+    for missing in sorted(app_names - placed):
+        problems.append(f"[MAP-2] application process {missing!r} is not mapped")
+    for stray in sorted(placed - app_names):
+        problems.append(
+            f"[MAP-3] platform maps process {stray!r} that does not exist "
+            "in the application"
+        )
+    return problems
+
+
+def validated_placement(
+    platform: SegBusPlatform, application: PSDFGraph
+) -> Tuple[ValidationReport, dict]:
+    """Validate and return ``(report, placement)``; raises on violation."""
+    report = validate_platform(platform, application)
+    report.raise_if_invalid()
+    return report, platform.process_placement()

@@ -1,0 +1,38 @@
+"""Resource allocation: the PlaceTool substitute.
+
+*"Based on the communication matrix, the PlaceTool application finds the
+optimal device allocation solution, given the platform specifics (the
+number of segments)"* (section 3.5, citing [16]).  We reproduce it with a
+hop-weighted inter-segment traffic cost model and four solvers:
+
+* :mod:`repro.placement.exhaustive` — exact search for small instances;
+* :mod:`repro.placement.greedy` — traffic-affinity construction;
+* :mod:`repro.placement.kernighan_lin` — pairwise-move refinement;
+* :mod:`repro.placement.annealing` — seeded simulated annealing.
+
+:class:`repro.placement.placetool.PlaceTool` is the facade choosing a solver
+by instance size.
+"""
+
+from repro.placement.cost import placement_cost, balance_penalty
+from repro.placement.exhaustive import exhaustive_placement
+from repro.placement.greedy import greedy_placement
+from repro.placement.kernighan_lin import refine_placement
+from repro.placement.annealing import annealed_placement
+from repro.placement.placetool import (
+    EmulatedPlacementResult,
+    PlaceTool,
+    PlacementResult,
+)
+
+__all__ = [
+    "placement_cost",
+    "balance_penalty",
+    "exhaustive_placement",
+    "greedy_placement",
+    "refine_placement",
+    "annealed_placement",
+    "PlaceTool",
+    "PlacementResult",
+    "EmulatedPlacementResult",
+]

@@ -1,0 +1,80 @@
+"""Cost model for process-to-segment allocations.
+
+An inter-segment package transfer on the SegBus occupies every segment on
+its path (circuit switching, Fig. 2), so the natural cost of placing
+communicating processes apart is traffic volume weighted by hop distance::
+
+    cost(placement) = sum over flows  items(src, dst) * |seg(src) - seg(dst)|
+
+A capacity-balance penalty discourages empty or overloaded segments (every
+segment needs at least one FU — constraint SEG-FU-1 — and a segment hosting
+everything is just a single bus again).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.errors import PlacementError
+from repro.psdf.matrix import CommunicationMatrix
+
+
+def placement_cost(
+    matrix: CommunicationMatrix,
+    placement: Mapping[str, int],
+    segment_count: int,
+) -> int:
+    """Hop-weighted inter-segment traffic of ``placement`` (lower is better)."""
+    _check(matrix, placement, segment_count)
+    total = 0
+    for source, target, items in matrix.pairs():
+        total += items * abs(placement[source] - placement[target])
+    return total
+
+
+def balance_penalty(
+    placement: Mapping[str, int],
+    segment_count: int,
+    weight: int = 1,
+) -> int:
+    """Quadratic load-imbalance penalty, 0 for a perfectly even split.
+
+    Computed on process counts; ``weight`` scales it against the traffic
+    cost (the default keeps it a mild tie-breaker).
+    """
+    counts = [0] * segment_count
+    for seg in placement.values():
+        counts[seg - 1] += 1
+    n = len(placement)
+    mean = n / segment_count
+    return int(weight * sum((c - mean) ** 2 for c in counts))
+
+
+def objective(
+    matrix: CommunicationMatrix,
+    placement: Mapping[str, int],
+    segment_count: int,
+    balance_weight: int = 1,
+) -> int:
+    """The solvers' full objective: traffic cost plus balance penalty."""
+    return placement_cost(matrix, placement, segment_count) + balance_penalty(
+        placement, segment_count, weight=balance_weight
+    )
+
+
+def _check(
+    matrix: CommunicationMatrix,
+    placement: Mapping[str, int],
+    segment_count: int,
+) -> None:
+    if segment_count < 1:
+        raise PlacementError(f"segment count must be >= 1, got {segment_count}")
+    missing = sorted(set(matrix.names) - set(placement))
+    if missing:
+        raise PlacementError(f"placement misses processes: {', '.join(missing)}")
+    for process, seg in placement.items():
+        if not 1 <= seg <= segment_count:
+            raise PlacementError(
+                f"process {process!r} placed on segment {seg}, "
+                f"outside 1..{segment_count}"
+            )

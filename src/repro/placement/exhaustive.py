@@ -1,0 +1,58 @@
+"""Exact allocation by exhaustive enumeration (small instances only).
+
+Enumerates every surjective assignment of processes to segments (every
+segment must host at least one FU) and returns the cheapest under the full
+objective.  The search space is ``segments^processes``; the solver refuses
+instances beyond a configurable budget instead of silently taking hours.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional, Tuple
+
+from repro.errors import PlacementError
+from repro.placement.cost import objective
+from repro.psdf.matrix import CommunicationMatrix
+
+#: refuse instances whose assignment count exceeds this (pure-Python search:
+#: ~60k assignments is a couple of seconds; beyond that the heuristics win)
+DEFAULT_BUDGET = 60_000
+
+
+def exhaustive_placement(
+    matrix: CommunicationMatrix,
+    segment_count: int,
+    balance_weight: int = 1,
+    budget: int = DEFAULT_BUDGET,
+) -> Dict[str, int]:
+    """The provably optimal placement under the objective.
+
+    Raises :class:`~repro.errors.PlacementError` when the instance exceeds
+    ``budget`` assignments — use :class:`~repro.placement.placetool.PlaceTool`
+    to fall back to heuristics automatically.
+    """
+    names = matrix.names
+    if segment_count < 1:
+        raise PlacementError(f"segment count must be >= 1, got {segment_count}")
+    if segment_count > len(names):
+        raise PlacementError(
+            f"{segment_count} segments cannot all be non-empty with only "
+            f"{len(names)} processes"
+        )
+    size = segment_count ** len(names)
+    if size > budget:
+        raise PlacementError(
+            f"exhaustive search over {size} assignments exceeds budget {budget}"
+        )
+    best: Optional[Dict[str, int]] = None
+    best_cost: Optional[int] = None
+    for assignment in itertools.product(range(1, segment_count + 1), repeat=len(names)):
+        if len(set(assignment)) != segment_count:
+            continue  # some segment would be empty (SEG-FU-1)
+        placement = dict(zip(names, assignment))
+        cost = objective(matrix, placement, segment_count, balance_weight)
+        if best_cost is None or cost < best_cost:
+            best, best_cost = placement, cost
+    assert best is not None  # segment_count <= len(names) guarantees feasibility
+    return best

@@ -1,0 +1,83 @@
+"""Greedy traffic-affinity allocation.
+
+Seeds each segment with one of the heaviest-communicating processes (spread
+apart), then repeatedly assigns the unplaced process with the strongest
+traffic affinity to an already-populated segment, subject to a soft size
+cap.  Deterministic: ties break on process name.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.errors import PlacementError
+from repro.psdf.matrix import CommunicationMatrix
+
+
+def greedy_placement(
+    matrix: CommunicationMatrix,
+    segment_count: int,
+    max_per_segment: Optional[int] = None,
+) -> Dict[str, int]:
+    """A feasible, deterministic, usually-good placement in O(n^2 log n).
+
+    ``max_per_segment`` defaults to ``ceil(n / segments) + 1`` — loose
+    enough to allow skew toward hot segments, tight enough to keep every
+    segment non-empty.
+    """
+    names = list(matrix.names)
+    n = len(names)
+    if segment_count < 1:
+        raise PlacementError(f"segment count must be >= 1, got {segment_count}")
+    if segment_count > n:
+        raise PlacementError(
+            f"{segment_count} segments cannot all be non-empty with only "
+            f"{n} processes"
+        )
+    if max_per_segment is None:
+        max_per_segment = -(-n // segment_count) + 1
+    if max_per_segment * segment_count < n:
+        raise PlacementError(
+            f"cap {max_per_segment} per segment cannot fit {n} processes "
+            f"on {segment_count} segments"
+        )
+
+    def traffic(a: str, b: str) -> int:
+        return matrix.items_between(a, b) + matrix.items_between(b, a)
+
+    total_traffic = {
+        name: sum(traffic(name, other) for other in names if other != name)
+        for name in names
+    }
+    # Seeds: the heaviest communicators, one per segment.
+    seeds = sorted(names, key=lambda p: (-total_traffic[p], p))[:segment_count]
+    placement: Dict[str, int] = {}
+    loads: List[int] = [0] * segment_count
+    for offset, seed in enumerate(seeds):
+        placement[seed] = offset + 1
+        loads[offset] += 1
+
+    unplaced: Set[str] = set(names) - set(seeds)
+    while unplaced:
+        # Pick the unplaced process with the strongest pull anywhere.
+        best_proc: Optional[str] = None
+        best_seg: Optional[int] = None
+        best_pull = -1
+        for proc in sorted(unplaced):
+            for seg in range(1, segment_count + 1):
+                if loads[seg - 1] >= max_per_segment:
+                    continue
+                pull = sum(
+                    traffic(proc, other)
+                    for other, placed_seg in placement.items()
+                    if placed_seg == seg
+                )
+                # prefer the least-loaded segment on ties for balance
+                key = (pull, -loads[seg - 1])
+                if best_proc is None or key > (best_pull, -(loads[best_seg - 1])):
+                    best_proc, best_seg, best_pull = proc, seg, pull
+        assert best_proc is not None and best_seg is not None
+        placement[best_proc] = best_seg
+        loads[best_seg - 1] += 1
+        unplaced.remove(best_proc)
+    return placement

@@ -1,0 +1,60 @@
+"""Kernighan–Lin-style local refinement of a placement.
+
+Repeatedly tries single-process moves and pairwise swaps between segments,
+accepting any change that lowers the full objective, until a fixed point
+(or an iteration cap).  Preserves feasibility: a move never empties a
+segment.  Deterministic scan order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.placement.cost import objective
+from repro.psdf.matrix import CommunicationMatrix
+
+
+def refine_placement(
+    matrix: CommunicationMatrix,
+    placement: Mapping[str, int],
+    segment_count: int,
+    balance_weight: int = 1,
+    max_rounds: int = 50,
+) -> Dict[str, int]:
+    """Hill-climb ``placement`` with moves and swaps; returns a new dict."""
+    current: Dict[str, int] = dict(placement)
+    names = sorted(current)
+    cost = objective(matrix, current, segment_count, balance_weight)
+    for _ in range(max_rounds):
+        improved = False
+        # single moves
+        for name in names:
+            home = current[name]
+            if sum(1 for s in current.values() if s == home) <= 1:
+                continue  # would empty its segment
+            for seg in range(1, segment_count + 1):
+                if seg == home:
+                    continue
+                current[name] = seg
+                trial = objective(matrix, current, segment_count, balance_weight)
+                if trial < cost:
+                    cost = trial
+                    home = seg
+                    improved = True
+                else:
+                    current[name] = home
+        # pairwise swaps
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                if current[a] == current[b]:
+                    continue
+                current[a], current[b] = current[b], current[a]
+                trial = objective(matrix, current, segment_count, balance_weight)
+                if trial < cost:
+                    cost = trial
+                    improved = True
+                else:
+                    current[a], current[b] = current[b], current[a]
+        if not improved:
+            break
+    return current

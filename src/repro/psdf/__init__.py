@@ -1,0 +1,70 @@
+"""Packet Synchronous Data Flow (PSDF) application models.
+
+PSDF (paper section 3.1) is a customized Synchronous Data Flow dialect whose
+operational semantics mirror the SegBus platform: *processes* transform input
+data packets into output ones and *packet flows* carry data between them.
+A packet flow is the tuple ``(P_t, D, T, C)``:
+
+``P_t``
+    the target process of the transactions,
+``D``
+    the number of data items emitted by the source towards that target
+    (transformed into ``ceil(D / s)`` packages for package size ``s``),
+``T``
+    a relative ordering number among the flows of the system (flows sharing
+    a ``T`` value may execute concurrently),
+``C``
+    the clock ticks the producing process consumes before sending one
+    package.
+
+This package provides the flow/process/graph data model, validation of the
+PSDF well-formedness rules, the communication matrix of Fig. 8, package-size
+arithmetic and schedule extraction used by the emulator's arbiters.
+"""
+
+from repro.psdf.flow import FlowCost, PacketFlow
+from repro.psdf.process import Process, ProcessKind
+from repro.psdf.graph import PSDFGraph
+from repro.psdf.matrix import CommunicationMatrix, build_communication_matrix
+from repro.psdf.packetize import packages_for_items, split_into_packages, Package
+from repro.psdf.schedule import Schedule, ScheduledTransfer, extract_schedule
+from repro.psdf.metrics import (
+    WorkloadSummary,
+    communication_to_computation,
+    max_parallelism,
+    parallelism_profile,
+    summary,
+    traffic_concentration,
+)
+from repro.psdf.generators import (
+    chain_psdf,
+    fork_join_psdf,
+    random_dag_psdf,
+    stereo_pipeline_psdf,
+)
+
+__all__ = [
+    "FlowCost",
+    "PacketFlow",
+    "Process",
+    "ProcessKind",
+    "PSDFGraph",
+    "CommunicationMatrix",
+    "build_communication_matrix",
+    "packages_for_items",
+    "split_into_packages",
+    "Package",
+    "Schedule",
+    "ScheduledTransfer",
+    "extract_schedule",
+    "chain_psdf",
+    "fork_join_psdf",
+    "random_dag_psdf",
+    "stereo_pipeline_psdf",
+    "WorkloadSummary",
+    "communication_to_computation",
+    "max_parallelism",
+    "parallelism_profile",
+    "summary",
+    "traffic_concentration",
+]

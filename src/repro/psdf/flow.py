@@ -1,0 +1,156 @@
+"""Packet flows: the edges of a PSDF graph.
+
+A flow is the paper's tuple ``(P_t, D, T, C)`` plus (our extension, see
+DESIGN.md section 3) a two-part production-cost model.  The paper quotes a
+single per-package tick count ``C`` at the package size used during modeling;
+because the number of packages changes with the package size ``s`` while the
+amount of *work* tracks the number of data items, we decompose::
+
+    C(s) = c_fixed + c_item * s
+
+``c_fixed`` captures per-package overhead of the producing process
+(bookkeeping, handshake preparation) and ``c_item`` the per-data-item
+computation.  A flow built with a bare ``C`` pins ``c_item = 0`` so the
+paper's literal semantics remain available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import FlowError
+
+
+@dataclass(frozen=True)
+class FlowCost:
+    """Production cost of one package: ``ticks(s) = c_fixed + c_item * s``.
+
+    >>> FlowCost(c_fixed=34, c_item=6).ticks(36)
+    250
+    """
+
+    c_fixed: int
+    c_item: int = 0
+
+    def __post_init__(self) -> None:
+        if self.c_fixed < 0 or self.c_item < 0:
+            raise FlowError(
+                f"flow cost components must be non-negative, got "
+                f"c_fixed={self.c_fixed}, c_item={self.c_item}"
+            )
+        if self.c_fixed == 0 and self.c_item == 0:
+            raise FlowError("flow cost must be positive for at least one component")
+
+    def ticks(self, package_size: int) -> int:
+        """Clock ticks consumed by the producer before sending one package."""
+        if package_size <= 0:
+            raise FlowError(f"package size must be positive, got {package_size}")
+        return self.c_fixed + self.c_item * package_size
+
+    @classmethod
+    def constant(cls, ticks: int) -> "FlowCost":
+        """A cost that does not vary with the package size (paper's literal C)."""
+        return cls(c_fixed=ticks, c_item=0)
+
+    @classmethod
+    def calibrated(cls, ticks_at: int, package_size: int, fixed_fraction: float = 0.15) -> "FlowCost":
+        """Split a known per-package tick count into fixed + per-item parts.
+
+        ``ticks_at`` is the paper-style ``C`` observed at ``package_size``;
+        ``fixed_fraction`` of it is attributed to per-package overhead.
+        The reconstruction is exact at ``package_size``:
+
+        >>> FlowCost.calibrated(250, 36).ticks(36)
+        250
+        """
+        if ticks_at <= 0:
+            raise FlowError(f"ticks_at must be positive, got {ticks_at}")
+        if not 0.0 <= fixed_fraction <= 1.0:
+            raise FlowError(f"fixed_fraction must be in [0, 1], got {fixed_fraction}")
+        c_item = int(round(ticks_at * (1.0 - fixed_fraction) / package_size))
+        c_fixed = ticks_at - c_item * package_size
+        if c_fixed < 0:  # rounding pushed per-item share above the total
+            c_item = ticks_at // package_size
+            c_fixed = ticks_at - c_item * package_size
+        if c_fixed == 0 and c_item == 0:
+            c_fixed = ticks_at
+        return cls(c_fixed=c_fixed, c_item=c_item)
+
+
+@dataclass(frozen=True)
+class PacketFlow:
+    """One packet flow ``(P_t, D, T, C)`` from a source process.
+
+    Attributes mirror the paper's definition (section 3.1); ``source`` names
+    the emitting process so a flow is self-contained once detached from its
+    graph.
+    """
+
+    source: str
+    target: str
+    data_items: int
+    order: int
+    cost: FlowCost = field(default_factory=lambda: FlowCost.constant(1))
+
+    def __post_init__(self) -> None:
+        if not self.source or not self.target:
+            raise FlowError("flow source and target must be non-empty process names")
+        if self.source == self.target:
+            raise FlowError(f"self-loop flow on process {self.source!r} is not allowed")
+        if self.data_items <= 0:
+            raise FlowError(
+                f"flow {self.source}->{self.target}: D must be positive, got {self.data_items}"
+            )
+        if self.order <= 0:
+            raise FlowError(
+                f"flow {self.source}->{self.target}: T must be positive, got {self.order}"
+            )
+
+    def packages(self, package_size: int) -> int:
+        """Number of packages for this flow at ``package_size`` (``ceil(D/s)``)."""
+        if package_size <= 0:
+            raise FlowError(f"package size must be positive, got {package_size}")
+        return -(-self.data_items // package_size)
+
+    def ticks_per_package(self, package_size: int) -> int:
+        """The paper's ``C`` value at ``package_size``."""
+        return self.cost.ticks(package_size)
+
+    def element_name(self, package_size: int) -> str:
+        """The M2T element name, e.g. ``P1_576_1_250`` (section 3.5).
+
+        Encodes target, data items, ordering and the per-package tick count
+        at the given package size, separated by underscores.
+        """
+        return (
+            f"{self.target}_{self.data_items}_{self.order}_"
+            f"{self.ticks_per_package(package_size)}"
+        )
+
+    @classmethod
+    def from_element_name(cls, source: str, name: str) -> "PacketFlow":
+        """Parse an M2T element name back into a flow (inverse of
+        :meth:`element_name`; the parsed ``C`` becomes a constant cost).
+
+        >>> f = PacketFlow.from_element_name("P0", "P1_576_1_250")
+        >>> (f.target, f.data_items, f.order, f.cost.c_fixed)
+        ('P1', 576, 1, 250)
+        """
+        parts = name.rsplit("_", 3)
+        if len(parts) != 4:
+            raise FlowError(
+                f"malformed flow element name {name!r}: expected "
+                "'<target>_<items>_<order>_<ticks>'"
+            )
+        target, items_s, order_s, ticks_s = parts
+        try:
+            items, order, ticks = int(items_s), int(order_s), int(ticks_s)
+        except ValueError as exc:
+            raise FlowError(f"malformed flow element name {name!r}: {exc}") from exc
+        return cls(
+            source=source,
+            target=target,
+            data_items=items,
+            order=order,
+            cost=FlowCost.constant(ticks),
+        )

@@ -1,0 +1,149 @@
+"""Synthetic PSDF workload generators.
+
+The paper's future work calls for *"more application models to be tested on
+the emulator platform"*.  These generators produce families of well-formed
+PSDF graphs used by the property-based tests, the design-space-exploration
+example and the ablation benchmarks:
+
+* :func:`chain_psdf` — a linear pipeline (the degenerate stereo channel);
+* :func:`fork_join_psdf` — one producer fanning out to parallel workers that
+  join at a sink (models data-parallel stages);
+* :func:`stereo_pipeline_psdf` — two symmetric channels sharing head and
+  tail processes (the MP3 decoder's skeleton);
+* :func:`random_dag_psdf` — seeded random layered DAGs for fuzzing.
+
+All generators take a ``numpy.random.Generator`` or a seed; the same seed
+always yields the same graph.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import PSDFError
+from repro.psdf.flow import FlowCost, PacketFlow
+from repro.psdf.graph import PSDFGraph
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def _rng(seed: RngLike) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def chain_psdf(
+    stages: int,
+    items_per_stage: int = 576,
+    ticks_per_package: int = 250,
+    name: str = "chain",
+) -> PSDFGraph:
+    """A linear pipeline ``P0 -> P1 -> ... -> P{stages-1}``.
+
+    >>> g = chain_psdf(4)
+    >>> [f.order for f in g.flows]
+    [1, 2, 3]
+    """
+    if stages < 2:
+        raise PSDFError(f"a chain needs at least 2 stages, got {stages}")
+    edges = [
+        (f"P{i}", f"P{i + 1}", items_per_stage, i + 1, ticks_per_package)
+        for i in range(stages - 1)
+    ]
+    return PSDFGraph.from_edges(edges, name=name)
+
+
+def fork_join_psdf(
+    workers: int,
+    items_per_worker: int = 360,
+    ticks_per_package: int = 200,
+    name: str = "fork_join",
+) -> PSDFGraph:
+    """``SRC`` fans out to ``workers`` parallel processes that join at ``SINK``.
+
+    All fan-out flows share T=1 and all joins share T=2, exercising the
+    "same ordering number implies possible concurrency" rule.
+    """
+    if workers < 1:
+        raise PSDFError(f"need at least 1 worker, got {workers}")
+    edges: List[Tuple] = []
+    for w in range(workers):
+        edges.append(("SRC", f"W{w}", items_per_worker, 1, ticks_per_package))
+        edges.append((f"W{w}", "SINK", items_per_worker, 2, ticks_per_package))
+    return PSDFGraph.from_edges(edges, name=name)
+
+
+def stereo_pipeline_psdf(
+    stages_per_channel: int = 3,
+    items: int = 576,
+    ticks_per_package: int = 250,
+    name: str = "stereo",
+) -> PSDFGraph:
+    """Two symmetric channels with a shared head and tail — MP3-like skeleton.
+
+    ``HEAD`` feeds ``L0..Ln`` and ``R0..Rn``; both chains merge at ``TAIL``.
+    """
+    if stages_per_channel < 1:
+        raise PSDFError(
+            f"need at least one stage per channel, got {stages_per_channel}"
+        )
+    edges: List[Tuple] = []
+    order = 1
+    edges.append(("HEAD", "L0", items, order, ticks_per_package))
+    edges.append(("HEAD", "R0", items, order, ticks_per_package))
+    for i in range(stages_per_channel - 1):
+        order += 1
+        edges.append((f"L{i}", f"L{i + 1}", items, order, ticks_per_package))
+        edges.append((f"R{i}", f"R{i + 1}", items, order, ticks_per_package))
+    order += 1
+    last = stages_per_channel - 1
+    edges.append((f"L{last}", "TAIL", items, order, ticks_per_package))
+    edges.append((f"R{last}", "TAIL", items, order, ticks_per_package))
+    return PSDFGraph.from_edges(edges, name=name)
+
+
+def random_dag_psdf(
+    processes: int,
+    seed: RngLike = 0,
+    max_items: int = 720,
+    max_ticks: int = 400,
+    edge_probability: float = 0.35,
+    name: Optional[str] = None,
+) -> PSDFGraph:
+    """A seeded random layered DAG with valid PSDF structure.
+
+    Processes are arranged in a random topological order; each later process
+    receives at least one incoming flow (so the graph is connected) plus
+    extra random edges with ``edge_probability``.  Flow T values follow the
+    topological position of the source, guaranteeing a feasible schedule.
+    Item counts are multiples of 36 so the canonical package size divides
+    them exactly (non-divisible cases are exercised by dedicated tests).
+    """
+    if processes < 2:
+        raise PSDFError(f"need at least 2 processes, got {processes}")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise PSDFError(f"edge_probability must be in [0, 1], got {edge_probability}")
+    rng = _rng(seed)
+    names = [f"P{i}" for i in range(processes)]
+    edges: List[Tuple] = []
+
+    def random_items() -> int:
+        return int(rng.integers(1, max(2, max_items // 36 + 1))) * 36
+
+    def random_ticks() -> int:
+        return int(rng.integers(20, max(21, max_ticks)))
+
+    for j in range(1, processes):
+        # guarantee connectivity: one mandatory predecessor
+        i = int(rng.integers(0, j))
+        edges.append((names[i], names[j], random_items(), i + 1, random_ticks()))
+        for k in range(j):
+            if k != i and rng.random() < edge_probability:
+                edges.append(
+                    (names[k], names[j], random_items(), k + 1, random_ticks())
+                )
+    graph_name = name or f"random_dag_{processes}"
+    return PSDFGraph.from_edges(edges, name=graph_name)

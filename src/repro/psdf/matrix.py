@@ -1,0 +1,143 @@
+"""The communication matrix (paper Fig. 8).
+
+The matrix is *"the specification of device-to-device transactions between
+application components; each entity describes how many data items need to be
+transferred from one device to any other device"* (section 3.5).  The
+emulator builds it from the PSDF model; the PlaceTool allocation optimizer
+consumes it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import PSDFError
+from repro.psdf.graph import PSDFGraph
+
+
+class CommunicationMatrix:
+    """Square matrix of data items exchanged between processes.
+
+    Rows are sources, columns are targets, in the order of ``names``.
+    Backed by an integer numpy array; immutable by convention (the array is
+    flagged non-writeable).
+    """
+
+    def __init__(self, names: Sequence[str], items: np.ndarray) -> None:
+        names = list(names)
+        items = np.asarray(items, dtype=np.int64)
+        if items.shape != (len(names), len(names)):
+            raise PSDFError(
+                f"matrix shape {items.shape} does not match {len(names)} names"
+            )
+        if (items < 0).any():
+            raise PSDFError("communication matrix entries must be non-negative")
+        if np.diagonal(items).any():
+            raise PSDFError("communication matrix diagonal must be zero (no self-traffic)")
+        self.names: Tuple[str, ...] = tuple(names)
+        self._index: Dict[str, int] = {n: i for i, n in enumerate(self.names)}
+        if len(self._index) != len(self.names):
+            raise PSDFError("duplicate process names in communication matrix")
+        self._items = items
+        self._items.setflags(write=False)
+
+    # -- access ---------------------------------------------------------------
+
+    @property
+    def array(self) -> np.ndarray:
+        """The underlying (read-only) numpy array."""
+        return self._items
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def __getitem__(self, key: Tuple[str, str]) -> int:
+        source, target = key
+        return int(self._items[self._index[source], self._index[target]])
+
+    def items_between(self, source: str, target: str) -> int:
+        """Data items transferred ``source -> target`` (0 if none)."""
+        return self[source, target]
+
+    def packages_between(self, source: str, target: str, package_size: int) -> int:
+        """Package count for the pair at ``package_size`` (``ceil(D/s)``)."""
+        if package_size <= 0:
+            raise PSDFError(f"package size must be positive, got {package_size}")
+        items = self[source, target]
+        return -(-items // package_size) if items else 0
+
+    def total_items(self) -> int:
+        return int(self._items.sum())
+
+    def row(self, source: str) -> Dict[str, int]:
+        """Non-zero outgoing traffic of ``source`` as a name->items dict."""
+        i = self._index[source]
+        return {
+            self.names[j]: int(v)
+            for j, v in enumerate(self._items[i])
+            if v
+        }
+
+    def column(self, target: str) -> Dict[str, int]:
+        """Non-zero incoming traffic of ``target`` as a name->items dict."""
+        j = self._index[target]
+        return {
+            self.names[i]: int(v)
+            for i, v in enumerate(self._items[:, j])
+            if v
+        }
+
+    def pairs(self) -> Iterable[Tuple[str, str, int]]:
+        """Yield every non-zero (source, target, items) entry."""
+        rows, cols = np.nonzero(self._items)
+        for i, j in zip(rows.tolist(), cols.tolist()):
+            yield self.names[i], self.names[j], int(self._items[i, j])
+
+    def cut_items(self, partition: Mapping[str, int]) -> int:
+        """Data items crossing between different parts of ``partition``.
+
+        ``partition`` maps each process name to a segment index; this is the
+        objective the PlaceTool minimizes (weighted by hop distance in
+        :mod:`repro.placement.cost`).
+        """
+        total = 0
+        for source, target, items in self.pairs():
+            if partition[source] != partition[target]:
+                total += items
+        return total
+
+    # -- presentation -----------------------------------------------------------
+
+    def to_table(self) -> str:
+        """Render the matrix as the paper's Fig. 8 style text table."""
+        width = max(3, max(len(n) for n in self.names), len(str(self._items.max())))
+        header = " " * (width + 1) + " ".join(n.rjust(width) for n in self.names)
+        lines = [header]
+        for i, name in enumerate(self.names):
+            cells = " ".join(str(int(v)).rjust(width) for v in self._items[i])
+            lines.append(f"{name.rjust(width)} {cells}")
+        return "\n".join(lines)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CommunicationMatrix):
+            return NotImplemented
+        return self.names == other.names and np.array_equal(self._items, other._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CommunicationMatrix({len(self.names)} processes, {self.total_items()} items)"
+
+
+def build_communication_matrix(graph: PSDFGraph) -> CommunicationMatrix:
+    """Extract the communication matrix from a PSDF graph (paper section 3.5).
+
+    Multiple flows between the same pair (distinct T values) are summed —
+    the matrix abstracts ordering away and keeps only traffic volume.
+    """
+    names: List[str] = list(graph.process_names)
+    index = {n: i for i, n in enumerate(names)}
+    items = np.zeros((len(names), len(names)), dtype=np.int64)
+    for flow in graph.flows:
+        items[index[flow.source], index[flow.target]] += flow.data_items
+    return CommunicationMatrix(names, items)

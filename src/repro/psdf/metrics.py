@@ -1,0 +1,100 @@
+"""Workload characterization metrics over PSDF graphs.
+
+Placement quality and emulation cost both depend on the *shape* of the
+application; these metrics quantify it:
+
+* :func:`parallelism_profile` — how many processes can be active per
+  topological level (the width of the pipeline);
+* :func:`traffic_concentration` — Gini coefficient of per-flow traffic
+  (0 = uniform, →1 = one dominant flow; high concentration means placement
+  choices matter a lot);
+* :func:`communication_to_computation` — total transfer slots vs total
+  compute ticks at a package size (≫1 means bus-bound, ≪1 compute-bound);
+* :func:`summary` — everything in one record, used by the DSE example and
+  the scalability bench to label workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.psdf.graph import PSDFGraph
+from repro.psdf.schedule import extract_schedule
+
+
+def parallelism_profile(graph: PSDFGraph) -> Tuple[int, ...]:
+    """Process count per topological level (level = longest path from a source)."""
+    level: Dict[str, int] = {name: 0 for name in graph.process_names}
+    for name in graph.topological_order():
+        for flow in graph.outgoing(name):
+            level[flow.target] = max(level[flow.target], level[name] + 1)
+    width: Dict[int, int] = {}
+    for value in level.values():
+        width[value] = width.get(value, 0) + 1
+    return tuple(width[i] for i in range(max(width) + 1)) if width else ()
+
+
+def max_parallelism(graph: PSDFGraph) -> int:
+    """The widest topological level — an upper bound on useful segments."""
+    profile = parallelism_profile(graph)
+    return max(profile) if profile else 0
+
+
+def traffic_concentration(graph: PSDFGraph) -> float:
+    """Gini coefficient of flow traffic volumes (0 uniform, ->1 concentrated)."""
+    volumes = np.sort(np.array([f.data_items for f in graph.flows], dtype=float))
+    if volumes.size == 0 or volumes.sum() == 0:
+        return 0.0
+    n = volumes.size
+    index = np.arange(1, n + 1)
+    return float((2 * (index * volumes).sum() / (n * volumes.sum())) - (n + 1) / n)
+
+
+def communication_to_computation(graph: PSDFGraph, package_size: int) -> float:
+    """Bus slots over compute ticks (the bus-boundness of the workload)."""
+    schedule = extract_schedule(graph, package_size)
+    transfer_slots = schedule.total_packages() * package_size
+    compute_ticks = sum(
+        t.packages * t.ticks_per_package
+        for transfers in schedule.transfers_of.values()
+        for t in transfers
+    )
+    return transfer_slots / compute_ticks if compute_ticks else float("inf")
+
+
+@dataclass(frozen=True)
+class WorkloadSummary:
+    """One workload's shape in a record."""
+
+    name: str
+    processes: int
+    flows: int
+    depth: int
+    max_parallelism: int
+    total_items: int
+    traffic_gini: float
+    comm_to_comp: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.name}: {self.processes} procs, {self.flows} flows, "
+            f"depth {self.depth}, width {self.max_parallelism}, "
+            f"gini {self.traffic_gini:.2f}, comm/comp {self.comm_to_comp:.2f}"
+        )
+
+
+def summary(graph: PSDFGraph, package_size: int = 36) -> WorkloadSummary:
+    """All metrics for one graph."""
+    return WorkloadSummary(
+        name=graph.name,
+        processes=len(graph),
+        flows=len(graph.flows),
+        depth=graph.depth(),
+        max_parallelism=max_parallelism(graph),
+        total_items=graph.total_data_items(),
+        traffic_gini=traffic_concentration(graph),
+        comm_to_comp=communication_to_computation(graph, package_size),
+    )

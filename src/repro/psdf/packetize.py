@@ -1,0 +1,75 @@
+"""Package arithmetic: turning data items into bus packages.
+
+Data in PSDF is *"organized in data items, which are later transformed into
+packets according to package size during execution"* (section 3.1).  The
+helpers here implement that transformation and are shared by the emulator,
+the reference simulator and the analysis code, so package accounting can
+never drift between subsystems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import PSDFError
+
+
+def packages_for_items(data_items: int, package_size: int) -> int:
+    """Number of packages needed to carry ``data_items`` (``ceil(D/s)``).
+
+    >>> packages_for_items(576, 36)
+    16
+    >>> packages_for_items(37, 36)
+    2
+    """
+    if data_items < 0:
+        raise PSDFError(f"data items must be non-negative, got {data_items}")
+    if package_size <= 0:
+        raise PSDFError(f"package size must be positive, got {package_size}")
+    return -(-data_items // package_size)
+
+
+@dataclass(frozen=True)
+class Package:
+    """One package of a flow.
+
+    ``payload_items`` may be smaller than the platform package size for the
+    final package of a flow whose D is not a multiple of s; on the bus the
+    package still occupies ``package_size`` transfer slots (the platform
+    moves fixed-size packages, section 3.1).
+    """
+
+    source: str
+    target: str
+    sequence: int
+    payload_items: int
+
+    def __post_init__(self) -> None:
+        if self.sequence < 0:
+            raise PSDFError(f"package sequence must be non-negative, got {self.sequence}")
+        if self.payload_items <= 0:
+            raise PSDFError(
+                f"package payload must be positive, got {self.payload_items}"
+            )
+
+
+def split_into_packages(
+    source: str, target: str, data_items: int, package_size: int
+) -> List[Package]:
+    """Split a flow's data items into its package sequence.
+
+    >>> pkgs = split_into_packages("P1", "P3", 40, 36)
+    >>> [(p.sequence, p.payload_items) for p in pkgs]
+    [(0, 36), (1, 4)]
+    """
+    count = packages_for_items(data_items, package_size)
+    packages: List[Package] = []
+    remaining = data_items
+    for seq in range(count):
+        payload = min(package_size, remaining)
+        packages.append(
+            Package(source=source, target=target, sequence=seq, payload_items=payload)
+        )
+        remaining -= payload
+    return packages

@@ -1,0 +1,113 @@
+"""Referential-integrity checking of scheme documents.
+
+The M2T output is only useful if every ``type`` attribute resolves: a PSM
+scheme whose segment references an undefined FU type would crash the
+emulator's setup halfway through.  :func:`check_scheme` validates a
+:class:`~repro.xmlio.schema_writer.SchemaDocument` before it is consumed:
+
+* every referenced type is either defined as a complex type in the same
+  document or one of the known *terminal* types (``Transfer``,
+  ``Parameter``, ``Master``, ``Slave`` and the PSDF stereotypes);
+* every top-level element's type is defined;
+* no complex type is orphaned (unreachable from a top-level element) —
+  orphans signal a generator bug even though parsers would ignore them;
+* type names are unique (enforced structurally by the document model, but
+  re-checked here for documents built by hand).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set
+
+from repro.xmlio.schema_writer import SchemaDocument
+
+#: types that terminate the reference chain (no complex-type definition)
+TERMINAL_TYPES = frozenset(
+    {
+        "Transfer",
+        "Parameter",
+        "Master",
+        "Slave",
+        "InitialNode",
+        "ProcessNode",
+        "FinalNode",
+    }
+)
+
+
+@dataclass
+class SchemeCheckReport:
+    """Diagnostics from checking one scheme document."""
+
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def add(self, message: str) -> None:
+        self.problems.append(message)
+
+
+def check_scheme(doc: SchemaDocument) -> SchemeCheckReport:
+    """Validate referential integrity of ``doc``."""
+    report = SchemeCheckReport()
+    defined: Set[str] = set()
+    for ctype in doc.complex_types:
+        if ctype.name in defined:
+            report.add(f"complexType {ctype.name!r} defined more than once")
+        defined.add(ctype.name)
+
+    def check_reference(owner: str, type_name: str) -> None:
+        if type_name in TERMINAL_TYPES:
+            return
+        if type_name not in defined:
+            report.add(
+                f"{owner} references undefined type {type_name!r}"
+            )
+
+    for element in doc.top_level:
+        check_reference(f"top-level element {element.name!r}", element.type)
+    for ctype in doc.complex_types:
+        for child in ctype.children:
+            check_reference(
+                f"complexType {ctype.name!r} child {child.name!r}", child.type
+            )
+
+    # reachability from top-level roots; a child references a type either
+    # through its ``type`` attribute or — the PSDF-header pattern, where the
+    # type attribute carries the stereotype — through an element *name*
+    # equal to a defined type
+    reachable: Set[str] = set()
+    frontier = [e.type for e in doc.top_level if e.type in defined]
+    while frontier:
+        name = frontier.pop()
+        if name in reachable:
+            continue
+        reachable.add(name)
+        try:
+            ctype = doc.complex_type(name)
+        except Exception:  # undefined: already reported above
+            continue
+        for child in ctype.children:
+            for referenced in (child.type, child.name):
+                if referenced in defined and referenced not in reachable:
+                    frontier.append(referenced)
+    for name in sorted(defined - reachable):
+        report.add(
+            f"complexType {name!r} is unreachable from any top-level element"
+        )
+    return report
+
+
+def assert_scheme_valid(doc: SchemaDocument) -> None:
+    """Raise :class:`~repro.errors.XMLFormatError` on any integrity problem."""
+    from repro.errors import XMLFormatError
+
+    report = check_scheme(doc)
+    if not report.ok:
+        raise XMLFormatError(
+            "scheme integrity check failed:\n"
+            + "\n".join(f"  - {p}" for p in report.problems)
+        )

@@ -1,0 +1,91 @@
+"""Analytical estimator tests: exactness without contention, lower bound with."""
+
+import pytest
+
+from repro.analysis.analytic import (
+    analytic_estimate,
+    diagnose_contention,
+)
+from repro.emulator.config import EmulationConfig
+from repro.emulator.kernel import PlatformSpec, Simulation
+from repro.psdf.graph import PSDFGraph
+
+NS = 1_000_000
+
+
+def spec_for(placement, segments=1, package_size=36):
+    return PlatformSpec(
+        package_size=package_size,
+        segment_frequencies_mhz={i: 100.0 for i in range(1, segments + 1)},
+        ca_frequency_mhz=100.0,
+        placement=placement,
+    )
+
+
+class TestContentionFreeExactness:
+    """On contention-free scenarios the analytic walk equals the emulator."""
+
+    def test_single_flow_exact(self):
+        graph = PSDFGraph.from_edges([("A", "B", 36, 1, 50)])
+        spec = spec_for({"A": 1, "B": 1})
+        estimate = analytic_estimate(graph, spec)
+        emulated = Simulation(graph, spec).run()
+        assert estimate.execution_time_fs == emulated.execution_time_fs()
+        assert estimate.completion_fs["A"] == 870 * NS
+
+    def test_chain_exact(self):
+        graph = PSDFGraph.from_edges(
+            [("A", "B", 72, 1, 50), ("B", "C", 72, 2, 40)]
+        )
+        spec = spec_for({"A": 1, "B": 1, "C": 1})
+        estimate = analytic_estimate(graph, spec)
+        emulated = Simulation(graph, spec).run()
+        assert estimate.execution_time_fs == emulated.execution_time_fs()
+
+    def test_inter_segment_exact(self):
+        graph = PSDFGraph.from_edges([("A", "B", 36, 1, 50)])
+        spec = spec_for({"A": 1, "B": 2}, segments=2)
+        estimate = analytic_estimate(graph, spec)
+        emulated = Simulation(graph, spec).run()
+        assert estimate.execution_time_fs == emulated.execution_time_fs()
+
+    def test_transit_exact(self):
+        graph = PSDFGraph.from_edges([("A", "B", 72, 1, 50)])
+        spec = spec_for({"A": 1, "B": 3}, segments=3)
+        estimate = analytic_estimate(graph, spec)
+        emulated = Simulation(graph, spec).run()
+        assert estimate.execution_time_fs == emulated.execution_time_fs()
+
+    def test_reference_config_exact_without_contention(self):
+        graph = PSDFGraph.from_edges([("A", "B", 72, 1, 50)])
+        spec = spec_for({"A": 1, "B": 2}, segments=2)
+        config = EmulationConfig.reference()
+        estimate = analytic_estimate(graph, spec, config)
+        emulated = Simulation(graph, spec, config).run()
+        assert estimate.execution_time_fs == emulated.execution_time_fs()
+
+
+class TestLowerBound:
+    def test_contention_makes_emulated_slower(self):
+        graph = PSDFGraph.from_edges(
+            [("A", "C", 180, 1, 10), ("B", "C", 180, 1, 10)]
+        )
+        spec = spec_for({"A": 1, "B": 1, "C": 1})
+        diagnosis = diagnose_contention(graph, spec)
+        assert diagnosis.analytic_us < diagnosis.emulated_us
+        assert diagnosis.contention_us > 0
+        assert 0 < diagnosis.contention_share < 1
+
+    def test_mp3_lower_bound_and_proximity(self, mp3_graph, platform_3seg):
+        spec = PlatformSpec.from_platform(platform_3seg)
+        diagnosis = diagnose_contention(mp3_graph, spec)
+        assert diagnosis.analytic_us <= diagnosis.emulated_us
+        # the MP3 app is lightly contended: analytic within 10 %
+        assert diagnosis.contention_share < 0.10
+
+
+class TestEstimateObject:
+    def test_completion_us(self):
+        graph = PSDFGraph.from_edges([("A", "B", 36, 1, 50)])
+        estimate = analytic_estimate(graph, spec_for({"A": 1, "B": 1}))
+        assert estimate.completion_us("A") == pytest.approx(0.87)

@@ -1,0 +1,41 @@
+"""Bottleneck analysis tests."""
+
+import pytest
+
+from repro.analysis.bottleneck import find_bottlenecks
+
+
+@pytest.fixture
+def bottlenecks(sim_3seg, report_3seg):
+    return find_bottlenecks(sim_3seg, report_3seg)
+
+
+def test_ranking_ordered_by_waiting(bottlenecks):
+    waits = [u.waiting_total for u in bottlenecks.bu_ranking]
+    assert waits == sorted(waits, reverse=True)
+
+
+def test_worst_bu_is_bu12(bottlenecks):
+    # BU12 carries 32 packages vs BU23's 2: more accumulated waiting
+    assert bottlenecks.worst_bu.name == "BU12"
+
+
+def test_segment_loads_bounded(bottlenecks):
+    for load in bottlenecks.segment_loads:
+        assert 0.0 <= load.utilization <= 1.0
+
+
+def test_hottest_segment_is_a_real_segment(bottlenecks):
+    assert bottlenecks.hottest_segment.index in (1, 2, 3)
+
+
+def test_segment1_hotter_than_segment3(bottlenecks):
+    loads = {l.index: l.utilization for l in bottlenecks.segment_loads}
+    # segment 3 hosts only P4 (one package each way): nearly idle
+    assert loads[1] > loads[3]
+
+
+def test_advice_mentions_congested_bu_and_hot_segment(bottlenecks):
+    advice = bottlenecks.advice()
+    assert "BU12" in advice
+    assert "busiest" in advice

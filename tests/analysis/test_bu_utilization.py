@@ -1,0 +1,51 @@
+"""BU useful/waiting-period analysis tests (paper section 4 Discussion)."""
+
+import pytest
+
+from repro.analysis.bu_utilization import bu_utilization
+
+
+class TestMP3BUAnalysis:
+    def test_bu12_matches_paper_exactly(self, report_3seg):
+        util = {u.name: u for u in bu_utilization(report_3seg)}
+        bu12 = util["BU12"]
+        # UP12 = 2304, TCT12 = 2336, W̄P12 = 1 — the paper's exact numbers
+        assert bu12.useful_period == 2304
+        assert bu12.tct == 2336
+        assert bu12.mean_waiting_period == pytest.approx(1.0)
+
+    def test_bu23_matches_paper_exactly(self, report_3seg):
+        util = {u.name: u for u in bu_utilization(report_3seg)}
+        bu23 = util["BU23"]
+        # UP23 = 144, TCT23 = 146, W̄P23 = 1
+        assert bu23.useful_period == 144
+        assert bu23.tct == 146
+        assert bu23.mean_waiting_period == pytest.approx(1.0)
+
+    def test_tct_never_below_up(self, report_3seg):
+        for util in bu_utilization(report_3seg):
+            assert util.tct >= util.useful_period
+
+    def test_waiting_total(self, report_3seg):
+        util = {u.name: u for u in bu_utilization(report_3seg)}
+        assert util["BU12"].waiting_total == 32
+        assert util["BU23"].waiting_total == 2
+
+    def test_not_congested_in_paper_config(self, report_3seg):
+        for util in bu_utilization(report_3seg):
+            assert not util.congested
+
+    def test_idle_bu_zero_wp(self):
+        from repro.emulator.report import BUResult
+
+        idle = BUResult(
+            left=1, right=2, input_packages=0, output_packages=0,
+            received_from_left=0, received_from_right=0,
+            transferred_to_left=0, transferred_to_right=0,
+            tct=0, waiting_ticks=0,
+        )
+        from repro.analysis.bu_utilization import _analyze
+
+        util = _analyze(idle, 36)
+        assert util.mean_waiting_period == 0.0
+        assert util.useful_period == 0

@@ -1,0 +1,95 @@
+"""Campaign runner and export tests."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis.campaign import COLUMNS, Campaign
+from repro.apps.mp3 import paper_platform
+from repro.emulator.config import EmulationConfig
+from repro.errors import SegBusError
+
+
+@pytest.fixture(scope="module")
+def campaign(mp3_graph):
+    c = Campaign("demo")
+    c.add("3seg_s36", mp3_graph, paper_platform(3))
+    c.add("3seg_s18", mp3_graph, paper_platform(3, package_size=18))
+    c.add(
+        "3seg_ref",
+        mp3_graph,
+        paper_platform(3),
+        config=EmulationConfig.reference(),
+    )
+    return c
+
+
+class TestRun:
+    def test_one_result_per_variant(self, campaign):
+        results = campaign.run()
+        assert [r.name for r in results] == ["3seg_s36", "3seg_s18", "3seg_ref"]
+
+    def test_results_cached(self, campaign):
+        assert campaign.run() == campaign.run()
+
+    def test_known_relationships(self, campaign):
+        by_name = {r.name: r for r in campaign.run()}
+        assert by_name["3seg_s18"].execution_time_us > \
+            by_name["3seg_s36"].execution_time_us
+        assert by_name["3seg_ref"].execution_time_us > \
+            by_name["3seg_s36"].execution_time_us
+        assert by_name["3seg_s18"].inter_segment_packages == \
+            2 * by_name["3seg_s36"].inter_segment_packages
+
+    def test_best(self, campaign):
+        assert campaign.best().name == "3seg_s36"
+        assert campaign.best("total_events").name in campaign.variant_names
+
+    def test_best_rejects_unknown_key(self, campaign):
+        with pytest.raises(SegBusError):
+            campaign.best("prettiness")
+
+    def test_empty_campaign_rejected(self):
+        with pytest.raises(SegBusError):
+            Campaign("empty").run()
+
+    def test_duplicate_variant_rejected(self, mp3_graph):
+        c = Campaign("dup")
+        c.add("x", mp3_graph, paper_platform(3))
+        with pytest.raises(SegBusError):
+            c.add("x", mp3_graph, paper_platform(3))
+
+    def test_add_grid(self, mp3_graph):
+        c = Campaign("grid")
+        c.add_grid(
+            mp3_graph,
+            platform_factory=lambda s: paper_platform(3, package_size=s),
+            package_sizes=[18, 36],
+        )
+        assert c.variant_names == ["s18", "s36"]
+
+
+class TestExports:
+    def test_csv(self, campaign, tmp_path):
+        target = tmp_path / "out.csv"
+        text = campaign.to_csv(target)
+        assert target.read_text() == text
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 3
+        assert set(rows[0]) == set(COLUMNS)
+        assert float(rows[0]["execution_time_us"]) > 0
+
+    def test_markdown(self, campaign):
+        table = campaign.to_markdown()
+        lines = table.splitlines()
+        assert lines[0].startswith("| name |")
+        assert len(lines) == 2 + 3  # header + rule + rows
+
+    def test_json(self, campaign, tmp_path):
+        target = tmp_path / "out.json"
+        payload = json.loads(campaign.to_json(target))
+        assert payload["campaign"] == "demo"
+        assert len(payload["results"]) == 3
+        assert json.loads(target.read_text()) == payload

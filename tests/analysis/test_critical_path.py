@@ -1,0 +1,62 @@
+"""Critical-path extraction tests."""
+
+import pytest
+
+from repro.analysis.analytic import analytic_estimate, critical_path
+from repro.emulator.kernel import PlatformSpec
+from repro.psdf.graph import PSDFGraph
+
+
+def spec_for(placement, segments=1):
+    return PlatformSpec(
+        package_size=36,
+        segment_frequencies_mhz={i: 100.0 for i in range(1, segments + 1)},
+        ca_frequency_mhz=100.0,
+        placement=placement,
+    )
+
+
+def test_chain_is_its_own_critical_path():
+    graph = PSDFGraph.from_edges(
+        [("A", "B", 72, 1, 50), ("B", "C", 72, 2, 50)]
+    )
+    estimate = analytic_estimate(graph, spec_for({"A": 1, "B": 1, "C": 1}))
+    assert critical_path(graph, estimate) == ("A", "B", "C")
+
+
+def test_unbalanced_fork_picks_heavy_branch():
+    # HEAVY's own production dominates: the path must run through it
+    graph = PSDFGraph.from_edges(
+        [
+            ("S", "HEAVY", 36, 1, 10),
+            ("S", "LIGHT", 36, 2, 10),
+            ("HEAVY", "T", 720, 3, 500),
+            ("LIGHT", "T", 36, 3, 10),
+        ]
+    )
+    placement = {"S": 1, "HEAVY": 1, "LIGHT": 1, "T": 1}
+    estimate = analytic_estimate(graph, spec_for(placement))
+    path = critical_path(graph, estimate)
+    assert "HEAVY" in path
+    assert "LIGHT" not in path
+    assert path[0] == "S" and path[-1] == "T"
+
+
+def test_mp3_critical_path_is_left_channel(mp3_graph, platform_3seg):
+    estimate = analytic_estimate(
+        mp3_graph, PlatformSpec.from_platform(platform_3seg)
+    )
+    path = critical_path(mp3_graph, estimate)
+    # the left synthesis chain ... P5 -> P6 -> P7 -> P14 dominates (Fig. 10)
+    assert path[0] == "P0"
+    assert "P3" in path
+    assert path[-3:] == ("P6", "P7", "P14")
+
+
+def test_every_hop_is_a_real_flow(mp3_graph, platform_3seg):
+    estimate = analytic_estimate(
+        mp3_graph, PlatformSpec.from_platform(platform_3seg)
+    )
+    path = critical_path(mp3_graph, estimate)
+    for source, target in zip(path, path[1:]):
+        assert mp3_graph.flow(source, target) is not None

@@ -1,0 +1,51 @@
+"""Frequency sweep tests."""
+
+import pytest
+
+from repro.analysis.sweep import frequency_sweep
+from repro.apps.mp3 import (
+    PAPER_CA_FREQUENCY_MHZ,
+    paper_allocation,
+    paper_segment_frequencies_mhz,
+)
+
+
+@pytest.fixture(scope="module")
+def points(mp3_graph):
+    return frequency_sweep(
+        mp3_graph,
+        allocation=paper_allocation(3),
+        base_frequencies_mhz=paper_segment_frequencies_mhz(3),
+        ca_frequency_mhz=PAPER_CA_FREQUENCY_MHZ,
+        package_size=36,
+        scales=[0.5, 1.0, 2.0],
+    )
+
+
+def test_parameter_is_scale_percent(points):
+    assert [p.parameter for p in points] == [50, 100, 200]
+
+
+def test_faster_clocks_reduce_time(points):
+    times = [p.estimated_us for p in points]
+    assert times[0] > times[1] > times[2]
+
+
+def test_halving_clocks_roughly_doubles_time(points):
+    by_scale = {p.parameter: p for p in points}
+    ratio = by_scale[50].estimated_us / by_scale[100].estimated_us
+    # compute scales linearly with the segment clocks (CA held constant)
+    assert 1.8 < ratio < 2.1
+
+
+def test_diminishing_returns_at_high_clocks(points):
+    by_scale = {p.parameter: p for p in points}
+    gain_up = by_scale[100].estimated_us / by_scale[200].estimated_us
+    loss_down = by_scale[50].estimated_us / by_scale[100].estimated_us
+    # doubling helps by at most as much as halving hurts
+    assert gain_up <= loss_down + 1e-9
+
+
+def test_estimates_below_actuals(points):
+    for point in points:
+        assert point.estimated_us < point.actual_us

@@ -1,0 +1,182 @@
+"""Granularity transformation tests: merge, split, rebalance."""
+
+import pytest
+
+from repro.analysis.granularity import (
+    merge_processes,
+    split_process,
+    suggest_rebalance,
+)
+from repro.errors import PSDFError
+from repro.psdf.flow import FlowCost
+from repro.psdf.graph import PSDFGraph
+
+
+@pytest.fixture
+def pipeline():
+    return PSDFGraph.from_edges(
+        [
+            ("A", "B", 72, 1, 50),
+            ("B", "C", 72, 2, 60),
+            ("C", "D", 72, 3, 70),
+        ]
+    )
+
+
+class TestMerge:
+    def test_internalizes_mutual_flow(self, pipeline):
+        merged = merge_processes(pipeline, "B", "C")
+        assert "BC" in merged
+        assert "B" not in merged and "C" not in merged
+        # A->BC and BC->D remain; B->C vanished
+        assert merged.flow("A", "BC").data_items == 72
+        assert merged.flow("BC", "D").data_items == 72
+        assert len(merged.flows) == 2
+
+    def test_merged_name_override(self, pipeline):
+        merged = merge_processes(pipeline, "B", "C", merged_name="Fused")
+        assert "Fused" in merged
+
+    def test_traffic_reduction(self, pipeline):
+        merged = merge_processes(pipeline, "B", "C")
+        assert merged.total_data_items() == pipeline.total_data_items() - 72
+
+    def test_rejects_cycle_creating_merge(self):
+        # A -> B -> C and A -> C: merging A and C would create a cycle via B
+        graph = PSDFGraph.from_edges(
+            [("A", "B", 36, 1, 10), ("B", "C", 36, 2, 10), ("A", "C", 36, 3, 10)]
+        )
+        with pytest.raises(PSDFError, match="cycle"):
+            merge_processes(graph, "A", "C")
+
+    def test_direct_edge_merge_allowed_with_parallel_edge(self):
+        graph = PSDFGraph.from_edges(
+            [("A", "B", 36, 1, 10), ("A", "B", 72, 2, 10), ("B", "C", 36, 3, 10)]
+        )
+        merged = merge_processes(graph, "A", "B")
+        assert merged.flow("AB", "C").data_items == 36
+
+    def test_aggregates_parallel_flows_after_repoint(self):
+        # X feeds both halves with the same T: flows must be aggregated
+        graph = PSDFGraph.from_edges(
+            [
+                ("X", "B", 36, 1, 10),
+                ("X", "C", 72, 1, 10),
+                ("B", "C", 36, 2, 10),
+                ("C", "Y", 36, 3, 10),
+            ]
+        )
+        merged = merge_processes(graph, "B", "C")
+        assert merged.flow("X", "BC").data_items == 108
+
+    def test_rejects_self_merge(self, pipeline):
+        with pytest.raises(PSDFError):
+            merge_processes(pipeline, "B", "B")
+
+    def test_rejects_unknown_process(self, pipeline):
+        with pytest.raises(PSDFError):
+            merge_processes(pipeline, "B", "Z")
+
+
+class TestSplit:
+    @pytest.fixture
+    def hub(self):
+        return PSDFGraph.from_edges(
+            [
+                ("A", "H", 72, 1, 50),
+                ("H", "X", 72, 2, 60),
+                ("H", "Y", 144, 3, 60),
+                ("X", "Z", 36, 4, 10),
+                ("Y", "Z", 36, 4, 10),
+            ]
+        )
+
+    def test_moves_selected_flows(self, hub):
+        split = split_process(hub, "H", moved_targets=["Y"])
+        assert "Ha" in split and "Hb" in split
+        assert split.flow("Ha", "X").data_items == 72
+        assert split.flow("Hb", "Y").data_items == 144
+        # internal flow carries the moved traffic
+        assert split.flow("Ha", "Hb").data_items == 144
+
+    def test_inputs_stay_on_stage1(self, hub):
+        split = split_process(hub, "H", moved_targets=["Y"])
+        assert split.flow("A", "Ha").data_items == 72
+
+    def test_custom_names_and_cost(self, hub):
+        split = split_process(
+            hub, "H", ["Y"],
+            stage_names=("Front", "Back"),
+            internal_cost=FlowCost.constant(5),
+        )
+        assert split.flow("Front", "Back").ticks_per_package(36) == 5
+
+    def test_rejects_moving_everything(self, hub):
+        with pytest.raises(PSDFError, match="every output"):
+            split_process(hub, "H", ["X", "Y"])
+
+    def test_rejects_nothing_moved(self, hub):
+        with pytest.raises(PSDFError):
+            split_process(hub, "H", [])
+
+    def test_rejects_unknown_target(self, hub):
+        with pytest.raises(PSDFError, match="no flows to"):
+            split_process(hub, "H", ["Q"])
+
+    def test_split_graph_is_valid(self, hub):
+        split = split_process(hub, "H", ["Y"])
+        split.topological_order()  # must not raise
+
+
+class TestRebalance:
+    def test_suggests_merge_across_congested_bu(self):
+        # heavy flow B->C crosses the segment border
+        graph = PSDFGraph.from_edges(
+            [
+                ("A", "B", 36, 1, 30),
+                ("B", "C", 720, 2, 30),
+                ("C", "D", 36, 3, 30),
+            ]
+        )
+        placement = {"A": 1, "B": 1, "C": 2, "D": 2}
+        suggestion = suggest_rebalance(
+            graph, placement,
+            segment_frequencies_mhz=[100, 100],
+            ca_frequency_mhz=120,
+            package_size=36,
+        )
+        assert suggestion is not None
+        assert suggestion.congested_bu == "BU12"
+        assert (suggestion.flow_source, suggestion.flow_target) == ("B", "C")
+        assert suggestion.flow_items == 720
+        assert "BC" in suggestion.merged_graph
+        # removing 20 crossings must help
+        assert suggestion.rebalanced_us < suggestion.baseline_us
+        assert suggestion.improvement > 0
+
+    def test_no_crossing_traffic_returns_none(self):
+        graph = PSDFGraph.from_edges([("A", "B", 72, 1, 30), ("C", "D", 72, 1, 30)])
+        placement = {"A": 1, "B": 1, "C": 2, "D": 2}
+        assert (
+            suggest_rebalance(
+                graph, placement,
+                segment_frequencies_mhz=[100, 100],
+                ca_frequency_mhz=120,
+                package_size=36,
+            )
+            is None
+        )
+
+    def test_skips_merge_that_would_empty_a_segment(self):
+        graph = PSDFGraph.from_edges([("A", "B", 720, 1, 30)])
+        placement = {"A": 1, "B": 2}
+        # merging A and B would leave segment 2 empty -> no legal candidate
+        assert (
+            suggest_rebalance(
+                graph, placement,
+                segment_frequencies_mhz=[100, 100],
+                ca_frequency_mhz=120,
+                package_size=36,
+            )
+            is None
+        )

@@ -1,0 +1,89 @@
+"""Per-flow latency analysis tests."""
+
+import pytest
+
+from repro.analysis.latency import measure_latencies
+from repro.emulator.kernel import PlatformSpec, Simulation
+from repro.emulator.trace import Tracer
+from repro.errors import SegBusError
+from repro.psdf.graph import PSDFGraph
+
+
+def traced(graph, placement, segments=1):
+    spec = PlatformSpec(
+        package_size=36,
+        segment_frequencies_mhz={i: 100.0 for i in range(1, segments + 1)},
+        ca_frequency_mhz=100.0,
+        placement=placement,
+    )
+    tracer = Tracer()
+    sim = Simulation(graph, spec, tracer=tracer).run()
+    return sim, tracer
+
+
+class TestLatencyMeasurement:
+    def test_uncontended_intra_latency_is_transfer_time(self):
+        graph = PSDFGraph.from_edges([("A", "B", 72, 1, 50)])
+        sim, tracer = traced(graph, {"A": 1, "B": 1})
+        report = measure_latencies(sim, tracer)
+        flow = report.flow("A", "B")
+        assert flow.packages == 2
+        # grant at request instant, 36 ticks @ 100 MHz = 0.36 us
+        assert flow.mean_us == pytest.approx(0.36, abs=1e-6)
+        assert flow.min_us == flow.max_us  # no contention, no jitter
+
+    def test_inter_segment_latency_larger(self):
+        graph = PSDFGraph.from_edges([("A", "B", 72, 1, 50)])
+        intra_sim, intra_tr = traced(graph, {"A": 1, "B": 1})
+        inter_sim, inter_tr = traced(graph, {"A": 1, "B": 2}, segments=2)
+        intra = measure_latencies(intra_sim, intra_tr).flow("A", "B")
+        inter = measure_latencies(inter_sim, inter_tr).flow("A", "B")
+        assert inter.mean_us > intra.mean_us
+
+    def test_contention_creates_jitter(self):
+        graph = PSDFGraph.from_edges(
+            [("A", "C", 180, 1, 10), ("B", "C", 180, 1, 10)]
+        )
+        sim, tracer = traced(graph, {"A": 1, "B": 1, "C": 1})
+        report = measure_latencies(sim, tracer)
+        assert any(f.max_us > f.min_us for f in report.flows)
+        assert report.worst().p95_us >= report.worst().p50_us
+
+    def test_all_flows_measured(self, mp3_graph, platform_3seg):
+        spec = PlatformSpec.from_platform(platform_3seg)
+        tracer = Tracer()
+        sim = Simulation(mp3_graph, spec, tracer=tracer).run()
+        report = measure_latencies(sim, tracer)
+        assert len(report.flows) == len(mp3_graph.flows)
+        total = sum(f.packages for f in report.flows)
+        assert total == mp3_graph.total_packages(36)
+
+    def test_mp3_inter_segment_flows_slowest(self, mp3_graph, platform_3seg):
+        spec = PlatformSpec.from_platform(platform_3seg)
+        tracer = Tracer()
+        sim = Simulation(mp3_graph, spec, tracer=tracer).run()
+        report = measure_latencies(sim, tracer)
+        # the worst p95 flow crosses a segment border (P3's or P4's flows)
+        worst = report.worst()
+        assert spec.placement[worst.source] != spec.placement[worst.target]
+
+    def test_format_table(self, mp3_graph, platform_3seg):
+        spec = PlatformSpec.from_platform(platform_3seg)
+        tracer = Tracer()
+        sim = Simulation(mp3_graph, spec, tracer=tracer).run()
+        table = measure_latencies(sim, tracer).format_table()
+        assert "P0->P1" in table
+        assert "p95" in table
+
+    def test_flow_lookup_missing(self):
+        graph = PSDFGraph.from_edges([("A", "B", 36, 1, 50)])
+        sim, tracer = traced(graph, {"A": 1, "B": 1})
+        report = measure_latencies(sim, tracer)
+        with pytest.raises(KeyError):
+            report.flow("B", "A")
+
+    def test_worst_on_empty_report(self):
+        from repro.analysis.latency import LatencyReport
+
+        with pytest.raises(SegBusError):
+            LatencyReport(flows=()).worst()

@@ -1,0 +1,59 @@
+"""Parallel emulation batch tests."""
+
+import pytest
+
+from repro.analysis.parallel import EmulationJob, JobResult, parallel_emulate
+from repro.apps.mp3 import mp3_decoder_psdf, paper_platform
+from repro.emulator.config import EmulationConfig
+from repro.emulator.kernel import PlatformSpec
+from repro.psdf.generators import chain_psdf
+
+
+def make_jobs():
+    mp3 = mp3_decoder_psdf()
+    jobs = []
+    for size in (18, 36, 72):
+        spec = PlatformSpec.from_platform(paper_platform(3, package_size=size))
+        jobs.append(EmulationJob(label=f"s{size}", application=mp3, spec=spec))
+    chain = chain_psdf(4, items_per_stage=144, ticks_per_package=60)
+    jobs.append(
+        EmulationJob(
+            label="chain",
+            application=chain,
+            spec=PlatformSpec(
+                package_size=36,
+                segment_frequencies_mhz={1: 100.0},
+                ca_frequency_mhz=100.0,
+                placement={name: 1 for name in chain.process_names},
+            ),
+            config=EmulationConfig.reference(),
+        )
+    )
+    return jobs
+
+
+class TestParallelEmulate:
+    def test_results_in_input_order(self):
+        results = parallel_emulate(make_jobs(), workers=2)
+        assert [r.label for r in results] == ["s18", "s36", "s72", "chain"]
+
+    def test_parallel_equals_serial(self):
+        jobs = make_jobs()
+        serial = parallel_emulate(jobs, workers=1)
+        parallel = parallel_emulate(jobs, workers=2)
+        assert serial == parallel  # bit-identical summaries
+
+    def test_small_batch_runs_serially(self):
+        jobs = make_jobs()[:2]
+        results = parallel_emulate(jobs, workers=4, serial_threshold=3)
+        assert len(results) == 2  # no pool spun up; just works
+
+    def test_result_contents(self):
+        result = parallel_emulate(make_jobs()[:1], workers=1)[0]
+        assert isinstance(result, JobResult)
+        assert result.execution_time_us > 0
+        assert result.packages_delivered > 0
+        assert len(result.sa_tcts) == 3
+
+    def test_empty_batch(self):
+        assert parallel_emulate([], workers=2) == []

@@ -1,0 +1,98 @@
+"""Power/energy model tests."""
+
+import pytest
+
+from repro.analysis.power import PowerCoefficients, estimate_power
+from repro.emulator.emulator import SegBusEmulator
+
+
+@pytest.fixture(scope="module")
+def power_3seg(sim_3seg):
+    return estimate_power(sim_3seg)
+
+
+class TestStructure:
+    def test_all_elements_present(self, power_3seg):
+        names = set(power_3seg.elements)
+        assert {"Segment1", "Segment2", "Segment3", "SA1", "SA2", "SA3",
+                "CA", "BU12", "BU23", "FUs"} == names
+
+    def test_totals_consistent(self, power_3seg):
+        assert power_3seg.total_energy == pytest.approx(
+            power_3seg.dynamic_energy + power_3seg.static_energy
+        )
+        assert power_3seg.total_energy == pytest.approx(
+            sum(e.total for e in power_3seg.elements.values())
+        )
+
+    def test_energies_positive(self, power_3seg):
+        assert power_3seg.total_energy > 0
+        for element in power_3seg.elements.values():
+            assert element.dynamic >= 0
+            assert element.static >= 0
+
+    def test_average_power(self, power_3seg):
+        assert power_3seg.average_power == pytest.approx(
+            power_3seg.total_energy / power_3seg.runtime_us
+        )
+
+    def test_format_table(self, power_3seg):
+        table = power_3seg.format_table()
+        assert "Segment1" in table and "TOTAL" in table
+
+
+class TestPhysicalSanity:
+    def test_bu12_burns_more_than_bu23(self, power_3seg):
+        # 32 packages vs 2 packages
+        assert power_3seg.element("BU12").total > power_3seg.element("BU23").total
+
+    def test_segment1_more_dynamic_than_segment3(self, power_3seg):
+        # segment 3 hosts only P4's two transfers
+        assert (
+            power_3seg.element("Segment1").dynamic
+            > power_3seg.element("Segment3").dynamic
+        )
+
+    def test_fu_compute_dominates(self, power_3seg):
+        # the MP3 app is compute-bound: FU energy above any single bus
+        assert power_3seg.element("FUs").total > power_3seg.element("Segment1").total
+
+    def test_coefficient_scaling_scales_energy(self, sim_3seg):
+        base = estimate_power(sim_3seg)
+        double = estimate_power(sim_3seg, PowerCoefficients().scaled(2.0))
+        assert double.total_energy == pytest.approx(2 * base.total_energy)
+
+    def test_zero_coefficients_zero_energy(self, sim_3seg):
+        zero = estimate_power(sim_3seg, PowerCoefficients().scaled(0.0))
+        assert zero.total_energy == 0.0
+
+
+class TestConfigurationComparison:
+    def test_smaller_packages_cost_more_bu_energy(self, mp3_graph):
+        from repro.apps.mp3 import paper_platform
+
+        def bu_energy(package_size):
+            emulator = SegBusEmulator.from_models(
+                mp3_graph, paper_platform(3, package_size=package_size)
+            )
+            emulator.run()
+            report = estimate_power(emulator.simulation)
+            return report.element("BU12").total + report.element("BU23").total
+
+        # halving the package size doubles the crossings -> more BU energy
+        assert bu_energy(18) > bu_energy(36)
+
+    def test_longer_run_more_static_energy(self, mp3_graph):
+        from repro.apps.mp3 import paper_platform
+        from repro.emulator.config import EmulationConfig
+
+        fast = SegBusEmulator.from_models(mp3_graph, paper_platform(3))
+        fast.run()
+        slow = SegBusEmulator.from_models(
+            mp3_graph, paper_platform(3), config=EmulationConfig.reference()
+        )
+        slow.run()
+        assert (
+            estimate_power(slow.simulation).static_energy
+            > estimate_power(fast.simulation).static_energy
+        )

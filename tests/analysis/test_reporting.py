@@ -1,0 +1,45 @@
+"""Generated experiment report tests."""
+
+import pytest
+
+from repro.analysis.reporting import generate_experiment_report, write_experiment_report
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    return generate_experiment_report()
+
+
+def test_contains_all_sections(report_text):
+    for heading in (
+        "# SegBus reproduction report",
+        "## Headline experiment",
+        "## BU useful/waiting period",
+        "## Accuracy experiments",
+        "## Package-size sweep",
+        "## Process timeline checkpoints",
+    ):
+        assert heading in report_text
+
+
+def test_paper_exact_rows_present(report_text):
+    assert "| BU12 TCT | 2336 | 2336 | +0.0% |" in report_text
+    assert "2304 / 2336 / 1" in report_text  # paper UP/TCT/WP
+    assert "| P0 start (ps) | 10989 | 10989 |" in report_text
+
+
+def test_tables_well_formed(report_text):
+    for line in report_text.splitlines():
+        if line.startswith("|"):
+            assert line.endswith("|")
+
+
+def test_accuracy_rows(report_text):
+    assert "s36" in report_text and "s18" in report_text
+    assert "p9_moved" in report_text
+
+
+def test_write_to_disk(tmp_path, report_text):
+    target = write_experiment_report(tmp_path / "sub" / "report.md")
+    assert target.exists()
+    assert target.read_text() == report_text

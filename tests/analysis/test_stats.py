@@ -1,0 +1,33 @@
+"""Statistics helper tests."""
+
+import pytest
+
+from repro.analysis.stats import relative_error, summarize
+
+
+def test_summarize_basic():
+    summary = summarize([1.0, 2.0, 3.0])
+    assert summary.n == 3
+    assert summary.mean == pytest.approx(2.0)
+    assert summary.minimum == 1.0
+    assert summary.maximum == 3.0
+
+
+def test_summarize_single_value():
+    summary = summarize([5.0])
+    assert summary.std == 0.0
+
+
+def test_summarize_rejects_empty():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_relative_error():
+    assert relative_error(95.0, 100.0) == pytest.approx(0.05)
+    assert relative_error(105.0, 100.0) == pytest.approx(0.05)
+
+
+def test_relative_error_rejects_zero_reference():
+    with pytest.raises(ValueError):
+        relative_error(1.0, 0.0)

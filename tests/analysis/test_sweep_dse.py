@@ -1,0 +1,80 @@
+"""Parameter sweep and design-space exploration tests."""
+
+import pytest
+
+from repro.analysis.dse import explore_design_space
+from repro.analysis.sweep import package_size_sweep, segment_count_sweep
+from repro.apps.mp3 import (
+    PAPER_CA_FREQUENCY_MHZ,
+    paper_allocation,
+    paper_platform,
+    paper_segment_frequencies_mhz,
+)
+
+
+class TestPackageSizeSweep:
+    @pytest.fixture(scope="class")
+    def points(self, mp3_graph):
+        return package_size_sweep(
+            mp3_graph,
+            platform_factory=lambda s: paper_platform(3, package_size=s),
+            package_sizes=[18, 36],
+        )
+
+    def test_one_point_per_size(self, points):
+        assert [p.parameter for p in points] == [18, 36]
+
+    def test_smaller_packages_slower(self, points):
+        # the paper's experiment: s=18 -> 560 us vs s=36 -> 490 us
+        by_size = {p.parameter: p for p in points}
+        assert by_size[18].estimated_us > by_size[36].estimated_us
+
+    def test_smaller_packages_less_accurate(self, points):
+        # "the higher the data package, the less impact of these figures"
+        by_size = {p.parameter: p for p in points}
+        assert by_size[18].accuracy < by_size[36].accuracy
+
+    def test_estimates_below_actuals(self, points):
+        for point in points:
+            assert point.estimated_us < point.actual_us
+
+
+class TestSegmentCountSweep:
+    def test_runs_paper_configurations(self, mp3_graph):
+        points = segment_count_sweep(
+            mp3_graph,
+            allocations=[paper_allocation(n) for n in (1, 2, 3)],
+            segment_frequencies_mhz=paper_segment_frequencies_mhz,
+            ca_frequency_mhz=PAPER_CA_FREQUENCY_MHZ,
+            package_size=36,
+        )
+        assert [p.parameter for p in points] == [1, 2, 3]
+        for point in points:
+            assert point.estimated_us > 0
+            assert point.estimated_us < point.actual_us
+
+
+class TestDSE:
+    def test_explore_returns_sorted_points(self, mp3_graph):
+        points = explore_design_space(
+            mp3_graph,
+            segment_counts=[2],
+            package_sizes=[36, 72],
+            segment_frequencies_mhz=paper_segment_frequencies_mhz,
+            ca_frequency_mhz=PAPER_CA_FREQUENCY_MHZ,
+            extra_allocations=[("paper", paper_allocation(2))],
+        )
+        # placetool(2) x 2 sizes + paper x 2 sizes
+        assert len(points) == 4
+        times = [p.execution_time_us for p in points]
+        assert times == sorted(times)
+
+    def test_points_labelled_by_source(self, mp3_graph):
+        points = explore_design_space(
+            mp3_graph,
+            segment_counts=[2],
+            package_sizes=[36],
+            segment_frequencies_mhz=paper_segment_frequencies_mhz,
+            ca_frequency_mhz=PAPER_CA_FREQUENCY_MHZ,
+        )
+        assert all("placetool" in p.allocation_source for p in points)

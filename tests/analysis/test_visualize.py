@@ -1,0 +1,80 @@
+"""Visualization exporter tests (DOT, Gantt, CSV)."""
+
+import csv
+import io
+
+import pytest
+
+from repro.analysis.visualize import activity_to_csv, psdf_to_dot, timeline_to_gantt
+from repro.emulator.activity import activity_series
+from repro.emulator.timeline import ProcessTimeline
+
+
+class TestDot:
+    def test_contains_all_nodes_and_edges(self, mp3_graph):
+        dot = psdf_to_dot(mp3_graph)
+        for name in mp3_graph.process_names:
+            assert f'"{name}"' in dot
+        assert '"P0" -> "P1"' in dot
+        assert dot.startswith('digraph "MP3Decoder"')
+        assert dot.rstrip().endswith("}")
+
+    def test_placement_creates_clusters(self, mp3_graph, platform_3seg):
+        dot = psdf_to_dot(mp3_graph, placement=platform_3seg.process_placement())
+        assert "cluster_segment1" in dot
+        assert "cluster_segment3" in dot
+        # crossing edges highlighted
+        assert "color=\"red\"" in dot
+
+    def test_package_labels(self, mp3_graph):
+        dot = psdf_to_dot(mp3_graph, package_size=36)
+        assert "16 pkg" in dot  # P0 -> P1: 576/36
+
+    def test_item_labels_by_default(self, mp3_graph):
+        assert "576 (T=1)" in psdf_to_dot(mp3_graph)
+
+    def test_balanced_braces(self, mp3_graph, platform_3seg):
+        dot = psdf_to_dot(mp3_graph, placement=platform_3seg.process_placement())
+        assert dot.count("{") == dot.count("}")
+
+
+class TestGantt:
+    def test_ascii_rows(self, report_3seg):
+        chart = timeline_to_gantt(report_3seg.timeline, width=40)
+        lines = chart.splitlines()
+        assert len(lines) == 15
+        assert all("#" in line for line in lines)
+        assert "P0" in chart and "us" in chart
+
+    def test_later_processes_start_further_right(self, report_3seg):
+        chart = timeline_to_gantt(report_3seg.timeline, width=60)
+        by_name = {line.split()[0]: line for line in chart.splitlines()}
+        p0_start = by_name["P0"].index("#")
+        p7_start = by_name["P7"].index("#")
+        assert p7_start > p0_start
+
+    def test_mermaid_output(self, report_3seg):
+        chart = timeline_to_gantt(report_3seg.timeline, mermaid=True)
+        assert chart.startswith("gantt")
+        assert "P14 :" in chart
+
+    def test_empty_timeline(self):
+        assert "empty" in timeline_to_gantt(ProcessTimeline(entries=()))
+
+
+class TestActivityCsv:
+    def test_csv_shape(self, sim_3seg):
+        series = activity_series(sim_3seg, bins=20)
+        text = activity_to_csv(series)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert len(rows) == 1 + 20
+        assert rows[0][0] == "bin_start_us"
+        assert set(rows[0][1:]) == set(series.elements)
+
+    def test_values_parse_and_bound(self, sim_3seg):
+        series = activity_series(sim_3seg, bins=10)
+        rows = list(csv.DictReader(io.StringIO(activity_to_csv(series))))
+        for row in rows:
+            for element in series.elements:
+                value = float(row[element])
+                assert 0.0 <= value <= 1.0

@@ -1,0 +1,85 @@
+"""JPEG decoder case-study tests."""
+
+import pytest
+
+from repro.apps.jpeg import (
+    CHROMA_ITEMS,
+    LUMA_ITEMS,
+    PROCESS_ROLES,
+    jpeg_allocation,
+    jpeg_decoder_psdf,
+    jpeg_platform,
+)
+from repro.emulator.emulator import emulate
+from repro.errors import SegBusError
+from repro.model.validation import validate_platform
+
+
+@pytest.fixture(scope="module")
+def jpeg():
+    return jpeg_decoder_psdf()
+
+
+class TestModel:
+    def test_eleven_processes(self, jpeg):
+        assert len(jpeg) == 11
+        assert set(jpeg.process_names) == set(PROCESS_ROLES)
+
+    def test_entropy_decode_is_source(self, jpeg):
+        assert [p.name for p in jpeg.initial_processes()] == ["ED"]
+        assert [p.name for p in jpeg.final_processes()] == ["OUT"]
+
+    def test_420_subsampling_ratio(self, jpeg):
+        # luma carries ~4x the chroma traffic at the DQ stage
+        assert jpeg.flow("ED", "DQy").data_items == LUMA_ITEMS
+        assert jpeg.flow("ED", "DQcb").data_items == CHROMA_ITEMS
+        assert LUMA_ITEMS // CHROMA_ITEMS == 3  # 2556/648
+
+    def test_upsampling_doubles_chroma(self, jpeg):
+        assert jpeg.flow("UPcb", "CC").data_items == 2 * CHROMA_ITEMS
+
+    def test_items_divisible_by_default_package(self, jpeg):
+        assert all(f.data_items % 36 == 0 for f in jpeg.flows)
+
+    def test_color_convert_joins_three_paths(self, jpeg):
+        assert {f.source for f in jpeg.incoming("CC")} == {
+            "IDCTy", "UPcb", "UPcr"
+        }
+
+
+class TestPlatformAndEmulation:
+    @pytest.mark.parametrize("segments", [1, 2, 3])
+    def test_allocations_validate(self, jpeg, segments):
+        platform = jpeg_platform(segments)
+        report = validate_platform(platform, jpeg)
+        assert report.ok, report.diagnostics
+
+    def test_unknown_segment_count(self):
+        with pytest.raises(SegBusError):
+            jpeg_allocation(5)
+
+    def test_allocation_count_mismatch(self):
+        with pytest.raises(SegBusError):
+            jpeg_platform(2, allocation=jpeg_allocation(3))
+
+    @pytest.mark.parametrize("segments", [1, 2, 3])
+    def test_emulates_cleanly(self, jpeg, segments):
+        report = emulate(jpeg, jpeg_platform(segments))
+        assert report.execution_time_us > 0
+        total = jpeg.total_packages(36)
+        sent = sum(e.packages_sent for e in report.timeline)
+        assert sent == total
+
+    def test_luma_path_dominates_runtime(self, jpeg):
+        # OUT's last input comes through the luma-heavy CC stage
+        report = emulate(jpeg, jpeg_platform(3))
+        order = report.timeline.finishing_order()
+        pos = {name: i for i, name in enumerate(order)}
+        assert pos["IDCTy"] > pos["IDCTcb"]  # luma IDCT is 4x the work
+        assert order[-1] in ("OUT", "CC")
+
+    def test_three_segments_cross_traffic(self, jpeg):
+        report = emulate(jpeg, jpeg_platform(3))
+        # ED (seg1) feeds the chroma segment and CC (seg3) gets all joins
+        assert report.bu(1, 2).input_packages > 0
+        assert report.bu(2, 3).input_packages > 0

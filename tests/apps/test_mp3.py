@@ -1,0 +1,111 @@
+"""MP3 decoder case-study model tests."""
+
+import pytest
+
+from repro.apps.mp3 import (
+    PAPER_3SEG_RESULTS,
+    PAPER_CA_FREQUENCY_MHZ,
+    PAPER_PACKAGE_SIZE,
+    PROCESS_ROLES,
+    mp3_decoder_psdf,
+    paper_allocation,
+    paper_platform,
+    paper_segment_frequencies_mhz,
+)
+from repro.errors import SegBusError
+from repro.model.validation import validate_platform
+
+
+class TestModel:
+    def test_fifteen_processes(self, mp3_graph):
+        assert len(mp3_graph) == 15
+        assert set(mp3_graph.process_names) == {f"P{i}" for i in range(15)}
+
+    def test_roles_documented_for_all(self, mp3_graph):
+        assert set(PROCESS_ROLES) == set(mp3_graph.process_names)
+
+    def test_p0_is_source_p14_is_sink(self, mp3_graph):
+        assert [p.name for p in mp3_graph.initial_processes()] == ["P0"]
+        assert [p.name for p in mp3_graph.final_processes()] == ["P14"]
+
+    def test_paper_anchor_cost(self, mp3_graph):
+        # the one legible C value: P1_576_1_250
+        flow = mp3_graph.flow("P0", "P1")
+        assert flow.ticks_per_package(36) == 250
+        assert flow.order == 1
+        assert flow.element_name(36) == "P1_576_1_250"
+
+    def test_total_traffic_matches_fig8(self, mp3_graph):
+        # Fig. 8 has 8 flows of 576 items, 6 of 540 and 6 of 36
+        assert mp3_graph.total_data_items() == 8 * 576 + 6 * 540 + 6 * 36
+
+    def test_acyclic_pipeline(self, mp3_graph):
+        assert mp3_graph.depth() >= 6
+
+
+class TestAllocations:
+    def test_one_segment_has_everything(self):
+        alloc = paper_allocation(1)
+        assert alloc.segment_count == 1
+        assert len(alloc.groups[0]) == 15
+
+    def test_two_segment_groups(self):
+        alloc = paper_allocation(2)
+        assert set(alloc.groups[0]) == {
+            "P4", "P5", "P6", "P7", "P10", "P11", "P12", "P13", "P14"
+        }
+        assert set(alloc.groups[1]) == {"P0", "P1", "P2", "P3", "P8", "P9"}
+
+    def test_three_segment_groups_match_fig9(self):
+        alloc = paper_allocation(3)
+        assert set(alloc.groups[0]) == {"P0", "P1", "P2", "P3", "P8", "P9", "P10"}
+        assert set(alloc.groups[1]) == {
+            "P5", "P6", "P7", "P11", "P12", "P13", "P14"
+        }
+        assert alloc.groups[2] == ("P4",)
+
+    def test_unknown_count_rejected(self):
+        with pytest.raises(SegBusError):
+            paper_allocation(4)
+
+
+class TestPlatform:
+    def test_defaults(self):
+        platform = paper_platform()
+        assert platform.segment_count == 3
+        assert platform.package_size == PAPER_PACKAGE_SIZE
+
+    def test_clock_plan(self):
+        assert paper_segment_frequencies_mhz(3) == (91.0, 98.0, 89.0)
+        assert paper_segment_frequencies_mhz(1) == (91.0,)
+        with pytest.raises(SegBusError):
+            paper_segment_frequencies_mhz(4)
+
+    def test_ca_frequency(self, platform_3seg):
+        assert platform_3seg.central_arbiter.frequency.mhz == pytest.approx(
+            PAPER_CA_FREQUENCY_MHZ
+        )
+
+    def test_platform_validates(self, mp3_graph):
+        for n in (1, 2, 3):
+            report = validate_platform(paper_platform(n), mp3_graph)
+            assert report.ok, report.diagnostics
+
+    def test_package_size_override(self):
+        assert paper_platform(3, package_size=18).package_size == 18
+
+    def test_allocation_override(self):
+        moved = paper_allocation(3).moved("P9", 3)
+        platform = paper_platform(3, allocation=moved)
+        assert platform.segment_of_process("P9") == 3
+
+    def test_allocation_segment_count_mismatch(self):
+        with pytest.raises(SegBusError):
+            paper_platform(2, allocation=paper_allocation(3))
+
+
+class TestReferenceConstants:
+    def test_published_numbers_present(self):
+        assert PAPER_3SEG_RESULTS["execution_time_us"] == 489.79
+        assert PAPER_3SEG_RESULTS["bu12_tct"] == 2336
+        assert PAPER_3SEG_RESULTS["sa3_inter_requests"] == 1

@@ -1,0 +1,37 @@
+"""Workload catalog tests."""
+
+import pytest
+
+from repro.apps.workloads import named_workload, workload_catalog
+from repro.errors import SegBusError
+
+
+def test_catalog_sorted_and_nonempty():
+    catalog = workload_catalog()
+    assert catalog
+    assert list(catalog) == sorted(catalog)
+
+
+@pytest.mark.parametrize("name", ["chain4", "fork_join4", "stereo3", "random12"])
+def test_named_workloads_instantiate(name):
+    graph = named_workload(name)
+    assert len(graph) >= 3
+    graph.topological_order()  # well-formed
+
+
+def test_every_catalog_entry_builds():
+    for name in workload_catalog():
+        assert named_workload(name) is not None
+
+
+def test_deterministic():
+    a = named_workload("random12")
+    b = named_workload("random12")
+    assert [(f.source, f.target, f.data_items) for f in a.flows] == [
+        (f.source, f.target, f.data_items) for f in b.flows
+    ]
+
+
+def test_unknown_name_lists_available():
+    with pytest.raises(SegBusError, match="chain4"):
+        named_workload("nope")

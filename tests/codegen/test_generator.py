@@ -1,0 +1,131 @@
+"""Arbiter code generation tests (schedule ROM, SA, CA, facade)."""
+
+import pytest
+
+from repro.codegen.ca_gen import ca_entity, path_mask_table
+from repro.codegen.generator import ArbiterCodeGenerator
+from repro.codegen.sa_gen import sa_entity
+from repro.codegen.schedule_rom import build_rom_entries, schedule_rom_package
+from repro.errors import ConstraintViolation, SegBusError
+from repro.model.builder import PlatformBuilder
+from repro.psdf.graph import PSDFGraph
+
+
+class TestScheduleRom:
+    def test_entry_count_matches_schedule(self, mp3_graph, platform_3seg):
+        placement = platform_3seg.process_placement()
+        _, entries = build_rom_entries(mp3_graph, placement, 36)
+        assert len(entries) == mp3_graph.total_packages(36)
+
+    def test_entries_sorted_by_order(self, mp3_graph, platform_3seg):
+        placement = platform_3seg.process_placement()
+        _, entries = build_rom_entries(mp3_graph, placement, 36)
+        orders = [e.order for e in entries]
+        assert orders == sorted(orders)
+
+    def test_target_segments_match_placement(self, mp3_graph, platform_3seg):
+        placement = platform_3seg.process_placement()
+        names, entries = build_rom_entries(mp3_graph, placement, 36)
+        for entry in entries:
+            assert entry.target_segment == placement[names[entry.target_id]]
+
+    def test_package_renders(self, mp3_graph, platform_3seg):
+        placement = platform_3seg.process_placement()
+        text = schedule_rom_package(mp3_graph, placement, 36).render()
+        assert "package schedule_rom_pkg is" in text
+        assert f"C_ENTRY_COUNT : natural := {mp3_graph.total_packages(36)}" in text
+        assert "C_PROCESS_COUNT : natural := 15" in text
+        assert "id   0 = P0" in text
+
+
+class TestSAGeneration:
+    def test_ports_per_master(self):
+        entity = sa_entity(1, masters=["P0", "P1"], slaves=["P1"], policy="round-robin")
+        text = entity.render()
+        assert "entity sa1_arbiter is" in text
+        assert "req : in std_logic_vector(1 downto 0)" in text
+        assert "slave_strobe_0 : out std_logic" in text
+        assert "rr_ptr" in text  # round-robin pointer present
+
+    def test_fixed_priority_has_no_pointer(self):
+        text = sa_entity(2, ["P0"], [], policy="fixed-priority").render()
+        assert "rr_ptr" not in text
+        assert "fixed priority" in text
+
+    def test_master_order_documented(self):
+        text = sa_entity(1, ["P9", "P0"], [], policy="round-robin").render()
+        assert "0=P0, 1=P9" in text  # sorted, deterministic indices
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(SegBusError):
+            sa_entity(1, ["P0"], [], policy="lottery")
+
+
+class TestCAGeneration:
+    def test_path_mask_table_linear(self):
+        table = path_mask_table(3)
+        # path 1 -> 3 locks segments 1, 2, 3 = 0b111
+        assert table[0][2] == 0b111
+        # path 2 -> 2 locks segment 2 only
+        assert table[1][1] == 0b010
+        # path 3 -> 1 locks all three (symmetric)
+        assert table[2][0] == 0b111
+        # path 2 -> 3 locks 2 and 3
+        assert table[1][2] == 0b110
+
+    def test_entity_embeds_table(self):
+        text = ca_entity(3).render()
+        assert "entity central_arbiter is" in text
+        assert 'C_PATH_TABLE' in text
+        assert '"111"' in text and '"010"' in text
+        assert "cascaded release" in text
+
+    def test_port_widths_scale(self):
+        text = ca_entity(4).render()
+        assert "sa_req : in std_logic_vector(3 downto 0)" in text
+
+
+class TestFacade:
+    def test_file_set(self, mp3_graph, platform_3seg):
+        files = ArbiterCodeGenerator(mp3_graph, platform_3seg).generate()
+        names = [f.filename for f in files]
+        assert names == [
+            "schedule_rom_pkg.vhd",
+            "sa1_arbiter.vhd",
+            "sa2_arbiter.vhd",
+            "sa3_arbiter.vhd",
+            "central_arbiter.vhd",
+        ]
+        assert all(f.line_count > 10 for f in files)
+
+    def test_deterministic_output(self, mp3_graph, platform_3seg):
+        a = ArbiterCodeGenerator(mp3_graph, platform_3seg).generate()
+        b = ArbiterCodeGenerator(mp3_graph, platform_3seg).generate()
+        assert [f.content for f in a] == [f.content for f in b]
+
+    def test_write_to_disk(self, mp3_graph, platform_3seg, tmp_path):
+        written = ArbiterCodeGenerator(mp3_graph, platform_3seg).write(
+            tmp_path / "rtl"
+        )
+        assert len(written) == 5
+        assert all(p.exists() and p.stat().st_size > 0 for p in written)
+
+    def test_invalid_platform_rejected(self, mp3_graph):
+        platform = (
+            PlatformBuilder()
+            .segment(frequency_mhz=91)
+            .central_arbiter(frequency_mhz=111)
+            .build()
+        )  # no FUs, application unmapped
+        with pytest.raises(ConstraintViolation):
+            ArbiterCodeGenerator(mp3_graph, platform)
+
+    def test_every_file_structurally_balanced(self, mp3_graph, platform_3seg):
+        for generated in ArbiterCodeGenerator(mp3_graph, platform_3seg).generate():
+            text = generated.content
+            # every 'entity X is' has a matching 'end entity X;' etc.
+            assert text.count("process (clk)") == text.count("end process")
+            for keyword in ("entity", "architecture", "package"):
+                opens = text.count(f"{keyword} ")
+                # open + end mention the keyword twice per block
+                assert opens % 2 == 0 or keyword not in text

@@ -1,0 +1,60 @@
+"""Shared fixtures: the paper's case study, cached expensive emulations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.mp3 import (
+    mp3_decoder_psdf,
+    paper_allocation,
+    paper_platform,
+)
+from repro.emulator.emulator import SegBusEmulator
+from repro.psdf.graph import PSDFGraph
+from repro.psdf.generators import chain_psdf, fork_join_psdf
+
+
+@pytest.fixture(scope="session")
+def mp3_graph() -> PSDFGraph:
+    return mp3_decoder_psdf()
+
+
+@pytest.fixture(scope="session")
+def platform_3seg():
+    return paper_platform(segment_count=3)
+
+
+@pytest.fixture(scope="session")
+def platform_1seg():
+    return paper_platform(segment_count=1)
+
+
+@pytest.fixture(scope="session")
+def allocation_3seg():
+    return paper_allocation(3)
+
+
+@pytest.fixture(scope="session")
+def emulator_3seg(mp3_graph, platform_3seg):
+    """The paper's main experiment, run once per test session."""
+    return SegBusEmulator.from_models(mp3_graph, platform_3seg)
+
+
+@pytest.fixture(scope="session")
+def report_3seg(emulator_3seg):
+    return emulator_3seg.run()
+
+
+@pytest.fixture(scope="session")
+def sim_3seg(emulator_3seg):
+    return emulator_3seg.simulation
+
+
+@pytest.fixture
+def small_chain() -> PSDFGraph:
+    return chain_psdf(3, items_per_stage=72, ticks_per_package=50)
+
+
+@pytest.fixture
+def small_fork_join() -> PSDFGraph:
+    return fork_join_psdf(3, items_per_worker=72, ticks_per_package=40)

@@ -1,0 +1,68 @@
+"""Activity series (Fig. 11 data) tests."""
+
+import pytest
+
+from repro.emulator.activity import activity_series
+
+
+class TestActivitySeries:
+    def test_elements_covered(self, sim_3seg):
+        series = activity_series(sim_3seg, bins=40)
+        assert set(series.elements) == {
+            "Segment 1",
+            "Segment 2",
+            "Segment 3",
+            "BU12",
+            "BU23",
+            "CA",
+        }
+
+    def test_bin_count(self, sim_3seg):
+        series = activity_series(sim_3seg, bins=25)
+        assert series.bins == 25
+        assert len(series.bin_edges_us) == 26
+
+    def test_utilization_bounded(self, sim_3seg):
+        series = activity_series(sim_3seg, bins=40)
+        for element in series.elements:
+            for value in series.utilization[element]:
+                assert 0.0 <= value <= 1.0
+
+    def test_edges_cover_whole_run(self, sim_3seg):
+        series = activity_series(sim_3seg, bins=10)
+        assert series.bin_edges_us[0] == 0.0
+        assert series.bin_edges_us[-1] == pytest.approx(
+            sim_3seg.global_end_fs / 1e9
+        )
+
+    def test_segment1_busy_early_not_late(self, sim_3seg):
+        # segment 1 hosts the front of the pipeline: its activity is
+        # concentrated in the first ~2/3 of the run (the Fig. 11 shape)
+        series = activity_series(sim_3seg, bins=10)
+        seg1 = series.utilization["Segment 1"]
+        assert sum(seg1[:7]) > 0
+        assert sum(seg1[8:]) == 0.0
+
+    def test_segment2_busy_late(self, sim_3seg):
+        series = activity_series(sim_3seg, bins=10)
+        seg2 = series.utilization["Segment 2"]
+        assert seg2[-1] > 0 or seg2[-2] > 0
+
+    def test_busy_fraction_positive_for_segments(self, sim_3seg):
+        series = activity_series(sim_3seg, bins=40)
+        for index in (1, 2, 3):
+            assert series.busy_fraction(f"Segment {index}") > 0
+
+    def test_bu_activity_sparse(self, sim_3seg):
+        series = activity_series(sim_3seg, bins=40)
+        # BU23 carries only 2 packages: tiny overall utilization
+        assert series.busy_fraction("BU23") < series.busy_fraction("Segment 2")
+
+    def test_peak_bin_within_range(self, sim_3seg):
+        series = activity_series(sim_3seg, bins=40)
+        for element in series.elements:
+            assert 0 <= series.peak_bin(element) < series.bins
+
+    def test_rejects_zero_bins(self, sim_3seg):
+        with pytest.raises(ValueError):
+            activity_series(sim_3seg, bins=0)

@@ -1,0 +1,58 @@
+"""Clock-domain edge arithmetic tests."""
+
+import pytest
+
+from repro.emulator.clock import ClockDomain
+from repro.units import Frequency
+
+
+@pytest.fixture
+def clk100():
+    return ClockDomain("seg", Frequency.from_mhz(100))  # period 10_000_000 fs
+
+
+class TestEdges:
+    def test_edge_at_or_after_on_edge(self, clk100):
+        assert clk100.edge_at_or_after(10_000_000) == 10_000_000
+
+    def test_edge_at_or_after_between(self, clk100):
+        assert clk100.edge_at_or_after(10_000_001) == 20_000_000
+
+    def test_edge_at_or_after_zero(self, clk100):
+        assert clk100.edge_at_or_after(0) == 0
+
+    def test_edge_after_on_edge(self, clk100):
+        assert clk100.edge_after(10_000_000) == 20_000_000
+
+    def test_edge_after_zero_is_tick_one(self, clk100):
+        # the enablement rule: a process enabled at t=0 starts at tick 1
+        assert clk100.edge_after(0) == 10_000_000
+
+    def test_edge_after_between(self, clk100):
+        assert clk100.edge_after(10_000_001) == 20_000_000
+
+    def test_paper_tick_one(self):
+        clk = ClockDomain("seg1", Frequency.from_mhz(91))
+        # P0, Start Time = 10989 ps
+        assert clk.edge_after(0) // 1000 == 10_989
+
+
+class TestTicks:
+    def test_ticks_ceiling(self, clk100):
+        assert clk100.ticks(10_000_000) == 1
+        assert clk100.ticks(10_000_001) == 2
+        assert clk100.ticks(0) == 0
+
+    def test_ticks_to_fs(self, clk100):
+        assert clk100.ticks_to_fs(36) == 360_000_000
+
+    def test_ticks_between_counts_edges(self, clk100):
+        # edges in (start, end]
+        assert clk100.ticks_between(0, 10_000_000) == 1
+        assert clk100.ticks_between(5, 10_000_000) == 1
+        assert clk100.ticks_between(0, 9_999_999) == 0
+        assert clk100.ticks_between(0, 30_000_000) == 3
+
+    def test_ticks_between_rejects_reversed(self, clk100):
+        with pytest.raises(ValueError):
+            clk100.ticks_between(10, 5)

@@ -1,0 +1,60 @@
+"""Emulation configuration tests."""
+
+import pytest
+
+from repro.emulator.config import EmulationConfig
+
+
+def test_default_is_papers_emulator():
+    config = EmulationConfig()
+    assert config.grant_latency_ticks == 0
+    assert config.bu_sync_ticks == 0
+    assert config.ca_decision_ticks == 0
+    assert config.master_handshake_ticks == 0
+    assert config.bu_sampling_ticks == 1  # W̄P = 1, measured by the paper
+
+
+def test_emulator_preset_equals_default():
+    assert EmulationConfig.emulator() == EmulationConfig()
+
+
+def test_reference_enables_skipped_factors():
+    ref = EmulationConfig.reference()
+    assert ref.grant_latency_ticks > 0
+    assert ref.bu_sync_ticks == 2  # the paper's "two clock ticks" figure
+    assert ref.ca_decision_ticks > 0
+    assert ref.master_handshake_ticks > 0
+
+
+def test_with_overrides():
+    config = EmulationConfig().with_overrides(bu_sync_ticks=5)
+    assert config.bu_sync_ticks == 5
+    assert config.grant_latency_ticks == 0
+
+
+def test_frozen():
+    with pytest.raises(Exception):
+        EmulationConfig().bu_sync_ticks = 3
+
+
+@pytest.mark.parametrize(
+    "field",
+    [
+        "grant_latency_ticks",
+        "bus_turnaround_ticks",
+        "master_handshake_ticks",
+        "bu_sync_ticks",
+        "ca_decision_ticks",
+        "slave_ack_ticks",
+        "bu_sampling_ticks",
+        "ca_epilogue_ticks",
+    ],
+)
+def test_rejects_negative(field):
+    with pytest.raises(ValueError):
+        EmulationConfig(**{field: -1})
+
+
+def test_rejects_zero_event_budget():
+    with pytest.raises(ValueError):
+        EmulationConfig(max_events=0)

@@ -1,0 +1,137 @@
+"""Protocol conformance checker tests."""
+
+import pytest
+
+from repro.emulator.conformance import check_conformance
+from repro.emulator.config import EmulationConfig
+from repro.emulator.kernel import PlatformSpec, Simulation
+from repro.emulator.trace import Tracer
+from repro.psdf.generators import random_dag_psdf
+from repro.psdf.graph import PSDFGraph
+
+
+def traced_run(graph, placement, segments=2, config=None):
+    spec = PlatformSpec(
+        package_size=36,
+        segment_frequencies_mhz={i: 100.0 for i in range(1, segments + 1)},
+        ca_frequency_mhz=100.0,
+        placement=placement,
+    )
+    tracer = Tracer()
+    sim = Simulation(graph, spec, config=config, tracer=tracer).run()
+    return sim, tracer
+
+
+class TestConformantRuns:
+    def test_simple_run_conformant(self):
+        graph = PSDFGraph.from_edges([("A", "B", 72, 1, 50)])
+        sim, tracer = traced_run(graph, {"A": 1, "B": 2})
+        report = check_conformance(sim, tracer)
+        assert report.ok, report.violations
+        assert report.checked >= 7
+
+    def test_mp3_run_conformant(self, mp3_graph, platform_3seg):
+        from repro.emulator.kernel import PlatformSpec as PS
+
+        tracer = Tracer()
+        sim = Simulation(
+            mp3_graph, PS.from_platform(platform_3seg), tracer=tracer
+        ).run()
+        report = check_conformance(sim, tracer)
+        assert report.ok, report.violations
+
+    def test_store_and_forward_conformant(self):
+        graph = PSDFGraph.from_edges(
+            [("A", "B", 144, 1, 20), ("C", "D", 144, 1, 20)]
+        )
+        sim, tracer = traced_run(
+            graph,
+            {"A": 1, "B": 3, "C": 3, "D": 1},
+            segments=3,
+            config=EmulationConfig(inter_segment_protocol="store-and-forward"),
+        )
+        report = check_conformance(sim, tracer)
+        assert report.ok, report.violations
+
+    def test_reference_fidelity_conformant(self):
+        graph = random_dag_psdf(8, seed=12, max_items=216, max_ticks=60)
+        placement = {n: (i % 2) + 1 for i, n in enumerate(graph.process_names)}
+        sim, tracer = traced_run(
+            graph, placement, config=EmulationConfig.reference()
+        )
+        report = check_conformance(sim, tracer)
+        assert report.ok, report.violations
+
+    def test_works_without_tracer(self, sim_3seg):
+        report = check_conformance(sim_3seg)
+        assert report.ok, report.violations
+
+
+class TestViolationDetection:
+    """Tampered state must be flagged (the checker actually checks)."""
+
+    @pytest.fixture
+    def sim(self):
+        graph = PSDFGraph.from_edges([("A", "B", 72, 1, 50)])
+        sim, _ = traced_run(graph, {"A": 1, "B": 1}, segments=1)
+        return sim
+
+    def test_detects_overlapping_occupations(self, sim):
+        sim.segments[1].counters.busy_intervals.append((0, 10**12))
+        report = check_conformance(sim)
+        assert any("BUS-1" in v for v in report.violations)
+
+    def test_detects_short_occupation(self, sim):
+        end = sim.global_end_fs
+        sim.segments[1].counters.busy_intervals.append((end + 10, end + 20))
+        report = check_conformance(sim)
+        assert any("BUS-2" in v for v in report.violations)
+
+    def test_detects_bu_imbalance(self, mp3_graph, platform_3seg):
+        from repro.emulator.kernel import PlatformSpec as PS
+
+        sim = Simulation(mp3_graph, PS.from_platform(platform_3seg)).run()
+        sim.bus_units[(1, 2)].counters.input_packages += 1
+        report = check_conformance(sim)
+        assert any("BU-1" in v for v in report.violations)
+
+    def test_detects_tct_below_useful_period(self, mp3_graph, platform_3seg):
+        from repro.emulator.kernel import PlatformSpec as PS
+
+        sim = Simulation(mp3_graph, PS.from_platform(platform_3seg)).run()
+        sim.bus_units[(1, 2)].counters.tct = 1
+        report = check_conformance(sim)
+        assert any("BU-2" in v for v in report.violations)
+
+    def test_detects_grant_miscount(self, sim):
+        sim.segments[1].counters.grants += 1
+        report = check_conformance(sim)
+        assert any("CNT-1" in v for v in report.violations)
+
+    def test_detects_premature_fire(self):
+        graph = PSDFGraph.from_edges([("A", "B", 72, 1, 50)])
+        sim, tracer = traced_run(graph, {"A": 1, "B": 1}, segments=1)
+        # forge a fire event for B at t=0, before any delivery
+        from repro.emulator.trace import TraceEvent
+
+        tracer.events.insert(0, TraceEvent(0, "fire", "B"))
+        report = check_conformance(sim, tracer)
+        assert any("FIRE-1" in v for v in report.violations)
+
+
+class TestOrderViolationDetection:
+    def test_detects_out_of_order_delivery(self):
+        graph = PSDFGraph.from_edges([("A", "B", 108, 1, 50)])  # 3 packages
+        sim, tracer = traced_run(graph, {"A": 1, "B": 1}, segments=1)
+        # forge: swap the completion order of packages 2 and 3
+        import dataclasses
+
+        done = [
+            i for i, e in enumerate(tracer.events)
+            if e.kind == "transfer_done"
+        ]
+        e2, e3 = tracer.events[done[1]], tracer.events[done[2]]
+        tracer.events[done[1]] = dataclasses.replace(e2, detail=e3.detail)
+        tracer.events[done[2]] = dataclasses.replace(e3, detail=e2.detail)
+        report = check_conformance(sim, tracer)
+        assert any("ORD-1" in v for v in report.violations)

@@ -1,0 +1,105 @@
+"""Event-queue determinism tests."""
+
+import pytest
+
+from repro.emulator.events import PRIO_CA, PRIO_SA, PRIO_STATE, EventQueue
+from repro.errors import EmulationError
+
+
+def test_time_ordering():
+    queue = EventQueue()
+    log = []
+    queue.schedule(30, lambda: log.append("c"))
+    queue.schedule(10, lambda: log.append("a"))
+    queue.schedule(20, lambda: log.append("b"))
+    queue.run()
+    assert log == ["a", "b", "c"]
+
+
+def test_priority_breaks_time_ties():
+    queue = EventQueue()
+    log = []
+    queue.schedule(10, lambda: log.append("sa"), PRIO_SA)
+    queue.schedule(10, lambda: log.append("state"), PRIO_STATE)
+    queue.schedule(10, lambda: log.append("ca"), PRIO_CA)
+    queue.run()
+    assert log == ["state", "ca", "sa"]
+
+
+def test_sequence_breaks_full_ties():
+    queue = EventQueue()
+    log = []
+    for i in range(5):
+        queue.schedule(10, lambda i=i: log.append(i), PRIO_STATE)
+    queue.run()
+    assert log == [0, 1, 2, 3, 4]
+
+
+def test_now_advances():
+    queue = EventQueue()
+    seen = []
+    queue.schedule(25, lambda: seen.append(queue.now_fs))
+    queue.run()
+    assert seen == [25]
+    assert queue.now_fs == 25
+
+
+def test_events_can_schedule_events():
+    queue = EventQueue()
+    log = []
+
+    def first():
+        log.append("first")
+        queue.schedule(queue.now_fs + 5, lambda: log.append("second"))
+
+    queue.schedule(10, first)
+    queue.run()
+    assert log == ["first", "second"]
+
+
+def test_cannot_schedule_in_past():
+    queue = EventQueue()
+    queue.schedule(10, lambda: queue.schedule(5, lambda: None))
+    with pytest.raises(EmulationError, match="past"):
+        queue.run()
+
+
+def test_cancel():
+    queue = EventQueue()
+    log = []
+    entry = queue.schedule(10, lambda: log.append("cancelled"))
+    queue.schedule(20, lambda: log.append("kept"))
+    queue.cancel(entry)
+    queue.run()
+    assert log == ["kept"]
+
+
+def test_len_ignores_cancelled():
+    queue = EventQueue()
+    entry = queue.schedule(10, lambda: None)
+    queue.schedule(20, lambda: None)
+    queue.cancel(entry)
+    assert len(queue) == 1
+
+
+def test_budget_exhaustion():
+    queue = EventQueue()
+
+    def loop():
+        queue.schedule(queue.now_fs + 1, loop)
+
+    queue.schedule(0, loop)
+    with pytest.raises(EmulationError, match="budget"):
+        queue.run(max_events=100)
+
+
+def test_run_returns_event_count():
+    queue = EventQueue()
+    for i in range(7):
+        queue.schedule(i, lambda: None)
+    assert queue.run() == 7
+    assert queue.executed == 7
+
+
+def test_pop_empty_returns_none():
+    assert EventQueue().pop() is None

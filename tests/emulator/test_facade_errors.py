@@ -1,0 +1,56 @@
+"""Facade error paths: mismatched or broken model pairs."""
+
+import pytest
+
+from repro.emulator.emulator import SegBusEmulator
+from repro.errors import MappingError, SegBusError, XMLFormatError
+from repro.psdf.graph import PSDFGraph
+from repro.xmlio.psdf_writer import psdf_to_xml
+from repro.xmlio.psm_writer import psm_to_xml
+
+
+@pytest.fixture
+def app():
+    return PSDFGraph.from_edges([("A", "B", 72, 1, 50)])
+
+
+def platform_for(names):
+    from repro.model.builder import uniform_platform
+
+    builder = uniform_platform(1, frequency_mhz=100)
+    for name in names:
+        builder.place(name, 1)
+    platform = builder.build()
+    for name in names:
+        platform.fu_of_process(name).add_slave()
+    return platform
+
+
+class TestMismatchedPairs:
+    def test_psm_missing_process(self, app):
+        # the PSM only places A: emulation setup must fail loudly
+        emulator = SegBusEmulator(
+            psdf_to_xml(app, 36), psm_to_xml(platform_for(["A"]))
+        )
+        with pytest.raises(MappingError, match="B"):
+            emulator.run()
+
+    def test_unrelated_models_fail(self, app):
+        other_psm = psm_to_xml(platform_for(["X", "Y"]))
+        emulator = SegBusEmulator(psdf_to_xml(app, 36), other_psm)
+        with pytest.raises(MappingError):
+            emulator.run()
+
+    def test_broken_psdf_rejected_at_construction(self, app):
+        with pytest.raises(XMLFormatError):
+            SegBusEmulator("<broken", psm_to_xml(platform_for(["A", "B"])))
+
+    def test_broken_psm_rejected_at_construction(self, app):
+        with pytest.raises(XMLFormatError):
+            SegBusEmulator(psdf_to_xml(app, 36), "not xml")
+
+    def test_swapped_arguments_fail(self, app):
+        psdf = psdf_to_xml(app, 36)
+        psm = psm_to_xml(platform_for(["A", "B"]))
+        with pytest.raises(SegBusError):
+            SegBusEmulator(psm, psdf)  # swapped

@@ -1,0 +1,95 @@
+"""Counter-semantics tests with heterogeneous clocks (exact oracles)."""
+
+import pytest
+
+from repro.emulator.kernel import PlatformSpec, Simulation
+from repro.psdf.graph import PSDFGraph
+from repro.units import Frequency
+
+NS = 1_000_000
+
+
+def run(graph, freqs, ca_mhz, placement, package_size=36):
+    spec = PlatformSpec(
+        package_size=package_size,
+        segment_frequencies_mhz=freqs,
+        ca_frequency_mhz=ca_mhz,
+        placement=placement,
+    )
+    return Simulation(graph, spec).run()
+
+
+class TestHeterogeneousClocks:
+    def test_paper_clock_tick_one(self):
+        # a 91 MHz source process starts at exactly 10989 ps
+        graph = PSDFGraph.from_edges([("A", "B", 36, 1, 50)])
+        sim = run(graph, {1: 91.0}, 111.0, {"A": 1, "B": 1})
+        assert sim.process_counters["A"].start_fs // 1000 == 10_989
+
+    def test_compute_duration_in_segment_clock(self):
+        graph = PSDFGraph.from_edges([("A", "B", 36, 1, 100)])
+        sim = run(graph, {1: 50.0}, 100.0, {"A": 1, "B": 1})
+        # period 20 ns: fire at 20 ns, compute 100 ticks, transfer 36 ticks
+        assert sim.process_counters["A"].end_fs == (1 + 136) * 20 * NS
+
+    def test_sa_tct_counts_own_clock(self):
+        graph = PSDFGraph.from_edges([("A", "B", 36, 1, 100)])
+        sim = run(graph, {1: 50.0}, 100.0, {"A": 1, "B": 1})
+        # quiesce at 137 ticks of the 50 MHz clock
+        assert sim.sa_tct(1) == 137
+
+    def test_ca_tct_counts_ca_clock(self):
+        graph = PSDFGraph.from_edges([("A", "B", 36, 1, 100)])
+        sim = run(graph, {1: 50.0}, 100.0, {"A": 1, "B": 1})
+        # global end = sink fire at edge_after(2740 ns) = 2760 ns (50 MHz),
+        # CA at 100 MHz: ceil(2760/10) + 2 epilogue = 278
+        assert sim.ca.counters.tct == 278
+
+    def test_execution_time_formula(self):
+        graph = PSDFGraph.from_edges([("A", "B", 36, 1, 100)])
+        sim = run(graph, {1: 50.0}, 100.0, {"A": 1, "B": 1})
+        t_sa = sim.sa_tct(1) * Frequency.from_mhz(50).period_fs
+        t_ca = sim.ca.counters.tct * Frequency.from_mhz(100).period_fs
+        assert sim.execution_time_fs() == max(t_sa, t_ca)
+
+    def test_cross_domain_transfer_uses_both_clocks(self):
+        # source 100 MHz, destination 50 MHz: the hop runs at 50 MHz
+        graph = PSDFGraph.from_edges([("A", "B", 36, 1, 50)])
+        sim = run(graph, {1: 100.0, 2: 50.0}, 100.0, {"A": 1, "B": 2})
+        # fill ends at 870 ns (100 MHz); unload starts at the next 50 MHz
+        # edge (880 ns), occupies 36 x 20 ns = 720 ns
+        assert sim.process_counters["B"].last_input_fs == (880 + 720) * NS
+
+    def test_wp_counted_in_destination_clock(self):
+        graph = PSDFGraph.from_edges([("A", "B", 36, 1, 50)])
+        sim = run(graph, {1: 100.0, 2: 50.0}, 100.0, {"A": 1, "B": 2})
+        # one destination-clock sampling tick, as always
+        assert sim.bus_units[(1, 2)].counters.waiting_ticks == 1
+
+
+class TestRequestObservationOracles:
+    def test_lone_master_observed_once_per_package(self):
+        graph = PSDFGraph.from_edges([("A", "B", 180, 1, 100)])  # 5 packages
+        sim = run(graph, {1: 100.0}, 100.0, {"A": 1, "B": 1})
+        assert sim.segments[1].counters.intra_requests == 5
+        assert sim.segments[1].counters.grants == 5
+
+    def test_simultaneous_pair_observation_count(self):
+        # A and B request at the same instant (same C): the round observes
+        # both (2), grants one; the loser is re-observed when the winner's
+        # transfer completes (1) -> 3 observations for 2 packages
+        graph = PSDFGraph.from_edges(
+            [("A", "C", 36, 1, 50), ("B", "C", 36, 1, 50)]
+        )
+        sim = run(graph, {1: 100.0}, 100.0, {"A": 1, "B": 1, "C": 1})
+        assert sim.segments[1].counters.intra_requests == 3
+        assert sim.segments[1].counters.grants == 2
+
+    def test_arrival_while_busy_also_observed(self):
+        # B's request lands mid-transfer of A: +1 arrival observation,
+        # +1 round observation at the grant -> 3 total for 2 packages
+        graph = PSDFGraph.from_edges(
+            [("A", "C", 36, 1, 50), ("B", "C", 36, 1, 60)]
+        )
+        sim = run(graph, {1: 100.0}, 100.0, {"A": 1, "B": 1, "C": 1})
+        assert sim.segments[1].counters.intra_requests == 3

@@ -1,0 +1,159 @@
+"""Kernel edge cases: wide platforms, extreme parameters, mixed flows."""
+
+import pytest
+
+from repro.emulator.config import EmulationConfig
+from repro.emulator.kernel import PlatformSpec, Simulation
+from repro.emulator.monitor import emulation_finished
+from repro.psdf.flow import FlowCost
+from repro.psdf.graph import PSDFGraph
+
+NS = 1_000_000
+
+
+def spec(n, placement, package_size=36, bu_depths=None, **kwargs):
+    defaults = dict(
+        package_size=package_size,
+        segment_frequencies_mhz={i: 100.0 for i in range(1, n + 1)},
+        ca_frequency_mhz=100.0,
+        placement=placement,
+        bu_depths=bu_depths or {},
+    )
+    defaults.update(kwargs)
+    return PlatformSpec(**defaults)
+
+
+class TestWidePlatforms:
+    def test_five_segment_end_to_end_transfer(self):
+        graph = PSDFGraph.from_edges([("A", "B", 36, 1, 50)])
+        sim = Simulation(graph, spec(5, {"A": 1, "B": 5})).run()
+        # fill @870, then 4 hops of 370 ns each (alignment + 36 ticks)
+        assert sim.process_counters["B"].last_input_fs == (870 + 4 * 370) * NS
+        # every BU on the path saw exactly one package
+        for pair in ((1, 2), (2, 3), (3, 4), (4, 5)):
+            assert sim.bus_units[pair].counters.output_packages == 1
+
+    def test_five_segment_leftward(self):
+        graph = PSDFGraph.from_edges([("A", "B", 36, 1, 50)])
+        sim = Simulation(graph, spec(5, {"A": 5, "B": 1})).run()
+        assert sim.process_counters["B"].packages_received == 1
+        assert sim.segments[5].counters.packets_to_left == 1
+        for pair in ((1, 2), (2, 3), (3, 4), (4, 5)):
+            assert sim.bus_units[pair].counters.transferred_to_left == 1
+
+    def test_bidirectional_crossing_flows(self):
+        graph = PSDFGraph.from_edges(
+            [("A", "B", 108, 1, 50), ("C", "D", 108, 1, 50)]
+        )
+        sim = Simulation(
+            graph, spec(3, {"A": 1, "B": 3, "C": 3, "D": 1})
+        ).run()
+        assert emulation_finished(sim)
+        bu12 = sim.bus_units[(1, 2)].counters
+        assert bu12.received_from_left == 3
+        assert bu12.received_from_right == 3
+
+
+class TestExtremeParameters:
+    def test_package_size_one(self):
+        graph = PSDFGraph.from_edges([("A", "B", 5, 1, 10)])
+        sim = Simulation(graph, spec(1, {"A": 1, "B": 1}, package_size=1)).run()
+        assert sim.process_counters["B"].packages_received == 5
+        # per package: 10 compute + 1 transfer
+        assert sim.process_counters["A"].end_fs == (1 + 5 * 11) * 10 * NS
+
+    def test_huge_package_size_single_transfer(self):
+        graph = PSDFGraph.from_edges([("A", "B", 100, 1, 10)])
+        sim = Simulation(
+            graph, spec(1, {"A": 1, "B": 1}, package_size=1000)
+        ).run()
+        assert sim.process_counters["B"].packages_received == 1
+        # the bus is occupied for the full 1000-slot package
+        assert sim.segments[1].counters.busy_fs == 1000 * 10 * NS
+
+    def test_one_tick_cost(self):
+        graph = PSDFGraph.from_edges(
+            [("A", "B", 72, 1, FlowCost(c_fixed=1, c_item=0))]
+        )
+        sim = Simulation(graph, spec(1, {"A": 1, "B": 1})).run()
+        assert sim.process_counters["A"].end_fs == (1 + 2 * 37) * 10 * NS
+
+    def test_single_process_application(self):
+        graph = PSDFGraph([__import__("repro.psdf.process", fromlist=["Process"]).Process("A")], [])
+        sim = Simulation(graph, spec(1, {"A": 1})).run()
+        assert sim.process_counters["A"].done
+        assert sim.execution_time_fs() > 0
+
+
+class TestBUDepth:
+    def test_depth_two_buffers_under_store_and_forward(self):
+        # two masters feed the same BU; depth 2 lets both packages queue
+        graph = PSDFGraph.from_edges(
+            [("A", "C", 36, 1, 10), ("B", "D", 36, 1, 12)]
+        )
+        config = EmulationConfig(inter_segment_protocol="store-and-forward")
+        deep = Simulation(
+            graph,
+            spec(2, {"A": 1, "B": 1, "C": 2, "D": 2}, bu_depths={(1, 2): 2}),
+            config,
+        ).run()
+        shallow = Simulation(
+            graph,
+            spec(2, {"A": 1, "B": 1, "C": 2, "D": 2}, bu_depths={(1, 2): 1}),
+            config,
+        ).run()
+        assert emulation_finished(deep) and emulation_finished(shallow)
+        # a deeper FIFO can only help (or tie) the second sender
+        deep_b = deep.process_counters["B"].end_fs
+        shallow_b = shallow.process_counters["B"].end_fs
+        assert deep_b <= shallow_b
+
+    def test_depth_ignored_under_circuit_protocol(self):
+        # full-path locking admits one in-flight package regardless of depth
+        graph = PSDFGraph.from_edges([("A", "B", 108, 1, 10)])
+        d1 = Simulation(
+            graph, spec(2, {"A": 1, "B": 2}, bu_depths={(1, 2): 1})
+        ).run()
+        d4 = Simulation(
+            graph, spec(2, {"A": 1, "B": 2}, bu_depths={(1, 2): 4})
+        ).run()
+        assert d1.execution_time_fs() == d4.execution_time_fs()
+
+
+class TestMixedFlows:
+    def test_master_with_intra_and_inter_flows(self):
+        graph = PSDFGraph.from_edges(
+            [("A", "B", 72, 1, 50), ("A", "C", 72, 2, 50)]
+        )
+        sim = Simulation(graph, spec(2, {"A": 1, "B": 1, "C": 2})).run()
+        assert sim.process_counters["B"].packages_received == 2
+        assert sim.process_counters["C"].packages_received == 2
+        assert sim.segments[1].counters.grants == 2  # the local flow
+        assert sim.segments[1].counters.inter_requests == 2
+
+    def test_flows_execute_in_t_order(self):
+        graph = PSDFGraph.from_edges(
+            [("A", "B", 36, 2, 50), ("A", "C", 36, 1, 50)]
+        )
+        sim = Simulation(graph, spec(1, {"A": 1, "B": 1, "C": 1})).run()
+        # C's flow has the smaller T: delivered first
+        assert (
+            sim.process_counters["C"].last_input_fs
+            < sim.process_counters["B"].last_input_fs
+        )
+
+    def test_diamond_with_cross_segment_join(self):
+        graph = PSDFGraph.from_edges(
+            [
+                ("S", "L", 72, 1, 30),
+                ("S", "R", 72, 2, 30),
+                ("L", "T", 72, 3, 30),
+                ("R", "T", 72, 3, 30),
+            ]
+        )
+        sim = Simulation(
+            graph, spec(2, {"S": 1, "L": 1, "R": 2, "T": 2})
+        ).run()
+        t = sim.process_counters["T"]
+        assert t.packages_received == 4
+        assert t.done

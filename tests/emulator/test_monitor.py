@@ -1,0 +1,68 @@
+"""Monitor (Process Status Flags) tests."""
+
+import pytest
+
+from repro.emulator.kernel import PlatformSpec, Simulation
+from repro.emulator.monitor import emulation_finished, no_activity, status_flags
+from repro.errors import DeadlockError
+from repro.psdf.graph import PSDFGraph
+
+
+@pytest.fixture
+def finished_sim():
+    graph = PSDFGraph.from_edges([("A", "B", 36, 1, 50)])
+    spec = PlatformSpec(
+        package_size=36,
+        segment_frequencies_mhz={1: 100.0},
+        ca_frequency_mhz=100.0,
+        placement={"A": 1, "B": 1},
+    )
+    return Simulation(graph, spec).run()
+
+
+def test_all_flags_high_after_run(finished_sim):
+    flags = status_flags(finished_sim)
+    assert flags.all_high
+    assert flags.low() == ()
+    assert flags["A"] and flags["B"]
+
+
+def test_no_activity_after_run(finished_sim):
+    assert no_activity(finished_sim)
+    assert emulation_finished(finished_sim)
+
+
+def test_flags_reflect_tampered_state(finished_sim):
+    finished_sim.process_counters["B"].done = False
+    flags = status_flags(finished_sim)
+    assert not flags.all_high
+    assert flags.low() == ("B",)
+
+
+def test_no_activity_detects_queued_requests(finished_sim):
+    finished_sim.ca.queue.append(object())
+    assert not no_activity(finished_sim)
+
+
+def test_no_activity_detects_locked_segment(finished_sim):
+    finished_sim.segments[1].locked = True
+    assert not no_activity(finished_sim)
+
+
+def test_validate_final_state_raises_on_tamper(finished_sim):
+    finished_sim.process_counters["B"].done = False
+    with pytest.raises(DeadlockError, match="process B not done"):
+        finished_sim._validate_final_state()
+
+
+def test_validate_final_state_reports_stuck_master(finished_sim):
+    master = finished_sim.masters["A"]
+    master.transfer_index = 0
+    master.package_index = 0
+    with pytest.raises(DeadlockError, match="master A"):
+        finished_sim._validate_final_state()
+
+
+def test_mp3_run_finishes_clean(sim_3seg):
+    assert emulation_finished(sim_3seg)
+    assert status_flags(sim_3seg).all_high

@@ -1,0 +1,37 @@
+"""Pinned regressions: scenarios that once exposed kernel bugs.
+
+Each test documents the bug it guards against; keep them even if they look
+redundant with the property suite — they are the exact minimal witnesses.
+"""
+
+import pytest
+
+from repro.emulator.config import EmulationConfig
+from repro.emulator.kernel import PlatformSpec, Simulation
+from repro.emulator.monitor import emulation_finished
+from repro.psdf.generators import random_dag_psdf
+
+SNF = EmulationConfig(inter_segment_protocol="store-and-forward")
+
+
+@pytest.mark.parametrize("seed", [208, 248, 411])
+def test_store_and_forward_destination_wake(seed):
+    """Regression: a hop queued on a destination segment was never served
+    when the segment's bus freed through an unrelated delivery.
+
+    ``_release_segment`` re-scheduled arbitration only for pending *local*
+    requests, not queued hops; with the hop as the segment's only pending
+    work the emulation stalled (found by hypothesis on these seeds).
+    """
+    graph = random_dag_psdf(6, seed=seed, max_items=288, max_ticks=90)
+    spec = PlatformSpec(
+        package_size=36,
+        segment_frequencies_mhz={1: 111.0, 2: 111.0, 3: 91.0},
+        ca_frequency_mhz=111.0,
+        placement={"P0": 3, "P1": 1, "P2": 1, "P3": 1, "P4": 2, "P5": 1},
+    )
+    sim = Simulation(graph, spec, SNF).run()
+    assert emulation_finished(sim)
+    total = graph.total_packages(36)
+    received = sum(c.packages_received for c in sim.process_counters.values())
+    assert received == total

@@ -1,0 +1,69 @@
+"""Emulation report structure and formatting tests."""
+
+import pytest
+
+from repro.units import fs_to_ps
+
+
+class TestStructure:
+    def test_headline_fields(self, report_3seg):
+        assert report_3seg.application == "MP3Decoder"
+        assert report_3seg.segment_count == 3
+        assert report_3seg.package_size == 36
+        assert report_3seg.execution_time_us > 0
+
+    def test_sa_lookup(self, report_3seg):
+        assert report_3seg.sa(1).index == 1
+        with pytest.raises(KeyError):
+            report_3seg.sa(9)
+
+    def test_bu_lookup(self, report_3seg):
+        assert report_3seg.bu(1, 2).name == "BU12"
+        with pytest.raises(KeyError):
+            report_3seg.bu(3, 4)
+
+    def test_sa_execution_times_consistent(self, report_3seg):
+        for sa in report_3seg.sa_results:
+            period_ps = 1e6 / sa.frequency_mhz
+            assert sa.execution_time_ps == pytest.approx(
+                sa.tct * period_ps, rel=1e-6
+            )
+
+    def test_execution_time_is_max(self, report_3seg):
+        times = [sa.execution_time_ps for sa in report_3seg.sa_results]
+        times.append(report_3seg.ca_time_ps)
+        assert report_3seg.execution_time_ps == max(times)
+
+    def test_execution_time_unit_conversions(self, report_3seg):
+        assert report_3seg.execution_time_ps == fs_to_ps(
+            report_3seg.execution_time_fs
+        )
+        assert report_3seg.execution_time_us == pytest.approx(
+            report_3seg.execution_time_ps / 1e6, rel=1e-9
+        )
+
+    def test_total_inter_segment_packages(self, report_3seg):
+        # 32 from segment 1 + 1 from segment 3 (the paper's counts)
+        assert report_3seg.total_inter_segment_packages() == 33
+
+
+class TestListing:
+    def test_listing_contains_all_blocks(self, report_3seg):
+        listing = report_3seg.format_listing()
+        assert "P0, Start Time = 10989ps" in listing
+        assert "P14 received last package at" in listing
+        assert "CA TCT =" in listing
+        assert "Execution time =" in listing
+        assert "BU12:" in listing and "BU23:" in listing
+        assert "SA1: TCT =" in listing
+        assert "@ 111.00MHz" in listing
+
+    def test_listing_reports_request_counters(self, report_3seg):
+        listing = report_3seg.format_listing()
+        assert "Total intra-segment requests" in listing
+        assert "Total inter-segment requests" in listing
+
+    def test_listing_reports_packet_directions(self, report_3seg):
+        listing = report_3seg.format_listing()
+        assert "Packets transfered to Right = 32" in listing
+        assert "Packets transfered to Left = 1" in listing

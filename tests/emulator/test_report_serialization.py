@@ -1,0 +1,43 @@
+"""Report JSON serialization tests."""
+
+import json
+
+import pytest
+
+
+def test_to_dict_structure(report_3seg):
+    data = report_3seg.to_dict()
+    assert data["application"] == "MP3Decoder"
+    assert data["segment_count"] == 3
+    assert len(data["segment_arbiters"]) == 3
+    assert len(data["border_units"]) == 2
+    assert len(data["timeline"]) == 15
+
+
+def test_dict_matches_report(report_3seg):
+    data = report_3seg.to_dict()
+    assert data["execution_time_ps"] == report_3seg.execution_time_ps
+    assert data["ca"]["tct"] == report_3seg.ca_tct
+    bu12 = next(b for b in data["border_units"] if b["name"] == "BU12")
+    assert bu12["tct"] == report_3seg.bu(1, 2).tct
+    sa2 = next(s for s in data["segment_arbiters"] if s["index"] == 2)
+    assert sa2["intra_requests"] == report_3seg.sa(2).intra_requests
+
+
+def test_json_roundtrips(report_3seg):
+    parsed = json.loads(report_3seg.to_json())
+    assert parsed == json.loads(json.dumps(report_3seg.to_dict(), sort_keys=True))
+
+
+def test_timeline_rows_sorted_by_end(report_3seg):
+    rows = report_3seg.to_dict()["timeline"]
+    ends = [r["end_ps"] for r in rows]
+    assert ends == sorted(ends)
+
+
+def test_json_stable_across_runs(mp3_graph, platform_3seg):
+    from repro.emulator.emulator import emulate
+
+    a = emulate(mp3_graph, platform_3seg).to_json()
+    b = emulate(mp3_graph, platform_3seg).to_json()
+    assert a == b

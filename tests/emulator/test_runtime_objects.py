@@ -1,0 +1,161 @@
+"""Unit tests for the kernel's runtime data holders (fu/bu/ca/counters)."""
+
+import pytest
+
+from repro.emulator.bu import BURT, LEFTWARD, RIGHTWARD
+from repro.emulator.ca import CART
+from repro.emulator.clock import ClockDomain
+from repro.emulator.counters import (
+    BUCounters,
+    CACounters,
+    ProcessCounters,
+    SegmentCounters,
+)
+from repro.emulator.fu import MasterRT, TransferJob
+from repro.psdf.schedule import ScheduledTransfer
+from repro.units import Frequency
+
+
+def transfer(source="A", target="B", packages=2, order=1):
+    return ScheduledTransfer(
+        source=source,
+        target=target,
+        order=order,
+        data_items=packages * 36,
+        packages=packages,
+        ticks_per_package=50,
+    )
+
+
+class TestMasterRT:
+    def make(self):
+        return MasterRT(
+            process="A",
+            segment_index=1,
+            transfers=(transfer(packages=2), transfer(target="C", packages=1, order=2)),
+            counters=ProcessCounters(name="A"),
+        )
+
+    def test_program_counter_walk(self):
+        master = self.make()
+        assert master.current_transfer.target == "B"
+        master.advance()
+        assert (master.transfer_index, master.package_index) == (0, 1)
+        master.advance()
+        assert master.current_transfer.target == "C"
+        master.advance()
+        assert master.all_issued
+        assert master.current_transfer is None
+
+    def test_is_done_requires_deliveries(self):
+        master = self.make()
+        for _ in range(3):
+            master.advance()
+        master.outstanding_deliveries = 1
+        assert not master.is_done
+        master.outstanding_deliveries = 0
+        assert master.is_done
+
+
+class TestTransferJob:
+    def test_label(self):
+        job = TransferJob(
+            master="A", source_segment=1, target_segment=2,
+            transfer=transfer(), package_seq=0,
+        )
+        assert job.label == "A->B#1/2"
+        assert job.is_inter_segment
+
+    def test_local_job(self):
+        job = TransferJob(
+            master="A", source_segment=2, target_segment=2,
+            transfer=transfer(), package_seq=1,
+        )
+        assert not job.is_inter_segment
+
+
+class TestBURT:
+    def make(self, depth=1):
+        return BURT(left=1, right=2, depth=depth,
+                    counters=BUCounters(left=1, right=2))
+
+    def test_per_direction_channels(self):
+        bu = self.make()
+        bu.push(100, RIGHTWARD)
+        assert bu.has_space(LEFTWARD)       # other channel unaffected
+        assert not bu.has_space(RIGHTWARD)
+        bu.push(200, LEFTWARD)
+        assert bu.occupancy == 2
+
+    def test_fifo_order(self):
+        bu = self.make(depth=2)
+        bu.push(100, RIGHTWARD)
+        bu.push(200, RIGHTWARD)
+        assert bu.head_loaded_at(RIGHTWARD) == 100
+        assert bu.pop(RIGHTWARD) == 100
+        assert bu.pop(RIGHTWARD) == 200
+
+    def test_other_side(self):
+        bu = self.make()
+        assert bu.other_side(1) == 2
+        assert bu.other_side(2) == 1
+        with pytest.raises(ValueError):
+            bu.other_side(3)
+
+    def test_counters_up_wp(self):
+        counters = BUCounters(left=1, right=2)
+        counters.output_packages = 4
+        counters.tct = 4 * (72 + 1)
+        assert counters.useful_period(36) == 288
+        assert counters.mean_waiting_period(36) == pytest.approx(1.0)
+
+    def test_idle_counters(self):
+        counters = BUCounters(left=1, right=2)
+        assert counters.mean_waiting_period(36) == 0.0
+        assert counters.name == "BU12"
+
+
+class TestCART:
+    def test_circuit_intervals(self):
+        ca = CART(
+            clock=ClockDomain("CA", Frequency.from_mhz(111)),
+            counters=CACounters(),
+        )
+        job = TransferJob(
+            master="A", source_segment=1, target_segment=2,
+            transfer=transfer(), package_seq=0,
+        )
+        ca.begin_circuit(job, 1000)
+        assert ca.counters.grants == 1
+        ca.end_circuit(job, 5000)
+        assert ca.counters.active_intervals == [(1000, 5000)]
+
+    def test_end_unknown_circuit_is_noop(self):
+        ca = CART(
+            clock=ClockDomain("CA", Frequency.from_mhz(111)),
+            counters=CACounters(),
+        )
+        job = TransferJob(
+            master="A", source_segment=1, target_segment=2,
+            transfer=transfer(), package_seq=0,
+        )
+        ca.end_circuit(job, 5000)  # never began
+        assert ca.counters.active_intervals == []
+
+
+class TestSegmentCounters:
+    def test_record_busy_accumulates(self):
+        counters = SegmentCounters(index=1)
+        counters.record_busy(0, 100)
+        counters.record_busy(200, 500)
+        assert counters.busy_fs == 400
+        assert counters.quiesce_fs == 500
+        assert counters.busy_intervals == [(0, 100), (200, 500)]
+
+
+class TestProcessCounters:
+    def test_fired_property(self):
+        counters = ProcessCounters(name="A")
+        assert not counters.fired
+        counters.start_fs = 10
+        assert counters.fired

@@ -1,0 +1,63 @@
+"""Process timeline (Fig. 10 data) tests."""
+
+import pytest
+
+from repro.emulator.timeline import build_timeline
+
+
+class TestMP3Timeline:
+    def test_all_processes_present(self, report_3seg):
+        assert len(report_3seg.timeline) == 15
+
+    def test_entry_lookup(self, report_3seg):
+        assert report_3seg.timeline.entry("P0").process == "P0"
+        with pytest.raises(KeyError):
+            report_3seg.timeline.entry("P99")
+
+    def test_p0_starts_at_tick_one(self, report_3seg):
+        assert report_3seg.timeline.entry("P0").start_ps == 10_989
+
+    def test_every_process_fired_and_finished(self, report_3seg):
+        for entry in report_3seg.timeline:
+            assert entry.start_fs is not None
+            assert entry.end_fs is not None
+
+    def test_entries_sorted_by_end(self, report_3seg):
+        ends = [e.end_fs for e in report_3seg.timeline]
+        assert ends == sorted(ends)
+
+    def test_finishing_order_respects_pipeline(self, report_3seg):
+        order = report_3seg.timeline.finishing_order()
+        pos = {name: i for i, name in enumerate(order)}
+        # the paper's Fig. 10 shape: P0 first, P7 among the last
+        assert pos["P0"] == 0
+        assert pos["P0"] < pos["P8"] < pos["P3"] < pos["P7"]
+        assert pos["P7"] >= len(order) - 2
+
+    def test_durations_positive(self, report_3seg):
+        for entry in report_3seg.timeline:
+            assert entry.duration_us is not None
+            assert entry.duration_us >= 0
+
+    def test_to_rows_shape(self, report_3seg):
+        rows = report_3seg.timeline.to_rows()
+        assert len(rows) == 15
+        assert all(len(row) == 3 for row in rows)
+
+    def test_sinks_report_last_input(self, report_3seg):
+        p14 = report_3seg.timeline.entry("P14")
+        assert p14.packages_sent == 0
+        assert p14.last_input_fs is not None
+        # P14 receives 16 + 16 packages (from P7 and P13)
+        assert p14.packages_received == 32
+
+    def test_sent_counts_match_schedule(self, report_3seg, mp3_graph):
+        for entry in report_3seg.timeline:
+            expected = sum(
+                f.packages(36) for f in mp3_graph.outgoing(entry.process)
+            )
+            assert entry.packages_sent == expected
+
+    def test_build_timeline_matches_report(self, sim_3seg, report_3seg):
+        rebuilt = build_timeline(sim_3seg)
+        assert rebuilt.to_rows() == report_3seg.timeline.to_rows()

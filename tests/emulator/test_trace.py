@@ -1,0 +1,115 @@
+"""Event tracing and VCD export tests."""
+
+import pytest
+
+from repro.emulator.kernel import PlatformSpec, Simulation
+from repro.emulator.trace import Tracer, export_vcd
+from repro.psdf.graph import PSDFGraph
+
+
+@pytest.fixture
+def traced_sim():
+    graph = PSDFGraph.from_edges(
+        [("A", "B", 72, 1, 50), ("B", "C", 36, 2, 40)]
+    )
+    spec = PlatformSpec(
+        package_size=36,
+        segment_frequencies_mhz={1: 100.0, 2: 100.0},
+        ca_frequency_mhz=100.0,
+        placement={"A": 1, "B": 1, "C": 2},
+    )
+    tracer = Tracer()
+    sim = Simulation(graph, spec, tracer=tracer).run()
+    return sim, tracer
+
+
+class TestTracer:
+    def test_events_in_time_order(self, traced_sim):
+        _, tracer = traced_sim
+        times = [e.time_fs for e in tracer.events]
+        assert times == sorted(times)
+
+    def test_lifecycle_events_present(self, traced_sim):
+        _, tracer = traced_sim
+        kinds = {e.kind for e in tracer.events}
+        assert {"fire", "request", "grant", "transfer_done", "deliver",
+                "circuit_grant", "fill_done", "hop_done",
+                "process_done"} <= kinds
+
+    def test_event_counts_match_counters(self, traced_sim):
+        sim, tracer = traced_sim
+        # one fire per process, one deliver per received package
+        assert len(tracer.of_kind("fire")) == len(sim.process_counters)
+        delivered = sum(
+            c.packages_received for c in sim.process_counters.values()
+        )
+        assert len(tracer.of_kind("deliver")) == delivered
+        # inter-segment packages each get a circuit grant
+        assert len(tracer.of_kind("circuit_grant")) == \
+            sim.ca.counters.grants
+
+    def test_about_filters_by_subject(self, traced_sim):
+        _, tracer = traced_sim
+        a_events = tracer.about("A")
+        assert a_events
+        assert all(e.subject == "A" for e in a_events)
+
+    def test_format_log(self, traced_sim):
+        _, tracer = traced_sim
+        log = tracer.format_log(limit=5)
+        assert len(log.splitlines()) == 5
+        assert "fire" in log
+
+    def test_untraced_run_has_no_overhead_hooks(self):
+        graph = PSDFGraph.from_edges([("A", "B", 36, 1, 50)])
+        spec = PlatformSpec(
+            package_size=36,
+            segment_frequencies_mhz={1: 100.0},
+            ca_frequency_mhz=100.0,
+            placement={"A": 1, "B": 1},
+        )
+        sim = Simulation(graph, spec).run()  # tracer=None must be fine
+        assert sim.tracer is None
+
+
+class TestVCD:
+    def test_header_and_signals(self, traced_sim):
+        sim, _ = traced_sim
+        vcd = export_vcd(sim)
+        assert "$timescale 1ps $end" in vcd
+        assert "$enddefinitions $end" in vcd
+        assert "segment1_busy" in vcd
+        assert "segment2_busy" in vcd
+        assert "bu12_occupancy" in vcd
+        assert "A_active" in vcd
+        assert "ca_circuits" in vcd
+
+    def test_timestamps_monotone(self, traced_sim):
+        sim, _ = traced_sim
+        stamps = [
+            int(line[1:])
+            for line in export_vcd(sim).splitlines()
+            if line.startswith("#")
+        ]
+        assert stamps == sorted(stamps)
+
+    def test_writes_file(self, traced_sim, tmp_path):
+        sim, _ = traced_sim
+        target = tmp_path / "run.vcd"
+        text = export_vcd(sim, path=target)
+        assert target.read_text() == text
+
+    def test_busy_wire_toggles(self, traced_sim):
+        sim, _ = traced_sim
+        vcd = export_vcd(sim)
+        # find segment1_busy's id, then check both 0 and 1 values appear
+        for line in vcd.splitlines():
+            if "segment1_busy" in line:
+                vcd_id = line.split()[3]
+                break
+        assert f"1{vcd_id}" in vcd and f"0{vcd_id}" in vcd
+
+    def test_mp3_vcd_exports(self, sim_3seg):
+        vcd = export_vcd(sim_3seg)
+        assert "bu23_occupancy" in vcd
+        assert vcd.count("#") > 100  # plenty of change points

@@ -1,0 +1,17 @@
+"""CLI analytic subcommand test."""
+
+from repro.cli import main
+
+
+def test_analytic_prints_diagnosis(capsys):
+    rc = main(["analytic", "--segments", "3"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "analytic (contention-free)" in out
+    assert "contention cost" in out
+
+
+def test_analytic_one_segment(capsys):
+    rc = main(["analytic", "--segments", "1", "--package-size", "18"])
+    assert rc == 0
+    assert "emulated" in capsys.readouterr().out

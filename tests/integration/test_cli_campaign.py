@@ -1,0 +1,33 @@
+"""CLI campaign subcommand tests."""
+
+from repro.cli import main
+
+
+def test_campaign_prints_table_and_best(capsys, tmp_path):
+    csv_path = tmp_path / "results.csv"
+    rc = main(
+        [
+            "campaign",
+            "--app", "mp3",
+            "--segments", "3",
+            "--package-sizes", "18", "36",
+            "--csv", str(csv_path),
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "| name |" in out
+    assert "best: s36" in out  # larger packages win on the MP3 workload
+    assert csv_path.exists()
+    assert "execution_time_us" in csv_path.read_text()
+
+
+def test_campaign_jpeg(capsys):
+    rc = main(["campaign", "--app", "jpeg", "--package-sizes", "36"])
+    assert rc == 0
+    assert "s36" in capsys.readouterr().out
+
+
+def test_campaign_unknown_app(capsys):
+    rc = main(["campaign", "--app", "doom"])
+    assert rc == 2

@@ -1,0 +1,31 @@
+"""CLI compare subcommand tests."""
+
+from repro.apps.mp3 import paper_allocation, paper_platform
+from repro.cli import main
+from repro.xmlio.psm_writer import psm_to_xml
+
+
+def write_psm(path, platform):
+    path.write_text(psm_to_xml(platform), encoding="utf-8")
+    return path
+
+
+def test_identical_platforms_exit_zero(capsys, tmp_path):
+    a = write_psm(tmp_path / "a.xml", paper_platform(3))
+    b = write_psm(tmp_path / "b.xml", paper_platform(3))
+    rc = main(["compare", str(a), str(b)])
+    assert rc == 0
+    assert "identical" in capsys.readouterr().out
+
+
+def test_different_platforms_exit_one(capsys, tmp_path):
+    a = write_psm(tmp_path / "a.xml", paper_platform(3))
+    moved = paper_allocation(3).moved("P9", 3)
+    b = write_psm(
+        tmp_path / "b.xml", paper_platform(3, package_size=18, allocation=moved)
+    )
+    rc = main(["compare", str(a), str(b)])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "package_size platform: 36 -> 18" in out
+    assert "placement P9: segment 1 -> segment 3" in out

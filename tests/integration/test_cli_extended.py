@@ -1,0 +1,45 @@
+"""CLI tests for the power / codegen / trace subcommands."""
+
+from repro.cli import main
+
+
+class TestPower:
+    def test_prints_energy_table(self, capsys):
+        rc = main(["power", "--segments", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Segment1" in out
+        assert "TOTAL" in out
+        assert "average power" in out
+
+
+class TestCodegen:
+    def test_writes_vhdl_files(self, tmp_path, capsys):
+        rc = main(
+            ["codegen", "--segments", "3", "--output-dir", str(tmp_path / "rtl")]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "central_arbiter.vhd" in out
+        assert (tmp_path / "rtl" / "sa1_arbiter.vhd").exists()
+        text = (tmp_path / "rtl" / "schedule_rom_pkg.vhd").read_text()
+        assert "C_PROCESS_COUNT : natural := 15" in text
+
+
+class TestTrace:
+    def test_writes_vcd(self, tmp_path, capsys):
+        target = tmp_path / "run.vcd"
+        rc = main(["trace", "--segments", "3", "--output", str(target)])
+        assert rc == 0
+        assert target.exists()
+        assert "$timescale" in target.read_text()
+        assert "events" in capsys.readouterr().out
+
+    def test_log_option_prints_events(self, tmp_path, capsys):
+        target = tmp_path / "run.vcd"
+        rc = main(
+            ["trace", "--output", str(target), "--log", "5"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fire" in out

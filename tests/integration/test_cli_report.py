@@ -1,0 +1,13 @@
+"""CLI report subcommand test."""
+
+from repro.cli import main
+
+
+def test_report_writes_markdown(capsys, tmp_path):
+    target = tmp_path / "repro.md"
+    rc = main(["report", "--output", str(target)])
+    assert rc == 0
+    assert "wrote" in capsys.readouterr().out
+    text = target.read_text()
+    assert "# SegBus reproduction report" in text
+    assert "| BU12 TCT | 2336 | 2336 |" in text

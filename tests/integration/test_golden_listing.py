@@ -1,0 +1,36 @@
+"""Golden-file regression pin for the headline experiment.
+
+The 3-segment, s = 36 results listing is the paper's central artifact; this
+test pins it byte-for-byte.  Any change to the kernel's timing semantics,
+the MP3 calibration or the report formatting shows up here as a readable
+diff.  If a change is *intentional*, regenerate the golden file:
+
+    python -c "from repro import emulate, mp3_decoder_psdf, paper_platform;
+    open('tests/integration/golden/mp3_3seg_s36_listing.txt','w').write(
+    emulate(mp3_decoder_psdf(), paper_platform(3)).format_listing() + '\\n')"
+
+and justify the new numbers against EXPERIMENTS.md.
+"""
+
+from pathlib import Path
+
+GOLDEN = Path(__file__).parent / "golden" / "mp3_3seg_s36_listing.txt"
+
+
+def test_listing_matches_golden(report_3seg):
+    expected = GOLDEN.read_text()
+    actual = report_3seg.format_listing() + "\n"
+    assert actual == expected, (
+        "the 3-segment results listing changed; if intentional, regenerate "
+        f"{GOLDEN} (see module docstring) and update EXPERIMENTS.md"
+    )
+
+
+def test_golden_contains_paper_checkpoints():
+    text = GOLDEN.read_text()
+    # spot-check that the pinned artifact still matches the paper-exact rows
+    assert "P0, Start Time = 10989ps" in text
+    assert "Total input packages = 32," in text
+    assert "TCT = 2336" in text
+    assert "TCT = 146" in text
+    assert "Total inter-segment requests = 1" in text

@@ -1,0 +1,75 @@
+"""Wide-platform integration: many segments, double-digit BU names."""
+
+import pytest
+
+from repro.emulator.emulator import emulate
+from repro.model.builder import PlatformBuilder
+from repro.model.validation import validate_platform
+from repro.psdf.generators import chain_psdf
+from repro.xmlio.psm_parser import parse_psm_xml
+from repro.xmlio.psm_writer import psm_to_xml
+
+
+def wide_platform(segments, application):
+    builder = PlatformBuilder("SBP", package_size=36)
+    for i in range(segments):
+        builder.segment(frequency_mhz=90 + i)
+    builder.central_arbiter(frequency_mhz=120)
+    builder.auto_border_units()
+    names = list(application.process_names)
+    for i, name in enumerate(names):
+        builder.place(name, (i % segments) + 1)
+    platform = builder.build()
+    for name in names:
+        fu = platform.fu_of_process(name)
+        if application.outgoing(name):
+            fu.add_master()
+        if application.incoming(name):
+            fu.add_slave()
+    return platform
+
+
+@pytest.fixture(scope="module")
+def app12():
+    return chain_psdf(12, items_per_stage=108, ticks_per_package=60)
+
+
+class TestTwelveSegments:
+    def test_platform_validates(self, app12):
+        platform = wide_platform(12, app12)
+        report = validate_platform(platform, app12)
+        assert report.ok, report.diagnostics
+
+    def test_double_digit_bu_names_roundtrip(self, app12):
+        platform = wide_platform(12, app12)
+        parsed = parse_psm_xml(psm_to_xml(platform))
+        assert (9, 10) in parsed.bu_pairs
+        assert (10, 11) in parsed.bu_pairs
+        assert (11, 12) in parsed.bu_pairs
+        assert parsed.segment_count == 12
+
+    def test_emulates_clean(self, app12):
+        platform = wide_platform(12, app12)
+        report = emulate(app12, platform)
+        assert report.execution_time_us > 0
+        # the chain snakes across all twelve segments: every BU carries traffic
+        assert all(b.input_packages > 0 for b in report.bu_results)
+        assert len(report.bu_results) == 11
+
+    def test_long_path_transfer(self, app12):
+        # place the chain's ends at the extremes: a 11-hop circuit
+        from repro.psdf.graph import PSDFGraph
+
+        graph = PSDFGraph.from_edges([("A", "B", 36, 1, 40)])
+        builder = PlatformBuilder("SBP", package_size=36)
+        for i in range(12):
+            builder.segment(frequency_mhz=100)
+        builder.central_arbiter(frequency_mhz=120)
+        builder.auto_border_units()
+        builder.place("A", 1).place("B", 12)
+        platform = builder.build()
+        platform.fu_of_process("A").add_master()
+        platform.fu_of_process("B").add_slave()
+        report = emulate(graph, platform)
+        assert report.bu(11, 12).transferred_to_right == 1
+        assert report.bu(1, 2).received_from_left == 1

@@ -1,0 +1,131 @@
+"""Fluent platform builder tests."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.builder import PlatformBuilder, uniform_platform
+from repro.units import Frequency
+
+
+def test_segments_numbered_in_order():
+    platform = (
+        PlatformBuilder()
+        .segment(frequency_mhz=91)
+        .segment(frequency_mhz=98)
+        .central_arbiter(frequency_mhz=111)
+        .build()
+    )
+    assert [s.index for s in platform.segments] == [1, 2]
+    assert platform.segment(1).frequency.mhz == pytest.approx(91)
+
+
+def test_explicit_index():
+    platform = (
+        PlatformBuilder()
+        .segment(frequency_mhz=91, index=2)
+        .segment(frequency_mhz=98, index=1)
+        .central_arbiter(frequency_mhz=111)
+        .build()
+    )
+    assert [s.index for s in platform.segments] == [1, 2]
+
+
+def test_accepts_frequency_objects():
+    platform = (
+        PlatformBuilder()
+        .segment(frequency_mhz=Frequency.from_mhz(89))
+        .central_arbiter(frequency_mhz=111)
+        .build()
+    )
+    assert platform.segment(1).frequency.mhz == pytest.approx(89)
+
+
+def test_auto_border_units():
+    platform = (
+        PlatformBuilder()
+        .segment(frequency_mhz=91)
+        .segment(frequency_mhz=98)
+        .segment(frequency_mhz=89)
+        .central_arbiter(frequency_mhz=111)
+        .auto_border_units()
+        .build()
+    )
+    assert {(b.left, b.right) for b in platform.border_units} == {(1, 2), (2, 3)}
+
+
+def test_auto_border_units_respects_existing():
+    platform = (
+        PlatformBuilder()
+        .segment(frequency_mhz=91)
+        .segment(frequency_mhz=98)
+        .border_unit(1, 2, depth=4)
+        .central_arbiter(frequency_mhz=111)
+        .auto_border_units()
+        .build()
+    )
+    assert len(platform.border_units) == 1
+    assert platform.border_unit(1, 2).depth == 4
+
+
+def test_place_creates_fu():
+    platform = (
+        PlatformBuilder()
+        .segment(frequency_mhz=91)
+        .central_arbiter(frequency_mhz=111)
+        .place("P0", 1)
+        .build()
+    )
+    assert platform.segment_of_process("P0") == 1
+
+
+def test_place_all():
+    platform = (
+        PlatformBuilder()
+        .segment(frequency_mhz=91)
+        .segment(frequency_mhz=98)
+        .central_arbiter(frequency_mhz=111)
+        .auto_border_units()
+        .place_all({"P0": 1, "P1": 2, "P2": 1})
+        .build()
+    )
+    assert platform.process_placement() == {"P0": 1, "P1": 2, "P2": 1}
+
+
+def test_place_groups():
+    platform = (
+        PlatformBuilder()
+        .segment(frequency_mhz=91)
+        .segment(frequency_mhz=98)
+        .central_arbiter(frequency_mhz=111)
+        .auto_border_units()
+        .place_groups([["P0", "P1"], ["P2"]])
+        .build()
+    )
+    assert platform.process_placement() == {"P0": 1, "P1": 1, "P2": 2}
+
+
+def test_builder_single_use():
+    builder = PlatformBuilder().segment(frequency_mhz=91)
+    builder.central_arbiter(frequency_mhz=111)
+    builder.build()
+    with pytest.raises(ModelError):
+        builder.segment(frequency_mhz=98)
+    with pytest.raises(ModelError):
+        builder.build()
+
+
+def test_uniform_platform():
+    platform = uniform_platform(3, frequency_mhz=100, ca_frequency_mhz=120).build()
+    assert platform.segment_count == 3
+    assert len(platform.border_units) == 2
+    assert platform.central_arbiter.frequency.mhz == pytest.approx(120)
+
+
+def test_uniform_platform_ca_defaults_to_segment_clock():
+    platform = uniform_platform(2, frequency_mhz=80).build()
+    assert platform.central_arbiter.frequency.mhz == pytest.approx(80)
+
+
+def test_uniform_platform_rejects_zero_segments():
+    with pytest.raises(ModelError):
+        uniform_platform(0)

@@ -1,0 +1,76 @@
+"""Platform diff tests."""
+
+import pytest
+
+from repro.apps.mp3 import paper_allocation, paper_platform
+from repro.model.compare import diff_platforms
+
+
+class TestIdentical:
+    def test_same_platform_is_identical(self, platform_3seg):
+        diff = diff_platforms(platform_3seg, platform_3seg)
+        assert diff.identical
+        assert diff.format() == "(identical configurations)"
+
+    def test_fresh_builds_identical(self):
+        assert diff_platforms(paper_platform(3), paper_platform(3)).identical
+
+
+class TestParameterChanges:
+    def test_package_size(self):
+        diff = diff_platforms(paper_platform(3), paper_platform(3, package_size=18))
+        changes = diff.of_kind("package_size")
+        assert len(changes) == 1
+        assert (changes[0].before, changes[0].after) == ("36", "18")
+
+    def test_segment_count_and_structure(self):
+        diff = diff_platforms(paper_platform(3), paper_platform(2))
+        assert diff.of_kind("segment_count")
+        # segment 3 disappears; many processes move
+        removed = [c for c in diff.of_kind("segment") if c.after is None]
+        assert removed and removed[0].subject == "Segment3"
+
+    def test_placement_move(self):
+        moved = paper_allocation(3).moved("P9", 3)
+        diff = diff_platforms(
+            paper_platform(3), paper_platform(3, allocation=moved)
+        )
+        assert diff.moved_processes() == ("P9",)
+        change = diff.of_kind("placement")[0]
+        assert change.before == "segment 1"
+        assert change.after == "segment 3"
+
+    def test_policy_change(self, mp3_graph):
+        from repro.model.mapping import map_application
+
+        a = paper_platform(3)
+        psm = map_application(
+            mp3_graph, paper_allocation(3),
+            segment_frequencies_mhz=[91, 98, 89], ca_frequency_mhz=111,
+        )
+        b = psm.platform
+        from repro.model.elements import SegmentArbiter
+
+        b.segment(2).arbiter = SegmentArbiter("SA2", policy="fixed-priority")
+        diff = diff_platforms(a, b)
+        policy = diff.of_kind("sa_policy")
+        assert len(policy) == 1
+        assert policy[0].subject == "SA2"
+
+    def test_clock_change(self, mp3_graph):
+        from repro.model.mapping import map_application
+
+        psm = map_application(
+            mp3_graph, paper_allocation(3),
+            segment_frequencies_mhz=[91, 98, 120], ca_frequency_mhz=133,
+        )
+        diff = diff_platforms(paper_platform(3), psm.platform)
+        assert any(
+            c.subject == "Segment3" and c.after == "120MHz"
+            for c in diff.of_kind("segment_clock")
+        )
+        assert diff.of_kind("ca_clock")
+
+    def test_format_readable(self):
+        diff = diff_platforms(paper_platform(3), paper_platform(3, package_size=18))
+        assert "package_size platform: 36 -> 18" in diff.format()

@@ -1,0 +1,123 @@
+"""OCL-style constraint checks, one test per rule breach."""
+
+import pytest
+
+from repro.model.builder import PlatformBuilder
+from repro.model.constraints import STRUCTURAL_CONSTRAINTS
+from repro.model.elements import (
+    BorderUnit,
+    CentralArbiter,
+    FunctionalUnit,
+    Segment,
+    SegBusPlatform,
+)
+from repro.model.validation import validate_platform
+from repro.units import Frequency
+
+F = Frequency.from_mhz(100)
+
+
+def valid_platform():
+    builder = (
+        PlatformBuilder("SBP", package_size=36)
+        .segment(frequency_mhz=91)
+        .segment(frequency_mhz=98)
+        .central_arbiter(frequency_mhz=111)
+        .auto_border_units()
+        .place("P0", 1)
+        .place("P1", 2)
+    )
+    platform = builder.build()
+    platform.fu_of_process("P0").add_master()
+    platform.fu_of_process("P1").add_slave()
+    return platform
+
+
+def diagnostics_of(platform):
+    return validate_platform(platform).diagnostics
+
+
+def test_registry_ids_unique():
+    ids = [c.identifier for c in STRUCTURAL_CONSTRAINTS]
+    assert len(ids) == len(set(ids))
+
+
+def test_valid_platform_passes_all():
+    report = validate_platform(valid_platform())
+    assert report.ok
+    assert report.checked == len(STRUCTURAL_CONSTRAINTS)
+
+
+def test_missing_ca_detected():
+    platform = SegBusPlatform()
+    seg = Segment(1, F)
+    fu = FunctionalUnit("FU_P0", "P0")
+    fu.add_master()
+    seg.add_fu(fu)
+    platform.add_segment(seg)
+    assert any("SBP-CA-1" in d for d in diagnostics_of(platform))
+
+
+def test_no_segments_detected():
+    platform = SegBusPlatform()
+    platform.set_central_arbiter(CentralArbiter("CA", F))
+    assert any("SBP-SEG-1" in d for d in diagnostics_of(platform))
+
+
+def test_non_contiguous_indices_detected():
+    platform = SegBusPlatform()
+    platform.set_central_arbiter(CentralArbiter("CA", F))
+    seg = Segment(2, F)
+    fu = FunctionalUnit("FU_P0", "P0")
+    fu.add_slave()
+    seg.add_fu(fu)
+    platform.add_segment(seg)
+    assert any("SBP-SEG-2" in d for d in diagnostics_of(platform))
+
+
+def test_empty_segment_detected():
+    platform = SegBusPlatform()
+    platform.set_central_arbiter(CentralArbiter("CA", F))
+    platform.add_segment(Segment(1, F))
+    assert any("SEG-FU-1" in d for d in diagnostics_of(platform))
+
+
+def test_missing_bu_detected():
+    platform = valid_platform()
+    platform.border_units.clear()
+    assert any("SBP-BU-1" in d and "missing BU" in d for d in diagnostics_of(platform))
+
+
+def test_extra_bu_detected():
+    platform = valid_platform()
+    platform.border_units.append(BorderUnit(2, 3))
+    assert any(
+        "SBP-BU-1" in d and "does not match" in d for d in diagnostics_of(platform)
+    )
+
+
+def test_fu_without_endpoint_detected():
+    platform = valid_platform()
+    platform.fu_of_process("P0").masters.clear()
+    assert any("FU-EP-1" in d for d in diagnostics_of(platform))
+
+
+def test_duplicate_mapping_detected():
+    platform = valid_platform()
+    # bypass Segment.add_fu's own check by appending directly
+    stray = FunctionalUnit("FU_P0_dup", "P0")
+    stray.add_slave()
+    platform.segment(2).fus.append(stray)
+    assert any("MAP-1" in d for d in diagnostics_of(platform))
+
+
+def test_tampered_package_size_detected():
+    platform = valid_platform()
+    platform.package_size = 0
+    assert any("SBP-PKG-1" in d for d in diagnostics_of(platform))
+
+
+def test_sa_removed_detected():
+    platform = valid_platform()
+    platform.segment(1).arbiter = None
+    assert any("SEG-SA-1" in d for d in diagnostics_of(platform))

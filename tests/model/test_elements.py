@@ -1,0 +1,155 @@
+"""Platform element classes: composition rules and lookups."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.elements import (
+    BorderUnit,
+    CentralArbiter,
+    FunctionalUnit,
+    Segment,
+    SegmentArbiter,
+    SegBusPlatform,
+)
+from repro.units import Frequency
+
+F91 = Frequency.from_mhz(91)
+F111 = Frequency.from_mhz(111)
+
+
+class TestFunctionalUnit:
+    def test_requires_process(self):
+        with pytest.raises(ModelError):
+            FunctionalUnit("FU_X", process="")
+
+    def test_add_master_names(self):
+        fu = FunctionalUnit("FU_P0", process="P0")
+        m0 = fu.add_master()
+        m1 = fu.add_master()
+        assert m0.name != m1.name
+        assert len(fu.masters) == 2
+
+    def test_add_slave(self):
+        fu = FunctionalUnit("FU_P0", process="P0")
+        fu.add_slave("custom")
+        assert fu.slaves[0].name == "custom"
+
+    def test_library_tag(self):
+        fu = FunctionalUnit("FU_P0", process="P0", library="dsp")
+        assert fu.get_tag("library") == "dsp"
+
+
+class TestSegmentArbiter:
+    def test_default_policy(self):
+        assert SegmentArbiter("SA1").policy == "round-robin"
+
+    def test_fixed_priority(self):
+        assert SegmentArbiter("SA1", policy="fixed-priority").policy == "fixed-priority"
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ModelError):
+            SegmentArbiter("SA1", policy="random")
+
+
+class TestBorderUnit:
+    def test_default_name(self):
+        assert BorderUnit(1, 2).name == "BU12"
+
+    def test_bridges(self):
+        bu = BorderUnit(2, 3)
+        assert bu.bridges(2, 3)
+        assert bu.bridges(3, 2)
+        assert not bu.bridges(1, 2)
+
+    def test_rejects_non_adjacent(self):
+        with pytest.raises(ModelError):
+            BorderUnit(1, 3)
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ModelError):
+            BorderUnit(1, 2, depth=0)
+
+
+class TestSegment:
+    def test_gets_arbiter(self):
+        seg = Segment(1, F91)
+        assert seg.arbiter.name == "SA1"
+
+    def test_rejects_zero_index(self):
+        with pytest.raises(ModelError):
+            Segment(0, F91)
+
+    def test_add_fu(self):
+        seg = Segment(1, F91)
+        seg.add_fu(FunctionalUnit("FU_P0", process="P0"))
+        assert seg.processes == ("P0",)
+
+    def test_rejects_duplicate_process(self):
+        seg = Segment(1, F91)
+        seg.add_fu(FunctionalUnit("FU_P0", process="P0"))
+        with pytest.raises(ModelError):
+            seg.add_fu(FunctionalUnit("FU_P0b", process="P0"))
+
+
+class TestPlatform:
+    def build(self):
+        platform = SegBusPlatform("SBP", package_size=36)
+        for i in (1, 2):
+            seg = Segment(i, F91)
+            seg.add_fu(FunctionalUnit(f"FU_P{i}", process=f"P{i}"))
+            platform.add_segment(seg)
+        platform.add_border_unit(BorderUnit(1, 2))
+        platform.set_central_arbiter(CentralArbiter("CA", F111))
+        return platform
+
+    def test_segment_lookup(self):
+        assert self.build().segment(2).index == 2
+
+    def test_segment_lookup_missing(self):
+        with pytest.raises(ModelError):
+            self.build().segment(9)
+
+    def test_border_unit_lookup(self):
+        assert self.build().border_unit(1, 2).name == "BU12"
+
+    def test_border_unit_missing(self):
+        with pytest.raises(ModelError):
+            self.build().border_unit(2, 3)
+
+    def test_rejects_duplicate_segment_index(self):
+        platform = self.build()
+        with pytest.raises(ModelError):
+            platform.add_segment(Segment(1, F91))
+
+    def test_rejects_duplicate_bu(self):
+        platform = self.build()
+        with pytest.raises(ModelError):
+            platform.add_border_unit(BorderUnit(1, 2))
+
+    def test_rejects_second_ca(self):
+        platform = self.build()
+        with pytest.raises(ModelError, match="exactly one CA"):
+            platform.set_central_arbiter(CentralArbiter("CA2", F111))
+
+    def test_segment_of_process(self):
+        assert self.build().segment_of_process("P2") == 2
+
+    def test_segment_of_unmapped_process(self):
+        with pytest.raises(ModelError):
+            self.build().segment_of_process("P9")
+
+    def test_process_placement(self):
+        assert self.build().process_placement() == {"P1": 1, "P2": 2}
+
+    def test_fu_of_process(self):
+        assert self.build().fu_of_process("P1").process == "P1"
+
+    def test_rejects_bad_package_size(self):
+        with pytest.raises(ModelError):
+            SegBusPlatform(package_size=0)
+
+    def test_segments_sorted_by_index(self):
+        platform = SegBusPlatform()
+        platform.add_segment(Segment(2, F91))
+        platform.add_segment(Segment(1, F91))
+        assert [s.index for s in platform.segments] == [1, 2]

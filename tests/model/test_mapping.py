@@ -1,0 +1,134 @@
+"""Allocation and PSM-mapping tests."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.model.mapping import Allocation, map_application
+from repro.psdf.graph import PSDFGraph
+
+
+@pytest.fixture
+def app():
+    return PSDFGraph.from_edges(
+        [("P0", "P1", 72, 1, 50), ("P1", "P2", 72, 2, 50)]
+    )
+
+
+class TestAllocation:
+    def test_from_groups(self):
+        alloc = Allocation.from_groups([["P0", "P1"], ["P2"]])
+        assert alloc.segment_count == 2
+        assert alloc.placement() == {"P0": 1, "P1": 1, "P2": 2}
+
+    def test_from_placement_roundtrip(self):
+        placement = {"P0": 1, "P1": 2, "P2": 1}
+        alloc = Allocation.from_placement(placement)
+        assert alloc.placement() == placement
+
+    def test_from_placement_rejects_empty(self):
+        with pytest.raises(MappingError):
+            Allocation.from_placement({})
+
+    def test_from_placement_rejects_zero_index(self):
+        with pytest.raises(MappingError):
+            Allocation.from_placement({"P0": 0})
+
+    def test_duplicate_process_rejected(self):
+        alloc = Allocation.from_groups([["P0"], ["P0"]])
+        with pytest.raises(MappingError):
+            alloc.placement()
+
+    def test_str_uses_paper_notation(self):
+        alloc = Allocation.from_groups([["P0", "P1"], ["P2"]])
+        assert str(alloc) == "P0 P1 || P2"
+
+    def test_moved(self):
+        alloc = Allocation.from_groups([["P0", "P9"], ["P1"], ["P4"]])
+        moved = alloc.moved("P9", 3)
+        assert moved.placement() == {"P0": 1, "P1": 2, "P4": 3, "P9": 3}
+        # original untouched
+        assert alloc.placement()["P9"] == 1
+
+    def test_moved_unknown_process(self):
+        alloc = Allocation.from_groups([["P0"], ["P1"]])
+        with pytest.raises(MappingError):
+            alloc.moved("P9", 2)
+
+    def test_moved_bad_target(self):
+        alloc = Allocation.from_groups([["P0"], ["P1"]])
+        with pytest.raises(MappingError):
+            alloc.moved("P0", 5)
+
+
+class TestMapApplication:
+    def test_builds_valid_psm(self, app):
+        psm = map_application(
+            app,
+            Allocation.from_groups([["P0", "P1"], ["P2"]]),
+            segment_frequencies_mhz=[91, 98],
+            ca_frequency_mhz=111,
+            package_size=36,
+        )
+        assert psm.platform.segment_count == 2
+        assert psm.package_size == 36
+        assert psm.placement() == {"P0": 1, "P1": 1, "P2": 2}
+
+    def test_masters_and_slaves_by_flow_direction(self, app):
+        psm = map_application(
+            app,
+            Allocation.from_groups([["P0", "P1"], ["P2"]]),
+            segment_frequencies_mhz=[91, 98],
+            ca_frequency_mhz=111,
+        )
+        p0 = psm.platform.fu_of_process("P0")
+        p1 = psm.platform.fu_of_process("P1")
+        p2 = psm.platform.fu_of_process("P2")
+        assert p0.masters and not p0.slaves
+        assert p1.masters and p1.slaves
+        assert p2.slaves and not p2.masters
+
+    def test_frequency_count_mismatch(self, app):
+        with pytest.raises(MappingError):
+            map_application(
+                app,
+                Allocation.from_groups([["P0", "P1"], ["P2"]]),
+                segment_frequencies_mhz=[91],
+                ca_frequency_mhz=111,
+            )
+
+    def test_unallocated_process_rejected(self, app):
+        with pytest.raises(MappingError, match="P2"):
+            map_application(
+                app,
+                Allocation.from_groups([["P0", "P1"]]),
+                segment_frequencies_mhz=[91],
+                ca_frequency_mhz=111,
+            )
+
+    def test_unknown_process_in_allocation_rejected(self, app):
+        with pytest.raises(MappingError, match="P9"):
+            map_application(
+                app,
+                Allocation.from_groups([["P0", "P1", "P9"], ["P2"]]),
+                segment_frequencies_mhz=[91, 98],
+                ca_frequency_mhz=111,
+            )
+
+    def test_empty_segment_fails_validation(self, app):
+        with pytest.raises(Exception, match="SEG-FU-1"):
+            map_application(
+                app,
+                Allocation.from_groups([["P0", "P1", "P2"], []]),
+                segment_frequencies_mhz=[91, 98],
+                ca_frequency_mhz=111,
+            )
+
+    def test_validate_false_skips_checks(self, app):
+        psm = map_application(
+            app,
+            Allocation.from_groups([["P0", "P1", "P2"], []]),
+            segment_frequencies_mhz=[91, 98],
+            ca_frequency_mhz=111,
+            validate=False,
+        )
+        assert psm.platform.segment_count == 2

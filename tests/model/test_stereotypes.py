@@ -1,0 +1,83 @@
+"""UML-profile machinery tests."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.stereotypes import (
+    KERNEL_CLASS,
+    STEREOTYPES,
+    Stereotype,
+    StereotypedElement,
+)
+
+
+class TestRegistry:
+    def test_platform_stereotypes_present(self):
+        for name in (
+            "SegBusPlatform",
+            "Segment",
+            "CentralArbiter",
+            "SegmentArbiter",
+            "BorderUnit",
+            "FunctionalUnit",
+            "Master",
+            "Slave",
+        ):
+            assert name in STEREOTYPES
+
+    def test_psdf_stereotypes_added_by_paper(self):
+        # section 2.2: "we introduce three new stereotypes"
+        for name in ("InitialNode", "ProcessNode", "FinalNode"):
+            assert name in STEREOTYPES
+
+    def test_all_extend_kernel_class(self):
+        assert all(s.metaclass == KERNEL_CLASS for s in STEREOTYPES.values())
+
+
+class TestTagChecking:
+    def test_known_tag_correct_type(self):
+        STEREOTYPES["Segment"].check_tag("index", 3)
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ModelError, match="no tag"):
+            STEREOTYPES["Segment"].check_tag("voltage", 1.2)
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(ModelError, match="expects"):
+            STEREOTYPES["Segment"].check_tag("index", "three")
+
+
+class _Fake(StereotypedElement):
+    STEREOTYPE = "Segment"
+
+
+class _Broken(StereotypedElement):
+    STEREOTYPE = "NotAStereotype"
+
+
+class TestStereotypedElement:
+    def test_tag_roundtrip(self):
+        element = _Fake("seg")
+        element.set_tag("index", 2)
+        assert element.get_tag("index") == 2
+
+    def test_get_tag_default(self):
+        assert _Fake("seg").get_tag("index", 7) == 7
+
+    def test_tag_items_sorted(self):
+        element = _Fake("seg")
+        element.set_tag("index", 2)
+        element.set_tag("frequencyMHz", 91.0)
+        assert element.tag_items == (("frequencyMHz", 91.0), ("index", 2))
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ModelError):
+            _Fake("")
+
+    def test_rejects_unknown_stereotype(self):
+        with pytest.raises(ModelError):
+            _Broken("x")
+
+    def test_set_tag_type_checked(self):
+        with pytest.raises(ModelError):
+            _Fake("seg").set_tag("index", "two")

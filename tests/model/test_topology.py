@@ -1,0 +1,63 @@
+"""Linear topology routing tests."""
+
+import pytest
+
+from repro.errors import ModelError, RoutingError
+from repro.model.topology import LinearTopology
+
+
+class TestConstruction:
+    def test_single_segment_has_no_bus(self):
+        assert LinearTopology(1).bu_pairs == ()
+
+    def test_bu_pairs(self):
+        assert LinearTopology(4).bu_pairs == ((1, 2), (2, 3), (3, 4))
+
+    def test_rejects_zero_segments(self):
+        with pytest.raises(ModelError):
+            LinearTopology(0)
+
+
+class TestRouting:
+    topo = LinearTopology(4)
+
+    def test_hops(self):
+        assert self.topo.hops(1, 4) == 3
+        assert self.topo.hops(3, 3) == 0
+        assert self.topo.hops(4, 2) == 2
+
+    def test_path_rightward(self):
+        assert self.topo.path(1, 3) == (1, 2, 3)
+
+    def test_path_leftward(self):
+        assert self.topo.path(4, 2) == (4, 3, 2)
+
+    def test_path_local(self):
+        assert self.topo.path(2, 2) == (2,)
+
+    def test_bus_on_path_rightward(self):
+        assert self.topo.bus_on_path(1, 3) == ((1, 2), (2, 3))
+
+    def test_bus_on_path_leftward(self):
+        assert self.topo.bus_on_path(3, 1) == ((2, 3), (1, 2))
+
+    def test_bus_on_path_local(self):
+        assert self.topo.bus_on_path(2, 2) == ()
+
+    def test_direction(self):
+        assert self.topo.direction(1, 3) == 1
+        assert self.topo.direction(3, 1) == -1
+        assert self.topo.direction(2, 2) == 0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(RoutingError):
+            self.topo.path(0, 2)
+        with pytest.raises(RoutingError):
+            self.topo.hops(1, 5)
+
+    def test_path_endpoints_consistent_with_hops(self):
+        for a in range(1, 5):
+            for b in range(1, 5):
+                path = self.topo.path(a, b)
+                assert len(path) - 1 == self.topo.hops(a, b)
+                assert path[0] == a and path[-1] == b

@@ -1,0 +1,80 @@
+"""Validation report and application cross-check tests."""
+
+import pytest
+
+from repro.errors import ConstraintViolation
+from repro.model.builder import PlatformBuilder
+from repro.model.validation import validate_platform, validated_placement
+from repro.psdf.graph import PSDFGraph
+
+
+@pytest.fixture
+def app():
+    return PSDFGraph.from_edges([("P0", "P1", 72, 1, 50)])
+
+
+def platform_for(app, place_all=True):
+    builder = (
+        PlatformBuilder()
+        .segment(frequency_mhz=91)
+        .segment(frequency_mhz=98)
+        .central_arbiter(frequency_mhz=111)
+        .auto_border_units()
+        .place("P0", 1)
+    )
+    if place_all:
+        builder.place("P1", 2)
+    platform = builder.build()
+    platform.fu_of_process("P0").add_master()
+    if place_all:
+        platform.fu_of_process("P1").add_slave()
+    return platform
+
+
+def test_ok_report(app):
+    report = validate_platform(platform_for(app), app)
+    assert report.ok
+    assert str(report).startswith("ValidationReport")
+
+
+def test_raise_if_invalid_noop_when_ok(app):
+    validate_platform(platform_for(app), app).raise_if_invalid()
+
+
+def test_unmapped_process_detected(app):
+    report = validate_platform(platform_for(app, place_all=False), app)
+    assert any("MAP-2" in d and "'P1'" in d for d in report.diagnostics)
+
+
+def test_stray_process_detected(app):
+    platform = platform_for(app)
+    from repro.model.elements import FunctionalUnit
+
+    stray = FunctionalUnit("FU_P9", "P9")
+    stray.add_slave()
+    platform.segment(1).add_fu(stray)
+    report = validate_platform(platform, app)
+    assert any("MAP-3" in d and "'P9'" in d for d in report.diagnostics)
+
+
+def test_raise_if_invalid_raises(app):
+    report = validate_platform(platform_for(app, place_all=False), app)
+    with pytest.raises(ConstraintViolation) as exc_info:
+        report.raise_if_invalid()
+    assert exc_info.value.diagnostics == report.diagnostics
+
+
+def test_validated_placement_returns_mapping(app):
+    report, placement = validated_placement(platform_for(app), app)
+    assert report.ok
+    assert placement == {"P0": 1, "P1": 2}
+
+
+def test_validated_placement_raises_on_bad_model(app):
+    with pytest.raises(ConstraintViolation):
+        validated_placement(platform_for(app, place_all=False), app)
+
+
+def test_paper_platform_validates(mp3_graph, platform_3seg):
+    report = validate_platform(platform_3seg, mp3_graph)
+    assert report.ok, report.diagnostics

@@ -1,0 +1,126 @@
+"""Placement solver tests: exactness, feasibility, improvement guarantees."""
+
+import pytest
+
+from repro.errors import PlacementError
+from repro.placement.annealing import annealed_placement
+from repro.placement.cost import objective
+from repro.placement.exhaustive import exhaustive_placement
+from repro.placement.greedy import greedy_placement
+from repro.placement.kernighan_lin import refine_placement
+from repro.psdf.generators import random_dag_psdf
+from repro.psdf.graph import PSDFGraph
+from repro.psdf.matrix import build_communication_matrix
+
+
+@pytest.fixture
+def pair_matrix():
+    # two tightly-coupled pairs with a weak bridge
+    graph = PSDFGraph.from_edges(
+        [
+            ("A", "B", 1000, 1, 10),
+            ("C", "D", 1000, 1, 10),
+            ("B", "C", 10, 2, 10),
+        ]
+    )
+    return build_communication_matrix(graph)
+
+
+def feasible(placement, segment_count, names):
+    assert set(placement) == set(names)
+    used = set(placement.values())
+    assert used == set(range(1, segment_count + 1))
+
+
+class TestExhaustive:
+    def test_finds_obvious_partition(self, pair_matrix):
+        placement = exhaustive_placement(pair_matrix, 2)
+        assert placement["A"] == placement["B"]
+        assert placement["C"] == placement["D"]
+        assert placement["A"] != placement["C"]
+
+    def test_single_segment(self, pair_matrix):
+        placement = exhaustive_placement(pair_matrix, 1)
+        assert set(placement.values()) == {1}
+
+    def test_budget_guard(self, pair_matrix):
+        with pytest.raises(PlacementError, match="budget"):
+            exhaustive_placement(pair_matrix, 2, budget=3)
+
+    def test_more_segments_than_processes(self, pair_matrix):
+        with pytest.raises(PlacementError):
+            exhaustive_placement(pair_matrix, 5)
+
+    def test_every_segment_nonempty(self, pair_matrix):
+        placement = exhaustive_placement(pair_matrix, 2)
+        feasible(placement, 2, pair_matrix.names)
+
+
+class TestGreedy:
+    def test_feasible(self, pair_matrix):
+        placement = greedy_placement(pair_matrix, 2)
+        feasible(placement, 2, pair_matrix.names)
+
+    def test_keeps_tight_pairs_together(self, pair_matrix):
+        placement = greedy_placement(pair_matrix, 2)
+        assert placement["A"] == placement["B"] or placement["C"] == placement["D"]
+
+    def test_deterministic(self):
+        matrix = build_communication_matrix(random_dag_psdf(12, seed=9))
+        assert greedy_placement(matrix, 3) == greedy_placement(matrix, 3)
+
+    def test_cap_too_small_rejected(self, pair_matrix):
+        with pytest.raises(PlacementError):
+            greedy_placement(pair_matrix, 2, max_per_segment=1)
+
+    def test_large_instance_feasible(self):
+        matrix = build_communication_matrix(random_dag_psdf(25, seed=4))
+        placement = greedy_placement(matrix, 4)
+        feasible(placement, 4, matrix.names)
+
+
+class TestRefinement:
+    def test_never_worsens(self):
+        matrix = build_communication_matrix(random_dag_psdf(14, seed=2))
+        start = greedy_placement(matrix, 3)
+        refined = refine_placement(matrix, start, 3)
+        assert objective(matrix, refined, 3) <= objective(matrix, start, 3)
+        feasible(refined, 3, matrix.names)
+
+    def test_reaches_optimum_on_small_instance(self, pair_matrix):
+        # start from the worst split, refinement must find the pairing
+        bad = {"A": 1, "B": 2, "C": 1, "D": 2}
+        refined = refine_placement(pair_matrix, bad, 2)
+        optimum = exhaustive_placement(pair_matrix, 2)
+        assert objective(pair_matrix, refined, 2) == objective(
+            pair_matrix, optimum, 2
+        )
+
+    def test_does_not_mutate_input(self, pair_matrix):
+        start = {"A": 1, "B": 2, "C": 1, "D": 2}
+        snapshot = dict(start)
+        refine_placement(pair_matrix, start, 2)
+        assert start == snapshot
+
+
+class TestAnnealing:
+    def test_feasible_and_deterministic(self):
+        matrix = build_communication_matrix(random_dag_psdf(14, seed=6))
+        a = annealed_placement(matrix, 3, seed=5, steps=800)
+        b = annealed_placement(matrix, 3, seed=5, steps=800)
+        assert a == b
+        feasible(a, 3, matrix.names)
+
+    def test_not_worse_than_greedy_start(self):
+        matrix = build_communication_matrix(random_dag_psdf(14, seed=6))
+        start = greedy_placement(matrix, 3)
+        annealed = annealed_placement(
+            matrix, 3, seed=1, initial=start, steps=1500
+        )
+        assert objective(matrix, annealed, 3) <= objective(matrix, start, 3)
+
+    def test_rejects_bad_params(self, pair_matrix):
+        with pytest.raises(PlacementError):
+            annealed_placement(pair_matrix, 2, steps=0)
+        with pytest.raises(PlacementError):
+            annealed_placement(pair_matrix, 2, cooling=1.5)

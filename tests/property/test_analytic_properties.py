@@ -1,0 +1,65 @@
+"""Property test: the analytic estimate lower-bounds the emulator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.analytic import analytic_estimate
+from repro.emulator.config import EmulationConfig
+from repro.emulator.kernel import PlatformSpec, Simulation
+from repro.psdf.generators import random_dag_psdf
+
+
+@st.composite
+def scenario(draw):
+    n = draw(st.integers(min_value=2, max_value=10))
+    seed = draw(st.integers(min_value=0, max_value=9999))
+    graph = random_dag_psdf(n, seed=seed, max_items=288, max_ticks=100)
+    segments = draw(st.integers(min_value=1, max_value=3))
+    placement = {
+        name: draw(st.integers(min_value=1, max_value=segments))
+        for name in graph.process_names
+    }
+    spec = PlatformSpec(
+        package_size=draw(st.sampled_from([18, 36])),
+        segment_frequencies_mhz={
+            i: float(draw(st.sampled_from([89, 98, 100, 111])))
+            for i in range(1, segments + 1)
+        },
+        ca_frequency_mhz=111.0,
+        placement=placement,
+    )
+    config = draw(
+        st.sampled_from([EmulationConfig.emulator(), EmulationConfig.reference()])
+    )
+    return graph, spec, config
+
+
+@given(scenario())
+@settings(max_examples=60, deadline=None)
+def test_analytic_is_a_lower_bound_up_to_alignment(sc):
+    graph, spec, config = sc
+    estimate = analytic_estimate(graph, spec, config)
+    emulated = Simulation(graph, spec, config).run()
+    # The analytic walk charges inter-clock-domain alignment as a full tick
+    # per BU crossing where the kernel's edge alignment is fractional, so
+    # the bound holds up to one slowest-clock tick per crossing package-hop
+    # (plus one CA tick of end rounding).
+    slowest_period = max(
+        segment.clock.period_fs for segment in emulated.segments.values()
+    )
+    crossings = sum(
+        bu.counters.output_packages for bu in emulated.bus_units.values()
+    )
+    slack = crossings * slowest_period + 2 * emulated.ca.clock.period_fs
+    assert estimate.execution_time_fs <= emulated.execution_time_fs() + slack
+
+
+@given(scenario())
+@settings(max_examples=40, deadline=None)
+def test_analytic_deterministic_and_positive(sc):
+    graph, spec, config = sc
+    a = analytic_estimate(graph, spec, config)
+    b = analytic_estimate(graph, spec, config)
+    assert a.execution_time_fs == b.execution_time_fs
+    assert a.execution_time_fs > 0
+    assert set(a.completion_fs) == set(graph.process_names)

@@ -1,0 +1,79 @@
+"""Property test: every random run conforms to the protocol invariants.
+
+An independent observer (the conformance checker) validates what the kernel
+did, over random applications, placements, clock plans, fidelity configs
+and both inter-segment protocols.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.emulator.conformance import check_conformance
+from repro.emulator.config import EmulationConfig
+from repro.emulator.kernel import PlatformSpec, Simulation
+from repro.emulator.trace import Tracer
+from repro.psdf.generators import random_dag_psdf
+
+
+@st.composite
+def scenario(draw):
+    n = draw(st.integers(min_value=2, max_value=9))
+    seed = draw(st.integers(min_value=0, max_value=9999))
+    graph = random_dag_psdf(n, seed=seed, max_items=288, max_ticks=90)
+    segments = draw(st.integers(min_value=1, max_value=3))
+    placement = {
+        name: draw(st.integers(min_value=1, max_value=segments))
+        for name in graph.process_names
+    }
+    spec = PlatformSpec(
+        package_size=draw(st.sampled_from([18, 36])),
+        segment_frequencies_mhz={
+            i: float(draw(st.sampled_from([89, 91, 98, 111])))
+            for i in range(1, segments + 1)
+        },
+        ca_frequency_mhz=111.0,
+        placement=placement,
+    )
+    config = draw(
+        st.sampled_from(
+            [
+                EmulationConfig.emulator(),
+                EmulationConfig.reference(),
+                EmulationConfig(inter_segment_protocol="store-and-forward"),
+                EmulationConfig.reference().with_overrides(
+                    inter_segment_protocol="store-and-forward"
+                ),
+            ]
+        )
+    )
+    return graph, spec, config
+
+
+@given(scenario())
+@settings(max_examples=60, deadline=None)
+def test_every_random_run_is_conformant(sc):
+    graph, spec, config = sc
+    tracer = Tracer()
+    sim = Simulation(graph, spec, config=config, tracer=tracer).run()
+    report = check_conformance(sim, tracer)
+    assert report.ok, report.violations
+
+
+@given(scenario())
+@settings(max_examples=30, deadline=None)
+def test_protocols_agree_on_package_accounting(sc):
+    graph, spec, _ = sc
+    circuit = Simulation(graph, spec, EmulationConfig.emulator()).run()
+    snf = Simulation(
+        graph, spec, EmulationConfig(inter_segment_protocol="store-and-forward")
+    ).run()
+    for pair in circuit.bus_units:
+        assert (
+            circuit.bus_units[pair].counters.input_packages
+            == snf.bus_units[pair].counters.input_packages
+        )
+    for name in circuit.process_counters:
+        assert (
+            circuit.process_counters[name].packages_received
+            == snf.process_counters[name].packages_received
+        )

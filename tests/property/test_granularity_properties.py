@@ -1,0 +1,75 @@
+"""Property tests on granularity transformations."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.granularity import merge_processes, split_process
+from repro.errors import PSDFError
+from repro.psdf.generators import random_dag_psdf
+
+
+@st.composite
+def graph_and_edge(draw):
+    n = draw(st.integers(min_value=3, max_value=12))
+    seed = draw(st.integers(min_value=0, max_value=9999))
+    graph = random_dag_psdf(n, seed=seed)
+    flow = draw(st.sampled_from(list(graph.flows)))
+    return graph, flow
+
+
+@given(graph_and_edge())
+@settings(max_examples=60, deadline=None)
+def test_merge_conserves_external_traffic(ge):
+    graph, flow = ge
+    try:
+        merged = merge_processes(graph, flow.source, flow.target)
+    except PSDFError:
+        assume(False)  # cycle-creating merge: out of scope for this property
+        return
+    internal = sum(
+        f.data_items
+        for f in graph.flows
+        if {f.source, f.target} == {flow.source, flow.target}
+    )
+    assert merged.total_data_items() == graph.total_data_items() - internal
+    assert len(merged) == len(graph) - 1
+    merged.topological_order()  # still a DAG
+
+
+@given(graph_and_edge())
+@settings(max_examples=60, deadline=None)
+def test_split_conserves_and_adds_internal_flow(ge):
+    graph, flow = ge
+    source = flow.source
+    outgoing = graph.outgoing(source)
+    assume(len(outgoing) >= 2)
+    moved = outgoing[-1].target
+    split = split_process(graph, source, [moved])
+    moved_items = graph.flow(source, moved).data_items
+    # external traffic unchanged; one internal flow added
+    assert split.total_data_items() == graph.total_data_items() + moved_items
+    assert len(split) == len(graph) + 1
+    split.topological_order()
+
+
+@given(graph_and_edge())
+@settings(max_examples=40, deadline=None)
+def test_merge_never_invents_flows(ge):
+    graph, flow = ge
+    try:
+        merged = merge_processes(graph, flow.source, flow.target, "M")
+    except PSDFError:
+        assume(False)
+        return
+    pair = {flow.source, flow.target}
+
+    def external(name):
+        return "M" if name in pair else name
+
+    expected_pairs = {
+        (external(f.source), external(f.target))
+        for f in graph.flows
+        if not ({f.source, f.target} == pair)
+    }
+    actual_pairs = {(f.source, f.target) for f in merged.flows}
+    assert actual_pairs == expected_pairs

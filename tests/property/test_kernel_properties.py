@@ -1,0 +1,125 @@
+"""Property-based tests on the emulator kernel's invariants.
+
+For arbitrary well-formed applications, placements and clock plans the
+kernel must satisfy:
+
+* termination with all flags high and clean platform state;
+* package conservation (sent == received == schedule total);
+* BU flow balance (input == output per BU, TCT >= UP);
+* monotonicity: higher-fidelity configs never make execution faster;
+* determinism: identical inputs give identical counters.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.emulator.config import EmulationConfig
+from repro.emulator.kernel import PlatformSpec, Simulation
+from repro.emulator.monitor import emulation_finished
+from repro.psdf.generators import random_dag_psdf
+
+
+@st.composite
+def scenario(draw):
+    """A random (graph, spec) pair that is well-formed by construction."""
+    n = draw(st.integers(min_value=2, max_value=10))
+    seed = draw(st.integers(min_value=0, max_value=9999))
+    graph = random_dag_psdf(n, seed=seed, max_items=360, max_ticks=120)
+    segments = draw(st.integers(min_value=1, max_value=4))
+    placement = {
+        name: draw(st.integers(min_value=1, max_value=segments))
+        for name in graph.process_names
+    }
+    freqs = {
+        i: float(draw(st.sampled_from([80, 91, 98, 100, 111, 125])))
+        for i in range(1, segments + 1)
+    }
+    ca = float(draw(st.sampled_from([100, 111, 133])))
+    package_size = draw(st.sampled_from([9, 18, 36]))
+    spec = PlatformSpec(
+        package_size=package_size,
+        segment_frequencies_mhz=freqs,
+        ca_frequency_mhz=ca,
+        placement=placement,
+    )
+    return graph, spec
+
+
+@given(scenario())
+@settings(max_examples=50, deadline=None)
+def test_terminates_clean(sc):
+    graph, spec = sc
+    sim = Simulation(graph, spec).run()
+    assert emulation_finished(sim)
+
+
+@given(scenario())
+@settings(max_examples=50, deadline=None)
+def test_package_conservation(sc):
+    graph, spec = sc
+    sim = Simulation(graph, spec).run()
+    total = graph.total_packages(spec.package_size)
+    sent = sum(c.packages_sent for c in sim.process_counters.values())
+    received = sum(c.packages_received for c in sim.process_counters.values())
+    assert sent == received == total
+
+
+@given(scenario())
+@settings(max_examples=50, deadline=None)
+def test_bu_flow_balance(sc):
+    graph, spec = sc
+    sim = Simulation(graph, spec).run()
+    for bu in sim.bus_units.values():
+        c = bu.counters
+        assert c.input_packages == c.output_packages
+        assert c.received_from_left + c.received_from_right == c.input_packages
+        assert c.transferred_to_left + c.transferred_to_right == c.output_packages
+        # TCT >= UP: waiting periods are non-negative
+        assert c.tct >= 2 * spec.package_size * c.output_packages
+
+
+@given(scenario())
+@settings(max_examples=30, deadline=None)
+def test_reference_never_faster(sc):
+    graph, spec = sc
+    fast = Simulation(graph, spec, EmulationConfig.emulator()).run()
+    slow = Simulation(graph, spec, EmulationConfig.reference()).run()
+    assert slow.execution_time_fs() >= fast.execution_time_fs()
+
+
+@given(scenario())
+@settings(max_examples=30, deadline=None)
+def test_deterministic(sc):
+    graph, spec = sc
+    a = Simulation(graph, spec).run()
+    b = Simulation(graph, spec).run()
+    assert a.execution_time_fs() == b.execution_time_fs()
+    assert a.ca.counters.tct == b.ca.counters.tct
+    for index in a.segments:
+        assert a.segments[index].counters.intra_requests == \
+            b.segments[index].counters.intra_requests
+
+
+@given(scenario())
+@settings(max_examples=30, deadline=None)
+def test_execution_time_dominates_every_process_end(sc):
+    graph, spec = sc
+    sim = Simulation(graph, spec).run()
+    exec_fs = sim.execution_time_fs()
+    for counters in sim.process_counters.values():
+        assert counters.end_fs is not None
+        assert counters.end_fs <= exec_fs
+
+
+@given(scenario())
+@settings(max_examples=30, deadline=None)
+def test_request_counters_bound_packages(sc):
+    graph, spec = sc
+    sim = Simulation(graph, spec).run()
+    schedule_total = graph.total_packages(spec.package_size)
+    intra = sum(s.counters.grants for s in sim.segments.values())
+    inter = sum(s.counters.inter_requests for s in sim.segments.values())
+    # every package is either one local grant or one inter-segment request
+    assert intra + inter == schedule_total
+    assert sim.ca.counters.inter_requests == inter
+    assert sim.ca.counters.grants == inter

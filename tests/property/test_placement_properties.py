@@ -1,0 +1,71 @@
+"""Property-based tests on placement cost and solvers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.placement.cost import balance_penalty, objective, placement_cost
+from repro.placement.greedy import greedy_placement
+from repro.placement.kernighan_lin import refine_placement
+from repro.psdf.generators import random_dag_psdf
+from repro.psdf.matrix import build_communication_matrix
+
+
+@st.composite
+def matrix_and_segments(draw):
+    n = draw(st.integers(min_value=3, max_value=14))
+    seed = draw(st.integers(min_value=0, max_value=9999))
+    segments = draw(st.integers(min_value=1, max_value=min(4, n)))
+    return build_communication_matrix(random_dag_psdf(n, seed=seed)), segments
+
+
+@given(matrix_and_segments())
+@settings(max_examples=40, deadline=None)
+def test_greedy_is_feasible(ms):
+    matrix, segments = ms
+    placement = greedy_placement(matrix, segments)
+    assert set(placement) == set(matrix.names)
+    assert set(placement.values()) == set(range(1, segments + 1))
+
+
+@given(matrix_and_segments())
+@settings(max_examples=40, deadline=None)
+def test_single_segment_costs_nothing(ms):
+    matrix, _ = ms
+    placement = {name: 1 for name in matrix.names}
+    assert placement_cost(matrix, placement, 1) == 0
+    assert balance_penalty(placement, 1) == 0
+
+
+@given(matrix_and_segments())
+@settings(max_examples=40, deadline=None)
+def test_refinement_never_worsens(ms):
+    matrix, segments = ms
+    start = greedy_placement(matrix, segments)
+    refined = refine_placement(matrix, start, segments)
+    assert objective(matrix, refined, segments) <= objective(
+        matrix, start, segments
+    )
+    # feasibility preserved
+    assert set(refined.values()) == set(range(1, segments + 1))
+
+
+@given(matrix_and_segments())
+@settings(max_examples=40, deadline=None)
+def test_cost_equals_hop_weighted_cut(ms):
+    matrix, segments = ms
+    placement = greedy_placement(matrix, segments)
+    expected = sum(
+        items * abs(placement[a] - placement[b])
+        for a, b, items in matrix.pairs()
+    )
+    assert placement_cost(matrix, placement, segments) == expected
+
+
+@given(matrix_and_segments())
+@settings(max_examples=40, deadline=None)
+def test_cut_items_lower_bounds_hop_cost(ms):
+    matrix, segments = ms
+    placement = greedy_placement(matrix, segments)
+    assert matrix.cut_items(placement) <= placement_cost(
+        matrix, placement, segments
+    )

@@ -1,0 +1,130 @@
+"""Property-based tests on the PSDF data structures."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.psdf.flow import FlowCost, PacketFlow
+from repro.psdf.generators import random_dag_psdf
+from repro.psdf.matrix import build_communication_matrix
+from repro.psdf.packetize import packages_for_items, split_into_packages
+from repro.psdf.schedule import extract_schedule
+
+sizes = st.integers(min_value=1, max_value=256)
+items = st.integers(min_value=0, max_value=100_000)
+
+
+class TestPacketizationProperties:
+    @given(items=items, size=sizes)
+    def test_package_count_is_minimal_cover(self, items, size):
+        count = packages_for_items(items, size)
+        assert count * size >= items
+        assert (count - 1) * size < items or count == 0
+
+    @given(items=st.integers(min_value=1, max_value=10_000), size=sizes)
+    def test_split_conserves_items(self, items, size):
+        packages = split_into_packages("A", "B", items, size)
+        assert sum(p.payload_items for p in packages) == items
+        assert len(packages) == packages_for_items(items, size)
+
+    @given(items=st.integers(min_value=1, max_value=10_000), size=sizes)
+    def test_only_last_package_partial(self, items, size):
+        packages = split_into_packages("A", "B", items, size)
+        for package in packages[:-1]:
+            assert package.payload_items == size
+        assert 0 < packages[-1].payload_items <= size
+
+    @given(
+        c_fixed=st.integers(min_value=0, max_value=1000),
+        c_item=st.integers(min_value=0, max_value=100),
+        size=sizes,
+    )
+    def test_cost_monotone_in_package_size(self, c_fixed, c_item, size):
+        if c_fixed == 0 and c_item == 0:
+            return
+        cost = FlowCost(c_fixed=c_fixed, c_item=c_item)
+        assert cost.ticks(size + 1) >= cost.ticks(size)
+
+    @given(
+        ticks=st.integers(min_value=1, max_value=5000),
+        size=st.integers(min_value=1, max_value=128),
+        fraction=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_calibrated_cost_exact_at_anchor(self, ticks, size, fraction):
+        assert FlowCost.calibrated(ticks, size, fraction).ticks(size) == ticks
+
+
+class TestElementNameProperties:
+    @given(
+        items=st.integers(min_value=1, max_value=100_000),
+        order=st.integers(min_value=1, max_value=1000),
+        ticks=st.integers(min_value=1, max_value=100_000),
+    )
+    def test_element_name_codec_roundtrips(self, items, order, ticks):
+        flow = PacketFlow(
+            source="P0",
+            target="P1",
+            data_items=items,
+            order=order,
+            cost=FlowCost.constant(ticks),
+        )
+        parsed = PacketFlow.from_element_name("P0", flow.element_name(36))
+        assert (parsed.target, parsed.data_items, parsed.order) == (
+            "P1",
+            items,
+            order,
+        )
+        assert parsed.ticks_per_package(36) == ticks
+
+
+class TestGraphProperties:
+    @given(
+        n=st.integers(min_value=2, max_value=20),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_dag_always_valid(self, n, seed):
+        graph = random_dag_psdf(n, seed=seed)
+        order = graph.topological_order()
+        assert len(order) == n
+        position = {name: i for i, name in enumerate(order)}
+        for flow in graph.flows:
+            assert position[flow.source] < position[flow.target]
+
+    @given(
+        n=st.integers(min_value=2, max_value=15),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_matrix_totals_match_graph(self, n, seed):
+        graph = random_dag_psdf(n, seed=seed)
+        matrix = build_communication_matrix(graph)
+        assert matrix.total_items() == graph.total_data_items()
+        assert int(matrix.array.sum()) == graph.total_data_items()
+
+    @given(
+        n=st.integers(min_value=2, max_value=15),
+        seed=st.integers(min_value=0, max_value=10_000),
+        size=st.sampled_from([9, 18, 36, 72]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_schedule_conserves_packages(self, n, seed, size):
+        graph = random_dag_psdf(n, seed=seed)
+        schedule = extract_schedule(graph, size)
+        # total inputs expected == total packages sent
+        assert sum(schedule.inputs_of.values()) == schedule.total_packages()
+        assert schedule.total_packages() == graph.total_packages(size)
+
+    @given(
+        n=st.integers(min_value=2, max_value=12),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_cut_items_bounded_by_total(self, n, seed):
+        graph = random_dag_psdf(n, seed=seed)
+        matrix = build_communication_matrix(graph)
+        rng = np.random.default_rng(seed)
+        partition = {
+            name: int(rng.integers(1, 4)) for name in graph.process_names
+        }
+        assert 0 <= matrix.cut_items(partition) <= matrix.total_items()

@@ -1,0 +1,91 @@
+"""Fuzzing the XML parsers: arbitrary input must fail cleanly.
+
+The parsers' contract: any input either parses into a valid model or
+raises :class:`~repro.errors.XMLFormatError` (or a PSDF validation error
+for structurally broken applications) — never a bare ``KeyError``,
+``IndexError`` or similar from half-parsed state.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SegBusError
+from repro.xmlio.psdf_parser import parse_psdf_xml
+from repro.xmlio.psdf_writer import psdf_to_xml
+from repro.xmlio.psm_parser import parse_psm_xml
+from repro.xmlio.psm_writer import psm_to_xml
+from repro.psdf.generators import random_dag_psdf
+from repro.xmlio.schema_writer import XS_NS
+
+
+@given(st.text(max_size=400))
+@settings(max_examples=120, deadline=None)
+def test_psdf_parser_never_crashes_on_garbage(text):
+    try:
+        parse_psdf_xml(text)
+    except SegBusError:
+        pass  # the contract: library errors only
+
+
+@given(st.text(max_size=400))
+@settings(max_examples=120, deadline=None)
+def test_psm_parser_never_crashes_on_garbage(text):
+    try:
+        parse_psm_xml(text)
+    except SegBusError:
+        pass
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["element", "complexType", "all"]),
+            st.text(
+                alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd")),
+                min_size=1,
+                max_size=8,
+            ),
+        ),
+        max_size=6,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_structured_but_wrong_schemes_fail_cleanly(parts):
+    """Well-formed XML with plausible-looking but wrong structure."""
+    body = "".join(
+        f'<xs:{tag} name="{name}" type="{name}"/>' for tag, name in parts
+    )
+    text = f'<xs:schema xmlns:xs="{XS_NS}">{body}</xs:schema>'
+    for parse in (parse_psdf_xml, parse_psm_xml):
+        try:
+            parse(text)
+        except SegBusError:
+            pass
+
+
+@given(
+    n=st.integers(min_value=2, max_value=8),
+    seed=st.integers(min_value=0, max_value=5000),
+    mutation=st.sampled_from(
+        ["truncate_half", "drop_line", "duplicate_line", "strip_quotes"]
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_mutated_valid_schemes_fail_cleanly(n, seed, mutation):
+    """Corrupted versions of genuinely generated schemes."""
+    graph = random_dag_psdf(n, seed=seed)
+    text = psdf_to_xml(graph, 36)
+    lines = text.splitlines()
+    if mutation == "truncate_half":
+        mutated = text[: len(text) // 2]
+    elif mutation == "drop_line":
+        mutated = "\n".join(lines[: len(lines) // 2] + lines[len(lines) // 2 + 1:])
+    elif mutation == "duplicate_line":
+        middle = len(lines) // 2
+        mutated = "\n".join(lines[:middle] + [lines[middle]] + lines[middle:])
+    else:
+        mutated = text.replace('"', "", 4)
+    try:
+        parse_psdf_xml(mutated)
+    except SegBusError:
+        pass

@@ -1,0 +1,45 @@
+"""Property-based tests: XML schemes round-trip arbitrary valid models."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.mapping import Allocation, map_application
+from repro.psdf.generators import random_dag_psdf
+from repro.xmlio.roundtrip import psdf_roundtrip, psm_roundtrip
+
+
+@given(
+    n=st.integers(min_value=2, max_value=12),
+    seed=st.integers(min_value=0, max_value=9999),
+    size=st.sampled_from([9, 18, 36, 72]),
+)
+@settings(max_examples=40, deadline=None)
+def test_psdf_roundtrip_any_random_dag(n, seed, size):
+    graph = random_dag_psdf(n, seed=seed)
+    parsed = psdf_roundtrip(graph, size)  # raises on any fidelity loss
+    assert parsed.process_count == n
+
+
+@given(
+    n=st.integers(min_value=2, max_value=10),
+    seed=st.integers(min_value=0, max_value=9999),
+    segments=st.integers(min_value=1, max_value=3),
+    size=st.sampled_from([18, 36]),
+)
+@settings(max_examples=40, deadline=None)
+def test_psm_roundtrip_any_platform(n, seed, segments, size):
+    segments = min(segments, n)  # every segment needs at least one FU
+    graph = random_dag_psdf(n, seed=seed)
+    names = list(graph.process_names)
+    groups = [[] for _ in range(segments)]
+    for i, name in enumerate(names):
+        groups[i % segments].append(name)
+    psm = map_application(
+        graph,
+        Allocation.from_groups(groups),
+        segment_frequencies_mhz=[91 + 7 * i for i in range(segments)],
+        ca_frequency_mhz=111,
+        package_size=size,
+    )
+    parsed = psm_roundtrip(psm.platform)  # raises on any fidelity loss
+    assert parsed.segment_count == segments

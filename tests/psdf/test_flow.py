@@ -1,0 +1,115 @@
+"""Packet flow and cost-model tests."""
+
+import pytest
+
+from repro.errors import FlowError
+from repro.psdf.flow import FlowCost, PacketFlow
+
+
+class TestFlowCost:
+    def test_ticks_two_part(self):
+        assert FlowCost(c_fixed=34, c_item=6).ticks(36) == 250
+
+    def test_ticks_scales_with_package_size(self):
+        cost = FlowCost(c_fixed=34, c_item=6)
+        assert cost.ticks(18) == 142
+        assert cost.ticks(72) == 466
+
+    def test_constant_cost_ignores_size(self):
+        cost = FlowCost.constant(250)
+        assert cost.ticks(18) == cost.ticks(36) == 250
+
+    def test_calibrated_exact_at_anchor(self):
+        for ticks in (50, 250, 333, 1000):
+            for size in (9, 18, 36, 72):
+                assert FlowCost.calibrated(ticks, size).ticks(size) == ticks
+
+    def test_calibrated_fixed_fraction_bounds(self):
+        with pytest.raises(FlowError):
+            FlowCost.calibrated(250, 36, fixed_fraction=1.5)
+
+    def test_calibrated_rejects_nonpositive(self):
+        with pytest.raises(FlowError):
+            FlowCost.calibrated(0, 36)
+
+    def test_rejects_negative_components(self):
+        with pytest.raises(FlowError):
+            FlowCost(c_fixed=-1, c_item=0)
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(FlowError):
+            FlowCost(c_fixed=0, c_item=0)
+
+    def test_ticks_rejects_bad_package_size(self):
+        with pytest.raises(FlowError):
+            FlowCost.constant(5).ticks(0)
+
+
+class TestPacketFlow:
+    def flow(self, **kwargs):
+        defaults = dict(
+            source="P0",
+            target="P1",
+            data_items=576,
+            order=1,
+            cost=FlowCost.constant(250),
+        )
+        defaults.update(kwargs)
+        return PacketFlow(**defaults)
+
+    def test_packages_divisible(self):
+        assert self.flow().packages(36) == 16
+
+    def test_packages_rounds_up(self):
+        assert self.flow(data_items=37).packages(36) == 2
+
+    def test_packages_small_flow(self):
+        assert self.flow(data_items=36).packages(36) == 1
+
+    def test_ticks_per_package(self):
+        assert self.flow().ticks_per_package(36) == 250
+
+    def test_element_name_matches_paper_format(self):
+        # the paper's section 3.5 example: P1_576_1_250
+        assert self.flow().element_name(36) == "P1_576_1_250"
+
+    def test_element_name_roundtrip(self):
+        original = self.flow()
+        parsed = PacketFlow.from_element_name("P0", original.element_name(36))
+        assert parsed.source == "P0"
+        assert parsed.target == "P1"
+        assert parsed.data_items == 576
+        assert parsed.order == 1
+        assert parsed.ticks_per_package(36) == 250
+
+    def test_from_element_name_rejects_malformed(self):
+        with pytest.raises(FlowError):
+            PacketFlow.from_element_name("P0", "P1_576_1")
+
+    def test_from_element_name_rejects_non_numeric(self):
+        with pytest.raises(FlowError):
+            PacketFlow.from_element_name("P0", "P1_x_1_250")
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(FlowError):
+            self.flow(target="P0")
+
+    def test_rejects_zero_items(self):
+        with pytest.raises(FlowError):
+            self.flow(data_items=0)
+
+    def test_rejects_zero_order(self):
+        with pytest.raises(FlowError):
+            self.flow(order=0)
+
+    def test_rejects_empty_names(self):
+        with pytest.raises(FlowError):
+            self.flow(source="")
+
+    def test_packages_rejects_bad_size(self):
+        with pytest.raises(FlowError):
+            self.flow().packages(-1)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            self.flow().data_items = 1

@@ -1,0 +1,105 @@
+"""Synthetic workload generator tests."""
+
+import pytest
+
+from repro.errors import PSDFError
+from repro.psdf.generators import (
+    chain_psdf,
+    fork_join_psdf,
+    random_dag_psdf,
+    stereo_pipeline_psdf,
+)
+from repro.psdf.process import ProcessKind
+
+
+class TestChain:
+    def test_structure(self):
+        g = chain_psdf(5)
+        assert len(g) == 5
+        assert len(g.flows) == 4
+        assert g.depth() == 4
+
+    def test_endpoints(self):
+        g = chain_psdf(3)
+        assert g.process("P0").kind is ProcessKind.INITIAL
+        assert g.process("P2").kind is ProcessKind.FINAL
+
+    def test_rejects_short_chain(self):
+        with pytest.raises(PSDFError):
+            chain_psdf(1)
+
+
+class TestForkJoin:
+    def test_structure(self):
+        g = fork_join_psdf(4)
+        assert len(g) == 6  # SRC + 4 workers + SINK
+        assert len(g.flows) == 8
+
+    def test_workers_are_parallel(self):
+        g = fork_join_psdf(3)
+        assert g.depth() == 2
+
+    def test_single_worker(self):
+        g = fork_join_psdf(1)
+        assert len(g) == 3
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(PSDFError):
+            fork_join_psdf(0)
+
+
+class TestStereoPipeline:
+    def test_structure(self):
+        g = stereo_pipeline_psdf(3)
+        # HEAD + 3 left + 3 right + TAIL
+        assert len(g) == 8
+        assert g.depth() == 4
+
+    def test_symmetric_channels(self):
+        g = stereo_pipeline_psdf(2)
+        assert g.flow("HEAD", "L0").data_items == g.flow("HEAD", "R0").data_items
+
+    def test_rejects_zero_stages(self):
+        with pytest.raises(PSDFError):
+            stereo_pipeline_psdf(0)
+
+
+class TestRandomDag:
+    def test_deterministic_for_seed(self):
+        a = random_dag_psdf(10, seed=42)
+        b = random_dag_psdf(10, seed=42)
+        assert [
+            (f.source, f.target, f.data_items, f.order) for f in a.flows
+        ] == [(f.source, f.target, f.data_items, f.order) for f in b.flows]
+
+    def test_different_seeds_differ(self):
+        a = random_dag_psdf(10, seed=1)
+        b = random_dag_psdf(10, seed=2)
+        edges_a = [(f.source, f.target, f.data_items) for f in a.flows]
+        edges_b = [(f.source, f.target, f.data_items) for f in b.flows]
+        assert edges_a != edges_b
+
+    def test_connected(self):
+        g = random_dag_psdf(15, seed=3)
+        # every non-initial process has at least one input
+        for proc in g:
+            if proc.kind is not ProcessKind.INITIAL:
+                assert g.incoming(proc.name)
+
+    def test_items_are_multiples_of_36(self):
+        g = random_dag_psdf(12, seed=5)
+        assert all(f.data_items % 36 == 0 for f in g.flows)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(PSDFError):
+            random_dag_psdf(1)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(PSDFError):
+            random_dag_psdf(5, edge_probability=1.5)
+
+    @pytest.mark.parametrize("n", [2, 5, 10, 25])
+    def test_valid_at_many_sizes(self, n):
+        g = random_dag_psdf(n, seed=n)
+        assert len(g) == n
+        g.topological_order()  # must not raise

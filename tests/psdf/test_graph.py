@@ -1,0 +1,169 @@
+"""PSDF graph construction, queries and well-formedness validation."""
+
+import pytest
+
+from repro.errors import PSDFError
+from repro.psdf.flow import FlowCost, PacketFlow
+from repro.psdf.graph import PSDFGraph
+from repro.psdf.process import Process, ProcessKind
+
+
+def simple_graph():
+    return PSDFGraph.from_edges(
+        [
+            ("A", "B", 72, 1, 100),
+            ("A", "C", 36, 2, 100),
+            ("B", "D", 72, 3, 100),
+            ("C", "D", 36, 3, 100),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_from_edges_infers_processes(self):
+        g = simple_graph()
+        assert set(g.process_names) == {"A", "B", "C", "D"}
+
+    def test_from_edges_infers_stereotypes(self):
+        g = simple_graph()
+        assert g.process("A").kind is ProcessKind.INITIAL
+        assert g.process("B").kind is ProcessKind.PROCESS
+        assert g.process("D").kind is ProcessKind.FINAL
+
+    def test_kinds_override(self):
+        g = PSDFGraph.from_edges(
+            [("A", "B", 36, 1, 10)], kinds={"B": ProcessKind.PROCESS}
+        )
+        assert g.process("B").kind is ProcessKind.PROCESS
+
+    def test_flow_cost_objects_accepted(self):
+        g = PSDFGraph.from_edges([("A", "B", 36, 1, FlowCost(c_fixed=10, c_item=2))])
+        assert g.flow("A", "B").ticks_per_package(36) == 82
+
+    def test_rejects_bad_edge_tuple(self):
+        with pytest.raises(PSDFError):
+            PSDFGraph.from_edges([("A", "B", 36, 1)])
+
+    def test_rejects_duplicate_process(self):
+        with pytest.raises(PSDFError):
+            PSDFGraph(
+                [Process("A"), Process("A")],
+                [],
+            )
+
+    def test_rejects_undeclared_endpoint(self):
+        with pytest.raises(PSDFError):
+            PSDFGraph(
+                [Process("A", ProcessKind.INITIAL)],
+                [PacketFlow("A", "B", 36, 1, FlowCost.constant(10))],
+            )
+
+    def test_rejects_duplicate_flow_same_order(self):
+        with pytest.raises(PSDFError):
+            PSDFGraph.from_edges(
+                [("A", "B", 36, 1, 10), ("A", "B", 72, 1, 10)]
+            )
+
+    def test_allows_parallel_flows_different_order(self):
+        g = PSDFGraph.from_edges(
+            [("A", "B", 36, 1, 10), ("A", "B", 72, 2, 10)]
+        )
+        assert len(g.flows) == 2
+
+    def test_rejects_cycle(self):
+        with pytest.raises(PSDFError, match="cycle"):
+            PSDFGraph.from_edges(
+                [("A", "B", 36, 1, 10), ("B", "C", 36, 2, 10), ("C", "A", 36, 3, 10)]
+            )
+
+    def test_rejects_disconnected_process(self):
+        with pytest.raises(PSDFError, match="disconnected"):
+            PSDFGraph(
+                [Process("A", ProcessKind.INITIAL), Process("B", ProcessKind.FINAL),
+                 Process("X")],
+                [PacketFlow("A", "B", 36, 1, FlowCost.constant(10))],
+            )
+
+    def test_rejects_initial_with_inputs(self):
+        with pytest.raises(PSDFError, match="InitialNode"):
+            PSDFGraph(
+                [Process("A", ProcessKind.INITIAL), Process("B", ProcessKind.INITIAL)],
+                [PacketFlow("A", "B", 36, 1, FlowCost.constant(10))],
+            )
+
+    def test_rejects_final_with_outputs(self):
+        with pytest.raises(PSDFError, match="FinalNode"):
+            PSDFGraph(
+                [Process("A", ProcessKind.FINAL), Process("B", ProcessKind.FINAL)],
+                [PacketFlow("A", "B", 36, 1, FlowCost.constant(10))],
+            )
+
+
+class TestQueries:
+    def test_len(self):
+        assert len(simple_graph()) == 4
+
+    def test_contains(self):
+        g = simple_graph()
+        assert "A" in g
+        assert "Z" not in g
+
+    def test_flow_lookup(self):
+        assert simple_graph().flow("A", "B").data_items == 72
+
+    def test_flow_lookup_missing(self):
+        with pytest.raises(PSDFError):
+            simple_graph().flow("A", "D")
+
+    def test_flow_lookup_ambiguous(self):
+        g = PSDFGraph.from_edges(
+            [("A", "B", 36, 1, 10), ("A", "B", 72, 2, 10)]
+        )
+        with pytest.raises(PSDFError, match="order"):
+            g.flow("A", "B")
+
+    def test_outgoing_sorted_by_order(self):
+        g = simple_graph()
+        assert [f.target for f in g.outgoing("A")] == ["B", "C"]
+
+    def test_incoming(self):
+        g = simple_graph()
+        assert {f.source for f in g.incoming("D")} == {"B", "C"}
+
+    def test_unknown_process_raises(self):
+        with pytest.raises(PSDFError):
+            simple_graph().outgoing("Z")
+
+    def test_initial_and_final(self):
+        g = simple_graph()
+        assert [p.name for p in g.initial_processes()] == ["A"]
+        assert [p.name for p in g.final_processes()] == ["D"]
+
+    def test_total_data_items(self):
+        assert simple_graph().total_data_items() == 72 + 36 + 72 + 36
+
+    def test_total_packages(self):
+        assert simple_graph().total_packages(36) == 2 + 1 + 2 + 1
+
+    def test_orders(self):
+        assert simple_graph().orders() == (1, 2, 3)
+
+    def test_topological_order_valid(self):
+        g = simple_graph()
+        order = g.topological_order()
+        position = {name: i for i, name in enumerate(order)}
+        for flow in g.flows:
+            assert position[flow.source] < position[flow.target]
+
+    def test_topological_order_deterministic(self):
+        g = simple_graph()
+        assert g.topological_order() == g.topological_order()
+
+    def test_depth(self):
+        assert simple_graph().depth() == 2
+
+    def test_depth_chain(self):
+        g = PSDFGraph.from_edges(
+            [("A", "B", 36, 1, 10), ("B", "C", 36, 2, 10), ("C", "D", 36, 3, 10)]
+        )
+        assert g.depth() == 3

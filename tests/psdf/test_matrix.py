@@ -1,0 +1,136 @@
+"""Communication matrix tests, anchored on the paper's Fig. 8."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PSDFError
+from repro.psdf.graph import PSDFGraph
+from repro.psdf.matrix import CommunicationMatrix, build_communication_matrix
+
+
+@pytest.fixture
+def small_matrix():
+    graph = PSDFGraph.from_edges(
+        [("A", "B", 100, 1, 10), ("B", "C", 50, 2, 10), ("A", "C", 25, 3, 10)]
+    )
+    return build_communication_matrix(graph)
+
+
+class TestBuild:
+    def test_entries(self, small_matrix):
+        assert small_matrix["A", "B"] == 100
+        assert small_matrix["B", "C"] == 50
+        assert small_matrix["A", "C"] == 25
+        assert small_matrix["C", "A"] == 0
+
+    def test_parallel_flows_summed(self):
+        graph = PSDFGraph.from_edges(
+            [("A", "B", 100, 1, 10), ("A", "B", 50, 2, 10)]
+        )
+        assert build_communication_matrix(graph)["A", "B"] == 150
+
+    def test_total_items(self, small_matrix):
+        assert small_matrix.total_items() == 175
+
+    def test_len(self, small_matrix):
+        assert len(small_matrix) == 3
+
+
+class TestValidation:
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(PSDFError):
+            CommunicationMatrix(["A", "B"], np.zeros((3, 3), dtype=int))
+
+    def test_rejects_negative(self):
+        items = np.zeros((2, 2), dtype=int)
+        items[0, 1] = -1
+        with pytest.raises(PSDFError):
+            CommunicationMatrix(["A", "B"], items)
+
+    def test_rejects_nonzero_diagonal(self):
+        items = np.zeros((2, 2), dtype=int)
+        items[0, 0] = 5
+        with pytest.raises(PSDFError):
+            CommunicationMatrix(["A", "B"], items)
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(PSDFError):
+            CommunicationMatrix(["A", "A"], np.zeros((2, 2), dtype=int))
+
+    def test_array_is_readonly(self, small_matrix):
+        with pytest.raises(ValueError):
+            small_matrix.array[0, 1] = 7
+
+
+class TestQueries:
+    def test_packages_between(self, small_matrix):
+        assert small_matrix.packages_between("A", "B", 36) == 3
+        assert small_matrix.packages_between("C", "A", 36) == 0
+
+    def test_packages_between_rejects_bad_size(self, small_matrix):
+        with pytest.raises(PSDFError):
+            small_matrix.packages_between("A", "B", 0)
+
+    def test_row(self, small_matrix):
+        assert small_matrix.row("A") == {"B": 100, "C": 25}
+
+    def test_column(self, small_matrix):
+        assert small_matrix.column("C") == {"B": 50, "A": 25}
+
+    def test_pairs(self, small_matrix):
+        assert set(small_matrix.pairs()) == {
+            ("A", "B", 100),
+            ("B", "C", 50),
+            ("A", "C", 25),
+        }
+
+    def test_cut_items(self, small_matrix):
+        partition = {"A": 1, "B": 1, "C": 2}
+        assert small_matrix.cut_items(partition) == 75
+
+    def test_cut_items_all_together(self, small_matrix):
+        assert small_matrix.cut_items({"A": 1, "B": 1, "C": 1}) == 0
+
+    def test_equality(self, small_matrix):
+        other = CommunicationMatrix(small_matrix.names, small_matrix.array.copy())
+        assert small_matrix == other
+
+    def test_to_table_contains_all_names(self, small_matrix):
+        table = small_matrix.to_table()
+        for name in small_matrix.names:
+            assert name in table
+
+
+class TestPaperFig8:
+    """The MP3 decoder matrix must reproduce Fig. 8 cell by cell."""
+
+    # Every non-zero cell of the published matrix.
+    EXPECTED = {
+        ("P0", "P1"): 576, ("P0", "P8"): 576,
+        ("P1", "P2"): 540, ("P1", "P3"): 36,
+        ("P2", "P3"): 540,
+        ("P3", "P4"): 36, ("P3", "P5"): 540, ("P3", "P10"): 36, ("P3", "P11"): 540,
+        ("P4", "P5"): 36,
+        ("P5", "P6"): 576,
+        ("P6", "P7"): 576,
+        ("P7", "P14"): 576,
+        ("P8", "P3"): 36, ("P8", "P9"): 540,
+        ("P9", "P3"): 540,
+        ("P10", "P11"): 36,
+        ("P11", "P12"): 576,
+        ("P12", "P13"): 576,
+        ("P13", "P14"): 576,
+    }
+
+    def test_matrix_matches_fig8(self, mp3_graph):
+        matrix = build_communication_matrix(mp3_graph)
+        for source in matrix.names:
+            for target in matrix.names:
+                expected = self.EXPECTED.get((source, target), 0)
+                assert matrix[source, target] == expected, (source, target)
+
+    def test_p0_p1_is_16_packages(self, mp3_graph):
+        # "the transaction between P0 and P1 consists of 576 data items,
+        # packed into 16 packages"
+        matrix = build_communication_matrix(mp3_graph)
+        assert matrix.packages_between("P0", "P1", 36) == 16

@@ -1,0 +1,81 @@
+"""Workload metric tests."""
+
+import pytest
+
+from repro.psdf.generators import chain_psdf, fork_join_psdf
+from repro.psdf.graph import PSDFGraph
+from repro.psdf.metrics import (
+    communication_to_computation,
+    max_parallelism,
+    parallelism_profile,
+    summary,
+    traffic_concentration,
+)
+
+
+class TestParallelism:
+    def test_chain_is_width_one(self):
+        graph = chain_psdf(5)
+        assert parallelism_profile(graph) == (1, 1, 1, 1, 1)
+        assert max_parallelism(graph) == 1
+
+    def test_fork_join_width(self):
+        graph = fork_join_psdf(4)
+        assert parallelism_profile(graph) == (1, 4, 1)
+        assert max_parallelism(graph) == 4
+
+    def test_mp3_width(self, mp3_graph):
+        # the stereo split gives at least two parallel channels
+        assert max_parallelism(mp3_graph) >= 2
+
+    def test_profile_sums_to_process_count(self, mp3_graph):
+        assert sum(parallelism_profile(mp3_graph)) == len(mp3_graph)
+
+
+class TestTrafficConcentration:
+    def test_uniform_traffic_near_zero(self):
+        graph = fork_join_psdf(4, items_per_worker=360)
+        assert traffic_concentration(graph) == pytest.approx(0.0, abs=1e-9)
+
+    def test_dominant_flow_high(self):
+        graph = PSDFGraph.from_edges(
+            [("A", "B", 10_000, 1, 10), ("B", "C", 10, 2, 10),
+             ("C", "D", 10, 3, 10)]
+        )
+        assert traffic_concentration(graph) > 0.5
+
+    def test_bounded(self, mp3_graph):
+        gini = traffic_concentration(mp3_graph)
+        assert 0.0 <= gini < 1.0
+
+
+class TestCommToComp:
+    def test_compute_bound_workload(self, mp3_graph):
+        # C ~ 250-320 ticks per 36-slot package: clearly compute-bound
+        ratio = communication_to_computation(mp3_graph, 36)
+        assert ratio < 0.5
+
+    def test_bus_bound_workload(self):
+        graph = PSDFGraph.from_edges(
+            [("A", "B", 720, 1, 1)]  # 1 tick of compute per 36-slot package
+        )
+        assert communication_to_computation(graph, 36) > 1.0
+
+    def test_scales_with_package_size_for_fixed_costs(self):
+        # constant C: halving s doubles packages, doubling compute share
+        graph = PSDFGraph.from_edges([("A", "B", 720, 1, 100)])
+        r36 = communication_to_computation(graph, 36)
+        r18 = communication_to_computation(graph, 18)
+        assert r18 == pytest.approx(r36 / 2 * 2 * 0.5 * 2, rel=0.01) or r18 < r36
+
+
+class TestSummary:
+    def test_mp3_summary(self, mp3_graph):
+        s = summary(mp3_graph)
+        assert s.name == "MP3Decoder"
+        assert s.processes == 15
+        assert s.flows == 20
+        assert s.depth >= 6
+        assert s.total_items == 8064
+        assert 0 <= s.traffic_gini < 1
+        assert s.comm_to_comp > 0

@@ -1,0 +1,58 @@
+"""Package arithmetic tests."""
+
+import pytest
+
+from repro.errors import PSDFError
+from repro.psdf.packetize import Package, packages_for_items, split_into_packages
+
+
+class TestPackagesForItems:
+    @pytest.mark.parametrize(
+        "items,size,expected",
+        [(576, 36, 16), (540, 36, 15), (36, 36, 1), (37, 36, 2), (0, 36, 0),
+         (576, 18, 32), (1, 36, 1)],
+    )
+    def test_counts(self, items, size, expected):
+        assert packages_for_items(items, size) == expected
+
+    def test_rejects_negative_items(self):
+        with pytest.raises(PSDFError):
+            packages_for_items(-1, 36)
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(PSDFError):
+            packages_for_items(36, 0)
+
+
+class TestSplit:
+    def test_exact_split(self):
+        packages = split_into_packages("A", "B", 72, 36)
+        assert len(packages) == 2
+        assert all(p.payload_items == 36 for p in packages)
+        assert [p.sequence for p in packages] == [0, 1]
+
+    def test_remainder_package(self):
+        packages = split_into_packages("A", "B", 40, 36)
+        assert [p.payload_items for p in packages] == [36, 4]
+
+    def test_payloads_sum_to_items(self):
+        packages = split_into_packages("A", "B", 1234, 36)
+        assert sum(p.payload_items for p in packages) == 1234
+
+    def test_endpoints_propagated(self):
+        packages = split_into_packages("P0", "P1", 36, 36)
+        assert packages[0].source == "P0"
+        assert packages[0].target == "P1"
+
+    def test_empty_flow(self):
+        assert split_into_packages("A", "B", 0, 36) == []
+
+
+class TestPackage:
+    def test_rejects_negative_sequence(self):
+        with pytest.raises(PSDFError):
+            Package("A", "B", -1, 36)
+
+    def test_rejects_empty_payload(self):
+        with pytest.raises(PSDFError):
+            Package("A", "B", 0, 0)

@@ -1,0 +1,86 @@
+"""Schedule extraction tests."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.psdf.generators import fork_join_psdf
+from repro.psdf.graph import PSDFGraph
+from repro.psdf.schedule import extract_schedule
+
+
+@pytest.fixture
+def diamond():
+    return PSDFGraph.from_edges(
+        [
+            ("A", "B", 72, 1, 100),
+            ("A", "C", 72, 2, 100),
+            ("B", "D", 36, 3, 100),
+            ("C", "D", 36, 3, 100),
+        ]
+    )
+
+
+class TestExtraction:
+    def test_transfers_per_process(self, diamond):
+        schedule = extract_schedule(diamond, 36)
+        assert len(schedule.transfers_of["A"]) == 2
+        assert len(schedule.transfers_of["B"]) == 1
+        assert len(schedule.transfers_of["D"]) == 0
+
+    def test_transfer_fields(self, diamond):
+        schedule = extract_schedule(diamond, 36)
+        transfer = schedule.transfers_of["A"][0]
+        assert transfer.source == "A"
+        assert transfer.target == "B"
+        assert transfer.packages == 2
+        assert transfer.ticks_per_package == 100
+
+    def test_transfers_sorted_by_order(self, diamond):
+        schedule = extract_schedule(diamond, 36)
+        orders = [t.order for t in schedule.transfers_of["A"]]
+        assert orders == sorted(orders)
+
+    def test_inputs_of_counts_packages(self, diamond):
+        schedule = extract_schedule(diamond, 36)
+        assert schedule.inputs_of["A"] == 0
+        assert schedule.inputs_of["B"] == 2
+        assert schedule.inputs_of["D"] == 2
+
+    def test_inputs_of_rounds_up(self):
+        graph = PSDFGraph.from_edges([("A", "B", 37, 1, 10)])
+        schedule = extract_schedule(graph, 36)
+        assert schedule.inputs_of["B"] == 2
+
+    def test_rejects_bad_package_size(self, diamond):
+        with pytest.raises(ScheduleError):
+            extract_schedule(diamond, 0)
+
+
+class TestScheduleObject:
+    def test_all_transfers_sorted(self, diamond):
+        schedule = extract_schedule(diamond, 36)
+        transfers = schedule.all_transfers()
+        assert [t.order for t in transfers] == sorted(t.order for t in transfers)
+
+    def test_total_packages(self, diamond):
+        schedule = extract_schedule(diamond, 36)
+        assert schedule.total_packages() == 2 + 2 + 1 + 1
+
+    def test_concurrent_groups(self, diamond):
+        schedule = extract_schedule(diamond, 36)
+        groups = schedule.concurrent_groups()
+        # orders 1, 2, 3 -> three groups; the last has the two same-T joins
+        assert len(groups) == 3
+        assert len(groups[-1]) == 2
+
+    def test_fork_join_concurrency(self):
+        graph = fork_join_psdf(4, items_per_worker=36)
+        schedule = extract_schedule(graph, 36)
+        groups = schedule.concurrent_groups()
+        assert len(groups) == 2
+        assert len(groups[0]) == 4  # all fan-out flows share T=1
+
+    def test_package_size_changes_counts(self, diamond):
+        s36 = extract_schedule(diamond, 36)
+        s18 = extract_schedule(diamond, 18)
+        assert s18.total_packages() == 2 * s36.total_packages()

@@ -1,0 +1,65 @@
+"""Reference simulator and accuracy comparison tests."""
+
+import pytest
+
+from repro.emulator.config import EmulationConfig
+from repro.reference.accuracy import compare_estimate_to_reference
+from repro.reference.refsim import ReferenceSimulator, reference_execute
+
+
+class TestReferenceSimulator:
+    def test_default_config_is_reference_preset(self):
+        assert ReferenceSimulator().config == EmulationConfig.reference()
+
+    def test_custom_config_honoured(self):
+        config = EmulationConfig(bu_sync_ticks=7)
+        assert ReferenceSimulator(config=config).config.bu_sync_ticks == 7
+
+    def test_execute_returns_report(self, mp3_graph, platform_3seg):
+        report = reference_execute(mp3_graph, platform_3seg)
+        assert report.segment_count == 3
+        assert report.execution_time_us > 0
+
+    def test_reference_slower_than_emulator(self, mp3_graph, platform_3seg, report_3seg):
+        actual = reference_execute(mp3_graph, platform_3seg)
+        assert actual.execution_time_fs > report_3seg.execution_time_fs
+
+    def test_reference_preserves_package_accounting(self, mp3_graph, platform_3seg, report_3seg):
+        # higher fidelity changes timing, never package counts
+        actual = reference_execute(mp3_graph, platform_3seg)
+        assert actual.bu(1, 2).input_packages == report_3seg.bu(1, 2).input_packages
+        assert actual.bu(2, 3).input_packages == report_3seg.bu(2, 3).input_packages
+        assert [s.inter_requests for s in actual.sa_results] == [
+            s.inter_requests for s in report_3seg.sa_results
+        ]
+
+
+class TestAccuracyComparison:
+    def test_result_fields(self, mp3_graph, platform_3seg):
+        result = compare_estimate_to_reference(
+            mp3_graph, platform_3seg, label="demo"
+        )
+        assert result.label == "demo"
+        assert result.estimated_us == pytest.approx(
+            result.estimated_report.execution_time_us
+        )
+        assert 0 < result.accuracy < 1
+        assert result.error == pytest.approx(1 - result.accuracy)
+
+    def test_estimate_below_actual(self, mp3_graph, platform_3seg):
+        # the paper's emulator always under-estimates (skipped overheads)
+        result = compare_estimate_to_reference(mp3_graph, platform_3seg)
+        assert result.estimated_us < result.actual_us
+
+    def test_accuracy_in_papers_band(self, mp3_graph, platform_3seg):
+        # the paper reports "around 95%" for s=36
+        result = compare_estimate_to_reference(mp3_graph, platform_3seg)
+        assert 0.90 <= result.accuracy <= 0.99
+
+    def test_identical_configs_give_accuracy_one(self, mp3_graph, platform_3seg):
+        result = compare_estimate_to_reference(
+            mp3_graph,
+            platform_3seg,
+            reference_config=EmulationConfig.emulator(),
+        )
+        assert result.accuracy == pytest.approx(1.0)

@@ -1,0 +1,77 @@
+"""The exception hierarchy contract."""
+
+import pytest
+
+from repro.errors import (
+    ConstraintViolation,
+    DeadlockError,
+    EmulationError,
+    FlowError,
+    MappingError,
+    ModelError,
+    PlacementError,
+    PSDFError,
+    RoutingError,
+    ScheduleError,
+    SegBusError,
+    XMLFormatError,
+)
+
+
+@pytest.mark.parametrize(
+    "exc_type",
+    [
+        PSDFError,
+        FlowError,
+        ScheduleError,
+        ModelError,
+        ConstraintViolation,
+        MappingError,
+        XMLFormatError,
+        EmulationError,
+        DeadlockError,
+        RoutingError,
+        PlacementError,
+    ],
+)
+def test_all_errors_derive_from_segbus_error(exc_type):
+    assert issubclass(exc_type, SegBusError)
+
+
+def test_flow_error_is_psdf_error():
+    assert issubclass(FlowError, PSDFError)
+
+
+def test_constraint_violation_is_model_error():
+    assert issubclass(ConstraintViolation, ModelError)
+
+
+def test_deadlock_is_emulation_error():
+    assert issubclass(DeadlockError, EmulationError)
+
+
+def test_constraint_violation_formats_diagnostics():
+    exc = ConstraintViolation(["first problem", "second problem"], model_name="SBP")
+    text = str(exc)
+    assert "2 constraint violation(s)" in text
+    assert "first problem" in text
+    assert "second problem" in text
+    assert "'SBP'" in text
+    assert exc.diagnostics == ["first problem", "second problem"]
+
+
+def test_constraint_violation_without_model_name():
+    exc = ConstraintViolation(["x"])
+    assert "model:" in str(exc) or "model" in str(exc)
+
+
+def test_deadlock_error_lists_pending():
+    exc = DeadlockError("stalled", pending=["master P1", "segment 2 locked"])
+    assert "master P1" in str(exc)
+    assert exc.pending == ["master P1", "segment 2 locked"]
+
+
+def test_deadlock_error_without_pending():
+    exc = DeadlockError("stalled")
+    assert exc.pending == []
+    assert "stalled" in str(exc)

@@ -1,0 +1,66 @@
+"""Code-engineering-set and round-trip fidelity tests."""
+
+import pytest
+
+from repro.errors import SegBusError, XMLFormatError
+from repro.psdf.flow import FlowCost
+from repro.psdf.graph import PSDFGraph
+from repro.xmlio.codegen import CodeEngineeringSet, generate_models
+from repro.xmlio.psdf_parser import parse_psdf_xml
+from repro.xmlio.psm_parser import parse_psm_xml
+from repro.xmlio.roundtrip import psdf_roundtrip, psm_roundtrip, roundtrip_pair
+
+
+@pytest.fixture
+def app():
+    return PSDFGraph.from_edges(
+        [("P0", "P1", 576, 1, FlowCost(c_fixed=34, c_item=6))], name="Mini"
+    )
+
+
+class TestCodegen:
+    def test_generate_writes_both_schemes(self, app, platform_3seg, tmp_path, mp3_graph):
+        sets = [
+            CodeEngineeringSet("psdf", mp3_graph, "psdf.xml", package_size=36),
+            CodeEngineeringSet("psm", platform_3seg, "psm.xml"),
+        ]
+        written = generate_models(sets, tmp_path / "out")
+        assert [p.name for p in written] == ["psdf.xml", "psm.xml"]
+        parsed_psdf = parse_psdf_xml(written[0].read_text())
+        parsed_psm = parse_psm_xml(written[1].read_text())
+        assert parsed_psdf.process_count == 15
+        assert parsed_psm.segment_count == 3
+
+    def test_creates_missing_directory(self, app, tmp_path):
+        target = tmp_path / "a" / "b"
+        generate_models(
+            [CodeEngineeringSet("psdf", app, "x.xml", package_size=36)], target
+        )
+        assert (target / "x.xml").exists()
+
+    def test_rejects_unknown_model_type(self, tmp_path):
+        ces = CodeEngineeringSet("bad", object(), "x.xml")
+        with pytest.raises(SegBusError):
+            ces.transform()
+
+
+class TestRoundtrip:
+    def test_psdf_roundtrip_ok(self, app):
+        parsed = psdf_roundtrip(app, 36)
+        assert parsed.process_count == 2
+
+    def test_psdf_roundtrip_evaluates_cost_at_package_size(self, app):
+        parsed = psdf_roundtrip(app, 18)
+        flow = parsed.transfers_from("P0")[0]
+        # C(18) = 34 + 6*18 = 142 — the scheme stores the evaluated value
+        assert flow.ticks_per_package(18) == 142
+
+    def test_psm_roundtrip_ok(self, platform_3seg):
+        parsed = psm_roundtrip(platform_3seg)
+        assert parsed.segment_count == 3
+
+    def test_roundtrip_pair(self, mp3_graph, platform_3seg):
+        parsed_psdf, parsed_psm = roundtrip_pair(mp3_graph, platform_3seg)
+        assert set(parsed_psm.placement) == set(
+            p.name for p in parsed_psdf.processes
+        )

@@ -1,0 +1,95 @@
+"""PSDF writer + parser tests (the M2T transformation and its inverse)."""
+
+import pytest
+
+from repro.errors import XMLFormatError
+from repro.psdf.graph import PSDFGraph
+from repro.xmlio.psdf_parser import parse_psdf_xml
+from repro.xmlio.psdf_writer import psdf_to_schema, psdf_to_xml
+from repro.xmlio.schema_writer import XS_NS, SchemaDocument
+
+
+@pytest.fixture
+def app():
+    return PSDFGraph.from_edges(
+        [("P0", "P1", 576, 1, 250), ("P1", "P2", 540, 2, 300)], name="Demo"
+    )
+
+
+class TestWriter:
+    def test_one_complex_type_per_process_plus_header(self, app):
+        doc = psdf_to_schema(app, 36)
+        assert set(doc.type_names()) == {"Demo", "P0", "P1", "P2"}
+
+    def test_flow_element_name_format(self, app):
+        doc = psdf_to_schema(app, 36)
+        assert doc.complex_type("P0").children[0].name == "P1_576_1_250"
+
+    def test_flow_elements_typed_transfer(self, app):
+        doc = psdf_to_schema(app, 36)
+        assert doc.complex_type("P0").children[0].type == "Transfer"
+
+    def test_header_lists_stereotypes(self, app):
+        header = psdf_to_schema(app, 36).complex_type("Demo")
+        assert header.child("P0").type == "InitialNode"
+        assert header.child("P1").type == "ProcessNode"
+        assert header.child("P2").type == "FinalNode"
+
+    def test_package_size_embedded_in_ticks(self, app):
+        # constant costs: same C at any package size
+        doc36 = psdf_to_schema(app, 36)
+        doc18 = psdf_to_schema(app, 18)
+        assert doc36.complex_type("P0").children[0].name == \
+            doc18.complex_type("P0").children[0].name
+
+
+class TestParser:
+    def test_roundtrip_counts(self, app):
+        parsed = parse_psdf_xml(psdf_to_xml(app, 36))
+        assert parsed.process_count == 3
+        assert len(parsed.flows) == 2
+        assert parsed.name == "Demo"
+
+    def test_roundtrip_flow_values(self, app):
+        parsed = parse_psdf_xml(psdf_to_xml(app, 36))
+        flow = parsed.transfers_from("P0")[0]
+        assert flow.target == "P1"
+        assert flow.data_items == 576
+        assert flow.order == 1
+        assert flow.ticks_per_package(36) == 250
+
+    def test_to_graph_validates(self, app):
+        graph = parse_psdf_xml(psdf_to_xml(app, 36)).to_graph()
+        assert set(graph.process_names) == {"P0", "P1", "P2"}
+        assert graph.flow("P0", "P1").data_items == 576
+
+    def test_rejects_missing_header(self):
+        text = f'<xs:schema xmlns:xs="{XS_NS}"><xs:complexType name="P0"><xs:all/></xs:complexType></xs:schema>'
+        with pytest.raises(XMLFormatError):
+            parse_psdf_xml(text)
+
+    def test_rejects_undeclared_flow_target(self, app):
+        text = psdf_to_xml(app, 36).replace("P1_576_1_250", "P9_576_1_250")
+        with pytest.raises(XMLFormatError, match="undeclared"):
+            parse_psdf_xml(text)
+
+    def test_rejects_unknown_stereotype(self, app):
+        # caught by the integrity check ("undefined type") before the
+        # stereotype mapping even runs
+        text = psdf_to_xml(app, 36).replace("InitialNode", "MagicNode")
+        with pytest.raises(XMLFormatError, match="MagicNode"):
+            parse_psdf_xml(text)
+
+    def test_rejects_non_process_complex_type(self, app):
+        doc = psdf_to_schema(app, 36)
+        from repro.xmlio.schema_writer import ComplexType
+
+        doc.add_complex_type(ComplexType("Rogue"))
+        # flagged as an unreachable orphan by the scheme integrity check
+        with pytest.raises(XMLFormatError, match="Rogue"):
+            parse_psdf_xml(doc.to_xml())
+
+    def test_mp3_model_roundtrips(self, mp3_graph):
+        parsed = parse_psdf_xml(psdf_to_xml(mp3_graph, 36))
+        assert parsed.process_count == 15
+        assert len(parsed.flows) == len(mp3_graph.flows)

@@ -1,0 +1,69 @@
+"""Scheme referential-integrity checker tests."""
+
+import pytest
+
+from repro.errors import XMLFormatError
+from repro.xmlio.psdf_writer import psdf_to_schema
+from repro.xmlio.psm_writer import psm_to_schema
+from repro.xmlio.schema_check import assert_scheme_valid, check_scheme
+from repro.xmlio.schema_writer import ComplexType, SchemaDocument
+
+
+def valid_doc():
+    doc = SchemaDocument()
+    doc.add_top_level("root", "Root")
+    doc.add_complex_type(ComplexType("Root").add("child", "Child"))
+    doc.add_complex_type(ComplexType("Child").add("x", "Parameter"))
+    return doc
+
+
+class TestGeneratedSchemesAreValid:
+    def test_psdf_scheme(self, mp3_graph):
+        report = check_scheme(psdf_to_schema(mp3_graph, 36))
+        assert report.ok, report.problems
+
+    def test_psm_scheme(self, platform_3seg):
+        report = check_scheme(psm_to_schema(platform_3seg))
+        assert report.ok, report.problems
+
+
+class TestDetection:
+    def test_valid_document_passes(self):
+        assert check_scheme(valid_doc()).ok
+
+    def test_undefined_reference(self):
+        doc = valid_doc()
+        doc.complex_type("Child").add("bad", "Ghost")
+        report = check_scheme(doc)
+        assert any("Ghost" in p and "undefined" in p for p in report.problems)
+
+    def test_undefined_top_level(self):
+        doc = SchemaDocument()
+        doc.add_top_level("root", "Missing")
+        report = check_scheme(doc)
+        assert any("Missing" in p for p in report.problems)
+
+    def test_orphan_type(self):
+        doc = valid_doc()
+        doc.add_complex_type(ComplexType("Orphan"))
+        report = check_scheme(doc)
+        assert any("Orphan" in p and "unreachable" in p for p in report.problems)
+
+    def test_terminal_types_always_legal(self):
+        doc = SchemaDocument()
+        doc.add_top_level("root", "Root")
+        ctype = ComplexType("Root")
+        for terminal in ("Transfer", "Parameter", "Master", "Slave",
+                         "InitialNode", "ProcessNode", "FinalNode"):
+            ctype.add(f"c{terminal}", terminal)
+        doc.add_complex_type(ctype)
+        assert check_scheme(doc).ok
+
+    def test_assert_raises(self):
+        doc = valid_doc()
+        doc.complex_type("Child").add("bad", "Ghost")
+        with pytest.raises(XMLFormatError, match="Ghost"):
+            assert_scheme_valid(doc)
+
+    def test_assert_passes_silently(self):
+        assert_scheme_valid(valid_doc())
