@@ -33,6 +33,11 @@ from repro.analysis.analytic import (
     diagnose_contention,
 )
 from repro.analysis.latency import FlowLatency, LatencyReport, measure_latencies
+from repro.analysis.reliability import (
+    ReliabilityCurve,
+    ReliabilityPoint,
+    reliability_sweep,
+)
 from repro.analysis.parallel import EmulationJob, JobResult, parallel_emulate
 from repro.analysis.visualize import activity_to_csv, psdf_to_dot, timeline_to_gantt
 
@@ -57,6 +62,9 @@ __all__ = [
     "Campaign",
     "Variant",
     "VariantResult",
+    "ReliabilityCurve",
+    "ReliabilityPoint",
+    "reliability_sweep",
     "frequency_sweep",
     "AnalyticEstimate",
     "ContentionDiagnosis",

@@ -25,12 +25,19 @@ from repro.psdf.graph import PSDFGraph
 
 @dataclass(frozen=True)
 class Variant:
-    """One campaign point: a named (application, platform, config) triple."""
+    """One campaign point: a named (application, platform, config) triple.
+
+    ``fault_plan``/``retry_policy`` optionally run the variant under fault
+    injection (see :mod:`repro.faults`) — the reliability sweeps build their
+    grids out of such variants.
+    """
 
     name: str
     application: PSDFGraph
     platform: SegBusPlatform
     config: EmulationConfig = field(default_factory=EmulationConfig)
+    fault_plan: Optional[object] = None
+    retry_policy: Optional[object] = None
 
 
 @dataclass(frozen=True)
@@ -90,11 +97,20 @@ class Campaign:
         application: PSDFGraph,
         platform: SegBusPlatform,
         config: Optional[EmulationConfig] = None,
+        fault_plan=None,
+        retry_policy=None,
     ) -> "Campaign":
         if any(v.name == name for v in self._variants):
             raise SegBusError(f"duplicate variant name {name!r}")
         self._variants.append(
-            Variant(name, application, platform, config or EmulationConfig())
+            Variant(
+                name,
+                application,
+                platform,
+                config or EmulationConfig(),
+                fault_plan=fault_plan,
+                retry_policy=retry_policy,
+            )
         )
         self._results = None
         return self
@@ -123,7 +139,11 @@ class Campaign:
             results = []
             for variant in self._variants:
                 emulator = SegBusEmulator.from_models(
-                    variant.application, variant.platform, config=variant.config
+                    variant.application,
+                    variant.platform,
+                    config=variant.config,
+                    fault_plan=variant.fault_plan,
+                    retry_policy=variant.retry_policy,
                 )
                 report = emulator.run()
                 power = estimate_power(

@@ -1,0 +1,233 @@
+"""Reliability analysis: execution-time overhead and completion probability.
+
+The fault-injection subsystem (:mod:`repro.faults`) makes the emulator a
+reliability-estimation tool as well: sweep a transient fault rate over a
+seed population and measure
+
+* the **completion probability** — the fraction of runs that retire every
+  flow (a run counts as completed even when the retry protocol had to
+  re-arbitrate packages, as long as nothing was abandoned);
+* the **execution-time overhead** of the retry/backoff protocol against the
+  fault-free baseline of the same configuration.
+
+The sweep reuses the campaign machinery's variant/export conventions: each
+(rate, seed) pair is one :class:`~repro.analysis.campaign.Variant`-shaped
+point, and the curve exports as CSV/Markdown exactly like a
+:class:`~repro.analysis.campaign.Campaign` table.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.emulator.config import EmulationConfig
+from repro.emulator.emulator import SegBusEmulator
+from repro.errors import FaultConfigError, SegBusError
+from repro.faults.model import KIND_CORRUPTION, TRANSIENT_KINDS, FaultPlan
+from repro.faults.policy import RetryPolicy
+from repro.model.elements import SegBusPlatform
+from repro.psdf.graph import PSDFGraph
+
+
+@dataclass(frozen=True)
+class ReliabilityPoint:
+    """Aggregated measurements at one fault rate (over all seeds)."""
+
+    rate: float
+    runs: int
+    completed: int
+    degraded: int
+    failed: int
+    mean_execution_time_us: float  # over runs that produced a report
+    overhead_pct: float            # vs the fault-free baseline
+    mean_retries: float
+    mean_nacks: float
+    mean_injected: float
+
+    @property
+    def completion_probability(self) -> float:
+        return self.completed / self.runs if self.runs else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "rate": self.rate,
+            "runs": self.runs,
+            "completed": self.completed,
+            "degraded": self.degraded,
+            "failed": self.failed,
+            "completion_probability": round(self.completion_probability, 4),
+            "mean_execution_time_us": round(self.mean_execution_time_us, 3),
+            "overhead_pct": round(self.overhead_pct, 3),
+            "mean_retries": round(self.mean_retries, 2),
+            "mean_nacks": round(self.mean_nacks, 2),
+            "mean_injected": round(self.mean_injected, 2),
+        }
+
+
+COLUMNS = (
+    "rate",
+    "runs",
+    "completed",
+    "degraded",
+    "failed",
+    "completion_probability",
+    "mean_execution_time_us",
+    "overhead_pct",
+    "mean_retries",
+    "mean_nacks",
+    "mean_injected",
+)
+
+
+@dataclass(frozen=True)
+class ReliabilityCurve:
+    """One fault-rate sweep of an (application, platform) pair."""
+
+    application: str
+    kind: str
+    baseline_execution_time_us: float
+    points: Tuple[ReliabilityPoint, ...]
+
+    def point_at(self, rate: float) -> ReliabilityPoint:
+        for point in self.points:
+            if point.rate == rate:
+                return point
+        raise KeyError(f"no sweep point at rate {rate}")
+
+    def as_dict(self) -> dict:
+        return {
+            "application": self.application,
+            "kind": self.kind,
+            "baseline_execution_time_us": round(
+                self.baseline_execution_time_us, 3
+            ),
+            "points": [p.as_dict() for p in self.points],
+        }
+
+    def to_json(self, path: Optional[Union[str, Path]] = None) -> str:
+        text = json.dumps(self.as_dict(), indent=2, sort_keys=True)
+        if path is not None:
+            Path(path).write_text(text, encoding="utf-8")
+        return text
+
+    def to_csv(self, path: Optional[Union[str, Path]] = None) -> str:
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=COLUMNS, lineterminator="\n")
+        writer.writeheader()
+        for point in self.points:
+            writer.writerow(point.as_dict())
+        text = buffer.getvalue()
+        if path is not None:
+            Path(path).write_text(text, encoding="utf-8")
+        return text
+
+    def to_markdown(self) -> str:
+        header = "| " + " | ".join(COLUMNS) + " |"
+        rule = "|" + "|".join("---" for _ in COLUMNS) + "|"
+        body = [
+            "| " + " | ".join(str(p.as_dict()[c]) for c in COLUMNS) + " |"
+            for p in self.points
+        ]
+        return "\n".join([header, rule] + body)
+
+
+def reliability_sweep(
+    application: PSDFGraph,
+    platform: SegBusPlatform,
+    rates: Sequence[float],
+    kind: str = KIND_CORRUPTION,
+    seeds: Sequence[int] = (1, 2, 3, 4, 5),
+    retry_policy: Optional[RetryPolicy] = None,
+    config: Optional[EmulationConfig] = None,
+    stall_ticks: int = 50,
+) -> ReliabilityCurve:
+    """Sweep ``kind`` fault rates over a seed population.
+
+    Every (rate, seed) pair is one deterministic emulation; a run that
+    raises a :class:`~repro.errors.SegBusError` (retry exhaustion under a
+    ``fail`` policy, a watchdog/budget stop) counts as *failed*, a run that
+    finishes with ``degraded=True`` as *degraded*, anything else as
+    *completed*.  The fault-free baseline is emulated once for the
+    overhead column.
+    """
+    if kind not in TRANSIENT_KINDS:
+        raise FaultConfigError(
+            f"reliability sweep needs a transient fault kind, got {kind!r} "
+            f"(expected one of {sorted(TRANSIENT_KINDS)})"
+        )
+    policy = retry_policy or RetryPolicy(on_exhaustion="degrade")
+    baseline = SegBusEmulator.from_models(
+        application, platform, config=config
+    ).run()
+    baseline_us = baseline.execution_time_us
+
+    rate_kw = {
+        "package_corruption": "corruption_rate",
+        "grant_loss": "grant_loss_rate",
+        "fu_stall": "stall_rate",
+        "bu_drop": "bu_drop_rate",
+    }[kind]
+
+    points: List[ReliabilityPoint] = []
+    for rate in rates:
+        completed = degraded = failed = 0
+        times_us: List[float] = []
+        retries: List[int] = []
+        nacks: List[int] = []
+        injected: List[int] = []
+        for seed in seeds:
+            plan = FaultPlan.transient(
+                seed=seed, stall_ticks=stall_ticks, **{rate_kw: rate}
+            )
+            try:
+                report = SegBusEmulator.from_models(
+                    application,
+                    platform,
+                    config=config,
+                    fault_plan=plan,
+                    retry_policy=policy,
+                ).run()
+            except SegBusError:
+                failed += 1
+                continue
+            times_us.append(report.execution_time_us)
+            retries.append(report.total_retries)
+            nacks.append(report.total_nacks)
+            injected.append(
+                report.fault_summary["total"] if report.fault_summary else 0
+            )
+            if report.degraded:
+                degraded += 1
+            else:
+                completed += 1
+        reported = len(times_us)
+        mean_us = sum(times_us) / reported if reported else 0.0
+        points.append(
+            ReliabilityPoint(
+                rate=rate,
+                runs=len(seeds),
+                completed=completed,
+                degraded=degraded,
+                failed=failed,
+                mean_execution_time_us=mean_us,
+                overhead_pct=(
+                    100.0 * (mean_us - baseline_us) / baseline_us
+                    if reported
+                    else 0.0
+                ),
+                mean_retries=sum(retries) / reported if reported else 0.0,
+                mean_nacks=sum(nacks) / reported if reported else 0.0,
+                mean_injected=sum(injected) / reported if reported else 0.0,
+            )
+        )
+    return ReliabilityCurve(
+        application=application.name,
+        kind=kind,
+        baseline_execution_time_us=baseline_us,
+        points=tuple(points),
+    )

@@ -24,7 +24,14 @@ Subcommands mirror the design flow of Fig. 3:
     instant contention-free estimate vs emulation;
 ``segbus report``
     re-run the headline experiments and write the Markdown
-    paper-vs-measured report.
+    paper-vs-measured report;
+``segbus faults``
+    reliability sweep under transient fault injection — completion
+    probability and execution-time overhead per fault rate.
+
+Any :class:`~repro.errors.SegBusError` surfaces as a one-line message on
+stderr and exit code 2; pass ``--debug`` (before the subcommand) to get the
+full traceback instead.
 """
 
 from __future__ import annotations
@@ -232,6 +239,59 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.analysis.reliability import reliability_sweep
+    from repro.apps.jpeg import jpeg_decoder_psdf, jpeg_platform
+    from repro.faults import RetryPolicy
+    from repro.xmlio.faults_xml import fault_plan_to_xml
+    from repro.faults.model import FaultPlan
+
+    if args.app == "mp3":
+        application = mp3_decoder_psdf()
+        platform = paper_platform(args.segments, package_size=args.package_size)
+    elif args.app == "jpeg":
+        application = jpeg_decoder_psdf()
+        platform = jpeg_platform(args.segments, package_size=args.package_size)
+    else:
+        print(f"faults supports mp3 or jpeg, not {args.app!r}", file=sys.stderr)
+        return 2
+    policy = RetryPolicy(
+        max_attempts=args.max_attempts,
+        backoff=args.backoff,
+        timeout_ticks=args.timeout_ticks,
+        on_exhaustion=args.on_exhaustion,
+    )
+    curve = reliability_sweep(
+        application,
+        platform,
+        rates=args.rates,
+        kind=args.kind,
+        seeds=tuple(range(1, args.seeds + 1)),
+        retry_policy=policy,
+    )
+    print(
+        f"{curve.application}: {curve.kind} sweep, baseline "
+        f"{curve.baseline_execution_time_us:.2f} us"
+    )
+    print(curve.to_markdown())
+    if args.csv:
+        curve.to_csv(args.csv)
+        print(f"\nwrote {args.csv}")
+    if args.plan_xml:
+        rate_kw = {
+            "package_corruption": "corruption_rate",
+            "grant_loss": "grant_loss_rate",
+            "fu_stall": "stall_rate",
+            "bu_drop": "bu_drop_rate",
+        }[args.kind]
+        plan = FaultPlan.transient(seed=1, **{rate_kw: max(args.rates)})
+        Path(args.plan_xml).write_text(
+            fault_plan_to_xml(plan), encoding="utf-8"
+        )
+        print(f"wrote {args.plan_xml}")
+    return 0
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.analysis.campaign import Campaign
     from repro.apps.jpeg import jpeg_decoder_psdf, jpeg_platform
@@ -260,6 +320,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="segbus",
         description="SegBus performance estimation (ICPP 2010 reproduction)",
+    )
+    parser.add_argument(
+        "--debug",
+        action="store_true",
+        help="re-raise SegBus errors with a full traceback (default: "
+        "one-line message, exit code 2)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -344,12 +410,60 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_.add_argument("psm_a", type=Path)
     cmp_.add_argument("psm_b", type=Path)
     cmp_.set_defaults(func=_cmd_compare)
+
+    flt = sub.add_parser(
+        "faults",
+        help="reliability sweep under transient fault injection",
+    )
+    flt.add_argument("--app", default="mp3", help="mp3 or jpeg")
+    flt.add_argument("--segments", type=int, default=3)
+    flt.add_argument("--package-size", type=int, default=36)
+    flt.add_argument(
+        "--kind",
+        default="package_corruption",
+        choices=["package_corruption", "grant_loss", "fu_stall", "bu_drop"],
+    )
+    flt.add_argument(
+        "--rates",
+        type=float,
+        nargs="+",
+        default=[0.0, 0.001, 0.01, 0.05],
+        help="fault rates to sweep",
+    )
+    flt.add_argument(
+        "--seeds", type=int, default=3, help="seed population per rate"
+    )
+    flt.add_argument("--max-attempts", type=int, default=4)
+    flt.add_argument(
+        "--backoff", default="exponential", choices=["none", "linear", "exponential"]
+    )
+    flt.add_argument(
+        "--timeout-ticks", type=int, default=None,
+        help="per-hop CA-queue timeout (CA clock ticks)",
+    )
+    flt.add_argument(
+        "--on-exhaustion", default="degrade", choices=["fail", "degrade"]
+    )
+    flt.add_argument("--csv", default="", help="also write a CSV file here")
+    flt.add_argument(
+        "--plan-xml", default="",
+        help="also write the worst-case fault plan as an XML scheme",
+    )
+    flt.set_defaults(func=_cmd_faults)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.errors import SegBusError
+
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (SegBusError, OSError) as exc:
+        if args.debug:
+            raise
+        print(f"segbus: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

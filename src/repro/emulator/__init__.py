@@ -22,6 +22,11 @@ Public entry points:
   defaults reproduce the paper's emulator (skipped sync/grant factors),
   :meth:`~repro.emulator.config.EmulationConfig.reference` reproduces the
   "real platform" timing.
+
+Resilience extensions (fault injection, retry/timeout protocol, watchdog,
+graceful degradation) live in :mod:`repro.faults`; the facade and
+:func:`emulate` accept ``fault_plan``/``retry_policy``/``watchdog`` knobs.
+See docs/ROBUSTNESS.md.
 """
 
 from repro.emulator.config import EmulationConfig

@@ -59,7 +59,14 @@ class EmulationConfig:
         each downstream bus hop-by-hop, with one BU slot per direction
         (virtual channels, which keeps the protocol deadlock-free).
     ``max_events``
-        kernel safety budget.
+        kernel safety budget; exceeding it raises a structured
+        :class:`~repro.errors.StallError` with pending-work diagnostics.
+    ``max_ticks``
+        simulated-time budget in CA clock ticks (the platform's global
+        timebase).  A pathological model that keeps generating events
+        forever trips this guard instead of looping; the default is far
+        above any realistic run (the paper's MP3 experiment retires in
+        ~54 k CA ticks).
     """
 
     grant_latency_ticks: int = 0
@@ -72,6 +79,7 @@ class EmulationConfig:
     ca_epilogue_ticks: int = 2
     inter_segment_protocol: str = "circuit"
     max_events: int = 50_000_000
+    max_ticks: int = 1_000_000_000
 
     def __post_init__(self) -> None:
         if self.inter_segment_protocol not in ("circuit", "store-and-forward"):
@@ -94,6 +102,8 @@ class EmulationConfig:
                 raise ValueError(f"{name} must be non-negative")
         if self.max_events <= 0:
             raise ValueError("max_events must be positive")
+        if self.max_ticks <= 0:
+            raise ValueError("max_ticks must be positive")
 
     @classmethod
     def emulator(cls) -> "EmulationConfig":

@@ -24,6 +24,8 @@ class ProcessCounters:
     packages_received: int = 0
     expected_inputs: int = 0
     done: bool = False  # the paper's "Process Status Flag"
+    #: extra compute ticks injected by fu_stall faults
+    stall_ticks_injected: int = 0
 
     @property
     def fired(self) -> bool:
@@ -43,6 +45,12 @@ class SegmentCounters:
     busy_fs: int = 0
     quiesce_fs: int = 0
     busy_intervals: List[Tuple[int, int]] = field(default_factory=list)
+    #: resilience protocol: packages NACKed by a CRC check on this segment
+    nacks: int = 0
+    #: re-arbitrated attempts caused by NACKs/drops on this segment
+    retries: int = 0
+    #: SA grants lost before the master drove the bus
+    grant_losses: int = 0
 
     def record_busy(self, start_fs: int, end_fs: int) -> None:
         self.busy_intervals.append((start_fs, end_fs))
@@ -66,6 +74,8 @@ class BUCounters:
     tct: int = 0
     waiting_ticks: int = 0
     busy_intervals: List[Tuple[int, int]] = field(default_factory=list)
+    #: packages lost to injected BU overruns
+    dropped_packages: int = 0
 
     @property
     def name(self) -> str:
@@ -90,6 +100,14 @@ class CACounters:
     grants: int = 0
     tct: int = 0
     active_intervals: List[Tuple[int, int]] = field(default_factory=list)
+    #: resilience protocol: inter-segment packages NACKed at delivery
+    nacks: int = 0
+    #: re-arbitrated inter-segment attempts (NACKs, drops, timeouts)
+    retries: int = 0
+    #: circuit grants lost before the source filled the first BU
+    grant_losses: int = 0
+    #: requests whose CA-queue wait exceeded the per-hop timeout
+    timeouts: int = 0
 
     def record_active(self, start_fs: int, end_fs: int) -> None:
         self.active_intervals.append((start_fs, end_fs))

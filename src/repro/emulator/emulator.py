@@ -40,10 +40,17 @@ class SegBusEmulator:
         psdf_xml: str,
         psm_xml: str,
         config: Optional[EmulationConfig] = None,
+        fault_plan=None,
+        retry_policy=None,
+        watchdog=None,
     ) -> None:
         self._parsed_psdf = parse_psdf_xml(psdf_xml)
         self._parsed_psm = parse_psm_xml(psm_xml)
         self.config = config or EmulationConfig()
+        #: optional resilience knobs (see repro.faults / docs/ROBUSTNESS.md)
+        self.fault_plan = fault_plan
+        self.retry_policy = retry_policy
+        self.watchdog = watchdog
         self.application: PSDFGraph = self._parsed_psdf.to_graph()
         self.spec = PlatformSpec.from_parsed_psm(self._parsed_psm)
         self.communication_matrix: CommunicationMatrix = build_communication_matrix(
@@ -60,12 +67,18 @@ class SegBusEmulator:
         psdf_path: Union[str, Path],
         psm_path: Union[str, Path],
         config: Optional[EmulationConfig] = None,
+        fault_plan=None,
+        retry_policy=None,
+        watchdog=None,
     ) -> "SegBusEmulator":
         """Load the generated schemes from disk (the tool's normal input)."""
         return cls(
             Path(psdf_path).read_text(encoding="utf-8"),
             Path(psm_path).read_text(encoding="utf-8"),
             config=config,
+            fault_plan=fault_plan,
+            retry_policy=retry_policy,
+            watchdog=watchdog,
         )
 
     @classmethod
@@ -75,6 +88,9 @@ class SegBusEmulator:
         platform: SegBusPlatform,
         config: Optional[EmulationConfig] = None,
         preserve_costs: bool = True,
+        fault_plan=None,
+        retry_policy=None,
+        watchdog=None,
     ) -> "SegBusEmulator":
         """Build from model objects, still routing through the XML schemes.
 
@@ -89,6 +105,9 @@ class SegBusEmulator:
             psdf_to_xml(application, platform.package_size),
             psm_to_xml(platform),
             config=config,
+            fault_plan=fault_plan,
+            retry_policy=retry_policy,
+            watchdog=watchdog,
         )
         if preserve_costs:
             emulator._reattach_costs(application)
@@ -125,7 +144,12 @@ class SegBusEmulator:
         """Run the emulation (cached: repeated calls return the same report)."""
         if self._report is None:
             self._simulation = Simulation(
-                self.application, self.spec, self.config
+                self.application,
+                self.spec,
+                self.config,
+                fault_plan=self.fault_plan,
+                retry_policy=self.retry_policy,
+                watchdog=self.watchdog,
             ).run()
             self._report = build_report(self._simulation)
         return self._report
@@ -142,6 +166,16 @@ def emulate(
     application: PSDFGraph,
     platform: SegBusPlatform,
     config: Optional[EmulationConfig] = None,
+    fault_plan=None,
+    retry_policy=None,
+    watchdog=None,
 ) -> EmulationReport:
     """One-shot convenience: model objects in, report out."""
-    return SegBusEmulator.from_models(application, platform, config=config).run()
+    return SegBusEmulator.from_models(
+        application,
+        platform,
+        config=config,
+        fault_plan=fault_plan,
+        retry_policy=retry_policy,
+        watchdog=watchdog,
+    ).run()

@@ -60,6 +60,8 @@ class MasterRT:
     outstanding_deliveries: int = 0
     computing: bool = False
     waiting_grant: bool = False
+    #: set by an injected permanent failure: the FU issues no further work
+    failed: bool = False
 
     @property
     def current_transfer(self) -> Optional[ScheduledTransfer]:

@@ -49,7 +49,16 @@ from repro.emulator.counters import (
 from repro.emulator.events import EventQueue, PRIO_CA, PRIO_SA, PRIO_STATE
 from repro.emulator.fu import MasterRT, TransferJob
 from repro.emulator.segment import SegmentRT
-from repro.errors import DeadlockError, EmulationError, MappingError
+from repro.errors import (
+    DeadlockError,
+    ElementFailureError,
+    EmulationError,
+    FaultConfigError,
+    MappingError,
+    StallError,
+)
+from repro.faults.model import KIND_PERMANENT
+from repro.faults.policy import RetryPolicy
 from repro.model.topology import LinearTopology
 from repro.psdf.graph import PSDFGraph
 from repro.psdf.schedule import Schedule, extract_schedule
@@ -133,12 +142,20 @@ class Simulation:
         spec: PlatformSpec,
         config: Optional[EmulationConfig] = None,
         tracer=None,
+        fault_plan=None,
+        retry_policy: Optional[RetryPolicy] = None,
+        watchdog=None,
     ) -> None:
         self.application = application
         self.spec = spec
         self.config = config or EmulationConfig()
         #: optional repro.emulator.trace.Tracer receiving semantic events
         self.tracer = tracer
+        #: optional repro.faults.FaultPlan turned into a per-run injector
+        self.faults = fault_plan.injector() if fault_plan is not None else None
+        self.retry_policy = retry_policy or RetryPolicy()
+        #: optional repro.faults.Watchdog observing the run loop
+        self.watchdog = watchdog
         missing = sorted(set(application.process_names) - set(spec.placement))
         if missing:
             raise MappingError(
@@ -190,6 +207,22 @@ class Simulation:
         # dedup handles for pending arbitration events (earliest-wins)
         self._sa_entries: Dict[int, object] = {}
         self._ca_entry = None
+        # -- resilience state ------------------------------------------------
+        #: retirement counter observed by the watchdog (fires, deliveries,
+        #: completed transfers/hops — never NACKs or lost grants)
+        self.progress_count = 0
+        self.last_progress_fs = 0
+        #: True when the run completed in degraded mode (see run())
+        self.degraded = False
+        #: human-readable descriptions of flows the platform never served
+        self.unserved_flows: Tuple[str, ...] = ()
+        #: processes whose FU failed permanently, in failure order
+        self.failed_elements: List[str] = []
+        #: (job, site) pairs abandoned after retry exhaustion
+        self._abandoned: List[Tuple[TransferJob, str]] = []
+        # per-package failed-attempt counts / CA-queue entry timestamps
+        self._failures: Dict[Tuple[str, str, int, int], int] = {}
+        self._ca_wait_since: Dict[Tuple[str, str, int, int], int] = {}
 
     # ------------------------------------------------------------------ utils
 
@@ -208,6 +241,20 @@ class Simulation:
         if self.tracer is not None:
             self.tracer.record(self.queue.now_fs, kind, subject, detail)
 
+    def _progress(self, t_fs: int) -> None:
+        """Mark a retirement (something durable happened) for the watchdog."""
+        self.progress_count += 1
+        self.last_progress_fs = t_fs
+
+    @staticmethod
+    def _job_key(job: TransferJob) -> Tuple[str, str, int, int]:
+        return (
+            job.master,
+            job.transfer.target,
+            job.transfer.order,
+            job.package_seq,
+        )
+
     # ------------------------------------------------------------------ firing
 
     def _schedule_fire(self, process: str, enable_fs: int) -> None:
@@ -217,9 +264,12 @@ class Simulation:
 
     def _on_fire(self, process: str) -> None:
         now = self.queue.now_fs
+        if process in self.failed_elements:
+            return  # a dead FU never fires
         counters = self.process_counters[process]
         counters.start_fs = now
         self._trace("fire", process)
+        self._progress(now)
         master = self.masters.get(process)
         if master is None:
             # A sink: its job is consuming inputs, all already delivered;
@@ -234,15 +284,23 @@ class Simulation:
     # ------------------------------------------------------------------ compute
 
     def _start_compute(self, master: MasterRT, at_fs: int) -> None:
+        if master.failed:
+            return
         transfer = master.current_transfer
         assert transfer is not None
         clock = self.segments[master.segment_index].clock
         start = clock.edge_at_or_after(at_fs)
         master.computing = True
+        stall = 0
+        if self.faults is not None:
+            stall = self.faults.stall_ticks(master.process)
+            if stall:
+                master.counters.stall_ticks_injected += stall
+                self._trace("fu_stall", master.process, f"+{stall} ticks")
         # master_handshake_ticks model the request/acknowledge signalling
         # between producing a package and the request reaching the arbiter
         end = start + clock.ticks_to_fs(
-            transfer.ticks_per_package + self.config.master_handshake_ticks
+            transfer.ticks_per_package + self.config.master_handshake_ticks + stall
         )
         self.queue.schedule(
             end, lambda m=master: self._on_compute_done(m), PRIO_STATE
@@ -250,6 +308,9 @@ class Simulation:
 
     def _on_compute_done(self, master: MasterRT) -> None:
         now = self.queue.now_fs
+        if master.failed:
+            master.computing = False
+            return  # the FU died while computing; the package never forms
         master.computing = False
         master.waiting_grant = True
         transfer = master.current_transfer
@@ -269,6 +330,8 @@ class Simulation:
             segment.counters.inter_requests += 1
             self.ca.counters.inter_requests += 1
             self.ca.queue.append(job)
+            self._ca_wait_since[self._job_key(job)] = now
+            self._arm_timeout_sweep(now)
             self._schedule_ca_check(now)
         else:
             segment.pending_intra.append(job)
@@ -314,6 +377,14 @@ class Simulation:
             job = self._pick_fixed_priority(segment)
         else:
             job = self._pick_round_robin(segment)
+        if self.faults is not None and self.faults.lose_segment_grant(segment.index):
+            # the grant signal is lost before the master drives the bus:
+            # the request re-enters arbitration one tick later
+            segment.counters.grant_losses += 1
+            segment.pending_intra.append(job)
+            self._trace("grant_loss", f"SA{segment.index}", job.label)
+            self._schedule_sa_check(segment, now + segment.clock.ticks_to_fs(1))
+            return
         segment.counters.grants += 1
         segment.last_granted_master = job.master
         self._trace("grant", f"SA{segment.index}", job.label)
@@ -353,18 +424,116 @@ class Simulation:
     def _on_intra_done(self, job: TransferJob, segment: SegmentRT) -> None:
         now = self.queue.now_fs
         master = self.masters[job.master]
-        master.waiting_grant = False
-        master.counters.packages_sent += 1
         segment.next_grant_fs = now + segment.clock.ticks_to_fs(
             self.config.bus_turnaround_ticks
         )
+        if self.faults is not None and self.faults.corrupt_package(segment.index):
+            # CRC failure at the receiving side: the slave NACKs and the
+            # package is re-arbitrated (the bus time was still spent)
+            segment.counters.nacks += 1
+            self._trace("nack", f"Segment{segment.index}", job.label)
+            self._fail_intra(job, segment, now)
+            if segment.pending_intra or segment.pending_bu:
+                self._schedule_sa_check(segment, now)
+            self._schedule_ca_check(now)
+            self._note_end(now)
+            return
+        master.waiting_grant = False
+        master.counters.packages_sent += 1
+        self._clear_retry_state(job)
         self._trace("transfer_done", f"Segment{segment.index}", job.label)
         self._deliver(job.transfer.target, now)
         self._advance_master(master, now, delivered=True)
+        self._progress(now)
         if segment.pending_intra or segment.pending_bu:
             self._schedule_sa_check(segment, now)
         self._schedule_ca_check(now)
         self._note_end(now)
+
+    # -- retry/timeout/backoff protocol --------------------------------------
+
+    def _clear_retry_state(self, job: TransferJob) -> None:
+        key = self._job_key(job)
+        self._failures.pop(key, None)
+        self._ca_wait_since.pop(key, None)
+
+    def _record_failure(self, job: TransferJob) -> int:
+        """Bump and return the package's failed-attempt count."""
+        key = self._job_key(job)
+        failures = self._failures.get(key, 0) + 1
+        self._failures[key] = failures
+        return failures
+
+    def _fail_intra(self, job: TransferJob, segment: SegmentRT, now_fs: int) -> None:
+        failures = self._record_failure(job)
+        if failures >= self.retry_policy.max_attempts:
+            self._on_retry_exhausted(
+                job, f"segment:{segment.index}", failures, now_fs
+            )
+            return
+        segment.counters.retries += 1
+        delay_fs = segment.clock.ticks_to_fs(
+            self.retry_policy.delay_ticks(failures)
+        )
+        self.queue.schedule(
+            now_fs + delay_fs,
+            lambda j=job: self._requeue_intra(j),
+            PRIO_STATE,
+        )
+
+    def _requeue_intra(self, job: TransferJob) -> None:
+        now = self.queue.now_fs
+        if self.masters[job.master].failed:
+            return  # the master died while backing off
+        segment = self.segments[job.source_segment]
+        segment.pending_intra.append(job)
+        if segment.locked or not segment.bus_free_at(now):
+            segment.counters.intra_requests += 1
+        self._trace("retry", job.master, job.label)
+        self._schedule_sa_check(segment, now)
+
+    def _fail_inter(self, job: TransferJob, now_fs: int) -> None:
+        failures = self._record_failure(job)
+        if failures >= self.retry_policy.max_attempts:
+            self._on_retry_exhausted(job, "ca", failures, now_fs)
+            return
+        self.ca.counters.retries += 1
+        delay_fs = self.ca.clock.ticks_to_fs(
+            self.retry_policy.delay_ticks(failures)
+        )
+        self.queue.schedule(
+            now_fs + delay_fs,
+            lambda j=job: self._requeue_inter(j),
+            PRIO_STATE,
+        )
+
+    def _requeue_inter(self, job: TransferJob) -> None:
+        now = self.queue.now_fs
+        if self.masters[job.master].failed:
+            return
+        # the SA forwards the request to the CA again: both arbiters
+        # observe (and count) the retry as a fresh request
+        self.segments[job.source_segment].counters.inter_requests += 1
+        self.ca.counters.inter_requests += 1
+        self.ca.queue.append(job)
+        self._ca_wait_since[self._job_key(job)] = now
+        self._arm_timeout_sweep(now)
+        self._trace("retry", job.master, job.label)
+        self._schedule_ca_check(now)
+
+    def _on_retry_exhausted(
+        self, job: TransferJob, site: str, attempts: int, now_fs: int
+    ) -> None:
+        from repro.errors import RetryExhaustedError
+
+        self._clear_retry_state(job)
+        if not self.retry_policy.degrades_on_exhaustion:
+            raise RetryExhaustedError(site, job.label, attempts)
+        self._abandoned.append((job, site))
+        master = self.masters[job.master]
+        master.waiting_grant = False
+        self._trace("abandon", job.master, f"{job.label} at {site}")
+        self._advance_master(master, now_fs, delivered=False)
 
     # ------------------------------------------------------------------ CA side
 
@@ -380,14 +549,26 @@ class Simulation:
     def _on_ca_check(self) -> None:
         self._ca_entry = None
         now = self.queue.now_fs
+        self._expire_ca_timeouts(now)
         remaining: List[TransferJob] = []
+        grant_lost = False
         for job in self.ca.queue:
             path = self.topology.path(job.source_segment, job.target_segment)
             if self._can_grant(job, path, now):
+                if self.faults is not None and self.faults.lose_ca_grant():
+                    # the circuit grant never reaches the source segment;
+                    # the request stays queued and is re-examined next tick
+                    self.ca.counters.grant_losses += 1
+                    self._trace("grant_loss", "CA", job.label)
+                    remaining.append(job)
+                    grant_lost = True
+                    continue
                 self._grant_circuit(job, path, now)
             else:
                 remaining.append(job)
         self.ca.queue = remaining
+        if grant_lost:
+            self._schedule_ca_check(now + self.ca.clock.ticks_to_fs(1))
         if remaining:
             # Some blocker may be purely time-based (busy bus or turnaround
             # window) with no release event to come — schedule a retry at the
@@ -417,6 +598,42 @@ class Simulation:
                     retry_candidates.append(max(expiries))
             if retry_candidates:
                 self._schedule_ca_check(min(retry_candidates))
+
+    def _arm_timeout_sweep(self, now_fs: int) -> None:
+        """Schedule a sweep just past the newly-stamped job's wait budget so
+        a timeout fires even when no other event would wake the CA."""
+        if self.retry_policy.timeout_ticks is None:
+            return
+        budget_fs = self.ca.clock.ticks_to_fs(self.retry_policy.timeout_ticks)
+        at = self.ca.clock.edge_at_or_after(
+            now_fs + budget_fs
+        ) + self.ca.clock.ticks_to_fs(1)
+        self.queue.schedule(at, self._timeout_sweep, PRIO_CA)
+
+    def _timeout_sweep(self) -> None:
+        now = self.queue.now_fs
+        before = len(self.ca.queue)
+        self._expire_ca_timeouts(now)
+        if len(self.ca.queue) != before:
+            self._schedule_ca_check(now)
+
+    def _expire_ca_timeouts(self, now_fs: int) -> None:
+        """Per-hop timeout: a request waiting in the CA queue longer than
+        ``timeout_ticks`` counts as a failed attempt and is re-requested
+        (with backoff) or abandoned once its attempts are exhausted."""
+        if self.retry_policy.timeout_ticks is None or not self.ca.queue:
+            return
+        budget_fs = self.ca.clock.ticks_to_fs(self.retry_policy.timeout_ticks)
+        survivors: List[TransferJob] = []
+        for job in self.ca.queue:
+            since = self._ca_wait_since.get(self._job_key(job), now_fs)
+            if now_fs - since > budget_fs:
+                self.ca.counters.timeouts += 1
+                self._trace("timeout", "CA", job.label)
+                self._fail_inter(job, now_fs)
+            else:
+                survivors.append(job)
+        self.ca.queue = survivors
 
     def _can_grant(self, job: TransferJob, path: Tuple[int, ...], now_fs: int) -> bool:
         """Grant condition: full free path (circuit) or free source bus plus
@@ -478,6 +695,24 @@ class Simulation:
         self._trace("fill_done", bu.name, job.label)
         master = self.masters[job.master]
         master.outstanding_deliveries += 1
+        if self.faults is not None and self.faults.drop_in_bu(bu.left, bu.right):
+            # BU overrun: the latched package is lost; the circuit tears
+            # down and the whole transfer is re-requested end-to-end
+            bu.pop(direction)
+            bu.counters.dropped_packages += 1
+            master.outstanding_deliveries -= 1
+            self._trace("bu_drop", bu.name, job.label)
+            self.ca.end_circuit(job, now)
+            self._release_segment(source, now)
+            if self.config.inter_segment_protocol == "circuit":
+                for index in path[1:]:
+                    downstream = self.segments[index]
+                    if downstream.locked:
+                        self._release_segment(downstream, now)
+            self._fail_inter(job, now)
+            self._note_end(now)
+            return
+        self._progress(now)
         self._release_segment(source, now)
         # The master's transaction is circuit-switched end-to-end: it holds
         # (and only resumes computing) once the package reaches the target
@@ -590,14 +825,28 @@ class Simulation:
         self._trace("hop_done", bu_prev.name, job.label)
         is_destination = index == len(path) - 1
         if is_destination:
-            self._deliver(job.transfer.target, now)
             master = self.masters[job.master]
-            master.waiting_grant = False
-            master.counters.packages_sent += 1
-            master.outstanding_deliveries -= 1
-            self._release_segment(segment, now)
-            self.ca.end_circuit(job, now)
-            self._advance_master(master, now, delivered=True)
+            if self.faults is not None and self.faults.corrupt_package(
+                segment.index
+            ):
+                # CRC failure at the target device: the delivery is NACKed
+                # and the whole inter-segment transfer re-requested
+                self.ca.counters.nacks += 1
+                self._trace("nack", f"Segment{segment.index}", job.label)
+                master.outstanding_deliveries -= 1
+                self._release_segment(segment, now)
+                self.ca.end_circuit(job, now)
+                self._fail_inter(job, now)
+            else:
+                self._deliver(job.transfer.target, now)
+                master.waiting_grant = False
+                master.counters.packages_sent += 1
+                master.outstanding_deliveries -= 1
+                self._clear_retry_state(job)
+                self._release_segment(segment, now)
+                self.ca.end_circuit(job, now)
+                self._advance_master(master, now, delivered=True)
+                self._progress(now)
         else:
             # Transit packages do not count in the segment's packet counters:
             # the paper's listing credits a package only to the segment that
@@ -610,6 +859,7 @@ class Simulation:
                 bu_next.counters.received_from_right += 1
             bu_next.counters.tct += self.package_size
             bu_next.push(now, direction)
+            self._progress(now)
             self._release_segment(segment, now)
             if self.config.inter_segment_protocol == "circuit":
                 self.queue.schedule(
@@ -663,22 +913,123 @@ class Simulation:
     # ------------------------------------------------------------------ run
 
     def run(self) -> "Simulation":
-        """Execute the emulation to completion (idempotent)."""
+        """Execute the emulation to completion (idempotent).
+
+        Under fault injection the run may finish *degraded*: a permanent
+        element failure or an abandoned (retry-exhausted) transfer leaves
+        some flows unserved; with a degrading policy the remaining flows
+        complete, ``degraded`` is set and ``unserved_flows`` lists what the
+        platform never delivered, instead of raising
+        :class:`~repro.errors.DeadlockError`.
+        """
         if self._finished:
             return self
         for name in self.application.process_names:
             if self.schedule.inputs_of[name] == 0:
                 self._schedule_fire(name, 0)
-        self.queue.run(max_events=self.config.max_events)
+        self._schedule_permanent_failures()
+        self._run_loop()
         self._finished = True
-        self._validate_final_state()
+        if self.failed_elements or self._abandoned:
+            self._finalize_degraded()
+        else:
+            self._validate_final_state()
         self._finalize_counters()
         return self
 
+    def _run_loop(self) -> None:
+        """Drain the event queue under the event/tick budgets + watchdog."""
+        queue = self.queue
+        budget = self.config.max_events
+        horizon_fs = self.ca.clock.ticks_to_fs(self.config.max_ticks)
+        executed = 0
+        while True:
+            item = queue.pop()
+            if item is None:
+                return
+            t_fs, action = item
+            if t_fs > horizon_fs:
+                raise StallError(
+                    f"tick budget exhausted: simulated time passed "
+                    f"{self.config.max_ticks} CA ticks — model livelock?",
+                    pending=self.pending_work(),
+                    last_progress_tick=self.ca.clock.ticks(self.last_progress_fs),
+                    stalled_elements=self.stalled_elements(),
+                )
+            action()
+            executed += 1
+            if executed >= budget:
+                raise StallError(
+                    f"event budget exhausted after {budget} events at "
+                    f"t={queue.now_fs} fs — model livelock?",
+                    pending=self.pending_work(),
+                    last_progress_tick=self.ca.clock.ticks(self.last_progress_fs),
+                    stalled_elements=self.stalled_elements(),
+                )
+            if self.watchdog is not None:
+                self.watchdog.observe(self)
+
+    # ------------------------------------------------------------------ faults
+
+    def _schedule_permanent_failures(self) -> None:
+        if self.faults is None:
+            return
+        for record in self.faults.permanent_failures():
+            process = record.site[len("fu:"):]
+            if process not in self.process_counters:
+                raise FaultConfigError(
+                    f"permanent_failure site {record.site!r} names an "
+                    "unknown process"
+                )
+            clock = self._segment_of(process).clock
+            at_fs = clock.ticks_to_fs(record.at_tick)
+            self.queue.schedule(
+                at_fs,
+                lambda p=process, r=record: self._on_element_failed(p, r),
+                PRIO_STATE,
+            )
+
+    def _on_element_failed(self, process: str, record) -> None:
+        if not self.retry_policy.degrades_on_permanent_failure:
+            raise ElementFailureError(record.site, record.at_tick)
+        self.failed_elements.append(process)
+        self.faults.counters.record(KIND_PERMANENT, record.site)
+        self._trace("element_failed", process, f"at tick {record.at_tick}")
+        master = self.masters.get(process)
+        if master is not None:
+            master.failed = True
+        # purge queued requests originating from the dead element; packages
+        # already in flight through BUs drain normally
+        for segment in self.segments.values():
+            segment.pending_intra = [
+                j for j in segment.pending_intra if j.master != process
+            ]
+        self.ca.queue = [j for j in self.ca.queue if j.master != process]
+
+    def _finalize_degraded(self) -> None:
+        """Graceful degradation: flag the run, list what was never served."""
+        self.degraded = True
+        unserved: List[str] = []
+        for job, site in self._abandoned:
+            unserved.append(f"{job.label} (abandoned at {site})")
+        for name in sorted(self.process_counters):
+            counters = self.process_counters[name]
+            if not counters.done:
+                missing = counters.expected_inputs - counters.packages_received
+                if name in self.failed_elements:
+                    unserved.append(f"process {name} (failed permanently)")
+                elif missing > 0:
+                    unserved.append(
+                        f"process {name} (missing {missing} input package(s))"
+                    )
+                else:
+                    unserved.append(f"process {name} (incomplete)")
+        self.unserved_flows = tuple(unserved)
+
     # ------------------------------------------------------------------ finish
 
-    def _validate_final_state(self) -> None:
-        """The MonitorClass check: flags high, no activity left anywhere."""
+    def pending_work(self) -> List[str]:
+        """Unfinished-activity diagnostics (the MonitorClass observations)."""
         pending: List[str] = []
         for name, counters in self.process_counters.items():
             if not counters.done:
@@ -708,9 +1059,29 @@ class Simulation:
         for bu in self.bus_units.values():
             if bu.occupancy:
                 pending.append(f"{bu.name} holds {bu.occupancy} package(s)")
+        return pending
+
+    def stalled_elements(self) -> List[str]:
+        """Elements currently blocked waiting for something (watchdog info)."""
+        stalled: List[str] = []
+        for master in self.masters.values():
+            if master.waiting_grant:
+                stalled.append(f"master {master.process} (waiting grant)")
+            elif master.failed:
+                stalled.append(f"master {master.process} (failed)")
+        for segment in self.segments.values():
+            if segment.locked:
+                stalled.append(f"segment {segment.index} (locked)")
+        return stalled
+
+    def _validate_final_state(self) -> None:
+        """The MonitorClass check: flags high, no activity left anywhere."""
+        pending = self.pending_work()
         if pending:
             raise DeadlockError(
-                "emulation ended with unfinished activity", pending
+                "emulation ended with unfinished activity",
+                pending,
+                last_progress_tick=self.ca.clock.ticks(self.last_progress_fs),
             )
 
     def _finalize_counters(self) -> None:

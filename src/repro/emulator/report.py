@@ -30,6 +30,10 @@ class SAResult:
     packets_to_right: int
     frequency_mhz: float
     execution_time_ps: int
+    # resilience protocol counters (zero on fault-free runs)
+    nacks: int = 0
+    retries: int = 0
+    grant_losses: int = 0
 
     @property
     def name(self) -> str:
@@ -50,6 +54,8 @@ class BUResult:
     transferred_to_right: int
     tct: int
     waiting_ticks: int
+    #: packages lost to injected BU overruns (zero on fault-free runs)
+    dropped_packages: int = 0
 
     @property
     def name(self) -> str:
@@ -72,6 +78,15 @@ class EmulationReport:
     timeline: ProcessTimeline
     execution_time_fs: int
     total_events: int
+    # -- resilience results (all at their zero/empty defaults on fault-free
+    # runs, keeping fault-free reports bit-identical to the pre-fault ones)
+    ca_nacks: int = 0
+    ca_retries: int = 0
+    ca_grant_losses: int = 0
+    ca_timeouts: int = 0
+    degraded: bool = False
+    unserved_flows: Tuple[str, ...] = ()
+    fault_summary: Optional[dict] = None
 
     # -- headline numbers ---------------------------------------------------------
 
@@ -95,6 +110,21 @@ class EmulationReport:
                 return result
         raise KeyError(f"no BU{left}{right}")
 
+    @property
+    def total_retries(self) -> int:
+        """Re-arbitrated attempts across all arbiters (0 without faults)."""
+        return self.ca_retries + sum(sa.retries for sa in self.sa_results)
+
+    @property
+    def total_nacks(self) -> int:
+        """CRC-style rejections across all arbiters (0 without faults)."""
+        return self.ca_nacks + sum(sa.nacks for sa in self.sa_results)
+
+    @property
+    def total_dropped_packages(self) -> int:
+        """Packages lost to injected BU overruns (0 without faults)."""
+        return sum(bu.dropped_packages for bu in self.bu_results)
+
     def total_inter_segment_packages(self) -> int:
         """Packages that crossed at least one BU (counted at first BU entry)."""
         firsts = 0
@@ -116,11 +146,18 @@ class EmulationReport:
             "execution_time_ps": self.execution_time_ps,
             "execution_time_us": round(self.execution_time_us, 6),
             "total_events": self.total_events,
+            "degraded": self.degraded,
+            "unserved_flows": list(self.unserved_flows),
+            "fault_summary": self.fault_summary,
             "ca": {
                 "tct": self.ca_tct,
                 "inter_requests": self.ca_requests,
                 "frequency_mhz": self.ca_frequency_mhz,
                 "time_ps": self.ca_time_ps,
+                "nacks": self.ca_nacks,
+                "retries": self.ca_retries,
+                "grant_losses": self.ca_grant_losses,
+                "timeouts": self.ca_timeouts,
             },
             "segment_arbiters": [
                 {
@@ -132,6 +169,9 @@ class EmulationReport:
                     "packets_to_right": sa.packets_to_right,
                     "frequency_mhz": sa.frequency_mhz,
                     "execution_time_ps": sa.execution_time_ps,
+                    "nacks": sa.nacks,
+                    "retries": sa.retries,
+                    "grant_losses": sa.grant_losses,
                 }
                 for sa in self.sa_results
             ],
@@ -146,6 +186,7 @@ class EmulationReport:
                     "transferred_to_right": bu.transferred_to_right,
                     "tct": bu.tct,
                     "waiting_ticks": bu.waiting_ticks,
+                    "dropped_packages": bu.dropped_packages,
                 }
                 for bu in self.bu_results
             ],
@@ -228,6 +269,28 @@ class EmulationReport:
                 f"    Execution Time = {sa.execution_time_ps}ps @ "
                 f"{sa.frequency_mhz:.2f}MHz"
             )
+        # resilience addendum — only rendered when faults were injected, so
+        # fault-free listings stay byte-identical to the paper's layout
+        if self.total_nacks or self.total_retries or self.ca_grant_losses \
+                or self.ca_timeouts or self.total_dropped_packages \
+                or self.degraded or self.fault_summary:
+            lines.append(
+                f"Resilience: NACKs = {self.total_nacks}, "
+                f"Retries = {self.total_retries}, "
+                f"Timeouts = {self.ca_timeouts}, "
+                f"Dropped = {self.total_dropped_packages}"
+            )
+            if self.fault_summary:
+                lines.append(
+                    f"Injected faults = {self.fault_summary.get('total', 0)} "
+                    f"(seed {self.fault_summary.get('seed')})"
+                )
+            if self.degraded:
+                lines.append(
+                    f"DEGRADED run: {len(self.unserved_flows)} unserved flow(s)"
+                )
+                for flow in self.unserved_flows:
+                    lines.append(f"    {flow}")
         return "\n".join(lines)
 
 
@@ -246,6 +309,9 @@ def build_report(sim: Simulation) -> EmulationReport:
                 packets_to_right=segment.counters.packets_to_right,
                 frequency_mhz=segment.clock.frequency.mhz,
                 execution_time_ps=fs_to_ps(sim.sa_time_fs(index)),
+                nacks=segment.counters.nacks,
+                retries=segment.counters.retries,
+                grant_losses=segment.counters.grant_losses,
             )
         )
     bu_results = []
@@ -263,6 +329,7 @@ def build_report(sim: Simulation) -> EmulationReport:
                 transferred_to_right=bu.counters.transferred_to_right,
                 tct=bu.counters.tct,
                 waiting_ticks=bu.counters.waiting_ticks,
+                dropped_packages=bu.counters.dropped_packages,
             )
         )
     return EmulationReport(
@@ -278,4 +345,17 @@ def build_report(sim: Simulation) -> EmulationReport:
         timeline=build_timeline(sim),
         execution_time_fs=sim.execution_time_fs(),
         total_events=sim.queue.executed,
+        ca_nacks=sim.ca.counters.nacks,
+        ca_retries=sim.ca.counters.retries,
+        ca_grant_losses=sim.ca.counters.grant_losses,
+        ca_timeouts=sim.ca.counters.timeouts,
+        degraded=sim.degraded,
+        unserved_flows=sim.unserved_flows,
+        # only attach a summary when a fault actually fired: a zero-rate
+        # plan must produce a report bit-identical to the fault-free one
+        fault_summary=(
+            sim.faults.summary()
+            if sim.faults is not None and sim.faults.counters.total > 0
+            else None
+        ),
     )

@@ -72,14 +72,94 @@ class EmulationError(SegBusError):
     """The emulator reached an invalid runtime state."""
 
 
-class DeadlockError(EmulationError):
-    """Emulation stalled: pending work exists but no event can make progress."""
+class FaultConfigError(SegBusError):
+    """A fault plan or resilience policy is ill-formed."""
 
-    def __init__(self, message: str, pending: Optional[Sequence[str]] = None):
+
+#: how many pending-work entries a deadlock/stall message renders in full
+PENDING_RENDER_CAP = 10
+
+
+def _render_pending(pending: Sequence[str], cap: int = PENDING_RENDER_CAP) -> str:
+    shown = list(pending[:cap])
+    extra = len(pending) - len(shown)
+    text = ", ".join(shown)
+    if extra > 0:
+        text += f", … and {extra} more"
+    return text
+
+
+class DeadlockError(EmulationError):
+    """Emulation stalled: pending work exists but no event can make progress.
+
+    ``pending`` always holds the *full* list of unfinished-activity
+    diagnostics; the rendered message caps it at
+    :data:`PENDING_RENDER_CAP` entries so giant models stay readable.
+    ``last_progress_tick`` (CA clock) locates the stall in time.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        pending: Optional[Sequence[str]] = None,
+        last_progress_tick: Optional[int] = None,
+    ):
         self.pending: List[str] = list(pending or [])
+        self.last_progress_tick = last_progress_tick
+        if last_progress_tick is not None:
+            message += f" (last progress at CA tick {last_progress_tick})"
         if self.pending:
-            message = message + "; pending: " + ", ".join(self.pending)
+            message = message + "; pending: " + _render_pending(self.pending)
         super().__init__(message)
+
+
+class StallError(DeadlockError):
+    """The watchdog (or a tick/event budget) detected lack of progress.
+
+    Unlike a plain :class:`DeadlockError` — raised after the event queue
+    drained with work left over — a stall is diagnosed *while the emulation
+    is still producing events*: time advances but nothing retires.
+    ``stalled_elements`` names the platform elements holding work.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        pending: Optional[Sequence[str]] = None,
+        last_progress_tick: Optional[int] = None,
+        stalled_elements: Optional[Sequence[str]] = None,
+    ):
+        self.stalled_elements: List[str] = list(stalled_elements or [])
+        if self.stalled_elements:
+            message += "; stalled: " + _render_pending(self.stalled_elements)
+        super().__init__(
+            message, pending=pending, last_progress_tick=last_progress_tick
+        )
+
+
+class RetryExhaustedError(EmulationError):
+    """A transfer was NACKed/timed out more times than the policy allows."""
+
+    def __init__(self, site: str, label: str, attempts: int):
+        self.site = site
+        self.label = label
+        self.attempts = attempts
+        super().__init__(
+            f"transfer {label} abandoned at {site} after "
+            f"{attempts} failed attempt(s)"
+        )
+
+
+class ElementFailureError(EmulationError):
+    """A platform element failed permanently and the policy is fail-fast."""
+
+    def __init__(self, site: str, at_tick: int):
+        self.site = site
+        self.at_tick = at_tick
+        super().__init__(
+            f"permanent failure of {site} at tick {at_tick} "
+            "(policy on_permanent_failure='fail')"
+        )
 
 
 class RoutingError(EmulationError):

@@ -1,0 +1,56 @@
+"""Fault injection and resilience for the SegBus emulator.
+
+The paper's emulator assumes a perfectly reliable platform: every package
+transfer, arbitration grant and BU hop succeeds on the first attempt.  This
+package models the platform *misbehaving* — deterministically, so fault
+campaigns are exactly reproducible:
+
+* :class:`~repro.faults.model.FaultPlan` — a seed plus a list of
+  ``(site, kind, rate | schedule)`` records describing what can go wrong
+  where; serializable through the same XML scheme path as the PSDF/PSM
+  models (:mod:`repro.xmlio.faults_xml`).
+* :class:`~repro.faults.policy.RetryPolicy` — how the SA/CA runtimes react:
+  maximum attempts, linear/exponential backoff in ticks, per-hop timeout,
+  and what to do on exhaustion or permanent element failure.
+* :class:`~repro.faults.injector.FaultInjector` — the per-simulation
+  runtime that draws from seed-derived PRNG streams (never wall-clock) and
+  counts every injected fault.
+* :class:`~repro.faults.watchdog.Watchdog` — converts "no event retired
+  for N ticks" into a structured :class:`~repro.errors.StallError`.
+
+Determinism guarantees (see docs/ROBUSTNESS.md):
+
+1. two runs of the same (application, platform, plan, policy) produce
+   bit-identical reports;
+2. a plan whose rates are all zero and that schedules no permanent
+   failures leaves the emulation bit-identical to a run without any plan.
+"""
+
+from repro.faults.injector import FaultCounters, FaultInjector
+from repro.faults.model import (
+    FAULT_KINDS,
+    KIND_BU_DROP,
+    KIND_CORRUPTION,
+    KIND_FU_STALL,
+    KIND_GRANT_LOSS,
+    KIND_PERMANENT,
+    FaultRecord,
+    FaultPlan,
+)
+from repro.faults.policy import RetryPolicy
+from repro.faults.watchdog import Watchdog
+
+__all__ = [
+    "FAULT_KINDS",
+    "KIND_BU_DROP",
+    "KIND_CORRUPTION",
+    "KIND_FU_STALL",
+    "KIND_GRANT_LOSS",
+    "KIND_PERMANENT",
+    "FaultRecord",
+    "FaultPlan",
+    "FaultCounters",
+    "FaultInjector",
+    "RetryPolicy",
+    "Watchdog",
+]

@@ -1,0 +1,242 @@
+"""Fault models: what can go wrong, where, and how often.
+
+A :class:`FaultPlan` is the declarative description of a fault campaign —
+a PRNG seed plus :class:`FaultRecord` entries, each an
+``(site, kind, rate | schedule)`` triple:
+
+========================  =====================================  ===========
+kind                      meaning                                sites
+========================  =====================================  ===========
+``package_corruption``    a delivered package fails its CRC      ``segment:N``, ``*``
+                          check and is NACKed (intra- or
+                          inter-segment, detected at the
+                          receiving side)
+``grant_loss``            an arbitration grant signal is lost    ``segment:N``, ``ca``, ``*``
+                          before the master drives the bus;
+                          the request re-enters arbitration
+``fu_stall``              a functional unit stalls for           ``fu:NAME``, ``*``
+                          ``ticks`` extra clock ticks before
+                          producing its package
+``bu_drop``               a border unit overruns and drops       ``bu:L:R``, ``*``
+                          the package it just latched; the
+                          transfer is re-requested end-to-end
+``permanent_failure``     the element dies at ``at_tick``        ``fu:NAME``
+                          (local clock) and never recovers
+========================  =====================================  ===========
+
+Transient kinds carry a ``rate`` (Bernoulli probability per opportunity,
+drawn from the record's own deterministic stream); ``permanent_failure``
+carries an ``at_tick`` schedule instead.  Validation happens eagerly at
+construction so an ill-formed campaign fails before any emulation runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
+
+from repro.errors import FaultConfigError
+
+KIND_CORRUPTION = "package_corruption"
+KIND_GRANT_LOSS = "grant_loss"
+KIND_FU_STALL = "fu_stall"
+KIND_BU_DROP = "bu_drop"
+KIND_PERMANENT = "permanent_failure"
+
+#: every fault kind the injector understands, in taxonomy order
+FAULT_KINDS = (
+    KIND_CORRUPTION,
+    KIND_GRANT_LOSS,
+    KIND_FU_STALL,
+    KIND_BU_DROP,
+    KIND_PERMANENT,
+)
+
+#: transient kinds are rate-driven; permanent kinds are schedule-driven
+TRANSIENT_KINDS = (KIND_CORRUPTION, KIND_GRANT_LOSS, KIND_FU_STALL, KIND_BU_DROP)
+
+#: site prefixes admissible per kind ("*" means any matching element)
+_SITE_RULES = {
+    KIND_CORRUPTION: ("segment:", "*"),
+    KIND_GRANT_LOSS: ("segment:", "ca", "*"),
+    KIND_FU_STALL: ("fu:", "*"),
+    KIND_BU_DROP: ("bu:", "*"),
+    KIND_PERMANENT: ("fu:",),
+}
+
+
+def _check_site(site: str, kind: str) -> None:
+    allowed = _SITE_RULES[kind]
+    if site == "*":
+        if "*" not in allowed:
+            raise FaultConfigError(
+                f"kind {kind!r} does not accept the wildcard site"
+            )
+        return
+    if site == "ca":
+        if "ca" not in allowed:
+            raise FaultConfigError(f"site 'ca' is not valid for kind {kind!r}")
+        return
+    for prefix in allowed:
+        if prefix.endswith(":") and site.startswith(prefix):
+            suffix = site[len(prefix):]
+            if prefix == "segment:":
+                if not suffix.isdigit():
+                    raise FaultConfigError(
+                        f"site {site!r}: segment index must be an integer"
+                    )
+            elif prefix == "bu:":
+                parts = suffix.split(":")
+                if len(parts) != 2 or not all(p.isdigit() for p in parts):
+                    raise FaultConfigError(
+                        f"site {site!r}: expected 'bu:<left>:<right>'"
+                    )
+            elif prefix == "fu:" and not suffix:
+                raise FaultConfigError(f"site {site!r}: missing process name")
+            return
+    raise FaultConfigError(
+        f"site {site!r} is not valid for kind {kind!r} "
+        f"(expected one of {allowed})"
+    )
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One fault source: ``(site, kind, rate | schedule)``.
+
+    ``rate`` is the per-opportunity injection probability of a transient
+    fault; ``at_tick`` is the failure instant (element-local clock ticks)
+    of a permanent one; ``ticks`` is the stall duration for ``fu_stall``.
+    """
+
+    site: str
+    kind: str
+    rate: float = 0.0
+    at_tick: Optional[int] = None
+    ticks: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultConfigError(
+                f"unknown fault kind {self.kind!r} "
+                f"(expected one of {', '.join(FAULT_KINDS)})"
+            )
+        _check_site(self.site, self.kind)
+        if self.kind == KIND_PERMANENT:
+            if self.at_tick is None or self.at_tick < 0:
+                raise FaultConfigError(
+                    f"{self.kind} at {self.site!r} needs at_tick >= 0"
+                )
+            if self.rate:
+                raise FaultConfigError(
+                    f"{self.kind} at {self.site!r} is schedule-driven; "
+                    "rate must stay 0"
+                )
+        else:
+            if self.at_tick is not None:
+                raise FaultConfigError(
+                    f"{self.kind} at {self.site!r} is rate-driven; "
+                    "at_tick is only valid for permanent_failure"
+                )
+            if not 0.0 <= self.rate <= 1.0:
+                raise FaultConfigError(
+                    f"{self.kind} at {self.site!r}: rate {self.rate} "
+                    "outside [0, 1]"
+                )
+        if self.kind == KIND_FU_STALL:
+            if self.ticks <= 0:
+                raise FaultConfigError(
+                    f"fu_stall at {self.site!r} needs ticks > 0 "
+                    "(the stall duration)"
+                )
+        elif self.ticks:
+            raise FaultConfigError(
+                f"{self.kind} at {self.site!r}: ticks is only valid for "
+                "fu_stall"
+            )
+
+    @property
+    def is_transient(self) -> bool:
+        return self.kind in TRANSIENT_KINDS
+
+    def matches(self, site: str) -> bool:
+        """True when this record covers the concrete ``site``."""
+        return self.site == "*" or self.site == site
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic, seed-driven fault campaign."""
+
+    seed: int = 0
+    records: Tuple[FaultRecord, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.seed < 0:
+            raise FaultConfigError(f"seed must be >= 0, got {self.seed}")
+        object.__setattr__(self, "records", tuple(self.records))
+        permanents = [r.site for r in self.records if r.kind == KIND_PERMANENT]
+        if len(permanents) != len(set(permanents)):
+            raise FaultConfigError(
+                "duplicate permanent_failure records for one site"
+            )
+
+    # -- derived views ---------------------------------------------------------
+
+    @property
+    def transient_records(self) -> Tuple[FaultRecord, ...]:
+        return tuple(r for r in self.records if r.is_transient)
+
+    @property
+    def permanent_records(self) -> Tuple[FaultRecord, ...]:
+        return tuple(r for r in self.records if r.kind == KIND_PERMANENT)
+
+    @property
+    def is_null(self) -> bool:
+        """True when the plan can never inject anything."""
+        return all(r.rate == 0.0 for r in self.transient_records) and not (
+            self.permanent_records
+        )
+
+    def of_kind(self, kind: str) -> Tuple[FaultRecord, ...]:
+        return tuple(r for r in self.records if r.kind == kind)
+
+    # -- construction helpers --------------------------------------------------
+
+    @classmethod
+    def transient(
+        cls,
+        seed: int,
+        corruption_rate: float = 0.0,
+        grant_loss_rate: float = 0.0,
+        stall_rate: float = 0.0,
+        stall_ticks: int = 50,
+        bu_drop_rate: float = 0.0,
+    ) -> "FaultPlan":
+        """A uniform transient campaign over every element (site ``*``)."""
+        records: List[FaultRecord] = []
+        if corruption_rate:
+            records.append(FaultRecord("*", KIND_CORRUPTION, corruption_rate))
+        if grant_loss_rate:
+            records.append(FaultRecord("*", KIND_GRANT_LOSS, grant_loss_rate))
+        if stall_rate:
+            records.append(
+                FaultRecord("*", KIND_FU_STALL, stall_rate, ticks=stall_ticks)
+            )
+        if bu_drop_rate:
+            records.append(FaultRecord("*", KIND_BU_DROP, bu_drop_rate))
+        return cls(seed=seed, records=tuple(records))
+
+    def with_record(self, record: FaultRecord) -> "FaultPlan":
+        """A copy with one more record appended."""
+        return replace(self, records=self.records + (record,))
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        """The same campaign under a different PRNG seed."""
+        return replace(self, seed=seed)
+
+    def injector(self):
+        """Instantiate the runtime :class:`~repro.faults.injector.FaultInjector`."""
+        from repro.faults.injector import FaultInjector
+
+        return FaultInjector(self)

@@ -1,0 +1,101 @@
+"""Resilience policy: retries, backoff, timeouts, degradation.
+
+The SA/CA runtimes consult one :class:`RetryPolicy` whenever a transfer
+fails (corrupted package, dropped BU package) or waits too long for a CA
+grant.  All delays are expressed in clock ticks of the domain where the
+retry happens, keeping the protocol frequency-portable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import FaultConfigError
+
+BACKOFF_MODES = ("none", "linear", "exponential")
+EXHAUSTION_MODES = ("fail", "degrade")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the platform reacts to transfer failures.
+
+    ``max_attempts``
+        total tries per package (first attempt included); a package that
+        fails ``max_attempts`` times is *exhausted*.
+    ``backoff`` / ``base_delay_ticks`` / ``max_delay_ticks``
+        delay before re-arbitrating attempt ``n`` (1-based count of
+        failures): ``none`` → 0, ``linear`` → ``base * n``,
+        ``exponential`` → ``base * 2**(n-1)``, all capped at
+        ``max_delay_ticks``.
+    ``timeout_ticks``
+        per-hop budget (CA clock) an inter-segment request may wait in the
+        CA queue before the wait itself counts as a failed attempt;
+        ``None`` disables the timeout.
+    ``on_exhaustion``
+        ``"fail"`` raises :class:`~repro.errors.RetryExhaustedError`;
+        ``"degrade"`` abandons the package, flags the run degraded and
+        lists the flow as unserved.
+    ``on_permanent_failure``
+        ``"degrade"`` (default) completes the remaining flows and reports
+        ``degraded=True``; ``"fail"`` raises
+        :class:`~repro.errors.ElementFailureError` at the failure instant.
+    """
+
+    max_attempts: int = 4
+    backoff: str = "exponential"
+    base_delay_ticks: int = 4
+    max_delay_ticks: int = 4096
+    timeout_ticks: Optional[int] = None
+    on_exhaustion: str = "fail"
+    on_permanent_failure: str = "degrade"
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise FaultConfigError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff not in BACKOFF_MODES:
+            raise FaultConfigError(
+                f"unknown backoff {self.backoff!r} "
+                f"(expected one of {BACKOFF_MODES})"
+            )
+        if self.base_delay_ticks < 0:
+            raise FaultConfigError("base_delay_ticks must be >= 0")
+        if self.max_delay_ticks < self.base_delay_ticks:
+            raise FaultConfigError(
+                "max_delay_ticks must be >= base_delay_ticks"
+            )
+        if self.timeout_ticks is not None and self.timeout_ticks <= 0:
+            raise FaultConfigError("timeout_ticks must be positive (or None)")
+        if self.on_exhaustion not in EXHAUSTION_MODES:
+            raise FaultConfigError(
+                f"unknown on_exhaustion {self.on_exhaustion!r} "
+                f"(expected one of {EXHAUSTION_MODES})"
+            )
+        if self.on_permanent_failure not in EXHAUSTION_MODES:
+            raise FaultConfigError(
+                f"unknown on_permanent_failure {self.on_permanent_failure!r} "
+                f"(expected one of {EXHAUSTION_MODES})"
+            )
+
+    def delay_ticks(self, failures: int) -> int:
+        """Backoff delay before the retry following the ``failures``-th failure."""
+        if failures < 1:
+            return 0
+        if self.backoff == "none":
+            delay = 0
+        elif self.backoff == "linear":
+            delay = self.base_delay_ticks * failures
+        else:  # exponential
+            delay = self.base_delay_ticks * (2 ** (failures - 1))
+        return min(delay, self.max_delay_ticks)
+
+    @property
+    def degrades_on_exhaustion(self) -> bool:
+        return self.on_exhaustion == "degrade"
+
+    @property
+    def degrades_on_permanent_failure(self) -> bool:
+        return self.on_permanent_failure == "degrade"

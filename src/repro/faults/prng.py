@@ -1,0 +1,63 @@
+"""Deterministic pseudo-random streams for fault injection.
+
+Fault decisions must be reproducible bit-for-bit across runs, platforms and
+Python versions, and independent of ``PYTHONHASHSEED`` — so the streams are
+built from scratch: a SHA-256 digest of ``(seed, *keys)`` seeds a
+``splitmix64``-scrambled ``xorshift64*`` generator.  Each fault record gets
+its *own* stream keyed by ``(site, kind, index)``, so adding a record to a
+plan never perturbs the draws of the existing ones.
+
+No wall-clock, no :mod:`random`, no global state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+_MASK64 = (1 << 64) - 1
+#: 2**-64 as a float: maps a u64 draw onto [0, 1)
+_INV_2_64 = 1.0 / float(1 << 64)
+
+
+def _splitmix64(state: int) -> int:
+    """One splitmix64 scramble step (used to whiten the initial state)."""
+    state = (state + 0x9E3779B97F4A7C15) & _MASK64
+    z = state
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+def stream_state(seed: int, *keys: str) -> int:
+    """Derive a 64-bit nonzero initial state from a seed and string keys."""
+    digest = hashlib.sha256(
+        ("|".join([str(int(seed))] + [str(k) for k in keys])).encode("utf-8")
+    ).digest()
+    state = int.from_bytes(digest[:8], "big")
+    state = _splitmix64(state)
+    return state or 0x9E3779B97F4A7C15  # xorshift states must be nonzero
+
+
+class DeterministicStream:
+    """A tiny xorshift64* generator with a per-purpose derived seed."""
+
+    __slots__ = ("_state",)
+
+    def __init__(self, seed: int, *keys: str) -> None:
+        self._state = stream_state(seed, *keys)
+
+    def next_u64(self) -> int:
+        x = self._state
+        x ^= (x >> 12) & _MASK64
+        x = (x ^ (x << 25)) & _MASK64
+        x ^= (x >> 27) & _MASK64
+        self._state = x
+        return (x * 0x2545F4914F6CDD1D) & _MASK64
+
+    def next_float(self) -> float:
+        """A float uniform on [0, 1)."""
+        return self.next_u64() * _INV_2_64
+
+    def chance(self, rate: float) -> bool:
+        """One Bernoulli draw at probability ``rate`` (always draws)."""
+        return self.next_float() < rate

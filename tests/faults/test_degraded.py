@@ -1,0 +1,100 @@
+"""Permanent element failure: graceful degradation vs fail-fast."""
+
+import pytest
+
+from repro.emulator.emulator import emulate
+from repro.errors import ElementFailureError, FaultConfigError
+from repro.faults import FaultPlan, RetryPolicy
+from repro.faults.model import FaultRecord, KIND_PERMANENT
+
+
+def _failure_plan(process="P2", at_tick=100, seed=9):
+    return FaultPlan(
+        seed=seed,
+        records=(
+            FaultRecord(site=f"fu:{process}", kind=KIND_PERMANENT, at_tick=at_tick),
+        ),
+    )
+
+
+class TestGracefulDegradation:
+    def test_degraded_report(self, mp3_graph, platform_3seg):
+        report = emulate(
+            mp3_graph,
+            platform_3seg,
+            fault_plan=_failure_plan(),
+            retry_policy=RetryPolicy(on_permanent_failure="degrade"),
+        )
+        assert report.degraded
+        assert any("P2" in flow and "failed" in flow for flow in report.unserved_flows)
+        assert report.fault_summary["by_kind"] == {KIND_PERMANENT: 1}
+
+    def test_downstream_flows_reported_unserved(self, mp3_graph, platform_3seg):
+        report = emulate(
+            mp3_graph,
+            platform_3seg,
+            fault_plan=_failure_plan(),
+            retry_policy=RetryPolicy(on_permanent_failure="degrade"),
+        )
+        # killing an early process starves its consumers
+        assert len(report.unserved_flows) > 1
+        assert any("missing" in flow for flow in report.unserved_flows)
+
+    def test_listing_renders_degraded_block(self, mp3_graph, platform_3seg):
+        report = emulate(
+            mp3_graph,
+            platform_3seg,
+            fault_plan=_failure_plan(),
+            retry_policy=RetryPolicy(on_permanent_failure="degrade"),
+        )
+        listing = report.format_listing()
+        assert "DEGRADED run" in listing
+
+    def test_late_failure_changes_nothing(self, mp3_graph, platform_3seg):
+        # an element that dies after the run's natural end harms nobody...
+        clean = emulate(mp3_graph, platform_3seg)
+        report = emulate(
+            mp3_graph,
+            platform_3seg,
+            fault_plan=_failure_plan(at_tick=10_000_000),
+            retry_policy=RetryPolicy(on_permanent_failure="degrade"),
+        )
+        # ...but the failure event itself still executes, so the element is
+        # marked failed while every flow has already been served
+        assert report.execution_time_fs == clean.execution_time_fs
+        assert not report.unserved_flows
+
+    def test_to_dict_carries_degradation(self, mp3_graph, platform_3seg):
+        report = emulate(
+            mp3_graph,
+            platform_3seg,
+            fault_plan=_failure_plan(),
+            retry_policy=RetryPolicy(on_permanent_failure="degrade"),
+        )
+        data = report.to_dict()
+        assert data["degraded"] is True
+        assert data["unserved_flows"]
+        assert data["fault_summary"]["total"] == 1
+
+
+class TestFailFast:
+    def test_raises_element_failure(self, mp3_graph, platform_3seg):
+        with pytest.raises(ElementFailureError) as excinfo:
+            emulate(
+                mp3_graph,
+                platform_3seg,
+                fault_plan=_failure_plan(),
+                retry_policy=RetryPolicy(on_permanent_failure="fail"),
+            )
+        assert excinfo.value.site == "fu:P2"
+        assert excinfo.value.at_tick == 100
+
+
+class TestValidation:
+    def test_unknown_process_rejected(self, mp3_graph, platform_3seg):
+        with pytest.raises(FaultConfigError, match="unknown process"):
+            emulate(
+                mp3_graph,
+                platform_3seg,
+                fault_plan=_failure_plan(process="Nope"),
+            )

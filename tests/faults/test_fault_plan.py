@@ -1,0 +1,192 @@
+"""Fault model validation and the deterministic PRNG streams."""
+
+import pytest
+
+from repro.errors import FaultConfigError
+from repro.faults.injector import FaultInjector
+from repro.faults.model import (
+    FAULT_KINDS,
+    KIND_BU_DROP,
+    KIND_CORRUPTION,
+    KIND_FU_STALL,
+    KIND_GRANT_LOSS,
+    KIND_PERMANENT,
+    FaultPlan,
+    FaultRecord,
+)
+from repro.faults.prng import DeterministicStream, stream_state
+
+
+class TestFaultRecord:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultConfigError, match="unknown fault kind"):
+            FaultRecord(site="*", kind="cosmic_ray", rate=0.1)
+
+    @pytest.mark.parametrize(
+        "site,kind",
+        [
+            ("fu:P0", KIND_CORRUPTION),
+            ("bu:1:2", KIND_GRANT_LOSS),
+            ("segment:1", KIND_FU_STALL),
+            ("ca", KIND_BU_DROP),
+            ("*", KIND_PERMANENT),
+            ("segment:one", KIND_CORRUPTION),
+            ("bu:12", KIND_BU_DROP),
+            ("fu:", KIND_FU_STALL),
+        ],
+    )
+    def test_bad_site_for_kind(self, site, kind):
+        kwargs = {"ticks": 5} if kind == KIND_FU_STALL else {}
+        if kind == KIND_PERMANENT:
+            kwargs["at_tick"] = 10
+        with pytest.raises(FaultConfigError):
+            FaultRecord(site=site, kind=kind, rate=0.1 if kind != KIND_PERMANENT else 0.0, **kwargs)
+
+    def test_rate_out_of_range(self):
+        with pytest.raises(FaultConfigError, match="outside"):
+            FaultRecord(site="*", kind=KIND_CORRUPTION, rate=1.5)
+
+    def test_permanent_needs_at_tick(self):
+        with pytest.raises(FaultConfigError, match="at_tick"):
+            FaultRecord(site="fu:P0", kind=KIND_PERMANENT)
+
+    def test_permanent_rejects_rate(self):
+        with pytest.raises(FaultConfigError, match="schedule-driven"):
+            FaultRecord(site="fu:P0", kind=KIND_PERMANENT, rate=0.5, at_tick=10)
+
+    def test_transient_rejects_at_tick(self):
+        with pytest.raises(FaultConfigError, match="rate-driven"):
+            FaultRecord(site="*", kind=KIND_CORRUPTION, rate=0.1, at_tick=10)
+
+    def test_stall_needs_ticks(self):
+        with pytest.raises(FaultConfigError, match="ticks"):
+            FaultRecord(site="*", kind=KIND_FU_STALL, rate=0.1)
+
+    def test_ticks_only_for_stall(self):
+        with pytest.raises(FaultConfigError, match="only valid for"):
+            FaultRecord(site="*", kind=KIND_CORRUPTION, rate=0.1, ticks=5)
+
+    def test_matches_wildcard_and_exact(self):
+        record = FaultRecord(site="segment:2", kind=KIND_CORRUPTION, rate=0.1)
+        assert record.matches("segment:2")
+        assert not record.matches("segment:1")
+        anywhere = FaultRecord(site="*", kind=KIND_CORRUPTION, rate=0.1)
+        assert anywhere.matches("segment:7")
+
+
+class TestFaultPlan:
+    def test_negative_seed_rejected(self):
+        with pytest.raises(FaultConfigError, match="seed"):
+            FaultPlan(seed=-1)
+
+    def test_duplicate_permanent_site_rejected(self):
+        record = FaultRecord(site="fu:P0", kind=KIND_PERMANENT, at_tick=5)
+        with pytest.raises(FaultConfigError, match="duplicate"):
+            FaultPlan(seed=0, records=(record, record))
+
+    def test_transient_helper_builds_records(self):
+        plan = FaultPlan.transient(
+            seed=7,
+            corruption_rate=0.1,
+            grant_loss_rate=0.2,
+            stall_rate=0.3,
+            stall_ticks=25,
+            bu_drop_rate=0.4,
+        )
+        assert {r.kind for r in plan.records} == set(FAULT_KINDS) - {
+            KIND_PERMANENT
+        }
+        assert all(r.site == "*" for r in plan.records)
+        stall = plan.of_kind(KIND_FU_STALL)[0]
+        assert stall.ticks == 25
+
+    def test_null_plan(self):
+        assert FaultPlan.transient(seed=3).is_null
+        assert not FaultPlan.transient(seed=3, corruption_rate=0.1).is_null
+
+    def test_with_record_and_with_seed(self):
+        plan = FaultPlan.transient(seed=1, corruption_rate=0.1)
+        grown = plan.with_record(
+            FaultRecord(site="fu:P0", kind=KIND_PERMANENT, at_tick=100)
+        )
+        assert len(grown.records) == 2
+        assert grown.with_seed(9).seed == 9
+        assert grown.with_seed(9).records == grown.records
+
+
+class TestDeterministicStream:
+    def test_same_keys_same_sequence(self):
+        a = DeterministicStream(42, "segment:1", "x")
+        b = DeterministicStream(42, "segment:1", "x")
+        assert [a.next_u64() for _ in range(10)] == [
+            b.next_u64() for _ in range(10)
+        ]
+
+    def test_different_keys_diverge(self):
+        a = DeterministicStream(42, "segment:1")
+        b = DeterministicStream(42, "segment:2")
+        assert [a.next_u64() for _ in range(4)] != [
+            b.next_u64() for _ in range(4)
+        ]
+
+    def test_state_is_never_zero(self):
+        assert stream_state(0) != 0
+
+    def test_floats_in_unit_interval(self):
+        stream = DeterministicStream(0, "p")
+        for _ in range(100):
+            assert 0.0 <= stream.next_float() < 1.0
+
+    def test_chance_extremes(self):
+        stream = DeterministicStream(5, "q")
+        assert not any(stream.chance(0.0) for _ in range(100))
+        stream = DeterministicStream(5, "q")
+        assert all(stream.chance(1.0) for _ in range(100))
+
+
+class TestInjector:
+    def test_zero_rate_never_draws(self):
+        injector = FaultInjector(FaultPlan.transient(seed=11))
+        assert not any(injector.corrupt_package(1) for _ in range(50))
+        assert injector.counters.total == 0
+
+    def test_counters_record_site_and_kind(self):
+        plan = FaultPlan(
+            seed=1,
+            records=(FaultRecord(site="*", kind=KIND_CORRUPTION, rate=1.0),),
+        )
+        injector = FaultInjector(plan)
+        assert injector.corrupt_package(2)
+        assert injector.counters.by_kind == {KIND_CORRUPTION: 1}
+        assert injector.counters.by_site == {"segment:2": 1}
+
+    def test_site_scoped_record_leaves_others_alone(self):
+        plan = FaultPlan(
+            seed=1,
+            records=(
+                FaultRecord(site="segment:1", kind=KIND_GRANT_LOSS, rate=1.0),
+            ),
+        )
+        injector = FaultInjector(plan)
+        assert injector.lose_segment_grant(1)
+        assert not injector.lose_segment_grant(2)
+        assert not injector.lose_ca_grant()
+
+    def test_stall_returns_configured_duration(self):
+        plan = FaultPlan(
+            seed=1,
+            records=(
+                FaultRecord(site="fu:P3", kind=KIND_FU_STALL, rate=1.0, ticks=33),
+            ),
+        )
+        injector = FaultInjector(plan)
+        assert injector.stall_ticks("P3") == 33
+        assert injector.stall_ticks("P4") == 0
+
+    def test_summary_shape(self):
+        injector = FaultInjector(FaultPlan.transient(seed=6, corruption_rate=1.0))
+        injector.corrupt_package(1)
+        summary = injector.summary()
+        assert summary["total"] == 1
+        assert summary["seed"] == 6
+        assert summary["records"] == 1

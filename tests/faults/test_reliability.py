@@ -1,0 +1,79 @@
+"""The reliability sweep: completion probability and overhead curves."""
+
+import json
+
+import pytest
+
+from repro.analysis.reliability import ReliabilityCurve, reliability_sweep
+from repro.errors import FaultConfigError
+from repro.faults import RetryPolicy
+
+
+@pytest.fixture(scope="module")
+def curve(request):
+    mp3_graph = request.getfixturevalue("mp3_graph")
+    platform_3seg = request.getfixturevalue("platform_3seg")
+    return reliability_sweep(
+        mp3_graph,
+        platform_3seg,
+        rates=[0.0, 0.05],
+        seeds=(1, 2),
+        retry_policy=RetryPolicy(max_attempts=8, on_exhaustion="degrade"),
+    )
+
+
+class TestSweep:
+    def test_zero_rate_point_is_baseline(self, curve):
+        point = curve.point_at(0.0)
+        assert point.completion_probability == 1.0
+        assert point.overhead_pct == 0.0
+        assert point.mean_retries == 0.0
+
+    def test_nonzero_rate_costs_time(self, curve):
+        point = curve.point_at(0.05)
+        assert point.mean_retries > 0
+        assert point.mean_nacks > 0
+        assert point.overhead_pct > 0
+        assert point.runs == 2
+        assert point.completed + point.degraded + point.failed == 2
+
+    def test_unknown_rate_raises(self, curve):
+        with pytest.raises(KeyError):
+            curve.point_at(0.5)
+
+    def test_rejects_permanent_kind(self, mp3_graph, platform_3seg):
+        with pytest.raises(FaultConfigError, match="transient"):
+            reliability_sweep(
+                mp3_graph,
+                platform_3seg,
+                rates=[0.0],
+                kind="permanent_failure",
+            )
+
+
+class TestExports:
+    def test_markdown_table(self, curve):
+        table = curve.to_markdown()
+        assert table.startswith("| rate |")
+        assert table.count("\n") == 1 + len(curve.points)
+
+    def test_csv(self, curve, tmp_path):
+        target = tmp_path / "curve.csv"
+        text = curve.to_csv(target)
+        assert target.read_text(encoding="utf-8") == text
+        assert text.splitlines()[0].startswith("rate,")
+        assert len(text.splitlines()) == 1 + len(curve.points)
+
+    def test_json_round_trip(self, curve):
+        data = json.loads(curve.to_json())
+        assert data["application"] == "MP3Decoder"
+        assert data["kind"] == "package_corruption"
+        assert len(data["points"]) == 2
+        rebuilt_rates = [p["rate"] for p in data["points"]]
+        assert rebuilt_rates == [0.0, 0.05]
+
+    def test_as_dict_matches_points(self, curve):
+        data = curve.as_dict()
+        assert data["points"][1]["mean_retries"] == round(
+            curve.point_at(0.05).mean_retries, 2
+        )

@@ -1,0 +1,140 @@
+"""The retry/backoff protocol: NACKs, re-arbitration, exhaustion."""
+
+import pytest
+
+from repro.emulator.emulator import emulate
+from repro.emulator.kernel import PlatformSpec, Simulation
+from repro.errors import FaultConfigError, RetryExhaustedError
+from repro.faults import FaultPlan, RetryPolicy
+from repro.faults.model import FaultRecord, KIND_CORRUPTION
+
+
+class TestRetryPolicyValidation:
+    def test_max_attempts_must_be_positive(self):
+        with pytest.raises(FaultConfigError):
+            RetryPolicy(max_attempts=0)
+
+    def test_unknown_backoff(self):
+        with pytest.raises(FaultConfigError):
+            RetryPolicy(backoff="quadratic")
+
+    def test_unknown_exhaustion_mode(self):
+        with pytest.raises(FaultConfigError):
+            RetryPolicy(on_exhaustion="explode")
+
+    def test_timeout_must_be_positive(self):
+        with pytest.raises(FaultConfigError):
+            RetryPolicy(timeout_ticks=0)
+
+
+class TestBackoffArithmetic:
+    def test_none_backoff(self):
+        policy = RetryPolicy(backoff="none")
+        assert policy.delay_ticks(1) == 0
+        assert policy.delay_ticks(5) == 0
+
+    def test_linear_backoff(self):
+        policy = RetryPolicy(backoff="linear", base_delay_ticks=3)
+        assert [policy.delay_ticks(n) for n in (1, 2, 3)] == [3, 6, 9]
+
+    def test_exponential_backoff_with_cap(self):
+        policy = RetryPolicy(
+            backoff="exponential", base_delay_ticks=4, max_delay_ticks=16
+        )
+        assert [policy.delay_ticks(n) for n in (1, 2, 3, 4)] == [4, 8, 16, 16]
+
+
+class TestRetryProtocol:
+    def test_corruption_is_retried_and_completes(self, mp3_graph, platform_3seg):
+        report = emulate(
+            mp3_graph,
+            platform_3seg,
+            fault_plan=FaultPlan.transient(seed=42, corruption_rate=0.05),
+            retry_policy=RetryPolicy(max_attempts=8),
+        )
+        assert report.total_nacks > 0
+        assert report.total_retries > 0
+        assert not report.degraded
+        assert report.fault_summary["total"] > 0
+        # every process still finished every flow
+        assert all(entry.end_ps or not entry.packages_sent for entry in report.timeline)
+
+    def test_retry_slows_execution(self, mp3_graph, platform_3seg):
+        clean = emulate(mp3_graph, platform_3seg)
+        faulty = emulate(
+            mp3_graph,
+            platform_3seg,
+            fault_plan=FaultPlan.transient(seed=42, corruption_rate=0.05),
+            retry_policy=RetryPolicy(max_attempts=8),
+        )
+        assert faulty.execution_time_fs > clean.execution_time_fs
+
+    def test_exhaustion_raises_under_fail_policy(self, mp3_graph, platform_3seg):
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            emulate(
+                mp3_graph,
+                platform_3seg,
+                fault_plan=FaultPlan.transient(seed=1, corruption_rate=1.0),
+                retry_policy=RetryPolicy(max_attempts=2, on_exhaustion="fail"),
+            )
+        assert excinfo.value.attempts == 2
+
+    def test_exhaustion_degrades_under_degrade_policy(
+        self, mp3_graph, platform_3seg
+    ):
+        report = emulate(
+            mp3_graph,
+            platform_3seg,
+            fault_plan=FaultPlan.transient(seed=1, corruption_rate=1.0),
+            retry_policy=RetryPolicy(max_attempts=2, on_exhaustion="degrade"),
+        )
+        assert report.degraded
+        assert report.unserved_flows
+        assert any("abandoned" in flow for flow in report.unserved_flows)
+
+    def test_segment_scoped_corruption_counts_on_that_segment(
+        self, mp3_graph, platform_3seg
+    ):
+        plan = FaultPlan(
+            seed=3,
+            records=(
+                FaultRecord(site="segment:1", kind=KIND_CORRUPTION, rate=0.2),
+            ),
+        )
+        report = emulate(
+            mp3_graph,
+            platform_3seg,
+            fault_plan=plan,
+            retry_policy=RetryPolicy(max_attempts=10),
+        )
+        assert report.sa(1).nacks + report.ca_nacks == report.total_nacks
+        assert report.sa(2).nacks == 0 and report.sa(3).nacks == 0
+
+    def test_deterministic_across_runs(self, mp3_graph, platform_3seg):
+        kwargs = dict(
+            fault_plan=FaultPlan.transient(seed=42, corruption_rate=0.05),
+            retry_policy=RetryPolicy(max_attempts=8),
+        )
+        a = emulate(mp3_graph, platform_3seg, **kwargs)
+        b = emulate(mp3_graph, platform_3seg, **kwargs)
+        assert a.to_json() == b.to_json()
+
+
+class TestTimeout:
+    def test_ca_timeout_counts_and_retries(self, mp3_graph, platform_3seg):
+        # a 1-tick CA budget cannot cover any realistic queue wait, so some
+        # requests time out and re-arbitrate; the run must still finish
+        spec = PlatformSpec.from_platform(platform_3seg)
+        sim = Simulation(
+            mp3_graph,
+            spec,
+            retry_policy=RetryPolicy(
+                max_attempts=50, backoff="none", timeout_ticks=1
+            ),
+        ).run()
+        assert sim.ca.counters.timeouts > 0
+        assert sim.ca.counters.retries >= sim.ca.counters.timeouts
+        assert not sim.degraded
+
+    def test_no_timeout_without_budget(self, sim_3seg):
+        assert sim_3seg.ca.counters.timeouts == 0

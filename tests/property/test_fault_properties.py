@@ -1,0 +1,102 @@
+"""Property-based guarantees of the fault-injection subsystem.
+
+* a zero-rate :class:`FaultPlan` is an exact no-op: the run is
+  bit-identical to the fault-free baseline regardless of the seed;
+* a faulty run is deterministic: the same plan twice gives identical
+  counters and timing.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.emulator.kernel import PlatformSpec, Simulation
+from repro.faults import FaultPlan, RetryPolicy
+from repro.psdf.generators import random_dag_psdf
+
+
+def _scenario(seed: int):
+    graph = random_dag_psdf(6, seed=seed, max_items=216, max_ticks=90)
+    placement = {
+        name: 1 + (i % 2) for i, name in enumerate(graph.process_names)
+    }
+    spec = PlatformSpec(
+        package_size=18,
+        segment_frequencies_mhz={1: 91.0, 2: 98.0},
+        ca_frequency_mhz=111.0,
+        placement=placement,
+    )
+    return graph, spec
+
+
+def _snapshot(sim: Simulation) -> tuple:
+    return (
+        sim.execution_time_fs(),
+        sim.queue.executed,
+        sim.global_end_fs,
+        tuple(
+            (
+                s.counters.grants,
+                s.counters.intra_requests,
+                s.counters.inter_requests,
+                s.counters.nacks,
+                s.counters.retries,
+            )
+            for s in sim.segments.values()
+        ),
+        (
+            sim.ca.counters.inter_requests,
+            sim.ca.counters.grants,
+            sim.ca.counters.nacks,
+            sim.ca.counters.retries,
+        ),
+        tuple(
+            (c.start_fs, c.end_fs, c.packages_sent, c.packages_received)
+            for c in sim.process_counters.values()
+        ),
+        sim.degraded,
+    )
+
+
+@given(
+    scenario_seed=st.integers(min_value=0, max_value=999),
+    plan_seed=st.integers(min_value=0, max_value=2**32),
+)
+@settings(max_examples=25, deadline=None)
+def test_zero_rate_plan_is_bit_identical_to_baseline(scenario_seed, plan_seed):
+    graph, spec = _scenario(scenario_seed)
+    baseline = Simulation(graph, spec).run()
+    nulled = Simulation(
+        graph, spec, fault_plan=FaultPlan.transient(seed=plan_seed)
+    ).run()
+    assert _snapshot(nulled) == _snapshot(baseline)
+
+
+@given(
+    scenario_seed=st.integers(min_value=0, max_value=999),
+    plan_seed=st.integers(min_value=0, max_value=2**32),
+    rate=st.sampled_from([0.01, 0.05, 0.1]),
+)
+@settings(max_examples=15, deadline=None)
+def test_faulty_runs_are_deterministic(scenario_seed, plan_seed, rate):
+    graph, spec = _scenario(scenario_seed)
+    plan = FaultPlan.transient(seed=plan_seed, corruption_rate=rate)
+    policy = RetryPolicy(max_attempts=10, on_exhaustion="degrade")
+    a = Simulation(graph, spec, fault_plan=plan, retry_policy=policy).run()
+    b = Simulation(graph, spec, fault_plan=plan, retry_policy=policy).run()
+    assert _snapshot(a) == _snapshot(b)
+
+
+@given(plan_seed=st.integers(min_value=0, max_value=2**32))
+@settings(max_examples=20, deadline=None)
+def test_zero_rate_report_listing_identical(plan_seed):
+    graph, spec = _scenario(0)
+    from repro.emulator.report import build_report
+
+    baseline = build_report(Simulation(graph, spec).run())
+    nulled = build_report(
+        Simulation(
+            graph, spec, fault_plan=FaultPlan.transient(seed=plan_seed)
+        ).run()
+    )
+    assert nulled.to_json() == baseline.to_json()
+    assert nulled.format_listing() == baseline.format_listing()

@@ -3,17 +3,22 @@
 import pytest
 
 from repro.errors import (
+    PENDING_RENDER_CAP,
     ConstraintViolation,
     DeadlockError,
+    ElementFailureError,
     EmulationError,
+    FaultConfigError,
     FlowError,
     MappingError,
     ModelError,
     PlacementError,
     PSDFError,
+    RetryExhaustedError,
     RoutingError,
     ScheduleError,
     SegBusError,
+    StallError,
     XMLFormatError,
 )
 
@@ -30,6 +35,10 @@ from repro.errors import (
         XMLFormatError,
         EmulationError,
         DeadlockError,
+        StallError,
+        RetryExhaustedError,
+        ElementFailureError,
+        FaultConfigError,
         RoutingError,
         PlacementError,
     ],
@@ -75,3 +84,46 @@ def test_deadlock_error_without_pending():
     exc = DeadlockError("stalled")
     assert exc.pending == []
     assert "stalled" in str(exc)
+
+
+def test_deadlock_rendering_caps_pending_list():
+    pending = [f"item {i}" for i in range(PENDING_RENDER_CAP + 5)]
+    exc = DeadlockError("stalled", pending=pending)
+    text = str(exc)
+    assert f"item {PENDING_RENDER_CAP - 1}" in text
+    assert f"item {PENDING_RENDER_CAP}" not in text
+    assert "and 5 more" in text
+    # the attribute keeps everything even though the message is capped
+    assert exc.pending == pending
+
+
+def test_deadlock_reports_last_progress_tick():
+    exc = DeadlockError("stalled", pending=["x"], last_progress_tick=1234)
+    assert "last progress at CA tick 1234" in str(exc)
+    assert exc.last_progress_tick == 1234
+
+
+def test_stall_error_names_stalled_elements():
+    exc = StallError(
+        "no progress",
+        pending=["job a"],
+        last_progress_tick=7,
+        stalled_elements=["master P1 (waiting grant)"],
+    )
+    assert issubclass(StallError, DeadlockError)
+    assert "master P1" in str(exc)
+    assert exc.stalled_elements == ["master P1 (waiting grant)"]
+
+
+def test_retry_exhausted_carries_context():
+    exc = RetryExhaustedError("segment:2", "P0->P1#1/4", attempts=4)
+    assert exc.site == "segment:2"
+    assert exc.attempts == 4
+    assert "P0->P1#1/4" in str(exc)
+
+
+def test_element_failure_carries_context():
+    exc = ElementFailureError("fu:P3", at_tick=999)
+    assert exc.site == "fu:P3"
+    assert exc.at_tick == 999
+    assert "fu:P3" in str(exc)

@@ -1,0 +1,93 @@
+"""Fault-plan XML scheme round-trip."""
+
+import pytest
+
+from repro.errors import XMLFormatError
+from repro.faults.model import (
+    KIND_BU_DROP,
+    KIND_CORRUPTION,
+    KIND_FU_STALL,
+    KIND_GRANT_LOSS,
+    KIND_PERMANENT,
+    FaultPlan,
+    FaultRecord,
+)
+from repro.xmlio.faults_xml import (
+    fault_plan_to_scheme,
+    fault_plan_to_xml,
+    parse_fault_plan_xml,
+)
+
+
+@pytest.fixture
+def full_plan():
+    return FaultPlan(
+        seed=42,
+        records=(
+            FaultRecord(site="segment:1", kind=KIND_CORRUPTION, rate=0.05),
+            FaultRecord(site="ca", kind=KIND_GRANT_LOSS, rate=0.01),
+            FaultRecord(site="fu:P3", kind=KIND_FU_STALL, rate=0.002, ticks=75),
+            FaultRecord(site="bu:1:2", kind=KIND_BU_DROP, rate=0.001),
+            FaultRecord(site="fu:P7", kind=KIND_PERMANENT, at_tick=12345),
+            FaultRecord(site="*", kind=KIND_CORRUPTION, rate=0.125),
+        ),
+    )
+
+
+class TestRoundTrip:
+    def test_full_plan(self, full_plan):
+        assert parse_fault_plan_xml(fault_plan_to_xml(full_plan)) == full_plan
+
+    def test_empty_plan(self):
+        plan = FaultPlan(seed=0)
+        assert parse_fault_plan_xml(fault_plan_to_xml(plan)) == plan
+
+    def test_record_order_preserved(self, full_plan):
+        back = parse_fault_plan_xml(fault_plan_to_xml(full_plan))
+        assert back.records == full_plan.records
+
+    def test_float_rates_survive_exactly(self):
+        plan = FaultPlan(
+            seed=1,
+            records=(FaultRecord(site="*", kind=KIND_CORRUPTION, rate=0.1),),
+        )
+        back = parse_fault_plan_xml(fault_plan_to_xml(plan))
+        assert back.records[0].rate == plan.records[0].rate
+
+    def test_scheme_uses_parameter_convention(self, full_plan):
+        doc = fault_plan_to_scheme(full_plan)
+        root = doc.complex_type("FaultPlan")
+        assert root.child("seed_42").type == "Parameter"
+        record0 = doc.complex_type("FaultRecord0")
+        names = [e.name for e in record0.children]
+        assert "site_segment:1" in names
+        assert "kind_package_corruption" in names
+
+
+class TestParseErrors:
+    def test_not_xml(self):
+        with pytest.raises(XMLFormatError):
+            parse_fault_plan_xml("this is not xml")
+
+    def test_missing_seed(self, full_plan):
+        xml = fault_plan_to_xml(full_plan).replace("seed_42", "sprout_42")
+        with pytest.raises(XMLFormatError):
+            parse_fault_plan_xml(xml)
+
+    def test_missing_site(self, full_plan):
+        xml = fault_plan_to_xml(full_plan).replace(
+            "site_segment:1", "situ_segment:1"
+        )
+        with pytest.raises(XMLFormatError):
+            parse_fault_plan_xml(xml)
+
+    def test_bad_rate(self, full_plan):
+        xml = fault_plan_to_xml(full_plan).replace("rate_0.05", "rate_hot")
+        with pytest.raises(XMLFormatError, match="not a number"):
+            parse_fault_plan_xml(xml)
+
+    def test_no_top_level(self):
+        with pytest.raises(XMLFormatError, match="top-level"):
+            parse_fault_plan_xml(
+                '<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"/>'
+            )
