@@ -27,7 +27,11 @@ Subcommands mirror the design flow of Fig. 3:
     paper-vs-measured report;
 ``segbus faults``
     reliability sweep under transient fault injection — completion
-    probability and execution-time overhead per fault rate.
+    probability and execution-time overhead per fault rate;
+``segbus lint``
+    static analysis of PSDF/PSM/fault-plan schemes: rule engine with
+    stable ids, PSDF verifier, hazard detector, scheme integrity (exit 0
+    clean, 1 warnings, 2 errors — see docs/LINTING.md).
 
 Any :class:`~repro.errors.SegBusError` surfaces as a one-line message on
 stderr and exit code 2; pass ``--debug`` (before the subcommand) to get the
@@ -91,7 +95,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_emulate(args: argparse.Namespace) -> int:
     emulator = SegBusEmulator.from_files(args.psdf, args.psm)
-    report = emulator.run()
+    report = emulator.run(strict=args.strict)
     print(report.format_listing())
     print(
         f"\nTotal execution time: {report.execution_time_us:.2f} us "
@@ -292,6 +296,27 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import default_registry, lint_paths, render
+
+    registry = default_registry()
+    if args.list_rules:
+        for rule in registry:
+            print(
+                f"{rule.id}  {rule.severity.value:<7}  {rule.category:<9}  "
+                f"{rule.name}: {rule.description}"
+            )
+        return 0
+    if not args.paths:
+        print("segbus lint: no input files (or use --list-rules)", file=sys.stderr)
+        return 2
+    report = lint_paths(
+        [str(p) for p in args.paths], registry=registry, disable=args.disable
+    )
+    print(render(report, args.format, registry=registry))
+    return report.exit_code
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.analysis.campaign import Campaign
     from repro.apps.jpeg import jpeg_decoder_psdf, jpeg_platform
@@ -339,7 +364,30 @@ def build_parser() -> argparse.ArgumentParser:
     emu = sub.add_parser("emulate", help="emulate from XML schemes")
     emu.add_argument("psdf", type=Path)
     emu.add_argument("psm", type=Path)
+    emu.add_argument(
+        "--strict",
+        action="store_true",
+        help="run the static analyzer first; refuse inputs with lint errors",
+    )
     emu.set_defaults(func=_cmd_emulate)
+
+    lnt = sub.add_parser(
+        "lint", help="static analysis of XML scheme files (see docs/LINTING.md)"
+    )
+    lnt.add_argument(
+        "paths", type=Path, nargs="*", help="PSDF/PSM/fault-plan scheme files"
+    )
+    lnt.add_argument(
+        "--format", default="text", choices=["text", "json", "sarif"]
+    )
+    lnt.add_argument(
+        "--disable", nargs="+", default=[], metavar="RULE_ID",
+        help="rule ids to skip (e.g. --disable SB209 SB212)",
+    )
+    lnt.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    lnt.set_defaults(func=_cmd_lint)
 
     acc = sub.add_parser("accuracy", help="estimated vs reference execution")
     acc.add_argument("--segments", type=int, default=3)

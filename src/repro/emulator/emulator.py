@@ -21,7 +21,7 @@ from typing import Optional, Union
 from repro.emulator.config import EmulationConfig
 from repro.emulator.kernel import PlatformSpec, Simulation
 from repro.emulator.report import EmulationReport, build_report
-from repro.errors import EmulationError
+from repro.errors import EmulationError, LintError
 from repro.model.elements import SegBusPlatform
 from repro.psdf.flow import FlowCost, PacketFlow
 from repro.psdf.graph import PSDFGraph
@@ -138,10 +138,43 @@ class SegBusEmulator:
         )
         self.communication_matrix = build_communication_matrix(self.application)
 
+    # -- static analysis ---------------------------------------------------------
+
+    def lint(self):
+        """Run the ``segbus lint`` rule catalogue over this session's inputs.
+
+        Returns the :class:`repro.lint.LintReport` covering the application,
+        the platform (when the parsed PSM can be rebuilt into one) and the
+        fault plan.  Never raises — :meth:`run` with ``strict=True`` is the
+        enforcing entry point.
+        """
+        from repro.lint import lint_models
+
+        try:
+            platform = self._parsed_psm.to_platform()
+        except Exception:
+            platform = None  # lint still covers the application + fault plan
+        return lint_models(
+            application=self._parsed_psdf,
+            platform=platform,
+            fault_plan=self.fault_plan,
+        )
+
     # -- execution ---------------------------------------------------------------
 
-    def run(self) -> EmulationReport:
-        """Run the emulation (cached: repeated calls return the same report)."""
+    def run(self, strict: bool = False) -> EmulationReport:
+        """Run the emulation (cached: repeated calls return the same report).
+
+        With ``strict=True`` the static analyzer runs first and the call
+        raises :class:`~repro.errors.LintError` on any error-severity
+        finding instead of starting a simulation of a broken input.
+        """
+        if strict and self._report is None:
+            lint_report = self.lint()
+            if lint_report.errors:
+                raise LintError(
+                    [f.format() for f in lint_report.errors], report=lint_report
+                )
         if self._report is None:
             self._simulation = Simulation(
                 self.application,
@@ -169,8 +202,13 @@ def emulate(
     fault_plan=None,
     retry_policy=None,
     watchdog=None,
+    strict: bool = False,
 ) -> EmulationReport:
-    """One-shot convenience: model objects in, report out."""
+    """One-shot convenience: model objects in, report out.
+
+    ``strict=True`` lints the inputs first and raises
+    :class:`~repro.errors.LintError` on any error-severity finding.
+    """
     return SegBusEmulator.from_models(
         application,
         platform,
@@ -178,4 +216,4 @@ def emulate(
         fault_plan=fault_plan,
         retry_policy=retry_policy,
         watchdog=watchdog,
-    ).run()
+    ).run(strict=strict)

@@ -68,6 +68,24 @@ class XMLFormatError(SegBusError):
     """An XML scheme does not follow the expected M2T output structure."""
 
 
+class LintError(SegBusError):
+    """Static analysis refused the input (``Emulator.run(strict=True)``).
+
+    ``findings`` holds the formatted error-severity findings; the full
+    :class:`repro.lint.LintReport` travels as ``report`` for callers that
+    want the structured data.
+    """
+
+    def __init__(self, findings: Sequence[str], report=None):
+        self.findings: List[str] = list(findings)
+        self.report = report
+        message = (
+            f"static analysis found {len(self.findings)} error(s):\n"
+            + "\n".join(f"  - {f}" for f in self.findings)
+        )
+        super().__init__(message)
+
+
 class EmulationError(SegBusError):
     """The emulator reached an invalid runtime state."""
 

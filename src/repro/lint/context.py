@@ -1,0 +1,212 @@
+"""What the lint rules see: one :class:`LintContext` per lint run.
+
+A context aggregates whatever inputs are available — none are mandatory:
+
+* the **application** as raw processes + flows.  Deliberately *not* a
+  :class:`~repro.psdf.graph.PSDFGraph`: the graph constructor rejects
+  cycles and disconnected processes outright, while lint must *diagnose*
+  those states with stable rule ids instead of crashing on them;
+* the **platform** as a :class:`~repro.model.elements.SegBusPlatform`
+  (when one could be built);
+* a **fault plan** (:class:`~repro.faults.model.FaultPlan`);
+* the raw **scheme documents** the inputs came from, for XML-level rules
+  and for anchoring findings to file names.
+
+Rules guard on the pieces they need (``if ctx.platform is None: return``),
+so a partial context simply runs fewer rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.faults.model import FaultPlan
+from repro.model.elements import SegBusPlatform
+from repro.psdf.flow import PacketFlow
+from repro.psdf.process import Process
+from repro.xmlio.schema_writer import SchemaDocument
+
+#: scheme-document classification labels used by the loader and rules
+KIND_PSDF = "psdf"
+KIND_PSM = "psm"
+KIND_FAULT_PLAN = "faultplan"
+KIND_UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class SchemeFile:
+    """One loaded scheme document plus its provenance."""
+
+    path: str
+    kind: str
+    document: SchemaDocument
+
+
+@dataclass
+class LintContext:
+    """Everything one lint run may inspect (all pieces optional)."""
+
+    processes: Tuple[Process, ...] = ()
+    flows: Tuple[PacketFlow, ...] = ()
+    application_name: Optional[str] = None
+    platform: Optional[SegBusPlatform] = None
+    fault_plan: Optional[FaultPlan] = None
+    documents: Tuple[SchemeFile, ...] = ()
+    #: file paths findings should anchor to, keyed by input kind
+    source_files: Dict[str, str] = field(default_factory=dict)
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_models(
+        cls,
+        application=None,
+        platform: Optional[SegBusPlatform] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        documents: Tuple[SchemeFile, ...] = (),
+    ) -> "LintContext":
+        """Build from in-memory models.  ``application`` may be a
+        :class:`~repro.psdf.graph.PSDFGraph`, a
+        :class:`~repro.xmlio.psdf_parser.ParsedPSDF`, or any object with
+        ``processes``/``flows`` attributes."""
+        processes: Tuple[Process, ...] = ()
+        flows: Tuple[PacketFlow, ...] = ()
+        name: Optional[str] = None
+        if application is not None:
+            processes = tuple(application.processes)
+            flows = tuple(application.flows)
+            name = getattr(application, "name", None)
+        return cls(
+            processes=processes,
+            flows=flows,
+            application_name=name,
+            platform=platform,
+            fault_plan=fault_plan,
+            documents=documents,
+        )
+
+    # -- application views -----------------------------------------------------
+
+    @property
+    def has_application(self) -> bool:
+        return bool(self.processes)
+
+    def process_names(self) -> Tuple[str, ...]:
+        return tuple(p.name for p in self.processes)
+
+    def outgoing(self, name: str) -> Tuple[PacketFlow, ...]:
+        return tuple(f for f in self.flows if f.source == name)
+
+    def incoming(self, name: str) -> Tuple[PacketFlow, ...]:
+        return tuple(f for f in self.flows if f.target == name)
+
+    def adjacency(self) -> Dict[str, List[str]]:
+        """Successor map over declared processes (undeclared endpoints kept)."""
+        out: Dict[str, List[str]] = {p.name: [] for p in self.processes}
+        for flow in self.flows:
+            out.setdefault(flow.source, []).append(flow.target)
+            out.setdefault(flow.target, [])
+        return out
+
+    def strongly_connected_components(self) -> Tuple[Tuple[str, ...], ...]:
+        """Tarjan SCCs of the flow graph, each sorted, larger-than-1 only.
+
+        These are exactly the statically deadlocked process sets: with SDF
+        "fire once all inputs arrived" semantics, no process of a cycle can
+        ever fire.
+        """
+        graph = self.adjacency()
+        index: Dict[str, int] = {}
+        low: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        sccs: List[Tuple[str, ...]] = []
+        counter = [0]
+
+        # iterative Tarjan: (node, successor-iterator index) frames
+        def strongconnect(root: str) -> None:
+            work: List[Tuple[str, int]] = [(root, 0)]
+            while work:
+                node, child_i = work.pop()
+                if child_i == 0:
+                    index[node] = low[node] = counter[0]
+                    counter[0] += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                recurse = False
+                successors = graph[node]
+                for i in range(child_i, len(successors)):
+                    succ = successors[i]
+                    if succ not in index:
+                        work.append((node, i + 1))
+                        work.append((succ, 0))
+                        recurse = True
+                        break
+                    if succ in on_stack:
+                        low[node] = min(low[node], index[succ])
+                if recurse:
+                    continue
+                if low[node] == index[node]:
+                    component: List[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    if len(component) > 1:
+                        sccs.append(tuple(sorted(component)))
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+
+        for name in graph:
+            if name not in index:
+                strongconnect(name)
+        return tuple(sorted(sccs))
+
+    def is_dag(self) -> bool:
+        return not self.strongly_connected_components()
+
+    def reachable_from_sources(self) -> Set[str]:
+        """Processes reachable from the zero-indegree fire-at-t0 frontier."""
+        graph = self.adjacency()
+        indegree = {name: 0 for name in graph}
+        for flow in self.flows:
+            indegree[flow.target] = indegree.get(flow.target, 0) + 1
+        frontier = [name for name, deg in indegree.items() if deg == 0]
+        seen: Set[str] = set(frontier)
+        while frontier:
+            node = frontier.pop()
+            for succ in graph.get(node, ()):
+                if succ not in seen:
+                    seen.add(succ)
+                    frontier.append(succ)
+        return seen
+
+    # -- platform views --------------------------------------------------------
+
+    def placement(self) -> Optional[Dict[str, int]]:
+        """Process → segment map, or ``None`` without a usable platform."""
+        if self.platform is None:
+            return None
+        try:
+            return self.platform.process_placement()
+        except Exception:
+            # duplicate mappings are reported by the platform rules
+            return None
+
+    def package_size(self) -> Optional[int]:
+        if self.platform is None:
+            return None
+        return self.platform.package_size
+
+    def bu_pairs(self) -> Tuple[Tuple[int, int], ...]:
+        if self.platform is None:
+            return ()
+        return tuple(sorted((bu.left, bu.right) for bu in self.platform.border_units))
+
+    def file_for(self, kind: str) -> Optional[str]:
+        """The source file of the given input kind, when lint loaded files."""
+        return self.source_files.get(kind)

@@ -1,0 +1,338 @@
+"""The declarative rule engine behind ``segbus lint``.
+
+The paper's DSL rejects ill-formed PSMs with OCL structural constraints
+*before* any emulation (section 2.2).  This module generalises that idea
+into a conventional lint architecture:
+
+* a :class:`Rule` is one statically decidable property with a stable
+  identifier (``SB101`` …), a default :class:`Severity`, a category and a
+  human rationale;
+* a :class:`Finding` is one concrete breach — rule id, severity, message,
+  :class:`SourceLocation` and an optional fix-it hint;
+* a :class:`RuleRegistry` collects rules (uniqueness of ids enforced) and
+  is what the engine iterates;
+* a :class:`LintReport` aggregates findings, deduplicates them, computes
+  the process exit code (0 clean, 1 warnings, 2 errors) and serializes to
+  the machine-readable shape shared with
+  :meth:`repro.model.validation.ValidationReport.to_dict`.
+
+This module is dependency-free within the library (it imports nothing from
+:mod:`repro` beyond the stdlib) so every other layer may import it without
+cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+
+class Severity(enum.Enum):
+    """Lint severity ladder; comparisons follow ERROR > WARNING > INFO."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return {"info": 0, "warning": 1, "error": 2}[self.value]
+
+    def __lt__(self, other: "Severity") -> bool:
+        return self.rank < other.rank
+
+    def __le__(self, other: "Severity") -> bool:
+        return self.rank <= other.rank
+
+    def __gt__(self, other: "Severity") -> bool:
+        return self.rank > other.rank
+
+    def __ge__(self, other: "Severity") -> bool:
+        return self.rank >= other.rank
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """Where a finding anchors: a file, a model element, a segment index.
+
+    All parts are optional — a platform built in memory has no file, a
+    platform-wide property has no single element.
+    """
+
+    file: Optional[str] = None
+    element: Optional[str] = None
+    segment: Optional[int] = None
+
+    @property
+    def is_empty(self) -> bool:
+        return self.file is None and self.element is None and self.segment is None
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {}
+        if self.file is not None:
+            out["file"] = self.file
+        if self.element is not None:
+            out["element"] = self.element
+        if self.segment is not None:
+            out["segment"] = self.segment
+        return out
+
+    def __str__(self) -> str:
+        parts: List[str] = []
+        if self.file:
+            parts.append(self.file)
+        if self.segment is not None:
+            parts.append(f"segment {self.segment}")
+        if self.element:
+            parts.append(self.element)
+        return ":".join(parts)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One concrete rule breach (or advisory note)."""
+
+    rule_id: str
+    severity: Severity
+    category: str
+    message: str
+    location: SourceLocation = field(default_factory=SourceLocation)
+    fix_hint: Optional[str] = None
+
+    def key(self) -> Tuple[str, str, str]:
+        """Deduplication key: same rule, same message, same place."""
+        return (self.rule_id, self.message, str(self.location))
+
+    def with_file(self, file: Optional[str]) -> "Finding":
+        """A copy anchored to ``file`` (keeps element/segment parts)."""
+        if file is None or self.location.file is not None:
+            return self
+        return replace(self, location=replace(self.location, file=file))
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "category": self.category,
+            "message": self.message,
+        }
+        if not self.location.is_empty:
+            out["location"] = self.location.to_dict()
+        if self.fix_hint:
+            out["fix_hint"] = self.fix_hint
+        return out
+
+    def format(self) -> str:
+        where = str(self.location)
+        prefix = f"{where}: " if where else ""
+        hint = f" (hint: {self.fix_hint})" if self.fix_hint else ""
+        return f"{prefix}{self.severity.value} {self.rule_id}: {self.message}{hint}"
+
+
+#: a rule's checker: context in, findings out (the context type lives in
+#: :mod:`repro.lint.context`; typed loosely here to keep core import-free)
+RuleCheck = Callable[[object], Iterable[Finding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered lint rule."""
+
+    id: str
+    name: str
+    severity: Severity
+    category: str
+    description: str
+    rationale: str
+    example: str
+    check: RuleCheck
+    fix_hint: Optional[str] = None
+
+    def finding(
+        self,
+        message: str,
+        *,
+        severity: Optional[Severity] = None,
+        element: Optional[str] = None,
+        segment: Optional[int] = None,
+        file: Optional[str] = None,
+        fix_hint: Optional[str] = None,
+    ) -> Finding:
+        """Build a finding carrying this rule's identity and defaults."""
+        return Finding(
+            rule_id=self.id,
+            severity=severity or self.severity,
+            category=self.category,
+            message=message,
+            location=SourceLocation(file=file, element=element, segment=segment),
+            fix_hint=fix_hint if fix_hint is not None else self.fix_hint,
+        )
+
+
+class RuleRegistry:
+    """The rule catalogue: id-unique, iteration in id order."""
+
+    def __init__(self) -> None:
+        self._rules: Dict[str, Rule] = {}
+
+    def register(self, rule: Rule) -> Rule:
+        if rule.id in self._rules:
+            raise ValueError(f"duplicate lint rule id {rule.id!r}")
+        if any(r.name == rule.name for r in self._rules.values()):
+            raise ValueError(f"duplicate lint rule name {rule.name!r}")
+        self._rules[rule.id] = rule
+        return rule
+
+    def rule(
+        self,
+        id: str,
+        name: str,
+        *,
+        severity: Severity,
+        category: str,
+        description: str,
+        rationale: str,
+        example: str,
+        fix_hint: Optional[str] = None,
+    ) -> Callable[[RuleCheck], Rule]:
+        """Decorator form: ``@registry.rule("SB201", "orphan-process", ...)``."""
+
+        def wrap(check: RuleCheck) -> Rule:
+            return self.register(
+                Rule(
+                    id=id,
+                    name=name,
+                    severity=severity,
+                    category=category,
+                    description=description,
+                    rationale=rationale,
+                    example=example,
+                    check=check,
+                    fix_hint=fix_hint,
+                )
+            )
+
+        return wrap
+
+    def get(self, rule_id: str) -> Rule:
+        try:
+            return self._rules[rule_id]
+        except KeyError:
+            raise KeyError(f"no lint rule with id {rule_id!r}") from None
+
+    def __contains__(self, rule_id: str) -> bool:
+        return rule_id in self._rules
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(sorted(self._rules.values(), key=lambda r: r.id))
+
+    def rules(self) -> Tuple[Rule, ...]:
+        return tuple(self)
+
+    def categories(self) -> Tuple[str, ...]:
+        return tuple(sorted({r.category for r in self._rules.values()}))
+
+
+@dataclass
+class LintReport:
+    """The aggregated outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    checked_rules: int = 0
+    targets: List[str] = field(default_factory=list)
+
+    def add(self, finding: Finding) -> bool:
+        """Append ``finding`` unless an identical one is already recorded."""
+        if any(existing.key() == finding.key() for existing in self.findings):
+            return False
+        self.findings.append(finding)
+        return True
+
+    def extend(self, findings: Iterable[Finding]) -> None:
+        for finding in findings:
+            self.add(finding)
+
+    # -- queries ---------------------------------------------------------------
+
+    def by_severity(self, severity: Severity) -> Tuple[Finding, ...]:
+        return tuple(f for f in self.findings if f.severity is severity)
+
+    @property
+    def errors(self) -> Tuple[Finding, ...]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> Tuple[Finding, ...]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def infos(self) -> Tuple[Finding, ...]:
+        return self.by_severity(Severity.INFO)
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing of warning severity or above was found."""
+        return not self.errors and not self.warnings
+
+    @property
+    def max_severity(self) -> Optional[Severity]:
+        if not self.findings:
+            return None
+        return max(f.severity for f in self.findings)
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit code: 0 clean (or info only), 1 warnings, 2 errors."""
+        if self.errors:
+            return 2
+        if self.warnings:
+            return 1
+        return 0
+
+    def rule_ids(self) -> Tuple[str, ...]:
+        return tuple(sorted({f.rule_id for f in self.findings}))
+
+    def sorted_findings(self) -> Tuple[Finding, ...]:
+        """Findings ordered most-severe first, then by rule id and location."""
+        return tuple(
+            sorted(
+                self.findings,
+                key=lambda f: (-f.severity.rank, f.rule_id, str(f.location), f.message),
+            )
+        )
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "exit_code": self.exit_code,
+            "checked_rules": self.checked_rules,
+            "targets": list(self.targets),
+            "counts": {
+                "error": len(self.errors),
+                "warning": len(self.warnings),
+                "info": len(self.infos),
+            },
+            "findings": [f.to_dict() for f in self.sorted_findings()],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+
+def merge_reports(reports: Sequence[LintReport]) -> LintReport:
+    """Combine several reports into one (deduplicating across them)."""
+    merged = LintReport()
+    for report in reports:
+        merged.checked_rules = max(merged.checked_rules, report.checked_rules)
+        for target in report.targets:
+            if target not in merged.targets:
+                merged.targets.append(target)
+        merged.extend(report.findings)
+    return merged

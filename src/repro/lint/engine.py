@@ -1,0 +1,121 @@
+"""The lint engine: registry assembly and rule execution.
+
+:func:`default_registry` assembles the full ``SB1xx``–``SB4xx`` catalogue
+from the rule modules; :func:`run_rules` executes a registry over one
+:class:`~repro.lint.context.LintContext`.  A rule that raises is reported
+as an ``SB999`` internal-error finding instead of aborting the run — one
+broken checker must not hide every other rule's findings.
+
+Convenience fronts: :func:`lint_models` for in-memory objects (the
+emulator's strict mode), :func:`lint_paths` for XML scheme files (the CLI).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.lint.context import LintContext, SchemeFile
+from repro.lint.core import LintReport, Rule, RuleRegistry, Severity
+
+#: rule modules contributing to the default registry, in id order
+_RULE_MODULE_NAMES = (
+    "repro.lint.rules_platform",
+    "repro.lint.rules_psdf",
+    "repro.lint.rules_hazards",
+    "repro.lint.rules_scheme",
+)
+
+INTERNAL_RULE_ID = "SB999"
+
+
+def default_registry() -> RuleRegistry:
+    """A fresh registry holding the complete built-in rule catalogue."""
+    import importlib
+
+    registry = RuleRegistry()
+    for module_name in _RULE_MODULE_NAMES:
+        importlib.import_module(module_name).register(registry)
+    registry.register(
+        Rule(
+            id=INTERNAL_RULE_ID,
+            name="internal-error",
+            severity=Severity.ERROR,
+            category="engine",
+            description="every rule checker runs to completion",
+            rationale=(
+                "a crashing checker would otherwise silently skip its rule; "
+                "surfacing the crash keeps the lint run trustworthy"
+            ),
+            example="a rule tripping over an unexpected model shape",
+            check=lambda ctx: [],
+            fix_hint="report the traceback as a bug",
+        )
+    )
+    return registry
+
+
+def run_rules(
+    context: LintContext,
+    registry: Optional[RuleRegistry] = None,
+    disable: Sequence[str] = (),
+) -> LintReport:
+    """Execute every registered rule over ``context``."""
+    registry = registry if registry is not None else default_registry()
+    disabled = set(disable)
+    internal = registry.get(INTERNAL_RULE_ID)
+    report = LintReport()
+    for rule in registry:
+        if rule.id in disabled or rule.id == INTERNAL_RULE_ID:
+            continue
+        report.checked_rules += 1
+        try:
+            report.extend(rule.check(context))
+        except Exception as exc:
+            report.add(
+                internal.finding(
+                    f"rule {rule.id} ({rule.name}) crashed: "
+                    f"{type(exc).__name__}: {exc}"
+                )
+            )
+    return report
+
+
+def lint_models(
+    application=None,
+    platform=None,
+    fault_plan=None,
+    documents: Sequence[SchemeFile] = (),
+    registry: Optional[RuleRegistry] = None,
+    disable: Sequence[str] = (),
+) -> LintReport:
+    """Lint in-memory models (the emulator strict-mode entry point)."""
+    context = LintContext.from_models(
+        application=application,
+        platform=platform,
+        fault_plan=fault_plan,
+        documents=tuple(documents),
+    )
+    return run_rules(context, registry=registry, disable=disable)
+
+
+def lint_paths(
+    paths: Sequence[str],
+    registry: Optional[RuleRegistry] = None,
+    disable: Sequence[str] = (),
+) -> LintReport:
+    """Lint XML scheme files (the ``segbus lint`` entry point)."""
+    registry = registry if registry is not None else default_registry()
+    context, loader_findings = _load(paths, registry)
+    report = run_rules(context, registry=registry, disable=disable)
+    disabled = set(disable)
+    report.extend(
+        f for f in loader_findings if f.rule_id not in disabled
+    )
+    report.targets = [str(p) for p in paths]
+    return report
+
+
+def _load(paths: Sequence[str], registry: RuleRegistry):
+    from repro.lint.loader import load_paths
+
+    return load_paths(paths, registry)

@@ -1,0 +1,127 @@
+"""Rendering lint reports: human text, JSON, and SARIF 2.1.0.
+
+The JSON shape is :meth:`~repro.lint.core.LintReport.to_dict` — the same
+finding schema :meth:`repro.model.validation.ValidationReport.to_dict`
+emits.  SARIF output follows the minimal static-analysis profile most code
+hosts ingest: one run, one driver, one ``rules`` catalogue entry per rule
+that produced a finding, results referencing rules by id.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.lint.core import Finding, LintReport, RuleRegistry, Severity
+
+FORMAT_TEXT = "text"
+FORMAT_JSON = "json"
+FORMAT_SARIF = "sarif"
+FORMATS = (FORMAT_TEXT, FORMAT_JSON, FORMAT_SARIF)
+
+_SARIF_LEVEL = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def format_text(report: LintReport) -> str:
+    """The human-readable rendering: findings then a one-line summary."""
+    lines: List[str] = [f.format() for f in report.sorted_findings()]
+    summary = (
+        f"{len(report.errors)} error(s), {len(report.warnings)} warning(s), "
+        f"{len(report.infos)} info(s) — {report.checked_rules} rule(s) checked"
+    )
+    if report.ok and not report.findings:
+        lines.append(f"clean: {summary}")
+    else:
+        lines.append(summary)
+    return "\n".join(lines)
+
+
+def format_json(report: LintReport) -> str:
+    return report.to_json()
+
+
+def format_sarif(
+    report: LintReport, registry: Optional[RuleRegistry] = None
+) -> str:
+    """SARIF 2.1.0 with rule metadata resolved from ``registry``."""
+    rule_ids = report.rule_ids()
+    rules_meta: List[Dict[str, object]] = []
+    index_of: Dict[str, int] = {}
+    for rule_id in rule_ids:
+        entry: Dict[str, object] = {"id": rule_id}
+        if registry is not None and rule_id in registry:
+            rule = registry.get(rule_id)
+            entry["name"] = rule.name
+            entry["shortDescription"] = {"text": rule.description}
+            entry["fullDescription"] = {"text": rule.rationale}
+            if rule.fix_hint:
+                entry["help"] = {"text": rule.fix_hint}
+        index_of[rule_id] = len(rules_meta)
+        rules_meta.append(entry)
+
+    results = [_sarif_result(f, index_of) for f in report.sorted_findings()]
+    sarif = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "segbus-lint",
+                        "informationUri": "https://example.invalid/segbus",
+                        "rules": rules_meta,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(sarif, indent=2)
+
+
+def _sarif_result(finding: Finding, index_of: Dict[str, int]) -> Dict[str, object]:
+    result: Dict[str, object] = {
+        "ruleId": finding.rule_id,
+        "ruleIndex": index_of[finding.rule_id],
+        "level": _SARIF_LEVEL[finding.severity],
+        "message": {"text": finding.message},
+    }
+    if finding.location.file:
+        result["locations"] = [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.location.file}
+                }
+            }
+        ]
+    properties: Dict[str, object] = {"category": finding.category}
+    if finding.location.element is not None:
+        properties["element"] = finding.location.element
+    if finding.location.segment is not None:
+        properties["segment"] = finding.location.segment
+    if finding.fix_hint:
+        properties["fix_hint"] = finding.fix_hint
+    result["properties"] = properties
+    return result
+
+
+def render(
+    report: LintReport,
+    format: str = FORMAT_TEXT,
+    registry: Optional[RuleRegistry] = None,
+) -> str:
+    """Render ``report`` in the requested format."""
+    if format == FORMAT_TEXT:
+        return format_text(report)
+    if format == FORMAT_JSON:
+        return format_json(report)
+    if format == FORMAT_SARIF:
+        return format_sarif(report, registry=registry)
+    raise ValueError(f"unknown lint output format {format!r} (use {FORMATS})")

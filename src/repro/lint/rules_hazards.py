@@ -1,0 +1,306 @@
+"""Pre-simulation hazard detector (``SB3xx``).
+
+Walks the *mapped* application — flows plus placement plus the transfer
+ordering that the arbiters will execute — and flags runtime hazards that
+are already visible statically:
+
+* **CA double-grant**: two transfers sharing a ``T`` slot, issued from
+  *different* source segments, whose circuit paths overlap.  The CA can
+  only connect disjoint paths concurrently; overlapping requests race for
+  the same grant lines and one of them must stall for the whole burst;
+* **BU contention races**: transfers sharing a ``T`` slot that cross the
+  same border unit — head-on (opposite directions) races for the single
+  FIFO, same-direction from different segments queue behind one another;
+* **fault-plan integrity**: records targeting platform elements that do
+  not exist, null plans, extreme rates, and permanent failures scheduled
+  before the element ever works.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.faults.model import KIND_PERMANENT, FaultRecord
+from repro.lint.context import LintContext
+from repro.lint.core import Finding, RuleRegistry, Severity
+from repro.psdf.flow import PacketFlow
+
+CATEGORY = "hazard"
+
+
+def _mapped_transfers(
+    ctx: LintContext,
+) -> Optional[List[Tuple[PacketFlow, int, int]]]:
+    """Flows with resolved (source segment, target segment), or None."""
+    placement = ctx.placement()
+    if placement is None or not ctx.flows:
+        return None
+    out: List[Tuple[PacketFlow, int, int]] = []
+    for flow in ctx.flows:
+        src = placement.get(flow.source)
+        dst = placement.get(flow.target)
+        if src is None or dst is None:
+            continue  # unmapped endpoints are SB111's business
+        out.append((flow, src, dst))
+    return out
+
+
+def _path(src: int, dst: int) -> Tuple[int, int]:
+    return (min(src, dst), max(src, dst))
+
+
+def register(registry: RuleRegistry) -> None:
+    @registry.rule(
+        "SB301",
+        "ca-double-grant",
+        severity=Severity.WARNING,
+        category=CATEGORY,
+        description="no two same-T transfers from different segments share a path",
+        rationale=(
+            "the CA connects whole source→target paths (circuit switching, "
+            "section 3.2); concurrent requests over overlapping paths from "
+            "different SAs force a double grant decision — one transfer "
+            "stalls for the full burst and, under faults, grant-loss "
+            "retries can livelock"
+        ),
+        example="P2(seg1)->P5(seg2) and P9(seg3)->P6(seg2) both at T=4",
+        fix_hint="separate the transfers' T values or re-place an endpoint",
+    )
+    def _double_grant(ctx: LintContext) -> Iterable[Finding]:
+        transfers = _mapped_transfers(ctx)
+        if transfers is None:
+            return
+        psdf = ctx.file_for("psdf")
+        by_order: Dict[int, List[Tuple[PacketFlow, int, int]]] = {}
+        for flow, src, dst in transfers:
+            if src != dst:  # only inter-segment transfers involve the CA
+                by_order.setdefault(flow.order, []).append((flow, src, dst))
+        for order in sorted(by_order):
+            group = by_order[order]
+            for i in range(len(group)):
+                for j in range(i + 1, len(group)):
+                    f1, s1, d1 = group[i]
+                    f2, s2, d2 = group[j]
+                    if s1 == s2:
+                        continue  # one SA serializes its own masters
+                    lo1, hi1 = _path(s1, d1)
+                    lo2, hi2 = _path(s2, d2)
+                    overlap_lo, overlap_hi = max(lo1, lo2), min(hi1, hi2)
+                    if overlap_lo > overlap_hi:
+                        continue
+                    segments = list(range(overlap_lo, overlap_hi + 1))
+                    yield registry.get("SB301").finding(
+                        f"transfers {f1.source}->{f1.target} (segments "
+                        f"{lo1}..{hi1}) and {f2.source}->{f2.target} "
+                        f"(segments {lo2}..{hi2}) share T={order} and "
+                        f"overlap on segment(s) {segments}: CA double-grant "
+                        "hazard",
+                        element=f"{f1.source}->{f1.target}",
+                        segment=overlap_lo,
+                        file=psdf,
+                    )
+
+    @registry.rule(
+        "SB302",
+        "bu-contention-race",
+        severity=Severity.WARNING,
+        category=CATEGORY,
+        description="no two same-T transfers cross one BU head-on",
+        rationale=(
+            "a BU holds one package per direction slot; two concurrent "
+            "transfers crossing it in opposite directions race for the "
+            "FIFO and serialize unpredictably — the estimate becomes "
+            "schedule-order dependent"
+        ),
+        example="seg1->seg2 and seg2->seg1 transfers both at T=3",
+        fix_hint="separate the T values or deepen the BU FIFO",
+    )
+    def _bu_race(ctx: LintContext) -> Iterable[Finding]:
+        transfers = _mapped_transfers(ctx)
+        if transfers is None:
+            return
+        psdf = ctx.file_for("psdf")
+        bu_pairs = set(ctx.bu_pairs())
+        #: (order, bu pair) → list of (flow, direction, source segment)
+        usage: Dict[Tuple[int, Tuple[int, int]], List[Tuple[PacketFlow, int, int]]] = {}
+        for flow, src, dst in transfers:
+            if src == dst:
+                continue
+            step = 1 if dst > src else -1
+            for left in range(min(src, dst), max(src, dst)):
+                pair = (left, left + 1)
+                if pair in bu_pairs or not bu_pairs:
+                    usage.setdefault((flow.order, pair), []).append(
+                        (flow, step, src)
+                    )
+        for (order, pair), users in sorted(
+            usage.items(), key=lambda item: (item[0][0], item[0][1])
+        ):
+            directions = {step for _, step, _ in users}
+            if len(directions) > 1:
+                names = ", ".join(
+                    f"{f.source}->{f.target}" for f, _, _ in users
+                )
+                yield registry.get("SB302").finding(
+                    f"transfers {names} cross BU{pair[0]}{pair[1]} in "
+                    f"opposite directions at T={order}: head-on FIFO race",
+                    element=f"BU{pair[0]}{pair[1]}",
+                    segment=pair[0],
+                    file=psdf,
+                )
+            elif len({src for _, _, src in users}) > 1:
+                names = ", ".join(
+                    f"{f.source}->{f.target}" for f, _, _ in users
+                )
+                yield registry.get("SB302").finding(
+                    f"transfers {names} from different segments queue on "
+                    f"BU{pair[0]}{pair[1]} at T={order} (contention, "
+                    "serialized by the CA)",
+                    severity=Severity.INFO,
+                    element=f"BU{pair[0]}{pair[1]}",
+                    segment=pair[0],
+                    file=psdf,
+                )
+
+    @registry.rule(
+        "SB303",
+        "fault-unknown-site",
+        severity=Severity.ERROR,
+        category="faults",
+        description="every fault record targets an existing platform element",
+        rationale=(
+            "a record aimed at a nonexistent FU/segment/BU never fires — "
+            "the campaign silently measures the wrong resilience"
+        ),
+        example="fu:P99 in a plan for the 15-process MP3 decoder",
+        fix_hint="fix the site to an existing element (or use '*')",
+    )
+    def _fault_sites(ctx: LintContext) -> Iterable[Finding]:
+        if ctx.fault_plan is None or ctx.platform is None:
+            return
+        faults_file = ctx.file_for("faultplan")
+        placement = ctx.placement() or {}
+        segments = {seg.index for seg in ctx.platform.segments}
+        bu_pairs = set(ctx.bu_pairs())
+        for record in ctx.fault_plan.records:
+            message = _unknown_site_message(record, placement, segments, bu_pairs)
+            if message:
+                yield registry.get("SB303").finding(
+                    message, element=record.site, file=faults_file
+                )
+
+    @registry.rule(
+        "SB304",
+        "fault-null-plan",
+        severity=Severity.INFO,
+        category="faults",
+        description="a supplied fault plan can actually inject something",
+        rationale=(
+            "all-zero rates and no permanent records make the campaign a "
+            "no-op; usually a forgotten rate argument"
+        ),
+        example="FaultPlan.transient(seed=1) with every rate left at 0",
+        fix_hint="set at least one rate > 0 or drop the plan",
+    )
+    def _null_plan(ctx: LintContext) -> Iterable[Finding]:
+        if ctx.fault_plan is None:
+            return
+        if ctx.fault_plan.is_null:
+            yield registry.get("SB304").finding(
+                "fault plan has no effect: every transient rate is 0 and "
+                "there are no permanent failures",
+                file=ctx.file_for("faultplan"),
+            )
+
+    @registry.rule(
+        "SB305",
+        "fault-extreme-rate",
+        severity=Severity.WARNING,
+        category="faults",
+        description="transient fault rates stay below 0.5",
+        rationale=(
+            "at rates ≥ 0.5 every retry is more likely to fail than "
+            "succeed; with backoff the expected completion time diverges "
+            "(livelock in practice)"
+        ),
+        example="package_corruption at rate 0.9",
+        fix_hint="sweep rates below 0.5 or cap attempts with on_exhaustion",
+    )
+    def _extreme_rate(ctx: LintContext) -> Iterable[Finding]:
+        if ctx.fault_plan is None:
+            return
+        faults_file = ctx.file_for("faultplan")
+        for record in ctx.fault_plan.transient_records:
+            if record.rate >= 0.5:
+                yield registry.get("SB305").finding(
+                    f"{record.kind} at {record.site!r}: rate {record.rate} "
+                    "≥ 0.5 makes retry divergence likely",
+                    element=record.site,
+                    file=faults_file,
+                )
+
+    @registry.rule(
+        "SB306",
+        "fault-permanent-at-start",
+        severity=Severity.WARNING,
+        category="faults",
+        description="permanent failures strike after the element did work",
+        rationale=(
+            "a permanent failure at tick 0 just deletes the element — "
+            "graceful-degradation results degenerate to a smaller platform"
+        ),
+        example="permanent_failure of fu:P3 with at_tick=0",
+        fix_hint="schedule the failure later or remove the element instead",
+    )
+    def _permanent_at_start(ctx: LintContext) -> Iterable[Finding]:
+        if ctx.fault_plan is None:
+            return
+        faults_file = ctx.file_for("faultplan")
+        for record in ctx.fault_plan.of_kind(KIND_PERMANENT):
+            if record.at_tick == 0:
+                yield registry.get("SB306").finding(
+                    f"permanent failure of {record.site!r} at tick 0: the "
+                    "element never does any work",
+                    element=record.site,
+                    file=faults_file,
+                )
+
+
+def _unknown_site_message(
+    record: FaultRecord,
+    placement: Dict[str, int],
+    segments: set,
+    bu_pairs: set,
+) -> Optional[str]:
+    site = record.site
+    if site in ("*", "ca"):
+        return None
+    if site.startswith("fu:"):
+        name = site[len("fu:"):]
+        if name not in placement:
+            known = ", ".join(sorted(placement)) or "none"
+            return (
+                f"fault record ({record.kind}) targets nonexistent FU "
+                f"{name!r}; mapped processes: {known}"
+            )
+        return None
+    if site.startswith("segment:"):
+        index = int(site[len("segment:"):])
+        if index not in segments:
+            return (
+                f"fault record ({record.kind}) targets nonexistent "
+                f"segment {index}; platform has segments "
+                f"{sorted(segments)}"
+            )
+        return None
+    if site.startswith("bu:"):
+        left_s, right_s = site[len("bu:"):].split(":")
+        pair = (int(left_s), int(right_s))
+        if pair not in bu_pairs:
+            return (
+                f"fault record ({record.kind}) targets nonexistent "
+                f"BU{pair[0]}{pair[1]}; platform has "
+                f"{sorted(bu_pairs)}"
+            )
+        return None
+    return f"fault record ({record.kind}) has unrecognised site {site!r}"

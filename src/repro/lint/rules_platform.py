@@ -1,0 +1,178 @@
+"""Platform (PSM) structural rules: the OCL constraints as ``SB1xx``.
+
+Migration layer: every entry of
+:data:`repro.model.constraints.STRUCTURAL_CONSTRAINTS` is registered as one
+lint rule, delegating to the constraint's own checker so the DSL semantics
+stay defined in exactly one place.  The MAP-2/MAP-3 application↔platform
+cross-checks of :mod:`repro.model.validation` follow as ``SB111``/``SB112``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.lint.context import LintContext
+from repro.lint.core import Finding, Rule, RuleRegistry, Severity, SourceLocation
+from repro.model.constraints import Constraint, STRUCTURAL_CONSTRAINTS
+
+CATEGORY = "platform"
+
+#: constraint identifier → (lint id, lint name, example trigger, fix hint)
+CONSTRAINT_RULE_TABLE: Dict[str, Tuple[str, str, str, str]] = {
+    "SBP-CA-1": (
+        "SB101",
+        "missing-central-arbiter",
+        "a platform built without PlatformBuilder.central_arbiter()",
+        "add exactly one CA element to the platform",
+    ),
+    "SBP-SEG-1": (
+        "SB102",
+        "platform-without-segments",
+        "a platform whose segments list is empty",
+        "add at least one segment",
+    ),
+    "SBP-SEG-2": (
+        "SB103",
+        "non-contiguous-segment-indices",
+        "segments indexed 1 and 3 with no segment 2",
+        "renumber segments contiguously starting at 1",
+    ),
+    "SEG-FU-1": (
+        "SB104",
+        "segment-without-fu",
+        "a segment declaring an SA but no functional units",
+        "map at least one process onto the segment or remove it",
+    ),
+    "SEG-SA-1": (
+        "SB105",
+        "segment-without-sa",
+        "a segment whose arbiter was removed after construction",
+        "attach exactly one Segment Arbiter to the segment",
+    ),
+    "SBP-BU-1": (
+        "SB106",
+        "border-unit-topology",
+        "three segments with only BU12, or a stray BU23 on a 2-segment bus",
+        "connect each pair of adjacent segments through exactly one BU",
+    ),
+    "FU-EP-1": (
+        "SB107",
+        "fu-without-endpoint",
+        "an FU with neither Master nor Slave sub-element",
+        "give the FU a Master (it sends) and/or a Slave (it receives)",
+    ),
+    "MAP-1": (
+        "SB108",
+        "process-mapped-twice",
+        "process P3 placed on both segment 1 and segment 2",
+        "keep exactly one FU per application process",
+    ),
+    "SBP-PKG-1": (
+        "SB109",
+        "non-positive-package-size",
+        "packageSize_0 in the platform scheme",
+        "set the package size to a positive number of data items",
+    ),
+    "SBP-CLK-1": (
+        "SB110",
+        "non-positive-clock",
+        "a segment or CA with frequency 0 MHz",
+        "give every clock domain a positive frequency",
+    ),
+}
+
+
+def _constraint_check(constraint: Constraint, rule_holder: List[Rule]):
+    def check(ctx: LintContext) -> Iterable[Finding]:
+        if ctx.platform is None:
+            return []
+        rule = rule_holder[0]
+        psm_file = ctx.file_for("psm")
+        return [
+            rule.finding(
+                diagnostic.message,
+                element=diagnostic.element,
+                segment=diagnostic.segment,
+                file=psm_file,
+            )
+            for diagnostic in constraint.evaluate_structured(ctx.platform)
+        ]
+
+    return check
+
+
+def register(registry: RuleRegistry) -> None:
+    for constraint in STRUCTURAL_CONSTRAINTS:
+        rule_id, name, example, fix = CONSTRAINT_RULE_TABLE[constraint.identifier]
+        holder: List[Rule] = []
+        rule = Rule(
+            id=rule_id,
+            name=name,
+            severity=Severity.ERROR,
+            category=CATEGORY,
+            description=constraint.rule,
+            rationale=(
+                f"OCL constraint {constraint.identifier} of the SegBus DSL "
+                "(paper section 2.2): structurally broken platforms crash or "
+                "deadlock the emulator instead of producing estimates."
+            ),
+            example=example,
+            check=_constraint_check(constraint, holder),
+            fix_hint=fix,
+        )
+        holder.append(rule)
+        registry.register(rule)
+
+    @registry.rule(
+        "SB111",
+        "unmapped-process",
+        severity=Severity.ERROR,
+        category="mapping",
+        description="every application process is placed on some segment",
+        rationale=(
+            "the emulator needs a segment for every PSDF process; an "
+            "unmapped process makes the run unroutable (MAP-2)"
+        ),
+        example="application declares P5 but no segment hosts an FU for it",
+        fix_hint="place the process on a segment (PlatformBuilder.place)",
+    )
+    def _unmapped(ctx: LintContext) -> Iterable[Finding]:
+        yield from _cross_findings(ctx, "MAP-2", "SB111")
+
+    @registry.rule(
+        "SB112",
+        "stray-mapped-process",
+        severity=Severity.ERROR,
+        category="mapping",
+        description="the platform maps no process absent from the application",
+        rationale=(
+            "a stray FU signals a stale platform model; its schedule entry "
+            "would never fire and its arbiter slot is wasted (MAP-3)"
+        ),
+        example="platform hosts an FU for P9 but the application has no P9",
+        fix_hint="remove the stray FU or add the process to the application",
+    )
+    def _stray(ctx: LintContext) -> Iterable[Finding]:
+        yield from _cross_findings(ctx, "MAP-3", "SB112")
+
+
+def _cross_findings(
+    ctx: LintContext, legacy_id: str, rule_id: str
+) -> Iterable[Finding]:
+    if ctx.platform is None or not ctx.has_application:
+        return
+    from repro.model.validation import cross_check_records
+
+    psm_file = ctx.file_for("psm")
+    for record in cross_check_records(ctx.platform, ctx.process_names()):
+        if record.rule_id != legacy_id:
+            continue
+        yield Finding(
+            rule_id=rule_id,
+            severity=Severity.ERROR,
+            category="mapping",
+            message=record.message,
+            location=SourceLocation(
+                file=psm_file, element=record.element, segment=record.segment
+            ),
+        )

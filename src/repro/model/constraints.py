@@ -3,19 +3,37 @@
 The DSL *"comprises a number of structural constraints related to the
 platform, written in OCL, to implement the correct component approach to
 platform design"* (section 2.2).  Each :class:`Constraint` carries an
-identifier, the informal rule text and a checker returning diagnostic
-strings (empty = satisfied).  :data:`STRUCTURAL_CONSTRAINTS` is the registry
-evaluated by :func:`repro.model.validation.validate_platform`.
+identifier, the informal rule text and a checker returning structured
+:class:`Diagnostic` entries (empty = satisfied).  Every diagnostic names
+the offending element (its id, plus the segment index where applicable) so
+the "associated model element" of the paper's error reporting is always
+recoverable.  :data:`STRUCTURAL_CONSTRAINTS` is the registry evaluated by
+:func:`repro.model.validation.validate_platform` and mirrored as ``SB1xx``
+rules by the :mod:`repro.lint` engine.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.model.elements import SegBusPlatform
 
-Checker = Callable[[SegBusPlatform], List[str]]
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One constraint breach, anchored to the offending model element.
+
+    ``element`` is the element's id/name (platform, segment, FU, BU or
+    process name); ``segment`` the hosting segment index when applicable.
+    """
+
+    message: str
+    element: Optional[str] = None
+    segment: Optional[int] = None
+
+
+Checker = Callable[[SegBusPlatform], List[Diagnostic]]
 
 
 @dataclass(frozen=True)
@@ -27,97 +45,165 @@ class Constraint:
     check: Checker
 
     def evaluate(self, platform: SegBusPlatform) -> List[str]:
-        """Diagnostics for ``platform`` (empty list when satisfied)."""
-        return [f"[{self.identifier}] {msg}" for msg in self.check(platform)]
+        """Diagnostics for ``platform`` as strings (empty when satisfied)."""
+        return [f"[{self.identifier}] {d.message}" for d in self.check(platform)]
+
+    def evaluate_structured(self, platform: SegBusPlatform) -> List[Diagnostic]:
+        """Diagnostics for ``platform`` with element anchors preserved."""
+        return list(self.check(platform))
 
 
-def _has_one_ca(p: SegBusPlatform) -> List[str]:
+def _has_one_ca(p: SegBusPlatform) -> List[Diagnostic]:
     if p.central_arbiter is None:
-        return ["platform has no Central Arbiter (exactly one CA required)"]
+        return [
+            Diagnostic(
+                f"platform {p.name!r} has no Central Arbiter "
+                "(exactly one CA required)",
+                element=p.name,
+            )
+        ]
     return []
 
 
-def _has_segments(p: SegBusPlatform) -> List[str]:
+def _has_segments(p: SegBusPlatform) -> List[Diagnostic]:
     if not p.segments:
-        return ["platform has no segments (at least one required)"]
+        return [
+            Diagnostic(
+                f"platform {p.name!r} has no segments (at least one required)",
+                element=p.name,
+            )
+        ]
     return []
 
 
-def _contiguous_indices(p: SegBusPlatform) -> List[str]:
+def _contiguous_indices(p: SegBusPlatform) -> List[Diagnostic]:
     indices = [s.index for s in p.segments]
     expected = list(range(1, len(indices) + 1))
     if indices != expected:
-        return [f"segment indices {indices} are not contiguous from 1"]
+        return [
+            Diagnostic(
+                f"platform {p.name!r}: segment indices {indices} are not "
+                "contiguous from 1",
+                element=p.name,
+            )
+        ]
     return []
 
 
-def _segment_has_fu(p: SegBusPlatform) -> List[str]:
+def _segment_has_fu(p: SegBusPlatform) -> List[Diagnostic]:
     return [
-        f"segment {seg.index} has no Functional Unit (at least one required)"
+        Diagnostic(
+            f"segment {seg.index} ({seg.name!r}) has no Functional Unit "
+            "(at least one required)",
+            element=seg.name,
+            segment=seg.index,
+        )
         for seg in p.segments
         if not seg.fus
     ]
 
 
-def _segment_has_sa(p: SegBusPlatform) -> List[str]:
+def _segment_has_sa(p: SegBusPlatform) -> List[Diagnostic]:
     # Segment construction always attaches an SA; guard against tampering.
     return [
-        f"segment {seg.index} has no Segment Arbiter"
+        Diagnostic(
+            f"segment {seg.index} ({seg.name!r}) has no Segment Arbiter",
+            element=seg.name,
+            segment=seg.index,
+        )
         for seg in p.segments
         if seg.arbiter is None
     ]
 
 
-def _bus_between_neighbours(p: SegBusPlatform) -> List[str]:
-    problems: List[str] = []
+def _bus_between_neighbours(p: SegBusPlatform) -> List[Diagnostic]:
+    problems: List[Diagnostic] = []
     needed = {(i, i + 1) for i in range(1, len(p.segments))}
     present = {(bu.left, bu.right) for bu in p.border_units}
     for pair in sorted(needed - present):
-        problems.append(f"missing BU between adjacent segments {pair[0]} and {pair[1]}")
+        problems.append(
+            Diagnostic(
+                f"missing BU between adjacent segments {pair[0]} and {pair[1]}",
+                element=f"BU{pair[0]}{pair[1]}",
+                segment=pair[0],
+            )
+        )
     for pair in sorted(present - needed):
         problems.append(
-            f"BU between segments {pair[0]} and {pair[1]} does not match the "
-            "linear topology"
+            Diagnostic(
+                f"BU {f'BU{pair[0]}{pair[1]}'!r} between segments {pair[0]} and "
+                f"{pair[1]} does not match the linear topology",
+                element=f"BU{pair[0]}{pair[1]}",
+                segment=pair[0],
+            )
         )
     return problems
 
 
-def _fu_has_endpoint(p: SegBusPlatform) -> List[str]:
+def _fu_has_endpoint(p: SegBusPlatform) -> List[Diagnostic]:
     return [
-        f"FU {fu.name!r} (segment {seg.index}) has neither a Master nor a Slave"
+        Diagnostic(
+            f"FU {fu.name!r} (segment {seg.index}) has neither a Master "
+            "nor a Slave",
+            element=fu.name,
+            segment=seg.index,
+        )
         for seg in p.segments
         for fu in seg.fus
         if not fu.masters and not fu.slaves
     ]
 
 
-def _unique_process_mapping(p: SegBusPlatform) -> List[str]:
+def _unique_process_mapping(p: SegBusPlatform) -> List[Diagnostic]:
     seen = {}
-    problems: List[str] = []
+    problems: List[Diagnostic] = []
     for seg in p.segments:
         for proc in seg.processes:
             if proc in seen and seen[proc] != seg.index:
                 problems.append(
-                    f"process {proc!r} mapped to both segment {seen[proc]} "
-                    f"and segment {seg.index}"
+                    Diagnostic(
+                        f"process {proc!r} mapped to both segment {seen[proc]} "
+                        f"and segment {seg.index}",
+                        element=proc,
+                        segment=seg.index,
+                    )
                 )
             seen.setdefault(proc, seg.index)
     return problems
 
 
-def _positive_package_size(p: SegBusPlatform) -> List[str]:
+def _positive_package_size(p: SegBusPlatform) -> List[Diagnostic]:
     if p.package_size < 1:
-        return [f"package size {p.package_size} must be >= 1"]
+        return [
+            Diagnostic(
+                f"platform {p.name!r}: package size {p.package_size} "
+                "must be >= 1",
+                element=p.name,
+            )
+        ]
     return []
 
 
-def _clock_sanity(p: SegBusPlatform) -> List[str]:
-    problems: List[str] = []
+def _clock_sanity(p: SegBusPlatform) -> List[Diagnostic]:
+    problems: List[Diagnostic] = []
     for seg in p.segments:
         if seg.frequency.hz <= 0:
-            problems.append(f"segment {seg.index} has non-positive clock frequency")
-    if p.central_arbiter is not None and p.central_arbiter.frequency.hz <= 0:
-        problems.append("central arbiter has non-positive clock frequency")
+            problems.append(
+                Diagnostic(
+                    f"segment {seg.index} ({seg.name!r}) has non-positive "
+                    "clock frequency",
+                    element=seg.name,
+                    segment=seg.index,
+                )
+            )
+    ca = p.central_arbiter
+    if ca is not None and ca.frequency.hz <= 0:
+        problems.append(
+            Diagnostic(
+                f"central arbiter {ca.name!r} has non-positive clock frequency",
+                element=ca.name,
+            )
+        )
     return problems
 
 

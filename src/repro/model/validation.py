@@ -3,14 +3,19 @@
 Mirrors the DSL's validation step: *"we apply validation process to get the
 correct PSM of the application; if there exists some errors in the model, we
 get error message(s) and associated model element become highlighted"*
-(section 2.2).  The "highlighting" here is the per-constraint diagnostic
-list of :class:`ValidationReport`.
+(section 2.2).  The "highlighting" is the per-constraint
+:class:`ValidationRecord` list of :class:`ValidationReport`, each record
+anchored to the offending element.  Reports serialize
+(:meth:`ValidationReport.to_dict`) to the same machine-readable finding
+shape as the :mod:`repro.lint` engine, so tooling can consume validation
+output and lint output uniformly.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConstraintViolation
 from repro.model.constraints import Constraint, STRUCTURAL_CONSTRAINTS
@@ -18,25 +23,92 @@ from repro.model.elements import SegBusPlatform
 from repro.psdf.graph import PSDFGraph
 
 
+@dataclass(frozen=True)
+class ValidationRecord:
+    """One constraint breach: rule id, message, offending element anchor."""
+
+    rule_id: str
+    message: str
+    element: Optional[str] = None
+    segment: Optional[int] = None
+    category: str = "platform"
+    severity: str = "error"
+
+    def format(self) -> str:
+        return f"[{self.rule_id}] {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "category": self.category,
+            "message": self.message,
+        }
+        location: Dict[str, object] = {}
+        if self.element is not None:
+            location["element"] = self.element
+        if self.segment is not None:
+            location["segment"] = self.segment
+        if location:
+            out["location"] = location
+        return out
+
+
 @dataclass
 class ValidationReport:
-    """Outcome of validating a platform (and optionally its application)."""
+    """Outcome of validating a platform (and optionally its application).
+
+    Identical messages are recorded once: a checker that trips repeatedly
+    over the same element (e.g. re-validation after partial fixes merged
+    several reports) does not inflate the diagnostics list.
+    """
 
     model_name: str
-    diagnostics: List[str] = field(default_factory=list)
+    records: List[ValidationRecord] = field(default_factory=list)
     checked: int = 0
+
+    def add(self, record: ValidationRecord) -> bool:
+        """Record ``record`` unless an identical one is already present."""
+        if record in self.records:
+            return False
+        self.records.append(record)
+        return True
+
+    @property
+    def diagnostics(self) -> List[str]:
+        """The formatted messages, one per recorded breach (deduplicated)."""
+        return [record.format() for record in self.records]
 
     @property
     def ok(self) -> bool:
-        return not self.diagnostics
+        return not self.records
 
     def raise_if_invalid(self) -> None:
         """Raise :class:`~repro.errors.ConstraintViolation` on any breach."""
         if not self.ok:
             raise ConstraintViolation(self.diagnostics, model_name=self.model_name)
 
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """The machine-readable shape shared with lint reports."""
+        return {
+            "model": self.model_name,
+            "ok": self.ok,
+            "checked": self.checked,
+            "counts": {
+                "error": sum(1 for r in self.records if r.severity == "error"),
+                "warning": sum(1 for r in self.records if r.severity == "warning"),
+                "info": sum(1 for r in self.records if r.severity == "info"),
+            },
+            "findings": [record.to_dict() for record in self.records],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
-        status = "OK" if self.ok else f"{len(self.diagnostics)} violation(s)"
+        status = "OK" if self.ok else f"{len(self.records)} violation(s)"
         return f"ValidationReport({self.model_name}: {status}, {self.checked} constraints)"
 
 
@@ -55,29 +127,67 @@ def validate_platform(
     report = ValidationReport(model_name=platform.name)
     for constraint in constraints:
         report.checked += 1
-        report.diagnostics.extend(constraint.evaluate(platform))
+        for diagnostic in constraint.evaluate_structured(platform):
+            report.add(
+                ValidationRecord(
+                    rule_id=constraint.identifier,
+                    message=diagnostic.message,
+                    element=diagnostic.element,
+                    segment=diagnostic.segment,
+                )
+            )
     if application is not None:
         report.checked += 1
-        report.diagnostics.extend(_cross_check(platform, application))
+        for record in cross_check_records(platform, application.process_names):
+            report.add(record)
     return report
 
 
-def _cross_check(platform: SegBusPlatform, application: PSDFGraph) -> List[str]:
-    problems: List[str] = []
+def cross_check_records(
+    platform: SegBusPlatform, process_names: Sequence[str]
+) -> List[ValidationRecord]:
+    """MAP-2/MAP-3: application processes vs platform placement.
+
+    Shared by :func:`validate_platform` and the lint engine's mapping rules.
+    """
+    records: List[ValidationRecord] = []
     try:
         placement = platform.process_placement()
     except Exception as exc:  # duplicate mapping already reported by MAP-1
-        return [f"[MAP-2] cannot derive placement: {exc}"]
-    app_names = set(application.process_names)
+        return [
+            ValidationRecord(
+                rule_id="MAP-2",
+                message=f"cannot derive placement: {exc}",
+                element=platform.name,
+                category="mapping",
+            )
+        ]
+    app_names = set(process_names)
     placed = set(placement)
     for missing in sorted(app_names - placed):
-        problems.append(f"[MAP-2] application process {missing!r} is not mapped")
-    for stray in sorted(placed - app_names):
-        problems.append(
-            f"[MAP-3] platform maps process {stray!r} that does not exist "
-            "in the application"
+        records.append(
+            ValidationRecord(
+                rule_id="MAP-2",
+                message=f"application process {missing!r} is not mapped",
+                element=missing,
+                category="mapping",
+            )
         )
-    return problems
+    for stray in sorted(placed - app_names):
+        records.append(
+            ValidationRecord(
+                rule_id="MAP-3",
+                message=(
+                    f"platform maps process {stray!r} (segment "
+                    f"{placement[stray]}) that does not exist in the "
+                    "application"
+                ),
+                element=stray,
+                segment=placement[stray],
+                category="mapping",
+            )
+        )
+    return records
 
 
 def validated_placement(

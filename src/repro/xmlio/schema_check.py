@@ -12,13 +12,21 @@ emulator's setup halfway through.  :func:`check_scheme` validates a
 * no complex type is orphaned (unreachable from a top-level element) —
   orphans signal a generator bug even though parsers would ignore them;
 * type names are unique (enforced structurally by the document model, but
-  re-checked here for documents built by hand).
+  re-checked here for documents built by hand);
+* child element names are unique within each complex type — ``xs:all``
+  semantics forbid two children with the same id, and every parser in
+  :mod:`repro.xmlio` would silently keep only one of them.
+
+Problems are reported both as plain strings (``problems``, the historical
+interface) and as kind-tagged :class:`SchemeProblem` entries (``entries``)
+so downstream tooling — the :mod:`repro.lint` scheme rules — can map each
+problem class onto a stable rule id without string matching.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Set
+from typing import List, Optional, Set
 
 from repro.xmlio.schema_writer import SchemaDocument
 
@@ -35,19 +43,43 @@ TERMINAL_TYPES = frozenset(
     }
 )
 
+#: problem kinds carried by :class:`SchemeProblem`
+KIND_DUPLICATE_TYPE = "duplicate-type"
+KIND_UNDEFINED_REFERENCE = "undefined-reference"
+KIND_ORPHAN_TYPE = "orphan-type"
+KIND_DUPLICATE_CHILD = "duplicate-child"
+
+
+@dataclass(frozen=True)
+class SchemeProblem:
+    """One integrity problem, tagged with its kind and offending type."""
+
+    kind: str
+    message: str
+    type_name: Optional[str] = None
+
 
 @dataclass
 class SchemeCheckReport:
     """Diagnostics from checking one scheme document."""
 
     problems: List[str] = field(default_factory=list)
+    entries: List[SchemeProblem] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return not self.problems
 
-    def add(self, message: str) -> None:
+    def add(
+        self,
+        message: str,
+        kind: str = KIND_UNDEFINED_REFERENCE,
+        type_name: Optional[str] = None,
+    ) -> None:
         self.problems.append(message)
+        self.entries.append(
+            SchemeProblem(kind=kind, message=message, type_name=type_name)
+        )
 
 
 def check_scheme(doc: SchemaDocument) -> SchemeCheckReport:
@@ -56,15 +88,33 @@ def check_scheme(doc: SchemaDocument) -> SchemeCheckReport:
     defined: Set[str] = set()
     for ctype in doc.complex_types:
         if ctype.name in defined:
-            report.add(f"complexType {ctype.name!r} defined more than once")
+            report.add(
+                f"complexType {ctype.name!r} defined more than once",
+                kind=KIND_DUPLICATE_TYPE,
+                type_name=ctype.name,
+            )
         defined.add(ctype.name)
+
+    for ctype in doc.complex_types:
+        seen_children: Set[str] = set()
+        for child in ctype.children:
+            if child.name in seen_children:
+                report.add(
+                    f"complexType {ctype.name!r} declares duplicate child "
+                    f"element {child.name!r}",
+                    kind=KIND_DUPLICATE_CHILD,
+                    type_name=ctype.name,
+                )
+            seen_children.add(child.name)
 
     def check_reference(owner: str, type_name: str) -> None:
         if type_name in TERMINAL_TYPES:
             return
         if type_name not in defined:
             report.add(
-                f"{owner} references undefined type {type_name!r}"
+                f"{owner} references undefined type {type_name!r}",
+                kind=KIND_UNDEFINED_REFERENCE,
+                type_name=type_name,
             )
 
     for element in doc.top_level:
@@ -96,7 +146,9 @@ def check_scheme(doc: SchemaDocument) -> SchemeCheckReport:
                     frontier.append(referenced)
     for name in sorted(defined - reachable):
         report.add(
-            f"complexType {name!r} is unreachable from any top-level element"
+            f"complexType {name!r} is unreachable from any top-level element",
+            kind=KIND_ORPHAN_TYPE,
+            type_name=name,
         )
     return report
 

@@ -1,0 +1,209 @@
+"""Acceptance tests for ``segbus lint`` and ``segbus emulate --strict``.
+
+The four breakage scenarios the issue pins down must each exit 2 with a
+stable rule id: a PSM whose segment lost its arbiter (SB405), a PSDF with
+a transfer-order inversion (SB208), a statically deadlocked PSDF (SB207),
+and a fault plan targeting a nonexistent element (SB303).
+"""
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.apps.mp3 import PAPER_PACKAGE_SIZE, mp3_decoder_psdf, paper_platform
+from repro.cli import main
+from repro.errors import LintError
+from repro.faults.model import FaultPlan, FaultRecord
+from repro.xmlio.faults_xml import fault_plan_to_xml
+from repro.xmlio.psdf_writer import psdf_to_xml
+from repro.xmlio.psm_writer import psm_to_xml
+from repro.xmlio.schema_writer import ComplexType, SchemaDocument
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture()
+def clean_files(tmp_path):
+    psdf = tmp_path / "psdf.xml"
+    psm = tmp_path / "psm.xml"
+    psdf.write_text(psdf_to_xml(mp3_decoder_psdf(), PAPER_PACKAGE_SIZE))
+    psm.write_text(psm_to_xml(paper_platform(3)))
+    return psdf, psm
+
+
+def psdf_scheme(name, processes, transfers):
+    """Hand-build a PSDF scheme in the writer's dialect.
+
+    ``processes`` maps process name -> stereotype; ``transfers`` maps
+    source name -> list of ``Target_D_T_C`` element names.  Bypasses
+    PSDFGraph, which would reject the broken graphs these tests need.
+    """
+    doc = SchemaDocument()
+    header = ComplexType(name=name)
+    for pname, stereotype in processes.items():
+        header.add(pname, stereotype)
+    doc.add_complex_type(header)
+    doc.add_top_level(name.lower(), name)
+    for pname in processes:
+        ctype = ComplexType(name=pname)
+        for element_name in transfers.get(pname, []):
+            ctype.add(element_name, "Transfer")
+        doc.add_complex_type(ctype)
+    return doc.to_xml()
+
+
+def deadlock_psdf():
+    """Three ProcessNodes feeding each other in a cycle: nothing can fire."""
+    return psdf_scheme(
+        "Loop",
+        {"A": "ProcessNode", "B": "ProcessNode", "C": "ProcessNode"},
+        {"A": ["B_36_1_50"], "B": ["C_36_2_50"], "C": ["A_36_3_50"]},
+    )
+
+
+def inversion_psdf():
+    """P1 transmits at T=1 but only receives its input at T=2."""
+    return psdf_scheme(
+        "Chain",
+        {"P0": "InitialNode", "P1": "ProcessNode", "P2": "FinalNode"},
+        {"P0": ["P1_36_2_50"], "P1": ["P2_36_1_50"]},
+    )
+
+
+def lint_output(capsys):
+    return capsys.readouterr().out
+
+
+class TestCleanModel:
+    def test_clean_mp3_exits_zero(self, clean_files, capsys):
+        psdf, psm = clean_files
+        rc = main(["lint", str(psdf), str(psm)])
+        assert rc == 0
+        assert "clean" in lint_output(capsys)
+
+    def test_example_models_are_clean(self, capsys):
+        models = sorted(str(p) for p in (REPO_ROOT / "examples" / "models").glob("*.xml"))
+        assert len(models) == 4
+        rc = main(["lint", *models])
+        assert rc == 0
+
+
+class TestBreakageScenarios:
+    def test_missing_arbiter_is_sb405(self, clean_files, capsys):
+        psdf, psm = clean_files
+        text = psm.read_text()
+        stripped = re.sub(
+            r'\s*<xs:element name="arbiter" type="SA1" />', "", text
+        )
+        assert stripped != text
+        psm.write_text(stripped)
+        rc = main(["lint", str(psdf), str(psm)])
+        assert rc == 2
+        assert "SB405" in lint_output(capsys)
+
+    def test_order_inversion_is_sb208(self, tmp_path, capsys):
+        bad = tmp_path / "inversion.xml"
+        bad.write_text(inversion_psdf())
+        rc = main(["lint", str(bad)])
+        assert rc == 2
+        assert "SB208" in lint_output(capsys)
+
+    def test_static_deadlock_is_sb207(self, tmp_path, capsys):
+        bad = tmp_path / "deadlock.xml"
+        bad.write_text(deadlock_psdf())
+        rc = main(["lint", str(bad)])
+        assert rc == 2
+        out = lint_output(capsys)
+        assert "SB207" in out
+        assert "statically deadlocked" in out
+
+    def test_bad_fault_site_is_sb303(self, clean_files, tmp_path, capsys):
+        psdf, psm = clean_files
+        plan = FaultPlan(
+            seed=1,
+            records=(
+                FaultRecord(site="fu:NOPE", kind="fu_stall", rate=0.1, ticks=5),
+            ),
+        )
+        faults = tmp_path / "faults.xml"
+        faults.write_text(fault_plan_to_xml(plan))
+        rc = main(["lint", str(psdf), str(psm), str(faults)])
+        assert rc == 2
+        assert "SB303" in lint_output(capsys)
+
+
+class TestOutputFormats:
+    def test_json(self, tmp_path, capsys):
+        bad = tmp_path / "deadlock.xml"
+        bad.write_text(deadlock_psdf())
+        rc = main(["lint", "--format", "json", str(bad)])
+        assert rc == 2
+        data = json.loads(lint_output(capsys))
+        assert data["exit_code"] == 2
+        assert any(f["rule"] == "SB207" for f in data["findings"])
+
+    def test_sarif(self, tmp_path, capsys):
+        bad = tmp_path / "deadlock.xml"
+        bad.write_text(deadlock_psdf())
+        rc = main(["lint", "--format", "sarif", str(bad)])
+        assert rc == 2
+        sarif = json.loads(lint_output(capsys))
+        assert sarif["version"] == "2.1.0"
+        run = sarif["runs"][0]
+        assert run["tool"]["driver"]["name"] == "segbus-lint"
+        assert any(r["ruleId"] == "SB207" for r in run["results"])
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert "SB207" in rule_ids
+
+    def test_disable_downgrades_exit(self, tmp_path, capsys):
+        bad = tmp_path / "deadlock.xml"
+        bad.write_text(deadlock_psdf())
+        rc = main(["lint", str(bad), "--disable", "SB207", "SB208"])
+        assert rc == 0
+
+    def test_list_rules(self, capsys):
+        rc = main(["lint", "--list-rules"])
+        assert rc == 0
+        out = lint_output(capsys)
+        for rule_id in ("SB101", "SB207", "SB303", "SB405", "SB999"):
+            assert rule_id in out
+
+    def test_no_paths_is_usage_error(self, capsys):
+        rc = main(["lint"])
+        assert rc == 2
+
+
+class TestEmulateStrict:
+    def test_strict_clean_model_emulates(self, clean_files, capsys):
+        psdf, psm = clean_files
+        rc = main(["emulate", "--strict", str(psdf), str(psm)])
+        assert rc == 0
+
+    def test_strict_refuses_bad_fault_plan(self, clean_files):
+        from repro.emulator.emulator import SegBusEmulator
+
+        psdf, psm = clean_files
+        plan = FaultPlan(
+            seed=1,
+            records=(
+                FaultRecord(site="fu:NOPE", kind="fu_stall", rate=0.1, ticks=5),
+            ),
+        )
+        emulator = SegBusEmulator.from_files(psdf, psm, fault_plan=plan)
+        with pytest.raises(LintError) as excinfo:
+            emulator.run(strict=True)
+        assert "SB303" in str(excinfo.value)
+        assert excinfo.value.report is not None
+        assert excinfo.value.report.exit_code == 2
+
+    def test_lint_method_is_clean_for_paper_model(self, clean_files):
+        from repro.emulator.emulator import SegBusEmulator
+
+        psdf, psm = clean_files
+        emulator = SegBusEmulator.from_files(psdf, psm)
+        report = emulator.lint()
+        assert report.ok
+        # non-strict run is unaffected by lint state
+        assert emulator.run().execution_time_us > 0

@@ -1,0 +1,88 @@
+"""LintContext graph views: SCCs, reachability, platform access."""
+
+from repro.lint.context import LintContext
+from repro.psdf.flow import PacketFlow
+from repro.psdf.process import Process, ProcessKind
+
+
+def procs(*names, kind=ProcessKind.PROCESS):
+    return tuple(Process(n, kind) for n in names)
+
+
+def flow(src, dst, order=1, items=36):
+    return PacketFlow(source=src, target=dst, data_items=items, order=order)
+
+
+def ctx_of(processes, flows):
+    return LintContext(processes=tuple(processes), flows=tuple(flows))
+
+
+class TestGraphViews:
+    def test_dag_has_no_sccs(self):
+        ctx = ctx_of(procs("A", "B", "C"), [flow("A", "B"), flow("B", "C", 2)])
+        assert ctx.is_dag()
+        assert ctx.strongly_connected_components() == ()
+
+    def test_cycle_detected_as_scc(self):
+        ctx = ctx_of(
+            procs("A", "B", "C"),
+            [flow("A", "B"), flow("B", "C", 2), flow("C", "A", 3)],
+        )
+        assert not ctx.is_dag()
+        assert ctx.strongly_connected_components() == (("A", "B", "C"),)
+
+    def test_two_disjoint_cycles(self):
+        ctx = ctx_of(
+            procs("A", "B", "C", "D"),
+            [flow("A", "B"), flow("B", "A", 2), flow("C", "D", 3), flow("D", "C", 4)],
+        )
+        assert ctx.strongly_connected_components() == (("A", "B"), ("C", "D"))
+
+    def test_cycle_with_tail_reports_only_the_cycle(self):
+        ctx = ctx_of(
+            procs("A", "B", "C"),
+            [flow("A", "B"), flow("B", "A", 2), flow("B", "C", 3)],
+        )
+        assert ctx.strongly_connected_components() == (("A", "B"),)
+
+    def test_reachability_from_zero_indegree(self):
+        ctx = ctx_of(
+            procs("A", "B", "C", "D"),
+            [flow("A", "B"), flow("C", "D", 2), flow("D", "C", 3)],
+        )
+        reachable = ctx.reachable_from_sources()
+        assert "A" in reachable and "B" in reachable
+        # the C/D cycle has no external producer: unreachable
+        assert "C" not in reachable and "D" not in reachable
+
+    def test_incoming_outgoing(self):
+        ctx = ctx_of(procs("A", "B"), [flow("A", "B")])
+        assert len(ctx.outgoing("A")) == 1
+        assert len(ctx.incoming("B")) == 1
+        assert ctx.incoming("A") == ()
+
+
+class TestFromModels:
+    def test_from_psdf_graph(self, mp3_graph):
+        ctx = LintContext.from_models(application=mp3_graph)
+        assert ctx.has_application
+        assert len(ctx.processes) == 15
+        assert ctx.application_name == mp3_graph.name
+        assert ctx.is_dag()
+
+    def test_platform_views(self, mp3_graph, platform_3seg):
+        ctx = LintContext.from_models(
+            application=mp3_graph, platform=platform_3seg
+        )
+        assert ctx.package_size() == 36
+        assert ctx.bu_pairs() == ((1, 2), (2, 3))
+        placement = ctx.placement()
+        assert placement is not None and placement["P4"] == 3
+
+    def test_empty_context_is_harmless(self):
+        ctx = LintContext()
+        assert not ctx.has_application
+        assert ctx.placement() is None
+        assert ctx.package_size() is None
+        assert ctx.bu_pairs() == ()
+        assert ctx.is_dag()

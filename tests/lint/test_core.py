@@ -1,0 +1,164 @@
+"""Engine primitives: severities, findings, registry, report."""
+
+import json
+
+import pytest
+
+from repro.lint.core import (
+    Finding,
+    LintReport,
+    Rule,
+    RuleRegistry,
+    Severity,
+    SourceLocation,
+    merge_reports,
+)
+
+
+def make_rule(rule_id="SB900", name="test-rule", severity=Severity.ERROR):
+    return Rule(
+        id=rule_id,
+        name=name,
+        severity=severity,
+        category="test",
+        description="desc",
+        rationale="because",
+        example="example",
+        check=lambda ctx: [],
+        fix_hint="fix it",
+    )
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+        assert Severity.ERROR >= Severity.ERROR
+        assert max([Severity.INFO, Severity.ERROR, Severity.WARNING]) is Severity.ERROR
+
+    def test_values_match_validation_report_strings(self):
+        assert {s.value for s in Severity} == {"info", "warning", "error"}
+
+
+class TestSourceLocation:
+    def test_empty(self):
+        loc = SourceLocation()
+        assert loc.is_empty
+        assert loc.to_dict() == {}
+        assert str(loc) == ""
+
+    def test_full_renders_all_parts(self):
+        loc = SourceLocation(file="psm.xml", element="P3", segment=2)
+        assert not loc.is_empty
+        assert str(loc) == "psm.xml:segment 2:P3"
+        assert loc.to_dict() == {"file": "psm.xml", "element": "P3", "segment": 2}
+
+
+class TestFinding:
+    def test_rule_finding_carries_defaults(self):
+        rule = make_rule()
+        finding = rule.finding("broken", element="P1", segment=1)
+        assert finding.rule_id == "SB900"
+        assert finding.severity is Severity.ERROR
+        assert finding.fix_hint == "fix it"
+        assert finding.location.element == "P1"
+
+    def test_severity_override(self):
+        rule = make_rule()
+        finding = rule.finding("advice", severity=Severity.INFO)
+        assert finding.severity is Severity.INFO
+
+    def test_format_contains_id_severity_hint(self):
+        finding = make_rule().finding("broken thing", file="m.xml")
+        text = finding.format()
+        assert "SB900" in text
+        assert "error" in text
+        assert "m.xml" in text
+        assert "(hint: fix it)" in text
+
+    def test_with_file_only_fills_blank(self):
+        finding = make_rule().finding("x")
+        anchored = finding.with_file("a.xml")
+        assert anchored.location.file == "a.xml"
+        assert anchored.with_file("b.xml").location.file == "a.xml"
+
+
+class TestRegistry:
+    def test_duplicate_id_rejected(self):
+        registry = RuleRegistry()
+        registry.register(make_rule())
+        with pytest.raises(ValueError, match="duplicate lint rule id"):
+            registry.register(make_rule(name="other-name"))
+
+    def test_duplicate_name_rejected(self):
+        registry = RuleRegistry()
+        registry.register(make_rule())
+        with pytest.raises(ValueError, match="duplicate lint rule name"):
+            registry.register(make_rule(rule_id="SB901"))
+
+    def test_iteration_in_id_order(self):
+        registry = RuleRegistry()
+        registry.register(make_rule(rule_id="SB902", name="b"))
+        registry.register(make_rule(rule_id="SB901", name="a"))
+        assert [r.id for r in registry] == ["SB901", "SB902"]
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError, match="SB000"):
+            RuleRegistry().get("SB000")
+
+    def test_contains_and_len(self):
+        registry = RuleRegistry()
+        registry.register(make_rule())
+        assert "SB900" in registry
+        assert len(registry) == 1
+
+
+class TestLintReport:
+    def test_exit_codes(self):
+        report = LintReport()
+        assert report.exit_code == 0
+        report.add(make_rule().finding("note", severity=Severity.INFO))
+        assert report.exit_code == 0
+        assert report.ok
+        report.add(make_rule().finding("warn", severity=Severity.WARNING))
+        assert report.exit_code == 1
+        report.add(make_rule().finding("err"))
+        assert report.exit_code == 2
+        assert not report.ok
+
+    def test_dedup(self):
+        report = LintReport()
+        finding = make_rule().finding("same", element="P1")
+        assert report.add(finding)
+        assert not report.add(make_rule().finding("same", element="P1"))
+        assert len(report.findings) == 1
+
+    def test_sorted_findings_severe_first(self):
+        report = LintReport()
+        report.add(make_rule().finding("a", severity=Severity.INFO))
+        report.add(make_rule().finding("b", severity=Severity.ERROR))
+        report.add(make_rule().finding("c", severity=Severity.WARNING))
+        assert [f.severity for f in report.sorted_findings()] == [
+            Severity.ERROR,
+            Severity.WARNING,
+            Severity.INFO,
+        ]
+
+    def test_to_dict_shape_matches_validation_report(self):
+        report = LintReport(checked_rules=5, targets=["x.xml"])
+        report.add(make_rule().finding("broken", element="P1", segment=2))
+        data = json.loads(report.to_json())
+        assert data["exit_code"] == 2
+        assert data["counts"] == {"error": 1, "warning": 0, "info": 0}
+        finding = data["findings"][0]
+        assert finding["rule"] == "SB900"
+        assert finding["severity"] == "error"
+        assert finding["location"] == {"element": "P1", "segment": 2}
+
+    def test_merge_reports_dedups_across(self):
+        a, b = LintReport(targets=["a"]), LintReport(targets=["b"])
+        a.add(make_rule().finding("x"))
+        b.add(make_rule().finding("x"))
+        b.add(make_rule().finding("y"))
+        merged = merge_reports([a, b])
+        assert len(merged.findings) == 2
+        assert merged.targets == ["a", "b"]

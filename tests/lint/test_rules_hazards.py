@@ -1,0 +1,163 @@
+"""SB3xx: the pre-simulation hazard detector and fault-plan rules."""
+
+import pytest
+
+from repro.faults.model import FaultPlan, FaultRecord
+from repro.lint import LintContext, default_registry, run_rules
+from repro.model.builder import PlatformBuilder
+from repro.psdf.flow import FlowCost, PacketFlow
+from repro.psdf.process import Process, ProcessKind
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return default_registry()
+
+
+def flow(src, dst, order):
+    return PacketFlow(
+        source=src, target=dst, data_items=36, order=order,
+        cost=FlowCost.constant(50),
+    )
+
+
+def three_segment_platform(placement):
+    builder = PlatformBuilder("Hazard", package_size=36)
+    for _ in range(3):
+        builder.segment(frequency_mhz=100)
+    builder.central_arbiter(frequency_mhz=100).auto_border_units()
+    for name, segment in placement.items():
+        builder.place(name, segment)
+    platform = builder.build()
+    for name in placement:
+        platform.fu_of_process(name).add_master()
+        platform.fu_of_process(name).add_slave()
+    return platform
+
+
+def lint(processes, flows, platform=None, fault_plan=None, registry=None):
+    ctx = LintContext.from_models(platform=platform, fault_plan=fault_plan)
+    ctx.processes = tuple(processes)
+    ctx.flows = tuple(flows)
+    return run_rules(ctx, registry=registry)
+
+
+class TestDoubleGrant:
+    def test_sb301_overlapping_paths_same_t_different_segments(self, registry):
+        # seg1->seg2 and seg3->seg2 both at T=2: paths [1,2] and [2,3] overlap
+        placement = {"A": 1, "B": 2, "C": 3, "D": 2}
+        procs = [Process("A", ProcessKind.INITIAL), Process("C", ProcessKind.INITIAL),
+                 Process("B", ProcessKind.FINAL), Process("D", ProcessKind.FINAL)]
+        flows = [flow("A", "B", 2), flow("C", "D", 2)]
+        report = lint(procs, flows, platform=three_segment_platform(placement),
+                      registry=registry)
+        assert "SB301" in report.rule_ids()
+
+    def test_no_hazard_from_same_source_segment(self, registry):
+        # equal T but both transfers issued by segment 1's SA: serialized
+        placement = {"A": 1, "B": 2, "C": 1, "D": 2}
+        procs = [Process("A", ProcessKind.INITIAL), Process("C", ProcessKind.INITIAL),
+                 Process("B", ProcessKind.FINAL), Process("D", ProcessKind.FINAL)]
+        flows = [flow("A", "B", 1), flow("C", "D", 1)]
+        report = lint(procs, flows, platform=three_segment_platform(placement),
+                      registry=registry)
+        assert "SB301" not in report.rule_ids()
+
+    def test_no_hazard_for_disjoint_paths(self, registry):
+        # intra-segment transfers never reach the CA
+        placement = {"A": 1, "B": 1, "C": 3, "D": 3}
+        procs = [Process("A", ProcessKind.INITIAL), Process("C", ProcessKind.INITIAL),
+                 Process("B", ProcessKind.FINAL), Process("D", ProcessKind.FINAL)]
+        flows = [flow("A", "B", 1), flow("C", "D", 1)]
+        report = lint(procs, flows, platform=three_segment_platform(placement),
+                      registry=registry)
+        assert "SB301" not in report.rule_ids()
+
+
+class TestBuRace:
+    def test_sb302_head_on_race(self, registry):
+        # seg1->seg2 and seg3->seg1 at the same T both cross BU12,
+        # in opposite directions
+        placement = {"A": 1, "B": 2, "C": 3, "D": 1}
+        procs = [Process("A", ProcessKind.INITIAL), Process("C", ProcessKind.INITIAL),
+                 Process("B", ProcessKind.FINAL), Process("D", ProcessKind.FINAL)]
+        flows = [flow("A", "B", 1), flow("C", "D", 1)]
+        report = lint(procs, flows, platform=three_segment_platform(placement),
+                      registry=registry)
+        assert "SB302" in report.rule_ids()
+        race = [f for f in report.warnings if f.rule_id == "SB302"]
+        assert any("opposite directions" in f.message for f in race)
+
+
+class TestFaultRules:
+    def test_sb303_unknown_fu(self, registry, mp3_graph, platform_3seg):
+        plan = FaultPlan(
+            seed=1,
+            records=(FaultRecord(site="fu:NOPE", kind="fu_stall", rate=0.1, ticks=5),),
+        )
+        ctx = LintContext.from_models(
+            application=mp3_graph, platform=platform_3seg, fault_plan=plan
+        )
+        report = run_rules(ctx, registry=registry)
+        assert "SB303" in report.rule_ids()
+        assert report.exit_code == 2
+
+    def test_sb303_unknown_segment_and_bu(self, registry, platform_3seg):
+        plan = FaultPlan(
+            seed=1,
+            records=(
+                FaultRecord(site="segment:9", kind="package_corruption", rate=0.1),
+                FaultRecord(site="bu:7:8", kind="bu_drop", rate=0.1),
+            ),
+        )
+        ctx = LintContext.from_models(platform=platform_3seg, fault_plan=plan)
+        report = run_rules(ctx, registry=registry)
+        sites = [f for f in report.errors if f.rule_id == "SB303"]
+        assert len(sites) == 2
+
+    def test_sb303_accepts_valid_sites(self, registry, platform_3seg):
+        plan = FaultPlan(
+            seed=1,
+            records=(
+                FaultRecord(site="*", kind="package_corruption", rate=0.1),
+                FaultRecord(site="ca", kind="grant_loss", rate=0.1),
+                FaultRecord(site="segment:1", kind="package_corruption", rate=0.1),
+                FaultRecord(site="bu:1:2", kind="bu_drop", rate=0.1),
+                FaultRecord(site="fu:P4", kind="fu_stall", rate=0.1, ticks=3),
+            ),
+        )
+        ctx = LintContext.from_models(platform=platform_3seg, fault_plan=plan)
+        report = run_rules(ctx, registry=registry)
+        assert "SB303" not in report.rule_ids()
+
+    def test_sb304_null_plan(self, registry):
+        ctx = LintContext.from_models(fault_plan=FaultPlan(seed=1))
+        report = run_rules(ctx, registry=registry)
+        assert "SB304" in report.rule_ids()
+        assert report.exit_code == 0  # info only
+
+    def test_sb305_extreme_rate(self, registry):
+        plan = FaultPlan(
+            seed=1,
+            records=(FaultRecord(site="*", kind="package_corruption", rate=0.9),),
+        )
+        ctx = LintContext.from_models(fault_plan=plan)
+        report = run_rules(ctx, registry=registry)
+        assert "SB305" in report.rule_ids()
+        assert report.exit_code == 1
+
+    def test_sb306_permanent_at_tick_zero(self, registry):
+        plan = FaultPlan(
+            seed=1,
+            records=(
+                FaultRecord(site="fu:P0", kind="permanent_failure", at_tick=0),
+            ),
+        )
+        ctx = LintContext.from_models(fault_plan=plan)
+        report = run_rules(ctx, registry=registry)
+        assert "SB306" in report.rule_ids()
+
+    def test_no_fault_findings_without_plan(self, registry, mp3_graph, platform_3seg):
+        ctx = LintContext.from_models(application=mp3_graph, platform=platform_3seg)
+        report = run_rules(ctx, registry=registry)
+        assert not [f for f in report.findings if f.rule_id.startswith("SB30")]

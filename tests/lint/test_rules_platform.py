@@ -1,0 +1,98 @@
+"""SB1xx: the OCL constraints as lint rules, plus mapping cross-checks."""
+
+import pytest
+
+from repro.lint import LintContext, default_registry, run_rules
+from repro.lint.rules_platform import CONSTRAINT_RULE_TABLE
+from repro.model.builder import PlatformBuilder
+from repro.model.constraints import STRUCTURAL_CONSTRAINTS
+from repro.model.elements import FunctionalUnit, Segment, SegBusPlatform
+from repro.units import Frequency
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return default_registry()
+
+
+def lint_platform(platform, application=None, registry=None):
+    ctx = LintContext.from_models(application=application, platform=platform)
+    return run_rules(ctx, registry=registry)
+
+
+def test_every_constraint_is_migrated():
+    assert set(CONSTRAINT_RULE_TABLE) == {
+        c.identifier for c in STRUCTURAL_CONSTRAINTS
+    }
+
+
+def test_migrated_rules_share_constraint_rule_text(registry):
+    for constraint in STRUCTURAL_CONSTRAINTS:
+        rule_id = CONSTRAINT_RULE_TABLE[constraint.identifier][0]
+        assert registry.get(rule_id).description == constraint.rule
+
+
+def test_sb101_missing_ca(registry):
+    platform = SegBusPlatform(name="NoCA")
+    seg = Segment(1, Frequency.from_mhz(100))
+    fu = FunctionalUnit("FU_P0", "P0")
+    fu.add_master()
+    seg.add_fu(fu)
+    platform.add_segment(seg)
+    report = lint_platform(platform, registry=registry)
+    assert "SB101" in report.rule_ids()
+    finding = [f for f in report.errors if f.rule_id == "SB101"][0]
+    assert finding.location.element == "NoCA"  # names the offender
+
+
+def test_sb104_segment_without_fu_names_segment(registry):
+    platform = (
+        PlatformBuilder("Empty", package_size=36)
+        .segment(frequency_mhz=100)
+        .central_arbiter(frequency_mhz=100)
+        .build()
+    )
+    report = lint_platform(platform, registry=registry)
+    assert "SB104" in report.rule_ids()
+    finding = [f for f in report.errors if f.rule_id == "SB104"][0]
+    assert finding.location.segment == 1
+
+
+def test_sb111_unmapped_process(registry, mp3_graph):
+    platform = (
+        PlatformBuilder("Partial", package_size=36)
+        .segment(frequency_mhz=100)
+        .central_arbiter(frequency_mhz=100)
+        .place("P0", 1)
+        .build()
+    )
+    platform.fu_of_process("P0").add_master()
+    report = lint_platform(platform, application=mp3_graph, registry=registry)
+    assert "SB111" in report.rule_ids()
+    unmapped = {f.location.element for f in report.errors if f.rule_id == "SB111"}
+    assert "P14" in unmapped and "P0" not in unmapped
+
+
+def test_sb112_stray_mapped_process(registry, mp3_graph, platform_3seg):
+    from repro.apps.mp3 import paper_platform
+
+    platform = paper_platform(3)
+    segment = platform.segments[0]
+    stray = FunctionalUnit("FU_P99", "P99")
+    stray.add_master()
+    segment.add_fu(stray)
+    report = lint_platform(platform, application=mp3_graph, registry=registry)
+    assert "SB112" in report.rule_ids()
+    finding = [f for f in report.errors if f.rule_id == "SB112"][0]
+    assert finding.location.element == "P99"
+    assert finding.location.segment == 1
+
+
+def test_clean_paper_platform_has_no_platform_findings(registry, mp3_graph, platform_3seg):
+    report = lint_platform(platform_3seg, application=mp3_graph, registry=registry)
+    assert not [f for f in report.findings if f.rule_id.startswith("SB1")]
+
+
+def test_rules_skip_without_platform(registry):
+    report = run_rules(LintContext(), registry=registry)
+    assert not [f for f in report.findings if f.rule_id.startswith("SB1")]

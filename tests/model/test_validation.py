@@ -78,3 +78,49 @@ def test_validated_placement_raises_on_bad_model(app):
 def test_paper_platform_validates(mp3_graph, platform_3seg):
     report = validate_platform(platform_3seg, mp3_graph)
     assert report.ok, report.diagnostics
+
+
+class TestReportSerialization:
+    """The machine-readable shape shared with the lint engine."""
+
+    def test_clean_report_to_dict(self, app):
+        data = validate_platform(platform_for(app), app).to_dict()
+        assert data["ok"] is True
+        assert data["findings"] == []
+        assert data["counts"] == {"error": 0, "warning": 0, "info": 0}
+        assert data["checked"] > 0
+
+    def test_violation_findings_shape(self, app):
+        report = validate_platform(platform_for(app, place_all=False), app)
+        data = report.to_dict()
+        assert data["ok"] is False
+        assert data["counts"]["error"] == len(data["findings"])
+        rules = {f["rule"] for f in data["findings"]}
+        assert rules == {"SEG-FU-1", "MAP-2"}
+        unmapped = [f for f in data["findings"] if f["rule"] == "MAP-2"][0]
+        assert unmapped["severity"] == "error"
+        assert unmapped["location"]["element"] == "P1"
+
+    def test_to_json_round_trips(self, app):
+        import json
+
+        report = validate_platform(platform_for(app, place_all=False), app)
+        assert json.loads(report.to_json()) == report.to_dict()
+
+    def test_add_dedups_identical_records(self, app):
+        from repro.model.validation import ValidationRecord
+
+        report = validate_platform(platform_for(app), app)
+        record = ValidationRecord(rule_id="X-1", message="m", element="P0")
+        assert report.add(record)
+        assert not report.add(
+            ValidationRecord(rule_id="X-1", message="m", element="P0")
+        )
+        assert len(report.records) == 1
+
+    def test_messages_name_offending_element(self, app):
+        report = validate_platform(platform_for(app, place_all=False), app)
+        assert not report.ok
+        for record in report.records:
+            assert record.element is not None
+            assert record.element in record.message

@@ -67,3 +67,67 @@ class TestDetection:
 
     def test_assert_passes_silently(self):
         assert_scheme_valid(valid_doc())
+
+
+class TestProblemEntries:
+    """Kind-tagged SchemeProblem entries (the lint engine's interface)."""
+
+    def test_entries_parallel_problems(self):
+        doc = valid_doc()
+        doc.complex_type("Child").add("bad", "Ghost")
+        report = check_scheme(doc)
+        assert len(report.entries) == len(report.problems)
+        assert [e.message for e in report.entries] == report.problems
+
+    def test_undefined_reference_entry(self):
+        doc = valid_doc()
+        doc.complex_type("Child").add("bad", "Ghost")
+        entry = check_scheme(doc).entries[0]
+        assert entry.kind == "undefined-reference"
+        assert entry.type_name == "Ghost"
+
+    def test_orphan_entry(self):
+        doc = valid_doc()
+        doc.add_complex_type(ComplexType("Orphan"))
+        entries = check_scheme(doc).entries
+        assert [e.kind for e in entries] == ["orphan-type"]
+        assert entries[0].type_name == "Orphan"
+
+    def test_duplicate_type_entry(self):
+        doc = valid_doc()
+        doc.complex_types.append(ComplexType("Child"))
+        entries = [
+            e for e in check_scheme(doc).entries if e.kind == "duplicate-type"
+        ]
+        assert [e.type_name for e in entries] == ["Child"]
+
+    def test_duplicate_child_entry(self):
+        doc = valid_doc()
+        doc.complex_type("Root").add("child", "Child")
+        entries = [
+            e for e in check_scheme(doc).entries if e.kind == "duplicate-child"
+        ]
+        assert len(entries) == 1
+        assert entries[0].type_name == "Root"
+        assert "'child'" in entries[0].message
+
+    def test_dangling_process_in_psdf_scheme(self, mp3_graph):
+        # drop P5 from the header: its complexType (and the flows it
+        # carries) dangle — nothing reaches them from the document root
+        doc = psdf_to_schema(mp3_graph, 36)
+        header = doc.complex_type(doc.top_level[0].type)
+        header.children = [c for c in header.children if c.name != "P5"]
+        report = check_scheme(doc)
+        assert not report.ok
+        assert any(
+            e.kind == "orphan-type" and e.type_name == "P5"
+            for e in report.entries
+        )
+
+    def test_empty_segment_type_is_not_an_integrity_problem(self):
+        # an empty xs:all is structurally fine; emptiness is the PSM
+        # dialect rule SB406's business, not referential integrity's
+        doc = valid_doc()
+        doc.complex_type("Root").add("seg", "Segment9")
+        doc.add_complex_type(ComplexType("Segment9"))
+        assert check_scheme(doc).ok
