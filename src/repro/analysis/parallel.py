@@ -25,8 +25,19 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.emulator.config import EmulationConfig
 from repro.emulator.kernel import PlatformSpec, Simulation
+from repro.errors import SegBusError
 from repro.psdf.graph import PSDFGraph
 from repro.units import fs_to_us
+
+
+class JobError(SegBusError):
+    """A job in an emulation batch failed; the message names the job.
+
+    Raw worker exceptions surface out of a process pool stripped of any
+    hint of *which* configuration died, which makes hundred-job sweeps
+    miserable to debug — so both execution paths wrap failures with the
+    job label before re-raising.
+    """
 
 
 @dataclass(frozen=True)
@@ -65,6 +76,15 @@ def _run_job(job: EmulationJob) -> JobResult:
     )
 
 
+def _run_job_safe(job: EmulationJob):
+    """(result, None) on success, (None, error text) on failure —
+    exceptions must not cross the pool boundary unlabelled."""
+    try:
+        return _run_job(job), None
+    except Exception as exc:  # noqa: BLE001 — re-labelled and re-raised
+        return None, f"{type(exc).__name__}: {exc}"
+
+
 def parallel_emulate(
     jobs: Sequence[EmulationJob],
     workers: Optional[int] = None,
@@ -74,9 +94,22 @@ def parallel_emulate(
 
     ``workers=None`` lets the executor pick (CPU count); batches smaller
     than ``serial_threshold`` or ``workers=1`` run serially — process
-    startup would cost more than it buys.
+    startup would cost more than it buys.  Any failing job raises
+    :class:`JobError` naming every failed label.
     """
     if workers == 1 or len(jobs) < serial_threshold:
-        return [_run_job(job) for job in jobs]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_run_job, jobs))
+        outcomes = [_run_job_safe(job) for job in jobs]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            outcomes = list(pool.map(_run_job_safe, jobs))
+    failures = [
+        f"{job.label}: {error}"
+        for job, (_, error) in zip(jobs, outcomes)
+        if error is not None
+    ]
+    if failures:
+        raise JobError(
+            f"{len(failures)} of {len(jobs)} emulation job(s) failed — "
+            + "; ".join(failures)
+        )
+    return [result for result, _ in outcomes]

@@ -31,7 +31,13 @@ Subcommands mirror the design flow of Fig. 3:
 ``segbus lint``
     static analysis of PSDF/PSM/fault-plan schemes: rule engine with
     stable ids, PSDF verifier, hazard detector, scheme integrity (exit 0
-    clean, 1 warnings, 2 errors — see docs/LINTING.md).
+    clean, 1 warnings, 2 errors — see docs/LINTING.md);
+``segbus selftest``
+    conformance harness: seeded random models through the differential
+    oracle plus golden-trace drift detection (see docs/TESTING.md);
+``segbus bench``
+    headless perf scenarios with deterministic tick counters;
+    ``--check`` gates against the committed ``BENCH_*.json`` baselines.
 
 Any :class:`~repro.errors.SegBusError` surfaces as a one-line message on
 stderr and exit code 2; pass ``--debug`` (before the subcommand) to get the
@@ -341,6 +347,65 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_selftest(args: argparse.Namespace) -> int:
+    from repro.testing.selftest import (
+        DEFAULT_COUNT,
+        QUICK_COUNT,
+        run_selftest,
+    )
+
+    count = args.count
+    if count is None:
+        count = QUICK_COUNT if args.quick else DEFAULT_COUNT
+    report = run_selftest(
+        count=count,
+        base_seed=args.seed,
+        include_golden=not args.skip_golden,
+        models_dir=args.models_dir,
+        store_path=args.golden_store,
+        update_golden=args.update_golden,
+        progress=print,
+    )
+    print(report.format())
+    return report.exit_code
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.testing.bench import (
+        SCENARIOS,
+        check_bench,
+        format_results,
+        run_bench,
+        write_baselines,
+    )
+
+    if args.list:
+        for item in SCENARIOS:
+            print(f"{item.name:<24}  {item.description}")
+        return 0
+    results = run_bench(
+        names=args.scenarios or None,
+        repeats=args.repeats,
+        inject_slowdown=args.inject_slowdown,
+    )
+    print(format_results(results))
+    if args.update:
+        paths = write_baselines(results, args.baseline_dir)
+        print(f"\nwrote {len(paths)} baseline(s) under {args.baseline_dir}")
+        return 0
+    if args.check:
+        check = check_bench(
+            results,
+            baseline_dir=args.baseline_dir,
+            wall_ratio_max=args.wall_ratio_max,
+            check_wall=not args.no_wall,
+        )
+        print()
+        print(check.format())
+        return 0 if check.ok else 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="segbus",
@@ -498,6 +563,99 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the worst-case fault plan as an XML scheme",
     )
     flt.set_defaults(func=_cmd_faults)
+
+    slf = sub.add_parser(
+        "selftest",
+        help="conformance harness: random-model oracle + golden traces",
+    )
+    slf.add_argument(
+        "--count",
+        type=int,
+        default=None,
+        help="random models to run through the oracle (default 200)",
+    )
+    slf.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: 25 models unless --count is given",
+    )
+    slf.add_argument(
+        "--seed", type=int, default=1, help="first seed (default 1)"
+    )
+    slf.add_argument(
+        "--skip-golden",
+        action="store_true",
+        help="skip the golden-trace comparison stage",
+    )
+    slf.add_argument(
+        "--update-golden",
+        action="store_true",
+        help="re-pin the golden-trace store instead of checking it",
+    )
+    slf.add_argument(
+        "--models-dir",
+        default="examples/models",
+        help="directory of (psdf, psm) pairs (default examples/models)",
+    )
+    slf.add_argument(
+        "--golden-store",
+        default="tests/integration/golden/trace_digests.json",
+        help="golden digest store path",
+    )
+    slf.set_defaults(func=_cmd_selftest)
+
+    bch = sub.add_parser(
+        "bench",
+        help="headless perf scenarios; --check gates against baselines",
+    )
+    bch.add_argument(
+        "scenarios",
+        nargs="*",
+        help="scenario names (default: all; see --list)",
+    )
+    bch.add_argument(
+        "--list", action="store_true", help="list scenarios and exit"
+    )
+    bch.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="wall-clock repetitions per scenario, best kept (default 3)",
+    )
+    bch.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed baselines (exit 1 on drift)",
+    )
+    bch.add_argument(
+        "--update",
+        action="store_true",
+        help="(re)write the baseline files from this run",
+    )
+    bch.add_argument(
+        "--no-wall",
+        action="store_true",
+        help="with --check: compare ticks only (heterogeneous CI runners)",
+    )
+    bch.add_argument(
+        "--wall-ratio-max",
+        type=float,
+        default=1.5,
+        help="wall-clock regression gate as a multiple of the baseline "
+        "(default 1.5)",
+    )
+    bch.add_argument(
+        "--inject-slowdown",
+        type=float,
+        default=1.0,
+        help="test hook: multiply measured wall time by this factor",
+    )
+    bch.add_argument(
+        "--baseline-dir",
+        default="benchmarks/baselines",
+        help="baseline directory (default benchmarks/baselines)",
+    )
+    bch.set_defaults(func=_cmd_bench)
     return parser
 
 

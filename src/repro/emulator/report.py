@@ -208,6 +208,18 @@ class EmulationReport:
 
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON form (hex).
+
+        Pins every reported counter at once; the golden-trace store uses it
+        next to the trace and timeline digests so counter drift is caught
+        even when the event stream is unchanged.
+        """
+        import hashlib
+
+        payload = self.to_json(indent=0).encode("utf-8")
+        return hashlib.sha256(payload).hexdigest()
+
     # -- presentation -----------------------------------------------------------
 
     def format_listing(self) -> str:

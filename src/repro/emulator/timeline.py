@@ -10,6 +10,7 @@ listing's ``P14 received last package at 460435092ps``).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -70,6 +71,20 @@ class ProcessTimeline:
         return tuple(
             (e.process, e.start_ps or 0, e.end_ps or 0) for e in self.entries
         )
+
+    def canonical_lines(self) -> Tuple[str, ...]:
+        """One canonical line per entry (the digest's normative input)."""
+        return tuple(
+            f"{e.process} {e.start_fs} {e.end_fs} {e.last_input_fs} "
+            f"{e.packages_sent} {e.packages_received}"
+            for e in self.entries
+        )
+
+    def digest(self) -> str:
+        """SHA-256 over :meth:`canonical_lines` (hex) — byte-identical for
+        two runs of the same model (pinned by the golden-trace store)."""
+        payload = "\n".join(self.canonical_lines()).encode("utf-8")
+        return hashlib.sha256(payload).hexdigest()
 
 
 def build_timeline(sim: Simulation) -> ProcessTimeline:

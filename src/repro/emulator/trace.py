@@ -17,6 +17,7 @@ configuration it helps to see *when* things happened.  Two facilities:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -87,6 +88,35 @@ class Tracer:
             f"{e.time_ps:>12} ps  {e.kind:<13} {e.subject:<10} {e.detail}"
             for e in rows
         )
+
+    # -- deterministic digests ------------------------------------------------
+
+    def canonical_lines(self) -> Tuple[str, ...]:
+        """The trace as canonical text: one ``time_fs kind subject detail``
+        line per event, in emission order.
+
+        This is the normative serialization behind :meth:`digest` — two runs
+        of the same model must produce identical canonical lines, byte for
+        byte, regardless of process, platform or hash seed.  The golden-trace
+        store and the determinism regression tests both pin it.
+        """
+        return tuple(
+            f"{e.time_fs} {e.kind} {e.subject} {e.detail}".rstrip()
+            for e in self.events
+        )
+
+    def digest(self) -> str:
+        """SHA-256 over :meth:`canonical_lines` (hex)."""
+        payload = "\n".join(self.canonical_lines()).encode("utf-8")
+        return hashlib.sha256(payload).hexdigest()
+
+    def kind_counts(self) -> Dict[str, int]:
+        """Event count per kind (sorted by kind) — the readable summary a
+        golden-digest mismatch is explained with."""
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return dict(sorted(counts.items()))
 
 
 # ---------------------------------------------------------------------------

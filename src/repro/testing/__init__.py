@@ -1,0 +1,42 @@
+"""Conformance harness: random model generators, differential oracles,
+golden-trace pinning, and the headless perf-regression bench.
+
+Entry points:
+
+* :func:`repro.testing.generators.generate_model` — seeded, lint-clean
+  random (application, platform) pairs.
+* :func:`repro.testing.oracles.run_differential_oracle` — one model
+  through the emulator plus every independent invariant.
+* :func:`repro.testing.golden.check_goldens` — digest drift detection
+  over ``examples/models/``.
+* :func:`repro.testing.bench.run_bench` / ``check_bench`` — headless
+  perf scenarios against committed ``BENCH_*.json`` baselines.
+* :func:`repro.testing.selftest.run_selftest` — the ``segbus selftest``
+  orchestration of all of the above.
+"""
+
+from repro.testing.generators import (
+    DEFAULT_PROFILE,
+    GenerationError,
+    GeneratorProfile,
+    RandomModel,
+    generate_model,
+    generate_models,
+)
+from repro.testing.oracles import (
+    OracleReport,
+    OracleTolerance,
+    run_differential_oracle,
+)
+
+__all__ = [
+    "DEFAULT_PROFILE",
+    "GenerationError",
+    "GeneratorProfile",
+    "OracleReport",
+    "OracleTolerance",
+    "RandomModel",
+    "generate_model",
+    "generate_models",
+    "run_differential_oracle",
+]

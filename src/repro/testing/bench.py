@@ -1,0 +1,337 @@
+"""Headless perf-regression bench: deterministic ticks + wall-clock gates.
+
+``benchmarks/`` holds the pytest-benchmark studies (tables, figures,
+ablations) for humans; this module distills the same workloads into a
+small registry of *headless* scenarios that ``segbus bench`` can run in
+CI without pytest plugins.  Each scenario reports two things:
+
+* **ticks** — deterministic workload counters (executed events, CA TCT,
+  execution time in ps).  These must match the committed baseline
+  *exactly*: a tick drift means the emulator's behaviour changed, which
+  is either a bug or a change that must re-pin the baselines.
+* **wall_ms / wall_median_ms** — the best and the median of ``repeats``
+  wall-clock runs.  The gate compares median against median with a ratio
+  (default 1.5×, so a genuine 2× slowdown fails): the best-of-N envelope
+  fluctuates ~2× on busy hosts, but the median is a stable "typical
+  cost" center on both sides.  Absolute wall time is machine-dependent;
+  ``--no-wall`` skips the gate entirely for heterogeneous CI runners.
+
+Baselines live in ``benchmarks/baselines/BENCH_<scenario>.json`` and are
+(re)written by ``segbus bench --update``.  ``--inject-slowdown N`` is a
+self-test hook that multiplies the measured wall time, used by the test
+suite to prove the gate actually trips.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.analytic import analytic_estimate
+from repro.apps.jpeg import jpeg_decoder_psdf, jpeg_platform
+from repro.apps.mp3 import mp3_decoder_psdf, paper_platform
+from repro.emulator.kernel import PlatformSpec, Simulation
+from repro.errors import SegBusError
+from repro.units import fs_to_ps
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_DIR = Path("benchmarks") / "baselines"
+#: wall-clock gate: measured may be at most this multiple of the baseline
+DEFAULT_WALL_RATIO_MAX = 1.5
+
+
+@dataclass(frozen=True)
+class BenchScenario:
+    """One headless workload: ``run`` returns its deterministic ticks."""
+
+    name: str
+    description: str
+    run: Callable[[], Dict[str, int]]
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """Ticks plus best/median observed wall time for one scenario."""
+
+    name: str
+    ticks: Dict[str, int]
+    wall_ms: float
+    wall_median_ms: float
+    repeats: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "version": BASELINE_VERSION,
+            "name": self.name,
+            "ticks": dict(sorted(self.ticks.items())),
+            "wall_ms": round(self.wall_ms, 3),
+            "wall_median_ms": round(self.wall_median_ms, 3),
+            "repeats": self.repeats,
+        }
+
+
+@dataclass
+class BenchCheck:
+    """Outcome of comparing results against the committed baselines."""
+
+    failures: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def format(self) -> str:
+        lines = [
+            f"bench check: {self.checked} scenario(s), "
+            + ("ok" if self.ok else f"{len(self.failures)} failure(s)")
+        ]
+        lines.extend(f"  FAIL {f}" for f in self.failures)
+        lines.extend(f"  note {n}" for n in self.notes)
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# scenario registry
+# ---------------------------------------------------------------------------
+
+
+def _emulate_ticks(application, platform) -> Dict[str, int]:
+    spec = PlatformSpec.from_platform(platform)
+    sim = Simulation(application, spec).run()
+    return {
+        "events": sim.queue.executed,
+        "ca_tct": sim.ca.counters.tct,
+        "execution_time_ps": fs_to_ps(sim.execution_time_fs()),
+    }
+
+
+def _mp3_emulate(segment_count: int) -> Dict[str, int]:
+    return _emulate_ticks(mp3_decoder_psdf(), paper_platform(segment_count))
+
+
+def _jpeg_emulate(segment_count: int) -> Dict[str, int]:
+    return _emulate_ticks(jpeg_decoder_psdf(), jpeg_platform(segment_count))
+
+
+def _mp3_analytic() -> Dict[str, int]:
+    application = mp3_decoder_psdf()
+    spec = PlatformSpec.from_platform(paper_platform(3))
+    estimate = analytic_estimate(application, spec)
+    return {"execution_time_ps": fs_to_ps(estimate.execution_time_fs)}
+
+
+def _mp3_package_sweep() -> Dict[str, int]:
+    application = mp3_decoder_psdf()
+    ticks: Dict[str, int] = {"events": 0}
+    for size in (9, 18, 36):
+        spec = PlatformSpec.from_platform(paper_platform(3, package_size=size))
+        sim = Simulation(application, spec).run()
+        ticks["events"] += sim.queue.executed
+        ticks[f"s{size}_execution_time_ps"] = fs_to_ps(
+            sim.execution_time_fs()
+        )
+    return ticks
+
+
+def _random_oracle_batch() -> Dict[str, int]:
+    from repro.testing.generators import generate_models
+    from repro.testing.oracles import run_differential_oracle
+
+    events = 0
+    violations = 0
+    for model in generate_models(20, base_seed=9000):
+        report = run_differential_oracle(
+            model.application, model.platform, label=model.label
+        )
+        events += report.total_events
+        violations += len(report.violations)
+    return {"events": events, "violations": violations}
+
+
+SCENARIOS: Tuple[BenchScenario, ...] = (
+    BenchScenario(
+        "mp3_1seg_emulate",
+        "MP3 decoder on the single-segment paper platform",
+        lambda: _mp3_emulate(1),
+    ),
+    BenchScenario(
+        "mp3_2seg_emulate",
+        "MP3 decoder on the two-segment paper platform",
+        lambda: _mp3_emulate(2),
+    ),
+    BenchScenario(
+        "mp3_3seg_emulate",
+        "MP3 decoder on the three-segment paper platform (headline case)",
+        lambda: _mp3_emulate(3),
+    ),
+    BenchScenario(
+        "jpeg_2seg_emulate",
+        "JPEG decoder on the two-segment platform",
+        lambda: _jpeg_emulate(2),
+    ),
+    BenchScenario(
+        "mp3_3seg_analytic",
+        "Analytic estimator over the three-segment MP3 mapping",
+        _mp3_analytic,
+    ),
+    BenchScenario(
+        "mp3_package_sweep",
+        "MP3 three-segment emulation across package sizes 9/18/36",
+        _mp3_package_sweep,
+    ),
+    BenchScenario(
+        "random_oracle_batch",
+        "20 generated models through the differential oracle",
+        _random_oracle_batch,
+    ),
+)
+
+SCENARIO_NAMES: Tuple[str, ...] = tuple(s.name for s in SCENARIOS)
+
+
+def scenario(name: str) -> BenchScenario:
+    for item in SCENARIOS:
+        if item.name == name:
+            return item
+    raise SegBusError(
+        f"unknown bench scenario {name!r}; known: {', '.join(SCENARIO_NAMES)}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# running and checking
+# ---------------------------------------------------------------------------
+
+
+def run_scenario(
+    item: BenchScenario, repeats: int = 3, inject_slowdown: float = 1.0
+) -> BenchResult:
+    """Run one scenario ``repeats`` times; keep ticks, best and median wall."""
+    walls: List[float] = []
+    ticks: Dict[str, int] = {}
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        ticks = item.run()
+        walls.append((time.perf_counter() - start) * 1e3)
+    walls.sort()
+    median_ms = walls[len(walls) // 2]
+    factor = max(inject_slowdown, 0.0)
+    return BenchResult(
+        name=item.name,
+        ticks=ticks,
+        wall_ms=walls[0] * factor,
+        wall_median_ms=median_ms * factor,
+        repeats=max(1, repeats),
+    )
+
+
+def run_bench(
+    names: Optional[Sequence[str]] = None,
+    repeats: int = 3,
+    inject_slowdown: float = 1.0,
+) -> List[BenchResult]:
+    selected = (
+        [scenario(n) for n in names] if names else list(SCENARIOS)
+    )
+    return [
+        run_scenario(item, repeats=repeats, inject_slowdown=inject_slowdown)
+        for item in selected
+    ]
+
+
+def baseline_path(name: str, baseline_dir: Union[str, Path]) -> Path:
+    return Path(baseline_dir) / f"BENCH_{name}.json"
+
+
+def write_baselines(
+    results: Sequence[BenchResult],
+    baseline_dir: Union[str, Path] = DEFAULT_BASELINE_DIR,
+) -> List[Path]:
+    directory = Path(baseline_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for result in results:
+        path = baseline_path(result.name, directory)
+        path.write_text(
+            json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        written.append(path)
+    return written
+
+
+def load_baseline(name: str, baseline_dir: Union[str, Path]) -> BenchResult:
+    path = baseline_path(name, baseline_dir)
+    if not path.is_file():
+        raise SegBusError(
+            f"no baseline for scenario {name!r} at {path} — run "
+            "`segbus bench --update` once and commit the files"
+        )
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("version") != BASELINE_VERSION:
+        raise SegBusError(
+            f"baseline {path}: unsupported version {data.get('version')!r}"
+        )
+    return BenchResult(
+        name=str(data["name"]),
+        ticks={str(k): int(v) for k, v in dict(data["ticks"]).items()},
+        wall_ms=float(data["wall_ms"]),
+        wall_median_ms=float(data["wall_median_ms"]),
+        repeats=int(data["repeats"]),
+    )
+
+
+def check_bench(
+    results: Sequence[BenchResult],
+    baseline_dir: Union[str, Path] = DEFAULT_BASELINE_DIR,
+    wall_ratio_max: float = DEFAULT_WALL_RATIO_MAX,
+    check_wall: bool = True,
+) -> BenchCheck:
+    """Fail on any tick drift, or wall-clock regression past the ratio."""
+    check = BenchCheck()
+    for result in results:
+        check.checked += 1
+        baseline = load_baseline(result.name, baseline_dir)
+        for key in sorted(set(baseline.ticks) | set(result.ticks)):
+            before = baseline.ticks.get(key)
+            after = result.ticks.get(key)
+            if before != after:
+                check.failures.append(
+                    f"{result.name}: tick {key} drifted {before} -> {after} "
+                    "(behaviour change — fix it or re-pin with "
+                    "`segbus bench --update`)"
+                )
+        if not check_wall:
+            continue
+        # median vs median: the best-of-N envelope fluctuates ~2x on busy
+        # hosts, but the median is a stable typical-cost center on both
+        # sides, so ratio x median separates regressions from noise
+        limit = baseline.wall_median_ms * wall_ratio_max
+        if result.wall_median_ms > limit:
+            check.failures.append(
+                f"{result.name}: median wall {result.wall_median_ms:.1f} ms "
+                f"exceeds {wall_ratio_max}x baseline median "
+                f"{baseline.wall_median_ms:.1f} ms (perf regression)"
+            )
+        elif result.wall_median_ms * wall_ratio_max < baseline.wall_median_ms:
+            check.notes.append(
+                f"{result.name}: median wall {result.wall_median_ms:.1f} ms "
+                f"is much faster than baseline "
+                f"{baseline.wall_median_ms:.1f} ms — consider re-pinning"
+            )
+    return check
+
+
+def format_results(results: Sequence[BenchResult]) -> str:
+    lines = [f"{'scenario':<24} {'wall_ms':>10}  ticks"]
+    for result in results:
+        ticks = ", ".join(
+            f"{k}={v}" for k, v in sorted(result.ticks.items())
+        )
+        lines.append(f"{result.name:<24} {result.wall_ms:>10.1f}  {ticks}")
+    return "\n".join(lines)

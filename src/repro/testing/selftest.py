@@ -1,0 +1,136 @@
+"""``segbus selftest``: the conformance harness' one-shot entry point.
+
+Two stages, both deterministic:
+
+1. **Differential fuzzing** — generate ``count`` seeded lint-clean random
+   models (:mod:`repro.testing.generators`) and push each through the
+   differential oracle (:mod:`repro.testing.oracles`).  Any violation of
+   the analytic bounds, the total-time law, TCT monotonicity, package
+   conservation, or protocol conformance fails the selftest with the
+   model's seed (re-run ``generate_model(seed)`` to reproduce it alone).
+2. **Golden traces** — re-emulate every ``examples/models/`` pair and
+   compare trace/timeline/report digests against the pinned store
+   (:mod:`repro.testing.golden`).
+
+The default ``count`` is 200 (the conformance bar); ``--quick`` drops to
+25 for CI smoke runs.  Exit code 0 means fully conformant, 1 means at
+least one divergence or drift.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.testing.generators import (
+    DEFAULT_PROFILE,
+    GenerationError,
+    GeneratorProfile,
+    generate_model,
+)
+from repro.testing.golden import (
+    DEFAULT_MODELS_DIR,
+    DEFAULT_STORE,
+    GoldenCheck,
+    check_goldens,
+    update_goldens,
+)
+from repro.testing.oracles import OracleTolerance, run_differential_oracle
+
+DEFAULT_COUNT = 200
+QUICK_COUNT = 25
+
+
+@dataclass
+class SelftestReport:
+    """Aggregated outcome of one selftest run."""
+
+    models: int = 0
+    divergent: int = 0
+    checks: int = 0
+    failures: List[str] = field(default_factory=list)
+    golden: Optional[GoldenCheck] = None
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        if self.failures:
+            return False
+        return self.golden is None or self.golden.ok
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def format(self) -> str:
+        verdict = "PASS" if self.ok else "FAIL"
+        lines = [
+            f"selftest {verdict}: {self.models} random model(s), "
+            f"{self.divergent} divergent, {self.checks} oracle check(s), "
+            f"{self.elapsed_s:.1f}s"
+        ]
+        lines.extend(f"  {item}" for item in self.failures)
+        if self.golden is not None:
+            lines.append(self.golden.format())
+        return "\n".join(lines)
+
+
+def run_selftest(
+    count: int = DEFAULT_COUNT,
+    base_seed: int = 1,
+    profile: GeneratorProfile = DEFAULT_PROFILE,
+    tolerance: OracleTolerance = OracleTolerance(),
+    include_golden: bool = True,
+    models_dir: Union[str, Path] = DEFAULT_MODELS_DIR,
+    store_path: Union[str, Path] = DEFAULT_STORE,
+    update_golden: bool = False,
+    progress=None,
+) -> SelftestReport:
+    """Run the full conformance selftest; see the module docstring.
+
+    ``progress`` is an optional ``callable(str)`` for incremental status
+    lines (the CLI passes ``print``); ``update_golden`` re-pins the golden
+    store instead of checking it.
+    """
+    report = SelftestReport()
+    started = time.perf_counter()
+
+    for offset in range(count):
+        seed = base_seed + offset
+        try:
+            model = generate_model(seed, profile)
+        except GenerationError as exc:
+            report.failures.append(f"[GEN] {exc}")
+            continue
+        report.models += 1
+        oracle = run_differential_oracle(
+            model.application,
+            model.platform,
+            tolerance=tolerance,
+            label=model.label,
+        )
+        report.checks += oracle.checked
+        if not oracle.ok:
+            report.divergent += 1
+            report.failures.append(oracle.format())
+        if progress and (offset + 1) % 50 == 0:
+            progress(
+                f"  ... {offset + 1}/{count} models, "
+                f"{report.divergent} divergent"
+            )
+
+    if update_golden:
+        entries = update_goldens(models_dir, store_path)
+        if progress:
+            progress(
+                f"golden traces: re-pinned {len(entries)} pair(s) "
+                f"into {store_path}"
+            )
+        report.golden = check_goldens(models_dir, store_path)
+    elif include_golden:
+        report.golden = check_goldens(models_dir, store_path)
+
+    report.elapsed_s = time.perf_counter() - started
+    return report

@@ -93,3 +93,57 @@ class TestExports:
         assert payload["campaign"] == "demo"
         assert len(payload["results"]) == 3
         assert json.loads(target.read_text()) == payload
+
+
+class TestSweepPaths:
+    def test_add_invalidates_cached_results(self, mp3_graph):
+        c = Campaign("inval")
+        c.add("a", mp3_graph, paper_platform(3))
+        first = c.run()
+        c.add("b", mp3_graph, paper_platform(2))
+        second = c.run()
+        assert [r.name for r in first] == ["a"]
+        assert [r.name for r in second] == ["a", "b"]
+
+    def test_add_grid_custom_label(self, mp3_graph):
+        c = Campaign("labels")
+        c.add_grid(
+            mp3_graph,
+            platform_factory=lambda s: paper_platform(3, package_size=s),
+            package_sizes=[36],
+            label="pkg",
+        )
+        assert c.variant_names == ["pkg36"]
+
+    def test_fault_variant_rides_along(self, mp3_graph):
+        from repro.faults.model import KIND_BU_DROP, FaultPlan, FaultRecord
+
+        c = Campaign("faulty")
+        c.add("clean", mp3_graph, paper_platform(3))
+        c.add(
+            "faulted",
+            mp3_graph,
+            paper_platform(3),
+            fault_plan=FaultPlan(
+                seed=3,
+                records=(
+                    FaultRecord(site="bu:1:2", kind=KIND_BU_DROP, rate=0.02),
+                ),
+            ),
+        )
+        by_name = {r.name: r for r in c.run()}
+        assert by_name["faulted"].execution_time_us >= \
+            by_name["clean"].execution_time_us
+
+    def test_segment_sweep_prefers_parallelism(self, mp3_graph):
+        c = Campaign("segments")
+        for n in (1, 2, 3):
+            c.add(f"{n}seg", mp3_graph, paper_platform(n))
+        best = c.best()
+        assert best.name in {"2seg", "3seg"}
+        markdown = c.to_markdown()
+        assert markdown.count("\n") == 1 + 3  # header+rule+3 rows
+
+    def test_to_json_without_path(self, campaign):
+        payload = json.loads(campaign.to_json())
+        assert len(payload["results"]) == 3

@@ -57,3 +57,51 @@ class TestParallelEmulate:
 
     def test_empty_batch(self):
         assert parallel_emulate([], workers=2) == []
+
+
+def make_broken_job(label="broken"):
+    """A job whose worker must fail: the placement misses processes."""
+    chain = chain_psdf(3, items_per_stage=72, ticks_per_package=40)
+    return EmulationJob(
+        label=label,
+        application=chain,
+        spec=PlatformSpec(
+            package_size=36,
+            segment_frequencies_mhz={1: 100.0},
+            ca_frequency_mhz=100.0,
+            placement={chain.process_names[0]: 1},  # others unplaced
+        ),
+    )
+
+
+class TestWorkerFailure:
+    def test_serial_failure_names_the_job(self):
+        from repro.analysis.parallel import JobError
+
+        with pytest.raises(JobError, match="broken"):
+            parallel_emulate([make_broken_job()], workers=1)
+
+    def test_parallel_failure_names_the_job(self):
+        from repro.analysis.parallel import JobError
+
+        jobs = make_jobs() + [make_broken_job()]
+        with pytest.raises(JobError, match="broken"):
+            parallel_emulate(jobs, workers=2)
+
+    def test_multiple_failures_all_reported(self):
+        from repro.analysis.parallel import JobError
+
+        jobs = [make_broken_job("bad_a"), make_broken_job("bad_b")]
+        with pytest.raises(JobError, match="bad_a.*bad_b"):
+            parallel_emulate(jobs, workers=1)
+
+    def test_failure_reports_counts(self):
+        from repro.analysis.parallel import JobError
+
+        jobs = make_jobs() + [make_broken_job()]
+        with pytest.raises(JobError, match=r"1 of 5"):
+            parallel_emulate(jobs, workers=2)
+
+    def test_healthy_batch_unaffected_by_wrapping(self):
+        results = parallel_emulate(make_jobs(), workers=2)
+        assert all(isinstance(r, JobResult) for r in results)

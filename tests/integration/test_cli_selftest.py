@@ -1,0 +1,146 @@
+"""CLI wiring tests for ``segbus selftest`` and ``segbus bench``."""
+
+import json
+
+from repro.cli import build_parser, main
+
+
+class TestSelftestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["selftest"])
+        assert args.count is None
+        assert args.seed == 1
+        assert not args.quick
+        assert not args.update_golden
+
+    def test_quick_flag(self):
+        args = build_parser().parse_args(["selftest", "--quick"])
+        assert args.quick
+
+
+class TestSelftestCommand:
+    def test_small_run_passes(self, capsys):
+        rc = main(["selftest", "--count", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "selftest PASS" in out
+        assert "3 random model(s)" in out
+        assert "golden traces" in out
+
+    def test_skip_golden(self, capsys):
+        rc = main(["selftest", "--count", "1", "--skip-golden"])
+        assert rc == 0
+        assert "golden traces" not in capsys.readouterr().out
+
+    def test_update_golden_into_tmp_store(self, tmp_path, capsys):
+        store = tmp_path / "store.json"
+        rc = main(
+            [
+                "selftest",
+                "--count",
+                "1",
+                "--update-golden",
+                "--golden-store",
+                str(store),
+            ]
+        )
+        assert rc == 0
+        assert store.is_file()
+        assert "re-pinned" in capsys.readouterr().out
+
+    def test_missing_models_dir_is_cli_error(self, tmp_path, capsys):
+        rc = main(
+            [
+                "selftest",
+                "--count",
+                "1",
+                "--models-dir",
+                str(tmp_path / "nope"),
+            ]
+        )
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestBenchCommand:
+    def test_list(self, capsys):
+        rc = main(["bench", "--list"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mp3_3seg_emulate" in out
+        assert "random_oracle_batch" in out
+
+    def test_run_without_check(self, capsys):
+        rc = main(["bench", "mp3_3seg_analytic", "--repeats", "1"])
+        assert rc == 0
+        assert "execution_time_ps=" in capsys.readouterr().out
+
+    def test_check_against_committed_baselines(self, capsys):
+        rc = main(
+            [
+                "bench",
+                "mp3_3seg_analytic",
+                "mp3_3seg_emulate",
+                "--repeats",
+                "1",
+                "--check",
+                "--no-wall",
+            ]
+        )
+        assert rc == 0
+        assert "bench check" in capsys.readouterr().out
+
+    def test_update_writes_baselines(self, tmp_path, capsys):
+        rc = main(
+            [
+                "bench",
+                "mp3_3seg_analytic",
+                "--repeats",
+                "1",
+                "--update",
+                "--baseline-dir",
+                str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        path = tmp_path / "BENCH_mp3_3seg_analytic.json"
+        assert path.is_file()
+        data = json.loads(path.read_text())
+        assert data["name"] == "mp3_3seg_analytic"
+        assert data["ticks"]
+
+    def test_injected_slowdown_fails_check(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "bench",
+                    "mp3_3seg_analytic",
+                    "--repeats",
+                    "1",
+                    "--update",
+                    "--baseline-dir",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        rc = main(
+            [
+                "bench",
+                "mp3_3seg_analytic",
+                "--repeats",
+                "1",
+                "--check",
+                "--inject-slowdown",
+                "2.0",
+                "--baseline-dir",
+                str(tmp_path),
+            ]
+        )
+        assert rc == 1
+        assert "perf regression" in capsys.readouterr().out
+
+    def test_unknown_scenario_is_cli_error(self, capsys):
+        rc = main(["bench", "warp_drive", "--repeats", "1"])
+        assert rc == 2
+        assert "unknown bench scenario" in capsys.readouterr().err

@@ -1,0 +1,120 @@
+"""Bench runner tests: deterministic ticks, baselines, regression gates."""
+
+import pytest
+
+from repro.errors import SegBusError
+from repro.testing.bench import (
+    DEFAULT_BASELINE_DIR,
+    SCENARIO_NAMES,
+    BenchResult,
+    check_bench,
+    format_results,
+    load_baseline,
+    run_bench,
+    run_scenario,
+    scenario,
+    write_baselines,
+)
+
+FAST = "mp3_3seg_analytic"
+
+
+class TestRegistry:
+    def test_known_scenarios(self):
+        assert "mp3_3seg_emulate" in SCENARIO_NAMES
+        assert scenario(FAST).name == FAST
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(SegBusError, match="unknown bench scenario"):
+            scenario("warp_drive")
+
+    def test_ticks_are_deterministic(self):
+        a = run_scenario(scenario(FAST), repeats=1)
+        b = run_scenario(scenario(FAST), repeats=1)
+        assert a.ticks == b.ticks
+        assert a.wall_ms > 0
+
+
+class TestCommittedBaselines:
+    def test_every_scenario_has_a_committed_baseline(self):
+        for name in SCENARIO_NAMES:
+            baseline = load_baseline(name, DEFAULT_BASELINE_DIR)
+            assert baseline.name == name
+            assert baseline.ticks
+
+    def test_committed_ticks_match_reality(self):
+        # tick counters are machine-independent, so the committed
+        # baselines must reproduce exactly on any host
+        results = run_bench(names=[FAST, "mp3_3seg_emulate"], repeats=1)
+        check = check_bench(
+            results, baseline_dir=DEFAULT_BASELINE_DIR, check_wall=False
+        )
+        assert check.ok, check.format()
+
+
+class TestGates:
+    def _pinned(self, tmp_path):
+        results = run_bench(names=[FAST], repeats=1)
+        write_baselines(results, tmp_path)
+        return results
+
+    def test_clean_rerun_passes(self, tmp_path):
+        self._pinned(tmp_path)
+        check = check_bench(
+            run_bench(names=[FAST], repeats=1),
+            baseline_dir=tmp_path,
+            check_wall=False,
+        )
+        assert check.ok
+
+    def test_injected_2x_slowdown_fails_wall_gate(self, tmp_path):
+        self._pinned(tmp_path)
+        slow = run_bench(names=[FAST], repeats=1, inject_slowdown=2.0)
+        check = check_bench(slow, baseline_dir=tmp_path, wall_ratio_max=1.5)
+        assert not check.ok
+        assert any("perf regression" in f for f in check.failures)
+
+    def test_no_wall_ignores_slowdown(self, tmp_path):
+        self._pinned(tmp_path)
+        slow = run_bench(names=[FAST], repeats=1, inject_slowdown=10.0)
+        check = check_bench(slow, baseline_dir=tmp_path, check_wall=False)
+        assert check.ok
+
+    def test_tick_drift_fails_even_without_wall(self, tmp_path):
+        baseline = self._pinned(tmp_path)[0]
+        drifted = BenchResult(
+            name=baseline.name,
+            ticks={k: v + 1 for k, v in baseline.ticks.items()},
+            wall_ms=baseline.wall_ms,
+            wall_median_ms=baseline.wall_median_ms,
+            repeats=1,
+        )
+        check = check_bench([drifted], baseline_dir=tmp_path, check_wall=False)
+        assert not check.ok
+        assert any("drifted" in f for f in check.failures)
+
+    def test_missing_baseline_raises(self, tmp_path):
+        results = run_bench(names=[FAST], repeats=1)
+        with pytest.raises(SegBusError, match="no baseline"):
+            check_bench(results, baseline_dir=tmp_path / "empty")
+
+    def test_much_faster_run_noted_not_failed(self, tmp_path):
+        baseline = self._pinned(tmp_path)[0]
+        quick = BenchResult(
+            name=baseline.name,
+            ticks=baseline.ticks,
+            wall_ms=baseline.wall_ms / 100.0,
+            wall_median_ms=baseline.wall_median_ms / 100.0,
+            repeats=1,
+        )
+        check = check_bench([quick], baseline_dir=tmp_path)
+        assert check.ok
+        assert check.notes
+
+
+class TestFormatting:
+    def test_table_lists_every_result(self):
+        results = run_bench(names=[FAST], repeats=1)
+        table = format_results(results)
+        assert FAST in table
+        assert "execution_time_ps=" in table

@@ -1,0 +1,93 @@
+"""Random model generator tests: determinism, validity, coverage."""
+
+import pytest
+
+from repro.lint import lint_models
+from repro.testing.generators import (
+    DEFAULT_PROFILE,
+    GenerationError,
+    GeneratorProfile,
+    generate_model,
+    generate_models,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_model(self):
+        a = generate_model(11)
+        b = generate_model(11)
+        assert a.application.flows == b.application.flows
+        assert a.platform.process_placement() == \
+            b.platform.process_placement()
+        assert a.platform.package_size == b.platform.package_size
+        assert a.attempts == b.attempts
+
+    def test_different_seeds_differ(self):
+        models = list(generate_models(10, base_seed=100))
+        signatures = {
+            (
+                len(m.application.flows),
+                m.platform.segment_count,
+                m.platform.package_size,
+                tuple(sorted(m.platform.process_placement().items())),
+            )
+            for m in models
+        }
+        assert len(signatures) > 1
+
+
+class TestValidity:
+    @pytest.mark.parametrize("seed", [0, 1, 7, 42, 1234])
+    def test_lint_clean(self, seed):
+        model = generate_model(seed)
+        report = lint_models(
+            application=model.application, platform=model.platform
+        )
+        assert report.exit_code == 0, report
+
+    def test_transfer_orders_unique_and_contiguous(self):
+        for model in generate_models(10):
+            orders = sorted(f.order for f in model.application.flows)
+            assert orders == list(range(1, len(orders) + 1))
+
+    def test_data_multiple_of_package_size(self):
+        for model in generate_models(10, base_seed=50):
+            s = model.platform.package_size
+            assert all(
+                f.data_items % s == 0 for f in model.application.flows
+            )
+
+    def test_placement_blocks_contiguous(self):
+        # topological index order cut into contiguous segment blocks
+        for model in generate_models(10, base_seed=77):
+            placement = model.platform.process_placement()
+            indices = sorted(
+                (int(name[1:]), seg) for name, seg in placement.items()
+            )
+            segments = [seg for _, seg in indices]
+            assert segments == sorted(segments)
+
+
+class TestCoverage:
+    def test_shapes_vary_across_seeds(self):
+        models = list(generate_models(40, base_seed=1))
+        assert {m.platform.segment_count for m in models} == {1, 2, 3}
+        assert len({m.platform.package_size for m in models}) >= 2
+        process_counts = {len(m.application.process_names) for m in models}
+        assert len(process_counts) >= 3
+
+    def test_label_mentions_provenance(self):
+        model = generate_model(5)
+        assert "seed=5" in model.label
+        assert "segments=" in model.label
+
+
+class TestFailurePath:
+    def test_zero_attempts_raises(self):
+        profile = GeneratorProfile(max_attempts=0)
+        with pytest.raises(GenerationError, match="seed 1"):
+            generate_model(1, profile)
+
+    def test_default_profile_is_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_PROFILE.max_attempts = 1

@@ -1,0 +1,76 @@
+"""Differential oracle tests: paper configs conform, gates actually trip."""
+
+import pytest
+
+from repro.apps.jpeg import jpeg_decoder_psdf, jpeg_platform
+from repro.apps.mp3 import mp3_decoder_psdf, paper_platform
+from repro.testing.generators import generate_models
+from repro.testing.oracles import (
+    OracleReport,
+    OracleTolerance,
+    run_differential_oracle,
+)
+
+
+class TestPaperConfigurations:
+    @pytest.mark.parametrize("segments", [1, 2, 3])
+    def test_mp3_conforms(self, segments):
+        report = run_differential_oracle(
+            mp3_decoder_psdf(), paper_platform(segments)
+        )
+        assert report.ok, report.format()
+        assert report.checked > 5
+        assert report.emulated_us > 0
+        assert report.analytic_us > 0
+
+    def test_jpeg_conforms(self):
+        report = run_differential_oracle(jpeg_decoder_psdf(), jpeg_platform(2))
+        assert report.ok, report.format()
+
+    def test_contention_ratio_sane(self):
+        report = run_differential_oracle(mp3_decoder_psdf(), paper_platform(3))
+        # emulation may only exceed the contention-free walk, modulo the
+        # per-crossing alignment slack that lets analytic overshoot a hair
+        assert 0.9 < report.contention_ratio < 2.0
+
+
+class TestRandomModels:
+    def test_generated_batch_conforms(self):
+        for model in generate_models(25, base_seed=400):
+            report = run_differential_oracle(
+                model.application, model.platform, label=model.label
+            )
+            assert report.ok, report.format()
+
+    def test_label_defaults_to_model_names(self):
+        report = run_differential_oracle(mp3_decoder_psdf(), paper_platform(3))
+        assert "MP3Decoder on SBP" == report.label
+
+
+class TestGateTrips:
+    def test_tight_tolerance_fires_ana2(self):
+        # a deliberately impossible contention bound proves ANA-2 is live
+        report = run_differential_oracle(
+            mp3_decoder_psdf(),
+            paper_platform(3),
+            tolerance=OracleTolerance(contention_ratio_max=0.01),
+        )
+        assert not report.ok
+        assert any("ANA-2" in v for v in report.violations)
+
+    def test_format_lists_violations(self):
+        report = OracleReport(
+            label="x", emulated_us=1.0, analytic_us=1.0, total_events=10
+        )
+        report.add("LAW-1", "broken")
+        text = report.format()
+        assert "1 violation(s)" in text
+        assert "[LAW-1] broken" in text
+
+    def test_ok_report_formats_clean(self):
+        report = OracleReport(
+            label="x", emulated_us=2.0, analytic_us=1.0, total_events=10
+        )
+        assert report.ok
+        assert report.contention_ratio == 2.0
+        assert "ok" in report.format()

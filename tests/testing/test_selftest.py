@@ -1,0 +1,69 @@
+"""Selftest orchestration tests: pass, fail, and update paths."""
+
+from repro.testing.generators import GeneratorProfile
+from repro.testing.oracles import OracleTolerance
+from repro.testing.selftest import (
+    DEFAULT_COUNT,
+    QUICK_COUNT,
+    run_selftest,
+)
+
+
+class TestPassPath:
+    def test_small_run_passes(self):
+        report = run_selftest(count=5, include_golden=False)
+        assert report.ok
+        assert report.exit_code == 0
+        assert report.models == 5
+        assert report.divergent == 0
+        assert report.checks > 0
+        assert "PASS" in report.format()
+
+    def test_includes_golden_stage(self):
+        report = run_selftest(count=2)
+        assert report.golden is not None
+        assert report.golden.ok
+        assert "golden traces" in report.format()
+
+    def test_progress_callback_invoked(self):
+        lines = []
+        run_selftest(count=50, include_golden=False, progress=lines.append)
+        assert any("50/50" in line for line in lines)
+
+    def test_default_counts(self):
+        assert DEFAULT_COUNT == 200
+        assert QUICK_COUNT < DEFAULT_COUNT
+
+
+class TestFailPaths:
+    def test_impossible_tolerance_reports_divergence(self):
+        report = run_selftest(
+            count=3,
+            include_golden=False,
+            tolerance=OracleTolerance(contention_ratio_max=0.01),
+        )
+        assert not report.ok
+        assert report.exit_code == 1
+        assert report.divergent == 3
+        assert "FAIL" in report.format()
+
+    def test_generation_failure_reported_not_raised(self):
+        report = run_selftest(
+            count=2,
+            include_golden=False,
+            profile=GeneratorProfile(max_attempts=0),
+        )
+        assert not report.ok
+        assert report.models == 0
+        assert all(f.startswith("[GEN]") for f in report.failures)
+
+
+class TestGoldenUpdate:
+    def test_update_golden_writes_then_verifies(self, tmp_path):
+        store = tmp_path / "store.json"
+        report = run_selftest(
+            count=1, update_golden=True, store_path=store
+        )
+        assert store.is_file()
+        assert report.golden is not None
+        assert report.golden.ok
