@@ -180,10 +180,12 @@ def diagnose_contention(
     config: EmulationConfig = EmulationConfig(),
 ) -> ContentionDiagnosis:
     """Run both estimators and report the contention gap."""
-    from repro.emulator.kernel import Simulation  # local import: avoid cycle
+    from repro.emulator.fastkernel import (  # local import: avoid cycle
+        make_simulation,
+    )
 
     analytic = analytic_estimate(application, spec, config)
-    emulated = Simulation(application, spec, config).run()
+    emulated = make_simulation(application, spec, config).run()
     return ContentionDiagnosis(
         analytic_us=analytic.execution_time_us,
         emulated_us=fs_to_us(emulated.execution_time_fs()),

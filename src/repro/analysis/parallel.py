@@ -24,7 +24,8 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.emulator.config import EmulationConfig
-from repro.emulator.kernel import PlatformSpec, Simulation
+from repro.emulator.fastkernel import simulation_class
+from repro.emulator.kernel import PlatformSpec
 from repro.errors import SegBusError
 from repro.psdf.graph import PSDFGraph
 from repro.units import fs_to_us
@@ -42,12 +43,19 @@ class JobError(SegBusError):
 
 @dataclass(frozen=True)
 class EmulationJob:
-    """One independent emulation: everything a worker needs, picklable."""
+    """One independent emulation: everything a worker needs, picklable.
+
+    ``engine`` picks the simulation kernel; campaigns default to the
+    event-driven fast engine because both engines are tick-for-tick
+    equivalent (see docs/PERFORMANCE.md) and sweeps are where the
+    speedup compounds.
+    """
 
     label: str
     application: PSDFGraph
     spec: PlatformSpec
     config: EmulationConfig = EmulationConfig()
+    engine: str = "fast"
 
 
 @dataclass(frozen=True)
@@ -63,7 +71,9 @@ class JobResult:
 
 
 def _run_job(job: EmulationJob) -> JobResult:
-    sim = Simulation(job.application, job.spec, job.config).run()
+    sim = simulation_class(job.engine)(
+        job.application, job.spec, job.config
+    ).run()
     return JobResult(
         label=job.label,
         execution_time_us=fs_to_us(sim.execution_time_fs()),

@@ -101,7 +101,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_emulate(args: argparse.Namespace) -> int:
     emulator = SegBusEmulator.from_files(args.psdf, args.psm)
-    report = emulator.run(strict=args.strict)
+    report = emulator.run(strict=args.strict, engine=args.engine)
     print(report.format_listing())
     print(
         f"\nTotal execution time: {report.execution_time_us:.2f} us "
@@ -365,6 +365,7 @@ def _cmd_selftest(args: argparse.Namespace) -> int:
         store_path=args.golden_store,
         update_golden=args.update_golden,
         progress=print,
+        engine=args.engine,
     )
     print(report.format())
     return report.exit_code
@@ -387,6 +388,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         names=args.scenarios or None,
         repeats=args.repeats,
         inject_slowdown=args.inject_slowdown,
+        engine=args.engine,
     )
     print(format_results(results))
     if args.update:
@@ -404,6 +406,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(check.format())
         return 0 if check.ok else 1
     return 0
+
+
+def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
+    from repro.emulator.fastkernel import ENGINE_NAMES
+
+    parser.add_argument(
+        "--engine",
+        default=None,
+        choices=list(ENGINE_NAMES),
+        help="simulation kernel: 'stepped' (cycle-stepped reference) or "
+        "'fast' (event-driven, tick-for-tick equivalent); default honours "
+        "SEGBUS_ENGINE (see docs/PERFORMANCE.md). For bench, omitting it "
+        "times both engines and records the speedup.",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -434,6 +450,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the static analyzer first; refuse inputs with lint errors",
     )
+    _add_engine_flag(emu)
     emu.set_defaults(func=_cmd_emulate)
 
     lnt = sub.add_parser(
@@ -602,6 +619,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="tests/integration/golden/trace_digests.json",
         help="golden digest store path",
     )
+    _add_engine_flag(slf)
     slf.set_defaults(func=_cmd_selftest)
 
     bch = sub.add_parser(
@@ -655,6 +673,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="benchmarks/baselines",
         help="baseline directory (default benchmarks/baselines)",
     )
+    _add_engine_flag(bch)
     bch.set_defaults(func=_cmd_bench)
     return parser
 

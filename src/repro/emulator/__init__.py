@@ -27,10 +27,25 @@ Resilience extensions (fault injection, retry/timeout protocol, watchdog,
 graceful degradation) live in :mod:`repro.faults`; the facade and
 :func:`emulate` accept ``fault_plan``/``retry_policy``/``watchdog`` knobs.
 See docs/ROBUSTNESS.md.
+
+Two tick-for-tick equivalent engines execute the model: the cycle-stepped
+reference kernel (:mod:`repro.emulator.kernel`) and the event-driven fast
+kernel (:mod:`repro.emulator.fastkernel`).  Select one with
+``run(engine=...)``, the ``--engine`` CLI flag, or the ``SEGBUS_ENGINE``
+environment variable.  See docs/PERFORMANCE.md.
 """
 
 from repro.emulator.config import EmulationConfig
 from repro.emulator.emulator import SegBusEmulator, emulate
+from repro.emulator.fastkernel import (
+    DEFAULT_ENGINE,
+    ENGINE_ENV_VAR,
+    ENGINE_NAMES,
+    FastSimulation,
+    make_simulation,
+    resolve_engine,
+    simulation_class,
+)
 from repro.emulator.report import EmulationReport
 from repro.emulator.timeline import ProcessTimeline, TimelineEntry
 from repro.emulator.activity import ActivitySeries, activity_series
@@ -40,6 +55,13 @@ __all__ = [
     "EmulationConfig",
     "SegBusEmulator",
     "emulate",
+    "DEFAULT_ENGINE",
+    "ENGINE_ENV_VAR",
+    "ENGINE_NAMES",
+    "FastSimulation",
+    "make_simulation",
+    "resolve_engine",
+    "simulation_class",
     "EmulationReport",
     "ProcessTimeline",
     "TimelineEntry",

@@ -19,6 +19,7 @@ from pathlib import Path
 from typing import Optional, Union
 
 from repro.emulator.config import EmulationConfig
+from repro.emulator.fastkernel import resolve_engine, simulation_class
 from repro.emulator.kernel import PlatformSpec, Simulation
 from repro.emulator.report import EmulationReport, build_report
 from repro.errors import EmulationError, LintError
@@ -56,8 +57,11 @@ class SegBusEmulator:
         self.communication_matrix: CommunicationMatrix = build_communication_matrix(
             self.application
         )
-        self._simulation: Optional[Simulation] = None
-        self._report: Optional[EmulationReport] = None
+        # per-engine caches: both engines are observationally identical,
+        # but callers comparing them need each engine's own simulation
+        self._simulations: dict = {}
+        self._reports: dict = {}
+        self._linted = False
 
     # -- constructors ------------------------------------------------------------
 
@@ -162,21 +166,30 @@ class SegBusEmulator:
 
     # -- execution ---------------------------------------------------------------
 
-    def run(self, strict: bool = False) -> EmulationReport:
+    def run(
+        self, strict: bool = False, engine: Optional[str] = None
+    ) -> EmulationReport:
         """Run the emulation (cached: repeated calls return the same report).
 
         With ``strict=True`` the static analyzer runs first and the call
         raises :class:`~repro.errors.LintError` on any error-severity
         finding instead of starting a simulation of a broken input.
+
+        ``engine`` selects the simulation kernel (``"stepped"`` or
+        ``"fast"``; default honours ``SEGBUS_ENGINE``).  Both engines are
+        tick-for-tick equivalent, so the report is the same either way;
+        results are cached per engine.
         """
-        if strict and self._report is None:
+        name = resolve_engine(engine)
+        if strict and not self._linted:
             lint_report = self.lint()
             if lint_report.errors:
                 raise LintError(
                     [f.format() for f in lint_report.errors], report=lint_report
                 )
-        if self._report is None:
-            self._simulation = Simulation(
+            self._linted = True
+        if name not in self._reports:
+            self._simulations[name] = simulation_class(name)(
                 self.application,
                 self.spec,
                 self.config,
@@ -184,15 +197,15 @@ class SegBusEmulator:
                 retry_policy=self.retry_policy,
                 watchdog=self.watchdog,
             ).run()
-            self._report = build_report(self._simulation)
-        return self._report
+            self._reports[name] = build_report(self._simulations[name])
+        return self._reports[name]
 
     @property
     def simulation(self) -> Simulation:
         """The underlying finished simulation (runs it if needed)."""
-        self.run()
-        assert self._simulation is not None
-        return self._simulation
+        name = resolve_engine(None)
+        self.run(engine=name)
+        return self._simulations[name]
 
 
 def emulate(
@@ -203,11 +216,14 @@ def emulate(
     retry_policy=None,
     watchdog=None,
     strict: bool = False,
+    engine: Optional[str] = None,
 ) -> EmulationReport:
     """One-shot convenience: model objects in, report out.
 
     ``strict=True`` lints the inputs first and raises
     :class:`~repro.errors.LintError` on any error-severity finding.
+    ``engine`` picks the simulation kernel (see
+    :func:`repro.emulator.fastkernel.resolve_engine`).
     """
     return SegBusEmulator.from_models(
         application,
@@ -216,4 +232,4 @@ def emulate(
         fault_plan=fault_plan,
         retry_policy=retry_policy,
         watchdog=watchdog,
-    ).run(strict=strict)
+    ).run(strict=strict, engine=engine)

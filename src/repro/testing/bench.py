@@ -16,10 +16,21 @@ CI without pytest plugins.  Each scenario reports two things:
   cost" center on both sides.  Absolute wall time is machine-dependent;
   ``--no-wall`` skips the gate entirely for heterogeneous CI runners.
 
+Emulation scenarios are *engine-aware* (see docs/PERFORMANCE.md): by
+default each one is timed under both the cycle-stepped reference kernel
+and the event-driven fast kernel, the tick counters are asserted
+exact-equal across engines at run time, and the result records a
+per-engine median plus a **speedup** ratio (stepped / fast).  Scenarios
+may pin a ``speedup_min`` (``mp3_2seg_emulate`` demands ≥3x) which
+``--check`` gates even under ``--no-wall`` — the ratio is taken on one
+host, so it is far more machine-independent than absolute wall time.
+``--engine`` restricts the measurement to a single engine (no speedup).
+
 Baselines live in ``benchmarks/baselines/BENCH_<scenario>.json`` and are
 (re)written by ``segbus bench --update``.  ``--inject-slowdown N`` is a
-self-test hook that multiplies the measured wall time, used by the test
-suite to prove the gate actually trips.
+self-test hook that multiplies the measured wall time — uniformly across
+*every* engine's walls, so the wall gate trips no matter which engine
+feeds it — used by the test suite to prove the gate actually trips.
 """
 
 from __future__ import annotations
@@ -33,11 +44,16 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 from repro.analysis.analytic import analytic_estimate
 from repro.apps.jpeg import jpeg_decoder_psdf, jpeg_platform
 from repro.apps.mp3 import mp3_decoder_psdf, paper_platform
-from repro.emulator.kernel import PlatformSpec, Simulation
+from repro.emulator.fastkernel import (
+    ENGINE_NAMES,
+    resolve_engine,
+    simulation_class,
+)
+from repro.emulator.kernel import PlatformSpec
 from repro.errors import SegBusError
 from repro.units import fs_to_ps
 
-BASELINE_VERSION = 1
+BASELINE_VERSION = 2
 DEFAULT_BASELINE_DIR = Path("benchmarks") / "baselines"
 #: wall-clock gate: measured may be at most this multiple of the baseline
 DEFAULT_WALL_RATIO_MAX = 1.5
@@ -45,22 +61,40 @@ DEFAULT_WALL_RATIO_MAX = 1.5
 
 @dataclass(frozen=True)
 class BenchScenario:
-    """One headless workload: ``run`` returns its deterministic ticks."""
+    """One headless workload: ``run`` returns its deterministic ticks.
+
+    ``prepare`` (when set) makes the workload engine-aware: called once
+    per engine name with the model/spec setup *outside* the timed
+    region, it returns the thunk the runner times — so the recorded wall
+    and the speedup ratio measure the simulation kernels themselves, not
+    XML parsing or platform construction.  The runner asserts the
+    returned ticks are exact-equal across engines.  ``speedup_min`` pins
+    a minimum stepped/fast ratio enforced by :func:`check_bench`.
+    """
 
     name: str
     description: str
     run: Callable[[], Dict[str, int]]
+    prepare: Optional[Callable[[str], Callable[[], Dict[str, int]]]] = None
+    speedup_min: Optional[float] = None
 
 
 @dataclass(frozen=True)
 class BenchResult:
-    """Ticks plus best/median observed wall time for one scenario."""
+    """Ticks plus best/median observed wall time for one scenario.
+
+    ``engine_wall_ms`` maps engine name to its median wall time (empty
+    for scenarios without an engine dimension); ``speedup`` is the
+    stepped-median / fast-median ratio when both engines were measured.
+    """
 
     name: str
     ticks: Dict[str, int]
     wall_ms: float
     wall_median_ms: float
     repeats: int
+    engine_wall_ms: Dict[str, float] = field(default_factory=dict)
+    speedup: Optional[float] = None
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -70,6 +104,12 @@ class BenchResult:
             "wall_ms": round(self.wall_ms, 3),
             "wall_median_ms": round(self.wall_median_ms, 3),
             "repeats": self.repeats,
+            "engine_wall_ms": {
+                k: round(v, 3) for k, v in sorted(self.engine_wall_ms.items())
+            },
+            "speedup": (
+                round(self.speedup, 2) if self.speedup is not None else None
+            ),
         }
 
 
@@ -100,22 +140,42 @@ class BenchCheck:
 # ---------------------------------------------------------------------------
 
 
-def _emulate_ticks(application, platform) -> Dict[str, int]:
+def _emulate_runner(
+    application, platform, engine: str
+) -> Callable[[], Dict[str, int]]:
+    """Build the model once; the returned thunk only exercises the kernel."""
     spec = PlatformSpec.from_platform(platform)
-    sim = Simulation(application, spec).run()
-    return {
-        "events": sim.queue.executed,
-        "ca_tct": sim.ca.counters.tct,
-        "execution_time_ps": fs_to_ps(sim.execution_time_fs()),
-    }
+    cls = simulation_class(engine)
+
+    def run() -> Dict[str, int]:
+        sim = cls(application, spec).run()
+        return {
+            "events": sim.queue.executed,
+            "ca_tct": sim.ca.counters.tct,
+            "execution_time_ps": fs_to_ps(sim.execution_time_fs()),
+        }
+
+    return run
 
 
-def _mp3_emulate(segment_count: int) -> Dict[str, int]:
-    return _emulate_ticks(mp3_decoder_psdf(), paper_platform(segment_count))
+def _mp3_prepare(segment_count: int, engine: str) -> Callable[[], Dict[str, int]]:
+    return _emulate_runner(
+        mp3_decoder_psdf(), paper_platform(segment_count), engine
+    )
 
 
-def _jpeg_emulate(segment_count: int) -> Dict[str, int]:
-    return _emulate_ticks(jpeg_decoder_psdf(), jpeg_platform(segment_count))
+def _jpeg_prepare(segment_count: int, engine: str) -> Callable[[], Dict[str, int]]:
+    return _emulate_runner(
+        jpeg_decoder_psdf(), jpeg_platform(segment_count), engine
+    )
+
+
+def _mp3_emulate(segment_count: int, engine: str = "fast") -> Dict[str, int]:
+    return _mp3_prepare(segment_count, engine)()
+
+
+def _jpeg_emulate(segment_count: int, engine: str = "fast") -> Dict[str, int]:
+    return _jpeg_prepare(segment_count, engine)()
 
 
 def _mp3_analytic() -> Dict[str, int]:
@@ -125,17 +185,29 @@ def _mp3_analytic() -> Dict[str, int]:
     return {"execution_time_ps": fs_to_ps(estimate.execution_time_fs)}
 
 
-def _mp3_package_sweep() -> Dict[str, int]:
+def _sweep_prepare(engine: str) -> Callable[[], Dict[str, int]]:
     application = mp3_decoder_psdf()
-    ticks: Dict[str, int] = {"events": 0}
-    for size in (9, 18, 36):
-        spec = PlatformSpec.from_platform(paper_platform(3, package_size=size))
-        sim = Simulation(application, spec).run()
-        ticks["events"] += sim.queue.executed
-        ticks[f"s{size}_execution_time_ps"] = fs_to_ps(
-            sim.execution_time_fs()
-        )
-    return ticks
+    specs = {
+        size: PlatformSpec.from_platform(paper_platform(3, package_size=size))
+        for size in (9, 18, 36)
+    }
+    cls = simulation_class(engine)
+
+    def run() -> Dict[str, int]:
+        ticks: Dict[str, int] = {"events": 0}
+        for size, spec in specs.items():
+            sim = cls(application, spec).run()
+            ticks["events"] += sim.queue.executed
+            ticks[f"s{size}_execution_time_ps"] = fs_to_ps(
+                sim.execution_time_fs()
+            )
+        return ticks
+
+    return run
+
+
+def _mp3_package_sweep(engine: str = "fast") -> Dict[str, int]:
+    return _sweep_prepare(engine)()
 
 
 def _random_oracle_batch() -> Dict[str, int]:
@@ -158,21 +230,26 @@ SCENARIOS: Tuple[BenchScenario, ...] = (
         "mp3_1seg_emulate",
         "MP3 decoder on the single-segment paper platform",
         lambda: _mp3_emulate(1),
+        prepare=lambda engine: _mp3_prepare(1, engine),
     ),
     BenchScenario(
         "mp3_2seg_emulate",
         "MP3 decoder on the two-segment paper platform",
         lambda: _mp3_emulate(2),
+        prepare=lambda engine: _mp3_prepare(2, engine),
+        speedup_min=3.0,
     ),
     BenchScenario(
         "mp3_3seg_emulate",
         "MP3 decoder on the three-segment paper platform (headline case)",
         lambda: _mp3_emulate(3),
+        prepare=lambda engine: _mp3_prepare(3, engine),
     ),
     BenchScenario(
         "jpeg_2seg_emulate",
         "JPEG decoder on the two-segment platform",
         lambda: _jpeg_emulate(2),
+        prepare=lambda engine: _jpeg_prepare(2, engine),
     ),
     BenchScenario(
         "mp3_3seg_analytic",
@@ -183,6 +260,7 @@ SCENARIOS: Tuple[BenchScenario, ...] = (
         "mp3_package_sweep",
         "MP3 three-segment emulation across package sizes 9/18/36",
         _mp3_package_sweep,
+        prepare=_sweep_prepare,
     ),
     BenchScenario(
         "random_oracle_batch",
@@ -208,25 +286,92 @@ def scenario(name: str) -> BenchScenario:
 # ---------------------------------------------------------------------------
 
 
-def run_scenario(
-    item: BenchScenario, repeats: int = 3, inject_slowdown: float = 1.0
-) -> BenchResult:
-    """Run one scenario ``repeats`` times; keep ticks, best and median wall."""
+def _time_runs(
+    run: Callable[[], Dict[str, int]], repeats: int
+) -> Tuple[Dict[str, int], List[float]]:
+    """Ticks from the last run plus the sorted wall times (ms)."""
     walls: List[float] = []
     ticks: Dict[str, int] = {}
     for _ in range(max(1, repeats)):
         start = time.perf_counter()
-        ticks = item.run()
+        ticks = run()
         walls.append((time.perf_counter() - start) * 1e3)
     walls.sort()
-    median_ms = walls[len(walls) // 2]
+    return ticks, walls
+
+
+def run_scenario(
+    item: BenchScenario,
+    repeats: int = 3,
+    inject_slowdown: float = 1.0,
+    engine: Optional[str] = None,
+) -> BenchResult:
+    """Run one scenario ``repeats`` times; keep ticks, best and median wall.
+
+    Engine-aware scenarios are timed once per engine (both by default,
+    a single one when ``engine`` names it); their tick counters must be
+    exact-equal across engines or the run itself fails.  The headline
+    ``wall_ms``/``wall_median_ms`` pair reports the *fast* engine (the
+    default execution path); the stepped walls live in
+    ``engine_wall_ms``.  ``inject_slowdown`` scales every engine's wall
+    uniformly so the gate trips regardless of which engine feeds it.
+    """
+    repeats = max(1, repeats)
     factor = max(inject_slowdown, 0.0)
+    if item.prepare is None:
+        ticks, walls = _time_runs(item.run, repeats)
+        return BenchResult(
+            name=item.name,
+            ticks=ticks,
+            wall_ms=walls[0] * factor,
+            wall_median_ms=walls[len(walls) // 2] * factor,
+            repeats=repeats,
+        )
+    engines = ENGINE_NAMES if engine is None else (resolve_engine(engine),)
+    runners = {name: item.prepare(name) for name in engines}
+    ticks_by: Dict[str, Dict[str, int]] = {}
+    raw_walls: Dict[str, List[float]] = {name: [] for name in engines}
+    for name in engines:
+        ticks_by[name] = runners[name]()  # untimed warm-up round
+    # interleave the engines round by round: host-load episodes (CPU
+    # scaling, noisy neighbours) then hit both engines alike, so the
+    # per-round ratio stays meaningful even when absolute walls jitter
+    for _ in range(repeats):
+        for name in engines:
+            start = time.perf_counter()
+            ticks_by[name] = runners[name]()
+            raw_walls[name].append((time.perf_counter() - start) * 1e3)
+    reference = ticks_by[engines[0]]
+    for name in engines[1:]:
+        if ticks_by[name] != reference:
+            raise SegBusError(
+                f"{item.name}: tick counters diverge between engines — "
+                f"{engines[0]} says {reference}, {name} says "
+                f"{ticks_by[name]} (the engines must be tick-for-tick "
+                "equivalent; run `segbus selftest` to localize)"
+            )
+    primary = "fast" if "fast" in raw_walls else engines[0]
+    walls = sorted(raw_walls[primary])
+    engine_wall_ms = {
+        name: sorted(times)[len(times) // 2] * factor
+        for name, times in raw_walls.items()
+    }
+    speedup = None
+    if "fast" in raw_walls and "stepped" in raw_walls:
+        ratios = sorted(
+            s / f
+            for s, f in zip(raw_walls["stepped"], raw_walls["fast"])
+            if f > 0
+        )
+        speedup = ratios[len(ratios) // 2] if ratios else None
     return BenchResult(
         name=item.name,
-        ticks=ticks,
+        ticks=reference,
         wall_ms=walls[0] * factor,
-        wall_median_ms=median_ms * factor,
-        repeats=max(1, repeats),
+        wall_median_ms=walls[len(walls) // 2] * factor,
+        repeats=repeats,
+        engine_wall_ms=engine_wall_ms,
+        speedup=speedup,
     )
 
 
@@ -234,12 +379,18 @@ def run_bench(
     names: Optional[Sequence[str]] = None,
     repeats: int = 3,
     inject_slowdown: float = 1.0,
+    engine: Optional[str] = None,
 ) -> List[BenchResult]:
     selected = (
         [scenario(n) for n in names] if names else list(SCENARIOS)
     )
     return [
-        run_scenario(item, repeats=repeats, inject_slowdown=inject_slowdown)
+        run_scenario(
+            item,
+            repeats=repeats,
+            inject_slowdown=inject_slowdown,
+            engine=engine,
+        )
         for item in selected
     ]
 
@@ -277,12 +428,18 @@ def load_baseline(name: str, baseline_dir: Union[str, Path]) -> BenchResult:
         raise SegBusError(
             f"baseline {path}: unsupported version {data.get('version')!r}"
         )
+    speedup = data.get("speedup")
     return BenchResult(
         name=str(data["name"]),
         ticks={str(k): int(v) for k, v in dict(data["ticks"]).items()},
         wall_ms=float(data["wall_ms"]),
         wall_median_ms=float(data["wall_median_ms"]),
         repeats=int(data["repeats"]),
+        engine_wall_ms={
+            str(k): float(v)
+            for k, v in dict(data.get("engine_wall_ms", {})).items()
+        },
+        speedup=float(speedup) if speedup is not None else None,
     )
 
 
@@ -292,7 +449,13 @@ def check_bench(
     wall_ratio_max: float = DEFAULT_WALL_RATIO_MAX,
     check_wall: bool = True,
 ) -> BenchCheck:
-    """Fail on any tick drift, or wall-clock regression past the ratio."""
+    """Fail on tick drift, wall regression, or a speedup below the pin.
+
+    The per-scenario ``speedup_min`` gate runs even with
+    ``check_wall=False``: both engines are timed on the *same* host in
+    the same run, so their ratio is robust to runner heterogeneity in a
+    way absolute wall time is not.
+    """
     check = BenchCheck()
     for result in results:
         check.checked += 1
@@ -305,6 +468,22 @@ def check_bench(
                     f"{result.name}: tick {key} drifted {before} -> {after} "
                     "(behaviour change — fix it or re-pin with "
                     "`segbus bench --update`)"
+                )
+        try:
+            speedup_min = scenario(result.name).speedup_min
+        except SegBusError:  # pragma: no cover - results come from the registry
+            speedup_min = None
+        if speedup_min is not None:
+            if result.speedup is None:
+                check.notes.append(
+                    f"{result.name}: speedup gate (≥{speedup_min}x) skipped — "
+                    "run without --engine to time both engines"
+                )
+            elif result.speedup < speedup_min:
+                check.failures.append(
+                    f"{result.name}: fast engine speedup {result.speedup:.2f}x "
+                    f"below the pinned minimum {speedup_min}x "
+                    "(fast-kernel perf regression)"
                 )
         if not check_wall:
             continue
@@ -328,10 +507,15 @@ def check_bench(
 
 
 def format_results(results: Sequence[BenchResult]) -> str:
-    lines = [f"{'scenario':<24} {'wall_ms':>10}  ticks"]
+    lines = [f"{'scenario':<24} {'wall_ms':>10} {'speedup':>8}  ticks"]
     for result in results:
         ticks = ", ".join(
             f"{k}={v}" for k, v in sorted(result.ticks.items())
         )
-        lines.append(f"{result.name:<24} {result.wall_ms:>10.1f}  {ticks}")
+        speedup = (
+            f"{result.speedup:.2f}x" if result.speedup is not None else "-"
+        )
+        lines.append(
+            f"{result.name:<24} {result.wall_ms:>10.1f} {speedup:>8}  {ticks}"
+        )
     return "\n".join(lines)

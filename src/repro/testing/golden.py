@@ -24,7 +24,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
-from repro.emulator.kernel import PlatformSpec, Simulation
+from repro.emulator.fastkernel import ENGINE_NAMES, simulation_class
+from repro.emulator.kernel import PlatformSpec
 from repro.emulator.report import build_report
 from repro.emulator.trace import Tracer
 from repro.errors import SegBusError
@@ -133,8 +134,15 @@ def discover_pairs(
     return pairs
 
 
-def measure_pair(psdf_path: Path, psm_path: Path, key: str) -> GoldenEntry:
-    """Emulate one pair with a tracer and digest everything."""
+def measure_pair(
+    psdf_path: Path, psm_path: Path, key: str, engine: str = "stepped"
+) -> GoldenEntry:
+    """Emulate one pair with a tracer and digest everything.
+
+    ``engine`` picks the simulation kernel; both engines are pinned
+    against the *same* store entries, so drift in either one trips the
+    same check.
+    """
     application = parse_psdf_xml(
         psdf_path.read_text(encoding="utf-8")
     ).to_graph()
@@ -142,7 +150,7 @@ def measure_pair(psdf_path: Path, psm_path: Path, key: str) -> GoldenEntry:
         parse_psm_xml(psm_path.read_text(encoding="utf-8"))
     )
     tracer = Tracer()
-    sim = Simulation(application, spec, tracer=tracer).run()
+    sim = simulation_class(engine)(application, spec, tracer=tracer).run()
     report = build_report(sim)
     return GoldenEntry(
         key=key,
@@ -244,8 +252,14 @@ def _diff_entry(pinned: GoldenEntry, measured: GoldenEntry) -> Optional[str]:
 def check_goldens(
     models_dir: Union[str, Path] = DEFAULT_MODELS_DIR,
     store_path: Union[str, Path] = DEFAULT_STORE,
+    engines: Tuple[str, ...] = ENGINE_NAMES,
 ) -> GoldenCheck:
-    """Compare every pair against the pinned store."""
+    """Compare every pair against the pinned store, once per engine.
+
+    The store holds a single set of digests per pair; every engine in
+    ``engines`` must reproduce them exactly, so the same pins catch drift
+    in the stepped kernel, the fast kernel, or both.
+    """
     store = load_store(store_path)
     check = GoldenCheck()
     seen = set()
@@ -255,9 +269,16 @@ def check_goldens(
         if pinned is None:
             check.unpinned.append(key)
             continue
-        check.checked += 1
-        drift = _diff_entry(pinned, measure_pair(psdf, psm, key))
-        if drift:
-            check.drifts.append(drift)
+        for engine in engines:
+            check.checked += 1
+            drift = _diff_entry(
+                pinned, measure_pair(psdf, psm, key, engine=engine)
+            )
+            if drift:
+                check.drifts.append(
+                    drift.replace(
+                        f"  {key}:", f"  {key} [{engine} engine]:", 1
+                    )
+                )
     check.missing.extend(sorted(set(store) - seen))
     return check

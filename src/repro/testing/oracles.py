@@ -22,6 +22,13 @@ independent directions and fails loudly on any divergence:
   equal the outgoing package count; per BU pair the crossing count matches
   the mapped schedule exactly (``CONS-*``).
 
+* **ENG — engine equivalence.**  The same model runs through *both*
+  simulation engines (the cycle-stepped reference and the event-driven
+  fast kernel, see docs/PERFORMANCE.md) and the trace, timeline and
+  report digests plus the executed event count must be byte-identical
+  (``ENG-1``) — the fast kernel is only allowed constant-factor
+  optimizations, never observable ones.
+
 On top, the protocol conformance checker
 (:func:`repro.emulator.conformance.check_conformance`) runs with a live
 tracer, so its BUS/BU/ORD/FIRE/CNT invariants ride along for free.
@@ -38,7 +45,13 @@ from typing import Dict, List, Optional, Tuple
 from repro.analysis.analytic import analytic_estimate
 from repro.emulator.config import EmulationConfig
 from repro.emulator.conformance import check_conformance
+from repro.emulator.fastkernel import (
+    ENGINE_NAMES,
+    resolve_engine,
+    simulation_class,
+)
 from repro.emulator.kernel import PlatformSpec, Simulation
+from repro.emulator.report import build_report
 from repro.emulator.trace import Tracer
 from repro.model.elements import SegBusPlatform
 from repro.psdf.graph import PSDFGraph
@@ -98,12 +111,22 @@ def run_differential_oracle(
     config: Optional[EmulationConfig] = None,
     tolerance: OracleTolerance = OracleTolerance(),
     label: Optional[str] = None,
+    engine: Optional[str] = None,
 ) -> OracleReport:
-    """Emulate ``application`` on ``platform`` and check every oracle law."""
+    """Emulate ``application`` on ``platform`` and check every oracle law.
+
+    ``engine`` names the *primary* engine whose run feeds the ANA/LAW/CONS
+    laws and the conformance checker (default honours ``SEGBUS_ENGINE``);
+    the ``ENG-1`` check always re-runs the model through the other engine
+    and compares digests, so either choice covers both kernels.
+    """
     config = config or EmulationConfig()
     spec = PlatformSpec.from_platform(platform)
+    primary = resolve_engine(engine)
     tracer = Tracer()
-    sim = Simulation(application, spec, config, tracer=tracer).run()
+    sim = simulation_class(primary)(
+        application, spec, config, tracer=tracer
+    ).run()
     analytic = analytic_estimate(application, spec, config)
 
     report = OracleReport(
@@ -117,10 +140,53 @@ def run_differential_oracle(
     _check_tct_monotonicity(sim, report)
     _check_bu_conservation(sim, spec, report)
     _check_process_conservation(sim, report)
+    _check_engine_equivalence(sim, spec, config, tracer, primary, report)
     conformance = check_conformance(sim, tracer)
     report.checked += conformance.checked
     report.violations.extend(conformance.violations)
     return report
+
+
+# ---------------------------------------------------------------------------
+# ENG — engine equivalence
+# ---------------------------------------------------------------------------
+
+
+def _check_engine_equivalence(
+    sim: Simulation,
+    spec: PlatformSpec,
+    config: EmulationConfig,
+    tracer: Tracer,
+    primary: str,
+    report: OracleReport,
+) -> None:
+    """ENG-1: the other engine must reproduce the run byte-for-byte."""
+    report.checked += 1
+    other = next(n for n in ENGINE_NAMES if n != primary)
+    other_tracer = Tracer()
+    other_sim = simulation_class(other)(
+        sim.application, spec, config, tracer=other_tracer
+    ).run()
+    mine = build_report(sim)
+    theirs = build_report(other_sim)
+    for name, a, b in (
+        ("trace", tracer.digest(), other_tracer.digest()),
+        ("timeline", mine.timeline.digest(), theirs.timeline.digest()),
+        ("report", mine.digest(), theirs.digest()),
+    ):
+        if a != b:
+            report.add(
+                "ENG-1",
+                f"{name} digest diverges between the {primary} and {other} "
+                f"engines ({a[:12]}… != {b[:12]}…): the engines must be "
+                "tick-for-tick equivalent",
+            )
+    if sim.queue.executed != other_sim.queue.executed:
+        report.add(
+            "ENG-1",
+            f"executed event counts diverge: {primary} ran "
+            f"{sim.queue.executed}, {other} ran {other_sim.queue.executed}",
+        )
 
 
 # ---------------------------------------------------------------------------

@@ -6,11 +6,13 @@ Two stages, both deterministic:
    models (:mod:`repro.testing.generators`) and push each through the
    differential oracle (:mod:`repro.testing.oracles`).  Any violation of
    the analytic bounds, the total-time law, TCT monotonicity, package
-   conservation, or protocol conformance fails the selftest with the
-   model's seed (re-run ``generate_model(seed)`` to reproduce it alone).
-2. **Golden traces** — re-emulate every ``examples/models/`` pair and
-   compare trace/timeline/report digests against the pinned store
-   (:mod:`repro.testing.golden`).
+   conservation, engine equivalence (ENG-1 runs every model through both
+   the stepped and the fast kernel and compares digests), or protocol
+   conformance fails the selftest with the model's seed (re-run
+   ``generate_model(seed)`` to reproduce it alone).
+2. **Golden traces** — re-emulate every ``examples/models/`` pair with
+   *both* engines and compare trace/timeline/report digests against the
+   pinned store (:mod:`repro.testing.golden`).
 
 The default ``count`` is 200 (the conformance bar); ``--quick`` drops to
 25 for CI smoke runs.  Exit code 0 means fully conformant, 1 means at
@@ -87,12 +89,15 @@ def run_selftest(
     store_path: Union[str, Path] = DEFAULT_STORE,
     update_golden: bool = False,
     progress=None,
+    engine: Optional[str] = None,
 ) -> SelftestReport:
     """Run the full conformance selftest; see the module docstring.
 
     ``progress`` is an optional ``callable(str)`` for incremental status
     lines (the CLI passes ``print``); ``update_golden`` re-pins the golden
-    store instead of checking it.
+    store instead of checking it.  ``engine`` names the primary oracle
+    engine (default honours ``SEGBUS_ENGINE``) — the ENG-1 check and the
+    golden stage cover both engines regardless.
     """
     report = SelftestReport()
     started = time.perf_counter()
@@ -110,6 +115,7 @@ def run_selftest(
             model.platform,
             tolerance=tolerance,
             label=model.label,
+            engine=engine,
         )
         report.checks += oracle.checked
         if not oracle.ok:

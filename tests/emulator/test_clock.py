@@ -1,9 +1,25 @@
 """Clock-domain edge arithmetic tests."""
 
+import math
+
 import pytest
 
 from repro.emulator.clock import ClockDomain
-from repro.units import Frequency
+from repro.emulator.events import (
+    PRIO_CA,
+    PRIO_MONITOR,
+    PRIO_SA,
+    PRIO_STATE,
+    EventQueue,
+)
+from repro.units import FS_PER_SECOND, Frequency
+
+
+def _domain_with_period(name, period_fs):
+    """A clock whose exact femtosecond period is ``period_fs``."""
+    domain = ClockDomain(name, Frequency(FS_PER_SECOND / period_fs))
+    assert domain.period_fs == period_fs
+    return domain
 
 
 @pytest.fixture
@@ -56,3 +72,130 @@ class TestTicks:
     def test_ticks_between_rejects_reversed(self, clk100):
         with pytest.raises(ValueError):
             clk100.ticks_between(10, 5)
+
+
+class TestCoPrimeDomains:
+    """SA/CA clocks with co-prime periods never share edges mid-cycle."""
+
+    def test_edges_coincide_only_at_lcm_multiples(self):
+        sa = _domain_with_period("SA", 3)
+        ca = _domain_with_period("CA", 7)
+        shared = [
+            t
+            for t in range(0, 10 * 21 + 1)
+            if sa.edge_at_or_after(t) == t and ca.edge_at_or_after(t) == t
+        ]
+        assert shared == [21 * k for k in range(11)]
+
+    def test_cross_domain_alignment_is_monotone(self):
+        # the BU crossing pattern: leave on a source edge, get sampled at
+        # the next destination edge — each hand-off must strictly advance
+        sa = _domain_with_period("SA", 3)
+        ca = _domain_with_period("CA", 7)
+        t = 0
+        for _ in range(50):
+            advanced = ca.edge_after(sa.edge_after(t))
+            assert advanced > t
+            assert advanced % ca.period_fs == 0
+            t = advanced
+
+    def test_ticks_between_is_additive_across_odd_splits(self):
+        # splitting an interval at a foreign domain's edge must not
+        # create or lose ticks
+        sa = _domain_with_period("SA", 3)
+        ca = _domain_with_period("CA", 7)
+        for end in range(1, 22):
+            split = ca.edge_at_or_after(end // 2)
+            if split > end:
+                continue
+            assert sa.ticks_between(0, end) == sa.ticks_between(
+                0, split
+            ) + sa.ticks_between(split, end)
+
+    def test_paper_clocks_are_coprime(self):
+        # 91 MHz segment vs 111 MHz CA: the first coincident edge after
+        # t=0 sits one full lcm away — beyond any emulated horizon, so
+        # the kernel can never rely on accidental re-alignment
+        seg = ClockDomain("seg", Frequency.from_mhz(91))
+        ca = ClockDomain("CA", Frequency.from_mhz(111))
+        assert math.gcd(seg.period_fs, ca.period_fs) == 1
+
+
+class TestPeriodOneDomain:
+    """A 1 fs period degenerates every edge operation to identity-ish."""
+
+    def test_every_instant_is_an_edge(self):
+        clk = _domain_with_period("unit", 1)
+        for t in (0, 1, 17, 123_456_789):
+            assert clk.edge_at_or_after(t) == t
+            assert clk.edge_after(t) == t + 1
+
+    def test_ticks_equal_femtoseconds(self):
+        clk = _domain_with_period("unit", 1)
+        assert clk.ticks(12_345) == 12_345
+        assert clk.ticks_between(100, 250) == 150
+
+    def test_aligns_with_every_other_domain(self):
+        unit = _domain_with_period("unit", 1)
+        coarse = _domain_with_period("coarse", 7)
+        for k in range(10):
+            edge = coarse.ticks_to_fs(k)
+            assert unit.edge_at_or_after(edge) == edge
+
+
+class TestSimultaneousExpiry:
+    """Same-instant events order by (priority, insertion) — never by luck."""
+
+    def test_priority_order_beats_insertion_order(self):
+        queue = EventQueue()
+        order = []
+        for prio, tag in (
+            (PRIO_MONITOR, "monitor"),
+            (PRIO_SA, "sa"),
+            (PRIO_CA, "ca"),
+            (PRIO_STATE, "state"),
+        ):
+            queue.schedule(100, lambda t=tag: order.append(t), prio)
+        queue.run()
+        assert order == ["state", "ca", "sa", "monitor"]
+
+    def test_equal_priority_is_fifo(self):
+        queue = EventQueue()
+        order = []
+        for tag in range(6):
+            queue.schedule(100, lambda t=tag: order.append(t), PRIO_SA)
+        queue.run()
+        assert order == list(range(6))
+
+    def test_cancellation_preserves_sibling_order(self):
+        queue = EventQueue()
+        order = []
+        entries = [
+            queue.schedule(100, lambda t=tag: order.append(t), PRIO_STATE)
+            for tag in range(5)
+        ]
+        queue.cancel(entries[2])
+        queue.run()
+        assert order == [0, 1, 3, 4]
+
+    def test_coincident_domain_edges_are_deterministic(self):
+        # two equal-frequency segments expire at the same femtosecond on
+        # every tick; two identical schedules must interleave identically
+        def run_once():
+            a = _domain_with_period("A", 5)
+            b = _domain_with_period("B", 5)
+            queue = EventQueue()
+            order = []
+            for k in range(1, 4):
+                queue.schedule(
+                    a.ticks_to_fs(k), lambda t=f"A{k}": order.append(t), PRIO_SA
+                )
+                queue.schedule(
+                    b.ticks_to_fs(k), lambda t=f"B{k}": order.append(t), PRIO_SA
+                )
+            queue.run()
+            return order
+
+        assert run_once() == run_once() == [
+            "A1", "B1", "A2", "B2", "A3", "B3",
+        ]

@@ -7,6 +7,7 @@ from repro.testing.bench import (
     DEFAULT_BASELINE_DIR,
     SCENARIO_NAMES,
     BenchResult,
+    BenchScenario,
     check_bench,
     format_results,
     load_baseline,
@@ -17,6 +18,8 @@ from repro.testing.bench import (
 )
 
 FAST = "mp3_3seg_analytic"
+EMU = "mp3_1seg_emulate"  # cheapest engine-aware scenario, no speedup pin
+GATED = "mp3_2seg_emulate"  # the scenario pinning speedup_min
 
 
 class TestRegistry:
@@ -54,7 +57,9 @@ class TestCommittedBaselines:
 
 class TestGates:
     def _pinned(self, tmp_path):
-        results = run_bench(names=[FAST], repeats=1)
+        # medians over 3 repeats: a single-sample baseline can absorb an
+        # injected slowdown when the pinning run itself caught a noisy host
+        results = run_bench(names=[FAST], repeats=3)
         write_baselines(results, tmp_path)
         return results
 
@@ -67,9 +72,9 @@ class TestGates:
         )
         assert check.ok
 
-    def test_injected_2x_slowdown_fails_wall_gate(self, tmp_path):
+    def test_injected_slowdown_fails_wall_gate(self, tmp_path):
         self._pinned(tmp_path)
-        slow = run_bench(names=[FAST], repeats=1, inject_slowdown=2.0)
+        slow = run_bench(names=[FAST], repeats=3, inject_slowdown=4.0)
         check = check_bench(slow, baseline_dir=tmp_path, wall_ratio_max=1.5)
         assert not check.ok
         assert any("perf regression" in f for f in check.failures)
@@ -112,9 +117,106 @@ class TestGates:
         assert check.notes
 
 
+class TestEngineAwareness:
+    def test_both_engines_timed_by_default(self):
+        result = run_bench(names=[EMU], repeats=1)[0]
+        assert set(result.engine_wall_ms) == {"stepped", "fast"}
+        assert result.speedup is not None and result.speedup > 0
+
+    def test_single_engine_run_has_no_speedup(self):
+        result = run_bench(names=[EMU], repeats=1, engine="stepped")[0]
+        assert set(result.engine_wall_ms) == {"stepped"}
+        assert result.speedup is None
+
+    def test_engines_report_identical_ticks(self):
+        stepped = run_bench(names=[EMU], repeats=1, engine="stepped")[0]
+        fast = run_bench(names=[EMU], repeats=1, engine="fast")[0]
+        assert stepped.ticks == fast.ticks
+
+    def test_tick_divergence_between_engines_raises(self):
+        item = BenchScenario(
+            "diverging",
+            "synthetic divergence probe",
+            lambda: {"events": 1},
+            prepare=lambda engine: (
+                lambda: {"events": 1 if engine == "stepped" else 2}
+            ),
+        )
+        with pytest.raises(SegBusError, match="diverge between engines"):
+            run_scenario(item, repeats=1)
+
+    def test_v2_baseline_roundtrip(self, tmp_path):
+        results = run_bench(names=[EMU], repeats=1)
+        write_baselines(results, tmp_path)
+        loaded = load_baseline(EMU, tmp_path)
+        assert set(loaded.engine_wall_ms) == {"stepped", "fast"}
+        assert loaded.speedup == round(results[0].speedup, 2)
+
+    @pytest.mark.parametrize("engine", ["stepped", "fast"])
+    def test_slowdown_trips_wall_gate_for_each_engine(self, tmp_path, engine):
+        # --inject-slowdown must scale whichever engine feeds the gate
+        pinned = run_bench(names=[EMU], repeats=3, engine=engine)
+        write_baselines(pinned, tmp_path)
+        slow = run_bench(
+            names=[EMU], repeats=3, engine=engine, inject_slowdown=10.0
+        )
+        check = check_bench(slow, baseline_dir=tmp_path, wall_ratio_max=1.5)
+        assert not check.ok
+        assert any("perf regression" in f for f in check.failures)
+
+
+class TestSpeedupGate:
+    def _pinned(self, tmp_path):
+        results = run_bench(names=[GATED], repeats=1)
+        write_baselines(results, tmp_path)
+        return results[0]
+
+    def test_low_speedup_fails_even_without_wall(self, tmp_path):
+        baseline = self._pinned(tmp_path)
+        regressed = BenchResult(
+            name=baseline.name,
+            ticks=baseline.ticks,
+            wall_ms=baseline.wall_ms,
+            wall_median_ms=baseline.wall_median_ms,
+            repeats=baseline.repeats,
+            engine_wall_ms=baseline.engine_wall_ms,
+            speedup=1.2,
+        )
+        check = check_bench(
+            [regressed], baseline_dir=tmp_path, check_wall=False
+        )
+        assert not check.ok
+        assert any("below the pinned minimum" in f for f in check.failures)
+
+    def test_missing_speedup_noted_not_failed(self, tmp_path):
+        baseline = self._pinned(tmp_path)
+        single = BenchResult(
+            name=baseline.name,
+            ticks=baseline.ticks,
+            wall_ms=baseline.wall_ms,
+            wall_median_ms=baseline.wall_median_ms,
+            repeats=baseline.repeats,
+            engine_wall_ms={"fast": baseline.wall_median_ms},
+            speedup=None,
+        )
+        check = check_bench([single], baseline_dir=tmp_path, check_wall=False)
+        assert check.ok
+        assert any("speedup gate" in n for n in check.notes)
+
+
 class TestFormatting:
     def test_table_lists_every_result(self):
         results = run_bench(names=[FAST], repeats=1)
         table = format_results(results)
         assert FAST in table
         assert "execution_time_ps=" in table
+
+    def test_speedup_column(self):
+        engine_aware = run_bench(names=[EMU], repeats=1)
+        table = format_results(engine_aware)
+        assert "speedup" in table
+        assert "x" in table.split("\n")[1]
+
+    def test_speedup_dash_for_engineless_scenarios(self):
+        table = format_results(run_bench(names=[FAST], repeats=1))
+        assert " - " in table.split("\n")[1] + " "
