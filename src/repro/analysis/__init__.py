@@ -38,7 +38,25 @@ from repro.analysis.reliability import (
     ReliabilityPoint,
     reliability_sweep,
 )
-from repro.analysis.parallel import EmulationJob, JobResult, parallel_emulate
+from repro.analysis.executor import (
+    BatchResult,
+    CampaignExecutor,
+    CheckpointJournal,
+    ExecutorError,
+    ExecutorInterrupted,
+    ExecutorPolicy,
+    ExecutorStats,
+    JobError,
+    JobFailure,
+    canonical_digest,
+    execute_batch,
+)
+from repro.analysis.parallel import (
+    EmulationJob,
+    JobResult,
+    emulate_batch,
+    parallel_emulate,
+)
 from repro.analysis.visualize import activity_to_csv, psdf_to_dot, timeline_to_gantt
 
 __all__ = [
@@ -74,8 +92,20 @@ __all__ = [
     "FlowLatency",
     "LatencyReport",
     "measure_latencies",
+    "BatchResult",
+    "CampaignExecutor",
+    "CheckpointJournal",
+    "ExecutorError",
+    "ExecutorInterrupted",
+    "ExecutorPolicy",
+    "ExecutorStats",
+    "JobError",
+    "JobFailure",
+    "canonical_digest",
+    "execute_batch",
     "EmulationJob",
     "JobResult",
+    "emulate_batch",
     "parallel_emulate",
     "activity_to_csv",
     "psdf_to_dot",

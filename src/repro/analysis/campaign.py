@@ -15,6 +15,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
+from repro.analysis.executor import (
+    CampaignExecutor,
+    ExecutorPolicy,
+    canonical_digest,
+)
 from repro.analysis.power import PowerCoefficients, estimate_power
 from repro.emulator.config import EmulationConfig
 from repro.emulator.emulator import SegBusEmulator
@@ -78,6 +83,54 @@ COLUMNS = (
 )
 
 
+@dataclass(frozen=True)
+class _VariantTask:
+    """One variant plus the campaign's power model, picklable."""
+
+    variant: Variant
+    coefficients: PowerCoefficients
+
+    @property
+    def label(self) -> str:
+        return self.variant.name
+
+    def digest(self) -> str:
+        v = self.variant
+        return canonical_digest(
+            v.name,
+            v.application,
+            v.platform,
+            v.config,
+            v.fault_plan,
+            v.retry_policy,
+            self.coefficients,
+        )
+
+
+def _run_variant(task: _VariantTask) -> VariantResult:
+    """Emulate one variant and measure its power (worker-side)."""
+    variant = task.variant
+    emulator = SegBusEmulator.from_models(
+        variant.application,
+        variant.platform,
+        config=variant.config,
+        fault_plan=variant.fault_plan,
+        retry_policy=variant.retry_policy,
+    )
+    report = emulator.run()
+    power = estimate_power(emulator.simulation, task.coefficients)
+    return VariantResult(
+        name=variant.name,
+        segment_count=report.segment_count,
+        package_size=report.package_size,
+        execution_time_us=report.execution_time_us,
+        total_events=report.total_events,
+        inter_segment_packages=report.total_inter_segment_packages(),
+        total_energy_au=power.total_energy,
+        average_power_au_per_us=power.average_power,
+    )
+
+
 class Campaign:
     """A batch of emulation variants with uniform result reporting."""
 
@@ -131,37 +184,42 @@ class Campaign:
     def variant_names(self) -> List[str]:
         return [v.name for v in self._variants]
 
-    def run(self) -> List[VariantResult]:
-        """Run every variant (cached) and return the result rows."""
+    def run(
+        self,
+        workers: Optional[int] = None,
+        executor_policy: Optional[ExecutorPolicy] = None,
+        checkpoint_dir=None,
+        checkpoint_name: Optional[str] = None,
+        resume: bool = False,
+    ) -> List[VariantResult]:
+        """Run every variant (cached) and return the result rows.
+
+        Runs through the supervised campaign executor: ``workers``
+        parallelizes the grid, ``executor_policy`` adds per-variant
+        timeout/retries, and ``checkpoint_dir``/``resume`` make an
+        interrupted campaign continue from its journal.  Any variant
+        that exhausts its retries raises
+        :class:`~repro.analysis.executor.JobError` (with partial
+        results attached); the cache stays empty so a fixed rerun
+        re-executes.
+        """
         if self._results is None:
             if not self._variants:
                 raise SegBusError(f"campaign {self.name!r} has no variants")
-            results = []
-            for variant in self._variants:
-                emulator = SegBusEmulator.from_models(
-                    variant.application,
-                    variant.platform,
-                    config=variant.config,
-                    fault_plan=variant.fault_plan,
-                    retry_policy=variant.retry_policy,
-                )
-                report = emulator.run()
-                power = estimate_power(
-                    emulator.simulation, self.power_coefficients
-                )
-                results.append(
-                    VariantResult(
-                        name=variant.name,
-                        segment_count=report.segment_count,
-                        package_size=report.package_size,
-                        execution_time_us=report.execution_time_us,
-                        total_events=report.total_events,
-                        inter_segment_packages=report.total_inter_segment_packages(),
-                        total_energy_au=power.total_energy,
-                        average_power_au_per_us=power.average_power,
-                    )
-                )
-            self._results = results
+            tasks = [
+                _VariantTask(variant, self.power_coefficients)
+                for variant in self._variants
+            ]
+            executor = CampaignExecutor(
+                _run_variant,
+                policy=executor_policy,
+                workers=workers,
+                checkpoint_dir=checkpoint_dir,
+                checkpoint_name=checkpoint_name,
+                resume=resume,
+            )
+            batch = executor.run(tasks).raise_on_failure(what="variant")
+            self._results = list(batch.results)
         return list(self._results)
 
     def best(self, key: str = "execution_time_us") -> VariantResult:

@@ -10,12 +10,18 @@ package sizes × allocations), emulate each, and rank.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro.analysis.executor import (
+    CampaignExecutor,
+    ExecutorPolicy,
+    canonical_digest,
+)
 from repro.emulator.config import EmulationConfig
 from repro.emulator.emulator import emulate
 from repro.emulator.report import EmulationReport
+from repro.model.elements import SegBusPlatform
 from repro.model.mapping import Allocation, map_application
 from repro.placement.placetool import PlaceTool
 from repro.psdf.graph import PSDFGraph
@@ -36,6 +42,30 @@ class DesignPoint:
         return self.report.execution_time_us
 
 
+@dataclass(frozen=True)
+class _CandidateJob:
+    """One fully-mapped candidate, picklable for the executor.
+
+    The platform is mapped in the parent — ``segment_frequencies_mhz``
+    is an arbitrary callable and need not pickle — so the worker only
+    emulates.
+    """
+
+    label: str
+    application: PSDFGraph
+    platform: SegBusPlatform
+    config: Optional[EmulationConfig] = field(default=None)
+
+    def digest(self) -> str:
+        return canonical_digest(
+            self.label, self.application, self.platform, self.config
+        )
+
+
+def _run_candidate(job: _CandidateJob) -> EmulationReport:
+    return emulate(job.application, job.platform, config=job.config)
+
+
 def explore_design_space(
     application: PSDFGraph,
     segment_counts: Sequence[int],
@@ -45,12 +75,21 @@ def explore_design_space(
     extra_allocations: Optional[Sequence[Tuple[str, Allocation]]] = None,
     config: Optional[EmulationConfig] = None,
     place_tool: Optional[PlaceTool] = None,
+    workers: Optional[int] = None,
+    executor_policy: Optional[ExecutorPolicy] = None,
+    checkpoint_dir=None,
+    checkpoint_name: Optional[str] = None,
+    resume: bool = False,
 ) -> Tuple[DesignPoint, ...]:
     """Emulate every candidate configuration; return points sorted best-first.
 
     For each segment count an allocation is produced by the PlaceTool;
     ``extra_allocations`` adds hand-made candidates (e.g. the paper's
-    Fig. 9 rows) labelled by name.
+    Fig. 9 rows) labelled by name.  The candidate grid runs through the
+    supervised campaign executor: ``workers`` fans it out,
+    ``executor_policy`` adds per-candidate timeout/retries, and
+    ``checkpoint_dir``/``resume`` let an interrupted exploration pick up
+    where it stopped.
     """
     tool = place_tool or PlaceTool()
     candidates: List[Tuple[str, Allocation]] = []
@@ -60,7 +99,7 @@ def explore_design_space(
     for label, allocation in extra_allocations or ():
         candidates.append((label, allocation))
 
-    points: List[DesignPoint] = []
+    grid: List[Tuple[str, Allocation, int, _CandidateJob]] = []
     for label, allocation in candidates:
         count = allocation.segment_count
         for size in package_sizes:
@@ -71,14 +110,40 @@ def explore_design_space(
                 ca_frequency_mhz=ca_frequency_mhz,
                 package_size=size,
             )
-            report = emulate(application, psm.platform, config=config)
-            points.append(
-                DesignPoint(
-                    segment_count=count,
-                    package_size=size,
-                    allocation=allocation,
-                    allocation_source=label,
-                    report=report,
+            grid.append(
+                (
+                    label,
+                    allocation,
+                    size,
+                    _CandidateJob(
+                        label=f"{label}|s{count}|p{size}",
+                        application=application,
+                        platform=psm.platform,
+                        config=config,
+                    ),
                 )
             )
+
+    executor = CampaignExecutor(
+        _run_candidate,
+        policy=executor_policy,
+        workers=workers,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_name=checkpoint_name,
+        resume=resume,
+    )
+    batch = executor.run([job for _, _, _, job in grid])
+    batch.raise_on_failure(what="design point")
+
+    points: List[DesignPoint] = []
+    for (label, allocation, size, _job), report in zip(grid, batch.results):
+        points.append(
+            DesignPoint(
+                segment_count=allocation.segment_count,
+                package_size=size,
+                allocation=allocation,
+                allocation_source=label,
+                report=report,
+            )
+        )
     return tuple(sorted(points, key=lambda p: p.execution_time_us))

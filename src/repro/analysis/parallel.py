@@ -1,4 +1,4 @@
-"""Parallel execution of emulation batches.
+"""Parallel execution of emulation batches (compat shim).
 
 One emulation is sub-second, but campaigns and design-space explorations
 multiply: segment counts × package sizes × allocations × fidelity levels.
@@ -6,12 +6,14 @@ Each run is independent and CPU-bound, so the right lever (per the
 profile-first optimization workflow) is process-level parallelism across
 *configurations*, not threads inside the deterministic kernel.
 
-:func:`parallel_emulate` maps a list of job descriptions over a
-``ProcessPoolExecutor``, preserving input order and falling back to serial
-execution for small batches or ``workers=1`` (also the path used on
-platforms without fork).  Results are identical to serial execution —
-asserted by the test suite — because the kernel is deterministic and each
-job is self-contained.
+The actual scheduling lives in :mod:`repro.analysis.executor` — the
+supervised campaign executor with per-job timeouts, seeded-backoff
+retries, worker-crash recovery and digest-keyed checkpoint/resume.  This
+module keeps the historical surface: :class:`EmulationJob`,
+:class:`JobResult` and :func:`parallel_emulate` (raise-on-failure
+semantics), plus :func:`emulate_batch` which returns the full
+:class:`~repro.analysis.executor.BatchResult` (partial results + failure
+ledger) for callers that want graceful degradation.
 
 Job descriptions are picklable primitives (graphs and specs), not live
 simulations; each worker rebuilds its own kernel.
@@ -19,26 +21,31 @@ simulations; each worker rebuilds its own kernel.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+from repro.analysis.executor import (
+    BatchResult,
+    CampaignExecutor,
+    ExecutorPolicy,
+    JobError,
+    JobFailure,
+    canonical_digest,
+)
 from repro.emulator.config import EmulationConfig
 from repro.emulator.fastkernel import simulation_class
 from repro.emulator.kernel import PlatformSpec
-from repro.errors import SegBusError
 from repro.psdf.graph import PSDFGraph
 from repro.units import fs_to_us
 
-
-class JobError(SegBusError):
-    """A job in an emulation batch failed; the message names the job.
-
-    Raw worker exceptions surface out of a process pool stripped of any
-    hint of *which* configuration died, which makes hundred-job sweeps
-    miserable to debug — so both execution paths wrap failures with the
-    job label before re-raising.
-    """
+__all__ = [
+    "EmulationJob",
+    "JobError",
+    "JobFailure",
+    "JobResult",
+    "emulate_batch",
+    "parallel_emulate",
+]
 
 
 @dataclass(frozen=True)
@@ -49,13 +56,24 @@ class EmulationJob:
     event-driven fast engine because both engines are tick-for-tick
     equivalent (see docs/PERFORMANCE.md) and sweeps are where the
     speedup compounds.
+
+    ``config`` uses a ``default_factory`` (not a shared default
+    instance): :class:`EmulationConfig` is frozen, but a factory keeps
+    every job's default independent even if the config ever grows a
+    mutable field.
     """
 
     label: str
     application: PSDFGraph
     spec: PlatformSpec
-    config: EmulationConfig = EmulationConfig()
+    config: EmulationConfig = field(default_factory=EmulationConfig)
     engine: str = "fast"
+
+    def digest(self) -> str:
+        """Checkpoint key: everything that determines the result."""
+        return canonical_digest(
+            self.application, self.spec, self.config, self.engine
+        )
 
 
 @dataclass(frozen=True)
@@ -86,40 +104,65 @@ def _run_job(job: EmulationJob) -> JobResult:
     )
 
 
-def _run_job_safe(job: EmulationJob):
-    """(result, None) on success, (None, error text) on failure —
-    exceptions must not cross the pool boundary unlabelled."""
-    try:
-        return _run_job(job), None
-    except Exception as exc:  # noqa: BLE001 — re-labelled and re-raised
-        return None, f"{type(exc).__name__}: {exc}"
+def emulate_batch(
+    jobs: Sequence[EmulationJob],
+    workers: Optional[int] = None,
+    serial_threshold: int = 3,
+    policy: Optional[ExecutorPolicy] = None,
+    chunksize: Optional[int] = None,
+    checkpoint_dir=None,
+    checkpoint_name: Optional[str] = None,
+    resume: bool = False,
+) -> BatchResult:
+    """Run ``jobs`` under supervision; never raises on job failures.
+
+    Returns the full :class:`BatchResult`: results in input order
+    (``None`` at failed positions), the structured failure ledger, and
+    supervision stats.  ``checkpoint_dir`` enables the crash-safe
+    journal; ``resume`` replays it and re-runs only the missing jobs.
+    """
+    executor = CampaignExecutor(
+        _run_job,
+        policy=policy,
+        workers=workers,
+        serial_threshold=serial_threshold,
+        chunksize=chunksize,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_name=checkpoint_name,
+        resume=resume,
+    )
+    return executor.run(jobs)
 
 
 def parallel_emulate(
     jobs: Sequence[EmulationJob],
     workers: Optional[int] = None,
     serial_threshold: int = 3,
+    policy: Optional[ExecutorPolicy] = None,
+    chunksize: Optional[int] = None,
+    checkpoint_dir=None,
+    checkpoint_name: Optional[str] = None,
+    resume: bool = False,
 ) -> List[JobResult]:
     """Run ``jobs`` and return results in input order.
 
     ``workers=None`` lets the executor pick (CPU count); batches smaller
     than ``serial_threshold`` or ``workers=1`` run serially — process
-    startup would cost more than it buys.  Any failing job raises
-    :class:`JobError` naming every failed label.
+    startup would cost more than it buys.  Any exhausted job raises
+    :class:`JobError` naming every failed label; unlike the historical
+    all-or-nothing behaviour the exception now carries the structured
+    ``failures`` ledger *and* ``partial_results`` — the completed
+    summaries are never discarded.
     """
-    if workers == 1 or len(jobs) < serial_threshold:
-        outcomes = [_run_job_safe(job) for job in jobs]
-    else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            outcomes = list(pool.map(_run_job_safe, jobs))
-    failures = [
-        f"{job.label}: {error}"
-        for job, (_, error) in zip(jobs, outcomes)
-        if error is not None
-    ]
-    if failures:
-        raise JobError(
-            f"{len(failures)} of {len(jobs)} emulation job(s) failed — "
-            + "; ".join(failures)
-        )
-    return [result for result, _ in outcomes]
+    batch = emulate_batch(
+        jobs,
+        workers=workers,
+        serial_threshold=serial_threshold,
+        policy=policy,
+        chunksize=chunksize,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_name=checkpoint_name,
+        resume=resume,
+    )
+    batch.raise_on_failure(what="emulation job")
+    return list(batch.results)

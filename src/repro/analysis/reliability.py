@@ -21,10 +21,15 @@ from __future__ import annotations
 import csv
 import io
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.analysis.executor import (
+    CampaignExecutor,
+    ExecutorPolicy,
+    canonical_digest,
+)
 from repro.emulator.config import EmulationConfig
 from repro.emulator.emulator import SegBusEmulator
 from repro.errors import FaultConfigError, SegBusError
@@ -136,6 +141,76 @@ class ReliabilityCurve:
         return "\n".join([header, rule] + body)
 
 
+_RATE_KW = {
+    "package_corruption": "corruption_rate",
+    "grant_loss": "grant_loss_rate",
+    "fu_stall": "stall_rate",
+    "bu_drop": "bu_drop_rate",
+}
+
+
+@dataclass(frozen=True)
+class _ReliabilityJob:
+    """One (rate, seed) emulation, picklable for the campaign executor."""
+
+    label: str
+    application: PSDFGraph
+    platform: SegBusPlatform
+    kind: str
+    rate: float
+    seed: int
+    stall_ticks: int
+    retry_policy: RetryPolicy
+    config: Optional[EmulationConfig] = field(default=None)
+
+    def digest(self) -> str:
+        return canonical_digest(
+            self.application,
+            self.platform,
+            self.kind,
+            repr(self.rate),
+            self.seed,
+            self.stall_ticks,
+            self.retry_policy,
+            self.config,
+        )
+
+
+def _run_reliability_job(job: _ReliabilityJob) -> Dict[str, object]:
+    """Emulate one sweep point; emulation-level failure is a *result*.
+
+    A :class:`~repro.errors.SegBusError` (retry exhaustion under a
+    ``fail`` policy, a watchdog/budget stop) is the measurement — the
+    run counts as *failed* — so only infrastructure problems (worker
+    death, timeout, poisoned pickle) reach the executor's failure
+    ledger.
+    """
+    plan = FaultPlan.transient(
+        seed=job.seed,
+        stall_ticks=job.stall_ticks,
+        **{_RATE_KW[job.kind]: job.rate},
+    )
+    try:
+        report = SegBusEmulator.from_models(
+            job.application,
+            job.platform,
+            config=job.config,
+            fault_plan=plan,
+            retry_policy=job.retry_policy,
+        ).run()
+    except SegBusError:
+        return {"status": "failed"}
+    return {
+        "status": "degraded" if report.degraded else "completed",
+        "time_us": report.execution_time_us,
+        "retries": report.total_retries,
+        "nacks": report.total_nacks,
+        "injected": (
+            report.fault_summary["total"] if report.fault_summary else 0
+        ),
+    }
+
+
 def reliability_sweep(
     application: PSDFGraph,
     platform: SegBusPlatform,
@@ -145,6 +220,11 @@ def reliability_sweep(
     retry_policy: Optional[RetryPolicy] = None,
     config: Optional[EmulationConfig] = None,
     stall_ticks: int = 50,
+    workers: Optional[int] = None,
+    executor_policy: Optional[ExecutorPolicy] = None,
+    checkpoint_dir=None,
+    checkpoint_name: Optional[str] = None,
+    resume: bool = False,
 ) -> ReliabilityCurve:
     """Sweep ``kind`` fault rates over a seed population.
 
@@ -154,6 +234,13 @@ def reliability_sweep(
     finishes with ``degraded=True`` as *degraded*, anything else as
     *completed*.  The fault-free baseline is emulated once for the
     overhead column.
+
+    The grid runs through the supervised campaign executor
+    (:mod:`repro.analysis.executor`): ``workers`` parallelizes it,
+    ``executor_policy`` sets per-job timeout/retries, and
+    ``checkpoint_dir``/``resume`` journal completed points so an
+    interrupted sweep continues where it stopped — the aggregated curve
+    is byte-identical either way (chaos-gated in the test suite).
     """
     if kind not in TRANSIENT_KINDS:
         raise FaultConfigError(
@@ -166,12 +253,31 @@ def reliability_sweep(
     ).run()
     baseline_us = baseline.execution_time_us
 
-    rate_kw = {
-        "package_corruption": "corruption_rate",
-        "grant_loss": "grant_loss_rate",
-        "fu_stall": "stall_rate",
-        "bu_drop": "bu_drop_rate",
-    }[kind]
+    jobs = [
+        _ReliabilityJob(
+            label=f"{kind}@{rate:g}#s{seed}",
+            application=application,
+            platform=platform,
+            kind=kind,
+            rate=rate,
+            seed=seed,
+            stall_ticks=stall_ticks,
+            retry_policy=policy,
+            config=config,
+        )
+        for rate in rates
+        for seed in seeds
+    ]
+    executor = CampaignExecutor(
+        _run_reliability_job,
+        policy=executor_policy,
+        workers=workers,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_name=checkpoint_name,
+        resume=resume,
+    )
+    batch = executor.run(jobs).raise_on_failure(what="reliability job")
+    outcomes = dict(zip((job.label for job in jobs), batch.results))
 
     points: List[ReliabilityPoint] = []
     for rate in rates:
@@ -181,27 +287,15 @@ def reliability_sweep(
         nacks: List[int] = []
         injected: List[int] = []
         for seed in seeds:
-            plan = FaultPlan.transient(
-                seed=seed, stall_ticks=stall_ticks, **{rate_kw: rate}
-            )
-            try:
-                report = SegBusEmulator.from_models(
-                    application,
-                    platform,
-                    config=config,
-                    fault_plan=plan,
-                    retry_policy=policy,
-                ).run()
-            except SegBusError:
+            outcome = outcomes[f"{kind}@{rate:g}#s{seed}"]
+            if outcome["status"] == "failed":
                 failed += 1
                 continue
-            times_us.append(report.execution_time_us)
-            retries.append(report.total_retries)
-            nacks.append(report.total_nacks)
-            injected.append(
-                report.fault_summary["total"] if report.fault_summary else 0
-            )
-            if report.degraded:
+            times_us.append(outcome["time_us"])
+            retries.append(outcome["retries"])
+            nacks.append(outcome["nacks"])
+            injected.append(outcome["injected"])
+            if outcome["status"] == "degraded":
                 degraded += 1
             else:
                 completed += 1

@@ -8,9 +8,14 @@ benchmarks A1/A2 and the paper's 36-vs-18 experiment.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro.analysis.executor import (
+    CampaignExecutor,
+    ExecutorPolicy,
+    canonical_digest,
+)
 from repro.emulator.config import EmulationConfig
 from repro.model.elements import SegBusPlatform
 from repro.model.mapping import Allocation, map_application
@@ -18,6 +23,64 @@ from repro.psdf.graph import PSDFGraph
 from repro.reference.accuracy import AccuracyResult, compare_estimate_to_reference
 
 PlatformFactory = Callable[[int], SegBusPlatform]
+
+
+@dataclass(frozen=True)
+class _AccuracyJob:
+    """One estimate-vs-reference comparison, picklable for the executor.
+
+    Platforms are built in the parent (factories/frequency callables need
+    not pickle); the worker runs both the estimation and the reference
+    emulation and ships the :class:`AccuracyResult` back.
+    """
+
+    label: str
+    parameter: int
+    application: PSDFGraph
+    platform: SegBusPlatform
+    reference_config: Optional[EmulationConfig] = field(default=None)
+
+    def digest(self) -> str:
+        return canonical_digest(
+            self.label,
+            self.parameter,
+            self.application,
+            self.platform,
+            self.reference_config,
+        )
+
+
+def _run_accuracy_job(job: _AccuracyJob) -> AccuracyResult:
+    return compare_estimate_to_reference(
+        job.application,
+        job.platform,
+        label=job.label,
+        reference_config=job.reference_config,
+    )
+
+
+def _sweep(
+    jobs: Sequence[_AccuracyJob],
+    workers: Optional[int],
+    executor_policy: Optional[ExecutorPolicy],
+    checkpoint_dir,
+    checkpoint_name: Optional[str],
+    resume: bool,
+) -> Tuple[SweepPoint, ...]:
+    """Run the prepared comparison jobs and zip results back into points."""
+    executor = CampaignExecutor(
+        _run_accuracy_job,
+        policy=executor_policy,
+        workers=workers,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_name=checkpoint_name,
+        resume=resume,
+    )
+    batch = executor.run(list(jobs)).raise_on_failure(what="sweep point")
+    return tuple(
+        SweepPoint(parameter=job.parameter, result=result)
+        for job, result in zip(jobs, batch.results)
+    )
 
 
 @dataclass(frozen=True)
@@ -45,23 +108,32 @@ def package_size_sweep(
     platform_factory: PlatformFactory,
     package_sizes: Sequence[int],
     reference_config: Optional[EmulationConfig] = None,
+    workers: Optional[int] = None,
+    executor_policy: Optional[ExecutorPolicy] = None,
+    checkpoint_dir=None,
+    checkpoint_name: Optional[str] = None,
+    resume: bool = False,
 ) -> Tuple[SweepPoint, ...]:
     """Run the application at each package size.
 
     ``platform_factory(s)`` must return the platform configured with package
-    size ``s`` (allocation and clocks held fixed).
+    size ``s`` (allocation and clocks held fixed).  ``workers`` and the
+    checkpoint parameters route the sweep through the supervised campaign
+    executor (see :mod:`repro.analysis.executor`).
     """
-    points = []
-    for size in package_sizes:
-        platform = platform_factory(size)
-        result = compare_estimate_to_reference(
-            application,
-            platform,
+    jobs = [
+        _AccuracyJob(
             label=f"s={size}",
+            parameter=size,
+            application=application,
+            platform=platform_factory(size),
             reference_config=reference_config,
         )
-        points.append(SweepPoint(parameter=size, result=result))
-    return tuple(points)
+        for size in package_sizes
+    ]
+    return _sweep(
+        jobs, workers, executor_policy, checkpoint_dir, checkpoint_name, resume
+    )
 
 
 def frequency_sweep(
@@ -72,6 +144,11 @@ def frequency_sweep(
     package_size: int,
     scales: Sequence[float],
     reference_config: Optional[EmulationConfig] = None,
+    workers: Optional[int] = None,
+    executor_policy: Optional[ExecutorPolicy] = None,
+    checkpoint_dir=None,
+    checkpoint_name: Optional[str] = None,
+    resume: bool = False,
 ) -> Tuple[SweepPoint, ...]:
     """Scale every segment clock by each factor in ``scales``.
 
@@ -80,7 +157,7 @@ def frequency_sweep(
     compute-bound: beyond the knee, faster clocks stop paying off because
     inter-segment transfers and the CA dominate.
     """
-    points = []
+    jobs: List[_AccuracyJob] = []
     for scale in scales:
         frequencies = [mhz * scale for mhz in base_frequencies_mhz]
         psm = map_application(
@@ -90,14 +167,18 @@ def frequency_sweep(
             ca_frequency_mhz=ca_frequency_mhz,
             package_size=package_size,
         )
-        result = compare_estimate_to_reference(
-            application,
-            psm.platform,
-            label=f"x{scale:g}",
-            reference_config=reference_config,
+        jobs.append(
+            _AccuracyJob(
+                label=f"x{scale:g}",
+                parameter=int(round(scale * 100)),
+                application=application,
+                platform=psm.platform,
+                reference_config=reference_config,
+            )
         )
-        points.append(SweepPoint(parameter=int(round(scale * 100)), result=result))
-    return tuple(points)
+    return _sweep(
+        jobs, workers, executor_policy, checkpoint_dir, checkpoint_name, resume
+    )
 
 
 def segment_count_sweep(
@@ -107,9 +188,14 @@ def segment_count_sweep(
     ca_frequency_mhz: float,
     package_size: int,
     reference_config: Optional[EmulationConfig] = None,
+    workers: Optional[int] = None,
+    executor_policy: Optional[ExecutorPolicy] = None,
+    checkpoint_dir=None,
+    checkpoint_name: Optional[str] = None,
+    resume: bool = False,
 ) -> Tuple[SweepPoint, ...]:
     """Run the application on each allocation (one per segment count)."""
-    points = []
+    jobs: List[_AccuracyJob] = []
     for allocation in allocations:
         count = allocation.segment_count
         psm = map_application(
@@ -119,11 +205,15 @@ def segment_count_sweep(
             ca_frequency_mhz=ca_frequency_mhz,
             package_size=package_size,
         )
-        result = compare_estimate_to_reference(
-            application,
-            psm.platform,
-            label=f"{count} segment(s)",
-            reference_config=reference_config,
+        jobs.append(
+            _AccuracyJob(
+                label=f"{count} segment(s)",
+                parameter=count,
+                application=application,
+                platform=psm.platform,
+                reference_config=reference_config,
+            )
         )
-        points.append(SweepPoint(parameter=count, result=result))
-    return tuple(points)
+    return _sweep(
+        jobs, workers, executor_policy, checkpoint_dir, checkpoint_name, resume
+    )

@@ -278,6 +278,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         kind=args.kind,
         seeds=tuple(range(1, args.seeds + 1)),
         retry_policy=policy,
+        **_executor_kwargs(args),
     )
     print(
         f"{curve.application}: {curve.kind} sweep, baseline "
@@ -366,6 +367,7 @@ def _cmd_selftest(args: argparse.Namespace) -> int:
         update_golden=args.update_golden,
         progress=print,
         engine=args.engine,
+        **_executor_kwargs(args),
     )
     print(report.format())
     return report.exit_code
@@ -384,11 +386,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         for item in SCENARIOS:
             print(f"{item.name:<24}  {item.description}")
         return 0
+    executor_kwargs = _executor_kwargs(args)
+    if executor_kwargs["workers"] is None:
+        # bench defaults to one worker: concurrent scenarios contend for
+        # CPU and wall-clock gates would trip on scheduling noise
+        executor_kwargs["workers"] = 1
     results = run_bench(
         names=args.scenarios or None,
         repeats=args.repeats,
         inject_slowdown=args.inject_slowdown,
         engine=args.engine,
+        **executor_kwargs,
     )
     print(format_results(results))
     if args.update:
@@ -406,6 +414,70 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(check.format())
         return 0 if check.ok else 1
     return 0
+
+
+def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
+    """Flags for the supervised campaign executor (see docs/ROBUSTNESS.md)."""
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the batch (default: CPU count; "
+        "1 forces the in-process serial path)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job timeout; a stalled worker is killed and the job "
+        "retried (needs workers >= 2)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="retries per job after the first attempt, with seeded "
+        "exponential backoff (default 2)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="journal completed jobs under this directory "
+        "(e.g. .segbus/checkpoints) so --resume can replay them",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay the checkpoint journal and run only the missing jobs "
+        "(implies --checkpoint-dir, default .segbus/checkpoints)",
+    )
+
+
+def _executor_kwargs(args: argparse.Namespace) -> dict:
+    """Translate the executor flags into run_* keyword arguments."""
+    from repro.analysis.executor import ExecutorPolicy
+
+    policy = None
+    if args.timeout is not None or args.retries is not None:
+        defaults = ExecutorPolicy()
+        policy = ExecutorPolicy(
+            max_attempts=(
+                args.retries + 1
+                if args.retries is not None
+                else defaults.max_attempts
+            ),
+            timeout_s=args.timeout,
+        )
+    checkpoint_dir = args.checkpoint_dir
+    if args.resume and checkpoint_dir is None:
+        checkpoint_dir = str(Path(".segbus") / "checkpoints")
+    return {
+        "workers": args.workers,
+        "executor_policy": policy,
+        "checkpoint_dir": checkpoint_dir,
+        "resume": args.resume,
+    }
 
 
 def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
@@ -579,6 +651,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--plan-xml", default="",
         help="also write the worst-case fault plan as an XML scheme",
     )
+    _add_executor_flags(flt)
     flt.set_defaults(func=_cmd_faults)
 
     slf = sub.add_parser(
@@ -620,6 +693,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="golden digest store path",
     )
     _add_engine_flag(slf)
+    _add_executor_flags(slf)
     slf.set_defaults(func=_cmd_selftest)
 
     bch = sub.add_parser(
@@ -674,6 +748,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="baseline directory (default benchmarks/baselines)",
     )
     _add_engine_flag(bch)
+    _add_executor_flags(bch)
     bch.set_defaults(func=_cmd_bench)
     return parser
 

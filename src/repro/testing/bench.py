@@ -42,6 +42,11 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.analytic import analytic_estimate
+from repro.analysis.executor import (
+    CampaignExecutor,
+    ExecutorPolicy,
+    canonical_digest,
+)
 from repro.apps.jpeg import jpeg_decoder_psdf, jpeg_platform
 from repro.apps.mp3 import mp3_decoder_psdf, paper_platform
 from repro.emulator.fastkernel import (
@@ -375,24 +380,84 @@ def run_scenario(
     )
 
 
+@dataclass(frozen=True)
+class _BenchJob:
+    """One scenario *by name* — the registry's lambdas never pickle.
+
+    The worker resolves :func:`scenario` locally and times it there, so
+    the job carries only primitives.  The checkpoint digest includes the
+    full measurement recipe; note that journaled wall times are replayed
+    verbatim on ``resume`` (deterministic ticks are, wall clocks are
+    measurements of the original run).
+    """
+
+    name: str
+    repeats: int
+    inject_slowdown: float
+    engine: Optional[str]
+
+    @property
+    def label(self) -> str:
+        return self.name
+
+    def digest(self) -> str:
+        return canonical_digest(
+            self.name,
+            self.repeats,
+            repr(self.inject_slowdown),
+            self.engine or "",
+        )
+
+
+def _run_bench_job(job: _BenchJob) -> BenchResult:
+    return run_scenario(
+        scenario(job.name),
+        repeats=job.repeats,
+        inject_slowdown=job.inject_slowdown,
+        engine=job.engine,
+    )
+
+
 def run_bench(
     names: Optional[Sequence[str]] = None,
     repeats: int = 3,
     inject_slowdown: float = 1.0,
     engine: Optional[str] = None,
+    workers: Optional[int] = 1,
+    executor_policy: Optional[ExecutorPolicy] = None,
+    checkpoint_dir=None,
+    checkpoint_name: Optional[str] = None,
+    resume: bool = False,
 ) -> List[BenchResult]:
+    """Run the selected scenarios through the supervised executor.
+
+    ``workers`` defaults to 1 — wall-clock numbers from scenarios timed
+    concurrently on the same host would contend for CPU and gate
+    unreliably — but the retry/timeout/checkpoint machinery still
+    applies on the serial path (timeouts need ``workers >= 2``).
+    """
     selected = (
         [scenario(n) for n in names] if names else list(SCENARIOS)
     )
-    return [
-        run_scenario(
-            item,
+    jobs = [
+        _BenchJob(
+            name=item.name,
             repeats=repeats,
             inject_slowdown=inject_slowdown,
             engine=engine,
         )
         for item in selected
     ]
+    executor = CampaignExecutor(
+        _run_bench_job,
+        policy=executor_policy,
+        workers=workers,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_name=checkpoint_name,
+        resume=resume,
+    )
+    batch = executor.run(jobs).raise_on_failure(what="bench scenario")
+    return list(batch.results)
 
 
 def baseline_path(name: str, baseline_dir: Union[str, Path]) -> Path:

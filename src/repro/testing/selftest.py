@@ -21,11 +21,17 @@ least one divergence or drift.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import Dict, List, Optional, Union
 
+from repro.analysis.executor import (
+    CampaignExecutor,
+    ExecutorPolicy,
+    canonical_digest,
+)
 from repro.testing.generators import (
     DEFAULT_PROFILE,
     GenerationError,
@@ -43,6 +49,51 @@ from repro.testing.oracles import OracleTolerance, run_differential_oracle
 
 DEFAULT_COUNT = 200
 QUICK_COUNT = 25
+
+
+@dataclass(frozen=True)
+class _FuzzJob:
+    """One seeded generate-and-oracle round, picklable for the executor.
+
+    ``engine`` is the *resolved* oracle engine (the parent folds in
+    ``SEGBUS_ENGINE``) so the checkpoint digest cannot silently replay a
+    result produced under a different kernel.
+    """
+
+    seed: int
+    profile: GeneratorProfile
+    tolerance: OracleTolerance
+    engine: Optional[str]
+
+    @property
+    def label(self) -> str:
+        return f"fuzz#{self.seed}"
+
+    def digest(self) -> str:
+        return canonical_digest(
+            self.seed, self.profile, self.tolerance, self.engine or ""
+        )
+
+
+def _run_fuzz_job(job: _FuzzJob) -> Dict[str, object]:
+    """Generate one model and run the differential oracle (worker-side)."""
+    try:
+        model = generate_model(job.seed, job.profile)
+    except GenerationError as exc:
+        return {"generated": False, "failure": f"[GEN] {exc}"}
+    oracle = run_differential_oracle(
+        model.application,
+        model.platform,
+        tolerance=job.tolerance,
+        label=model.label,
+        engine=job.engine,
+    )
+    return {
+        "generated": True,
+        "checked": oracle.checked,
+        "ok": oracle.ok,
+        "failure": None if oracle.ok else oracle.format(),
+    }
 
 
 @dataclass
@@ -90,6 +141,11 @@ def run_selftest(
     update_golden: bool = False,
     progress=None,
     engine: Optional[str] = None,
+    workers: Optional[int] = None,
+    executor_policy: Optional[ExecutorPolicy] = None,
+    checkpoint_dir=None,
+    checkpoint_name: Optional[str] = None,
+    resume: bool = False,
 ) -> SelftestReport:
     """Run the full conformance selftest; see the module docstring.
 
@@ -98,34 +154,55 @@ def run_selftest(
     store instead of checking it.  ``engine`` names the primary oracle
     engine (default honours ``SEGBUS_ENGINE``) — the ENG-1 check and the
     golden stage cover both engines regardless.
+
+    The fuzz stage runs through the supervised campaign executor:
+    ``workers`` parallelizes the seeds, ``executor_policy`` adds per-seed
+    timeout/retries, and ``checkpoint_dir``/``resume`` journal finished
+    seeds so an interrupted selftest resumes without re-fuzzing — the
+    report aggregates in seed order either way.
     """
     report = SelftestReport()
     started = time.perf_counter()
 
-    for offset in range(count):
-        seed = base_seed + offset
-        try:
-            model = generate_model(seed, profile)
-        except GenerationError as exc:
-            report.failures.append(f"[GEN] {exc}")
+    resolved_engine = engine or os.environ.get("SEGBUS_ENGINE") or None
+    jobs = [
+        _FuzzJob(
+            seed=base_seed + offset,
+            profile=profile,
+            tolerance=tolerance,
+            engine=resolved_engine,
+        )
+        for offset in range(count)
+    ]
+
+    done = 0
+
+    def _tick(_label: str, _outcome: object) -> None:
+        nonlocal done
+        done += 1
+        if progress and done % 50 == 0:
+            progress(f"  ... {done}/{count} models")
+
+    executor = CampaignExecutor(
+        _run_fuzz_job,
+        policy=executor_policy,
+        workers=workers,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_name=checkpoint_name,
+        resume=resume,
+        on_result=_tick if progress else None,
+    )
+    batch = executor.run(jobs).raise_on_failure(what="selftest seed")
+
+    for outcome in batch.results:
+        if not outcome["generated"]:
+            report.failures.append(outcome["failure"])
             continue
         report.models += 1
-        oracle = run_differential_oracle(
-            model.application,
-            model.platform,
-            tolerance=tolerance,
-            label=model.label,
-            engine=engine,
-        )
-        report.checks += oracle.checked
-        if not oracle.ok:
+        report.checks += outcome["checked"]
+        if not outcome["ok"]:
             report.divergent += 1
-            report.failures.append(oracle.format())
-        if progress and (offset + 1) % 50 == 0:
-            progress(
-                f"  ... {offset + 1}/{count} models, "
-                f"{report.divergent} divergent"
-            )
+            report.failures.append(outcome["failure"])
 
     if update_golden:
         entries = update_goldens(models_dir, store_path)

@@ -105,3 +105,52 @@ class TestWorkerFailure:
     def test_healthy_batch_unaffected_by_wrapping(self):
         results = parallel_emulate(make_jobs(), workers=2)
         assert all(isinstance(r, JobResult) for r in results)
+
+    def test_job_error_keeps_partial_results_and_ledger(self):
+        from repro.analysis.parallel import JobError, JobFailure
+
+        jobs = make_jobs() + [make_broken_job()]
+        with pytest.raises(JobError) as excinfo:
+            parallel_emulate(jobs, workers=2)
+        err = excinfo.value
+        # the completed summaries are not discarded any more
+        assert len(err.partial_results) == 4
+        assert all(isinstance(r, JobResult) for r in err.partial_results)
+        (failure,) = err.failures
+        assert isinstance(failure, JobFailure)
+        assert failure.label == "broken"
+        assert failure.attempts >= 1
+        assert failure.error  # exception class name
+        assert failure.traceback_tail
+
+    def test_emulate_batch_degrades_gracefully(self):
+        from repro.analysis.parallel import emulate_batch
+
+        jobs = make_jobs() + [make_broken_job()]
+        batch = emulate_batch(jobs, workers=2)
+        assert not batch.ok
+        assert batch.results[-1] is None
+        assert [r.label for r in batch.results[:-1]] == [
+            "s18", "s36", "s72", "chain"
+        ]
+        assert batch.failures[0].label == "broken"
+
+
+class TestCheckpointedEmulation:
+    def test_resumed_digests_equal_clean_run(self, tmp_path):
+        jobs = make_jobs()
+        clean = parallel_emulate(jobs, workers=2)
+        first = parallel_emulate(
+            jobs,
+            workers=2,
+            checkpoint_dir=tmp_path,
+            checkpoint_name="emu",
+        )
+        resumed = parallel_emulate(
+            jobs,
+            workers=2,
+            checkpoint_dir=tmp_path,
+            checkpoint_name="emu",
+            resume=True,
+        )
+        assert clean == first == resumed  # bit-identical summaries
