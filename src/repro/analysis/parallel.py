@@ -28,6 +28,7 @@ from repro.analysis.executor import (
     BatchResult,
     CampaignExecutor,
     ExecutorPolicy,
+    ExecutorStats,
     JobError,
     JobFailure,
     canonical_digest,
@@ -53,9 +54,11 @@ class EmulationJob:
     """One independent emulation: everything a worker needs, picklable.
 
     ``engine`` picks the simulation kernel; campaigns default to the
-    event-driven fast engine because both engines are tick-for-tick
+    event-driven fast engine because every engine is tick-for-tick
     equivalent (see docs/PERFORMANCE.md) and sweeps are where the
-    speedup compounds.
+    speedup compounds.  Asking for ``batch`` on *every* job of an
+    :func:`emulate_batch` call collapses the whole batch into one
+    vectorized lockstep run.
 
     ``config`` uses a ``default_factory`` (not a shared default
     instance): :class:`EmulationConfig` is frozen, but a factory keeps
@@ -92,8 +95,12 @@ def _run_job(job: EmulationJob) -> JobResult:
     sim = simulation_class(job.engine)(
         job.application, job.spec, job.config
     ).run()
+    return _result_from_sim(job.label, sim)
+
+
+def _result_from_sim(label: str, sim) -> JobResult:
     return JobResult(
-        label=job.label,
+        label=label,
         execution_time_us=fs_to_us(sim.execution_time_fs()),
         total_events=sim.queue.executed,
         ca_tct=sim.ca.counters.tct,
@@ -101,6 +108,50 @@ def _run_job(job: EmulationJob) -> JobResult:
         packages_delivered=sum(
             c.packages_received for c in sim.process_counters.values()
         ),
+    )
+
+
+def _vectorized_batch(jobs: Sequence[EmulationJob]) -> BatchResult:
+    """All-``batch`` jobs collapse into one lockstep vectorized call.
+
+    Compatible jobs (same application/spec/config) share one group and
+    one model construction; a member that dies with a
+    :class:`~repro.errors.SegBusError` (deadlock watchdog, budget stop)
+    becomes its own :class:`JobFailure` ledger entry without poisoning
+    siblings — mirroring the per-process isolation of the executor path.
+    """
+    from repro.emulator.batchkernel import BatchMember, run_batch
+
+    members = [
+        BatchMember(
+            label=job.label,
+            application=job.application,
+            spec=job.spec,
+            config=job.config,
+        )
+        for job in jobs
+    ]
+    run = run_batch(members)
+    results: List[Optional[JobResult]] = []
+    failures: List[JobFailure] = []
+    for job, outcome in zip(jobs, run.outcomes):
+        if outcome.error is not None:
+            results.append(None)
+            failures.append(
+                JobFailure(
+                    label=job.label,
+                    attempts=1,
+                    kind="error",
+                    error=type(outcome.error).__name__,
+                    message=str(outcome.error),
+                )
+            )
+        else:
+            results.append(_result_from_sim(job.label, outcome.sim))
+    return BatchResult(
+        results=tuple(results),
+        failures=tuple(failures),
+        stats=ExecutorStats(attempts=len(jobs)),
     )
 
 
@@ -120,7 +171,22 @@ def emulate_batch(
     (``None`` at failed positions), the structured failure ledger, and
     supervision stats.  ``checkpoint_dir`` enables the crash-safe
     journal; ``resume`` replays it and re-runs only the missing jobs.
+
+    When *every* job asks for the ``batch`` engine and checkpointing is
+    off, the batch collapses into one vectorized lockstep call
+    (:func:`repro.emulator.batchkernel.run_batch`) instead of N
+    process-pool jobs — per-job results are identical because the
+    engines are tick-for-tick equivalent (ENG-1).  With
+    ``checkpoint_dir``/``resume`` the supervised per-job path is kept so
+    journal semantics stay unchanged.
     """
+    if (
+        jobs
+        and all(job.engine == "batch" for job in jobs)
+        and checkpoint_dir is None
+        and not resume
+    ):
+        return _vectorized_batch(jobs)
     executor = CampaignExecutor(
         _run_job,
         policy=policy,

@@ -32,6 +32,7 @@ from repro.analysis.executor import (
 )
 from repro.emulator.config import EmulationConfig
 from repro.emulator.emulator import SegBusEmulator
+from repro.emulator.fastkernel import resolve_engine
 from repro.errors import FaultConfigError, SegBusError
 from repro.faults.model import KIND_CORRUPTION, TRANSIENT_KINDS, FaultPlan
 from repro.faults.policy import RetryPolicy
@@ -162,6 +163,7 @@ class _ReliabilityJob:
     stall_ticks: int
     retry_policy: RetryPolicy
     config: Optional[EmulationConfig] = field(default=None)
+    engine: Optional[str] = field(default=None)
 
     def digest(self) -> str:
         return canonical_digest(
@@ -173,6 +175,7 @@ class _ReliabilityJob:
             self.stall_ticks,
             self.retry_policy,
             self.config,
+            self.engine or "",
         )
 
 
@@ -197,9 +200,14 @@ def _run_reliability_job(job: _ReliabilityJob) -> Dict[str, object]:
             config=job.config,
             fault_plan=plan,
             retry_policy=job.retry_policy,
-        ).run()
+        ).run(engine=job.engine)
     except SegBusError:
         return {"status": "failed"}
+    return _report_outcome(report)
+
+
+def _report_outcome(report) -> Dict[str, object]:
+    """The per-run measurement dict, shared by the executor and batch paths."""
     return {
         "status": "degraded" if report.degraded else "completed",
         "time_us": report.execution_time_us,
@@ -209,6 +217,69 @@ def _run_reliability_job(job: _ReliabilityJob) -> Dict[str, object]:
             report.fault_summary["total"] if report.fault_summary else 0
         ),
     }
+
+
+def _vectorized_sweep(
+    application: PSDFGraph,
+    platform: SegBusPlatform,
+    rates: Sequence[float],
+    kind: str,
+    seeds: Sequence[int],
+    policy: RetryPolicy,
+    config: Optional[EmulationConfig],
+    stall_ticks: int,
+) -> Tuple[float, Dict[str, Dict[str, object]]]:
+    """Run the whole (rate, seed) grid as one lockstep mega-batch.
+
+    One model construction is shared by every point, the batch kernel
+    groups the grid into a single compatibility group, and low-rate
+    members whose fault streams provably never fire are cloned from the
+    group's reference run instead of being re-simulated — this is where
+    the sweep's aggregate-throughput win comes from on a single core.
+    The fault-free baseline rides along as the first member (under the
+    *default* retry policy, exactly like the executor path's baseline).
+    A member whose emulation raises :class:`~repro.errors.SegBusError`
+    is a *failed* measurement, not an infrastructure failure, and does
+    not poison its siblings.
+    """
+    from repro.emulator.batchkernel import BatchMember, run_batch
+
+    emulator = SegBusEmulator.from_models(application, platform, config=config)
+    members = [
+        BatchMember(
+            label="baseline",
+            application=emulator.application,
+            spec=emulator.spec,
+            config=config,
+        )
+    ]
+    for rate in rates:
+        for seed in seeds:
+            members.append(
+                BatchMember(
+                    label=f"{kind}@{rate:g}#s{seed}",
+                    application=emulator.application,
+                    spec=emulator.spec,
+                    config=config,
+                    fault_plan=FaultPlan.transient(
+                        seed=seed,
+                        stall_ticks=stall_ticks,
+                        **{_RATE_KW[kind]: rate},
+                    ),
+                    retry_policy=policy,
+                )
+            )
+    run = run_batch(members)
+    base = run.outcomes[0]
+    if base.error is not None:
+        raise base.error
+    outcomes: Dict[str, Dict[str, object]] = {}
+    for outcome in run.outcomes[1:]:
+        if outcome.error is not None:
+            outcomes[outcome.label] = {"status": "failed"}
+        else:
+            outcomes[outcome.label] = _report_outcome(outcome.report)
+    return base.report.execution_time_us, outcomes
 
 
 def reliability_sweep(
@@ -225,6 +296,7 @@ def reliability_sweep(
     checkpoint_dir=None,
     checkpoint_name: Optional[str] = None,
     resume: bool = False,
+    engine: Optional[str] = None,
 ) -> ReliabilityCurve:
     """Sweep ``kind`` fault rates over a seed population.
 
@@ -235,7 +307,16 @@ def reliability_sweep(
     *completed*.  The fault-free baseline is emulated once for the
     overhead column.
 
-    The grid runs through the supervised campaign executor
+    ``engine`` picks the simulation kernel (default honours
+    ``SEGBUS_ENGINE``).  With the ``batch`` engine and no checkpointing,
+    the whole grid runs as *one* vectorized lockstep batch
+    (:func:`repro.emulator.batchkernel.run_batch`) instead of N
+    process-pool jobs; the aggregated curve is byte-identical to the
+    per-job path because every engine is tick-for-tick equivalent
+    (ENG-1).  With ``checkpoint_dir``/``resume`` the per-job executor
+    path is used regardless, so journaling semantics stay unchanged.
+
+    The grid otherwise runs through the supervised campaign executor
     (:mod:`repro.analysis.executor`): ``workers`` parallelizes it,
     ``executor_policy`` sets per-job timeout/retries, and
     ``checkpoint_dir``/``resume`` journal completed points so an
@@ -248,36 +329,44 @@ def reliability_sweep(
             f"(expected one of {sorted(TRANSIENT_KINDS)})"
         )
     policy = retry_policy or RetryPolicy(on_exhaustion="degrade")
-    baseline = SegBusEmulator.from_models(
-        application, platform, config=config
-    ).run()
-    baseline_us = baseline.execution_time_us
-
-    jobs = [
-        _ReliabilityJob(
-            label=f"{kind}@{rate:g}#s{seed}",
-            application=application,
-            platform=platform,
-            kind=kind,
-            rate=rate,
-            seed=seed,
-            stall_ticks=stall_ticks,
-            retry_policy=policy,
-            config=config,
+    resolved = resolve_engine(engine)
+    if resolved == "batch" and checkpoint_dir is None and not resume:
+        baseline_us, outcomes = _vectorized_sweep(
+            application, platform, rates, kind, seeds, policy, config,
+            stall_ticks,
         )
-        for rate in rates
-        for seed in seeds
-    ]
-    executor = CampaignExecutor(
-        _run_reliability_job,
-        policy=executor_policy,
-        workers=workers,
-        checkpoint_dir=checkpoint_dir,
-        checkpoint_name=checkpoint_name,
-        resume=resume,
-    )
-    batch = executor.run(jobs).raise_on_failure(what="reliability job")
-    outcomes = dict(zip((job.label for job in jobs), batch.results))
+    else:
+        baseline = SegBusEmulator.from_models(
+            application, platform, config=config
+        ).run(engine=resolved)
+        baseline_us = baseline.execution_time_us
+
+        jobs = [
+            _ReliabilityJob(
+                label=f"{kind}@{rate:g}#s{seed}",
+                application=application,
+                platform=platform,
+                kind=kind,
+                rate=rate,
+                seed=seed,
+                stall_ticks=stall_ticks,
+                retry_policy=policy,
+                config=config,
+                engine=resolved,
+            )
+            for rate in rates
+            for seed in seeds
+        ]
+        executor = CampaignExecutor(
+            _run_reliability_job,
+            policy=executor_policy,
+            workers=workers,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_name=checkpoint_name,
+            resume=resume,
+        )
+        batch = executor.run(jobs).raise_on_failure(what="reliability job")
+        outcomes = dict(zip((job.label for job in jobs), batch.results))
 
     points: List[ReliabilityPoint] = []
     for rate in rates:

@@ -278,6 +278,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         kind=args.kind,
         seeds=tuple(range(1, args.seeds + 1)),
         retry_policy=policy,
+        engine=args.engine,
         **_executor_kwargs(args),
     )
     print(
@@ -487,10 +488,11 @@ def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
         "--engine",
         default=None,
         choices=list(ENGINE_NAMES),
-        help="simulation kernel: 'stepped' (cycle-stepped reference) or "
-        "'fast' (event-driven, tick-for-tick equivalent); default honours "
-        "SEGBUS_ENGINE (see docs/PERFORMANCE.md). For bench, omitting it "
-        "times both engines and records the speedup.",
+        help="simulation kernel: 'stepped' (cycle-stepped reference), "
+        "'fast' (event-driven) or 'batch' (vectorized lockstep batches), "
+        "all tick-for-tick equivalent; default honours SEGBUS_ENGINE "
+        "(see docs/PERFORMANCE.md). For bench, omitting it times every "
+        "engine and records the speedups.",
     )
 
 
@@ -651,6 +653,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--plan-xml", default="",
         help="also write the worst-case fault plan as an XML scheme",
     )
+    _add_engine_flag(flt)
     _add_executor_flags(flt)
     flt.set_defaults(func=_cmd_faults)
 

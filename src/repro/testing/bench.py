@@ -17,14 +17,26 @@ CI without pytest plugins.  Each scenario reports two things:
   ``--no-wall`` skips the gate entirely for heterogeneous CI runners.
 
 Emulation scenarios are *engine-aware* (see docs/PERFORMANCE.md): by
-default each one is timed under both the cycle-stepped reference kernel
-and the event-driven fast kernel, the tick counters are asserted
-exact-equal across engines at run time, and the result records a
-per-engine median plus a **speedup** ratio (stepped / fast).  Scenarios
-may pin a ``speedup_min`` (``mp3_2seg_emulate`` demands ≥3x) which
-``--check`` gates even under ``--no-wall`` — the ratio is taken on one
-host, so it is far more machine-independent than absolute wall time.
-``--engine`` restricts the measurement to a single engine (no speedup).
+default each one is timed under every kernel — the cycle-stepped
+reference, the event-driven fast kernel and the vectorized batch kernel
+— the tick counters are asserted exact-equal across engines at run
+time, and the result records a per-engine median plus **speedup** ratios
+(stepped/fast and stepped/batch).  Scenarios may pin a ``speedup_min``
+(``mp3_2seg_emulate`` demands ≥3x fast) and/or a ``speedup_min_batch``
+(``faults_sweep`` demands ≥5x batch) which ``--check`` gates even under
+``--no-wall`` — the ratios are taken on one host, so they are far more
+machine-independent than absolute wall time.  ``--engine`` restricts
+the measurement to a single engine (no speedups).
+
+Since baseline **v3** each engine-aware result also records, per
+engine: **throughput** (models/sec = ``models_per_round`` over the
+median round), **tick-jitter percentiles** (p50/p90/p99 of the
+per-round walls — how much identical deterministic rounds wobble on the
+host), and the **peak traced memory** of one untimed round
+(``tracemalloc``, KiB) — see docs/TESTING.md.  The ``faults_sweep``
+scenario runs a whole reliability grid per engine, which is where the
+batch kernel's aggregate-throughput win (one model construction, one
+lockstep group, zero-hit cloning) is measured and gated.
 
 Baselines live in ``benchmarks/baselines/BENCH_<scenario>.json`` and are
 (re)written by ``segbus bench --update``.  ``--inject-slowdown N`` is a
@@ -37,6 +49,7 @@ from __future__ import annotations
 
 import json
 import time
+import tracemalloc
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -58,7 +71,7 @@ from repro.emulator.kernel import PlatformSpec
 from repro.errors import SegBusError
 from repro.units import fs_to_ps
 
-BASELINE_VERSION = 2
+BASELINE_VERSION = 3
 DEFAULT_BASELINE_DIR = Path("benchmarks") / "baselines"
 #: wall-clock gate: measured may be at most this multiple of the baseline
 DEFAULT_WALL_RATIO_MAX = 1.5
@@ -74,7 +87,10 @@ class BenchScenario:
     and the speedup ratio measure the simulation kernels themselves, not
     XML parsing or platform construction.  The runner asserts the
     returned ticks are exact-equal across engines.  ``speedup_min`` pins
-    a minimum stepped/fast ratio enforced by :func:`check_bench`.
+    a minimum stepped/fast ratio and ``speedup_min_batch`` a minimum
+    stepped/batch ratio, both enforced by :func:`check_bench`.
+    ``models_per_round`` is how many model instances one round of the
+    thunk simulates — the denominator of the throughput metric.
     """
 
     name: str
@@ -82,6 +98,8 @@ class BenchScenario:
     run: Callable[[], Dict[str, int]]
     prepare: Optional[Callable[[str], Callable[[], Dict[str, int]]]] = None
     speedup_min: Optional[float] = None
+    speedup_min_batch: Optional[float] = None
+    models_per_round: int = 1
 
 
 @dataclass(frozen=True)
@@ -90,7 +108,12 @@ class BenchResult:
 
     ``engine_wall_ms`` maps engine name to its median wall time (empty
     for scenarios without an engine dimension); ``speedup`` is the
-    stepped-median / fast-median ratio when both engines were measured.
+    stepped-median / fast-median ratio and ``batch_speedup`` the
+    stepped-median / batch-median ratio, when the engines involved were
+    measured.  Since v3, three per-engine metric maps ride along:
+    ``throughput_models_per_s`` (models simulated per second of median
+    round), ``jitter_ms`` (p50/p90/p99 of the per-round walls) and
+    ``peak_mem_kb`` (tracemalloc peak of one untimed round, KiB).
     """
 
     name: str
@@ -100,6 +123,10 @@ class BenchResult:
     repeats: int
     engine_wall_ms: Dict[str, float] = field(default_factory=dict)
     speedup: Optional[float] = None
+    batch_speedup: Optional[float] = None
+    throughput_models_per_s: Dict[str, float] = field(default_factory=dict)
+    jitter_ms: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    peak_mem_kb: Dict[str, int] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -115,6 +142,20 @@ class BenchResult:
             "speedup": (
                 round(self.speedup, 2) if self.speedup is not None else None
             ),
+            "batch_speedup": (
+                round(self.batch_speedup, 2)
+                if self.batch_speedup is not None
+                else None
+            ),
+            "throughput_models_per_s": {
+                k: round(v, 2)
+                for k, v in sorted(self.throughput_models_per_s.items())
+            },
+            "jitter_ms": {
+                engine: {p: round(v, 3) for p, v in sorted(pcts.items())}
+                for engine, pcts in sorted(self.jitter_ms.items())
+            },
+            "peak_mem_kb": dict(sorted(self.peak_mem_kb.items())),
         }
 
 
@@ -215,6 +256,63 @@ def _mp3_package_sweep(engine: str = "fast") -> Dict[str, int]:
     return _sweep_prepare(engine)()
 
 
+#: the faults-sweep grid: 4 rates x 12 seeds + the fault-free baseline.
+#: Low rates are the realistic regime *and* the one the batch kernel's
+#: zero-hit clone path accelerates hardest — most members provably draw
+#: no fault and are cloned from the group's reference run.
+_FAULTS_SWEEP_RATES = (0.0, 0.0001, 0.0002, 0.0005)
+_FAULTS_SWEEP_SEEDS = tuple(range(1, 13))
+FAULTS_SWEEP_MODELS = (
+    len(_FAULTS_SWEEP_RATES) * len(_FAULTS_SWEEP_SEEDS) + 1
+)
+
+
+def _faults_sweep_prepare(engine: str) -> Callable[[], Dict[str, int]]:
+    """A whole reliability grid per round — the aggregate-throughput bench.
+
+    The stepped/fast engines run the grid the way ``segbus faults``
+    would (one in-process emulation per point, model construction
+    included); the batch engine collapses it into one vectorized
+    lockstep call.  The ticks pin the aggregated curve itself — counts
+    per status plus every mean execution time at nanosecond granularity
+    — so a batch-kernel shortcut that changed any measurement would trip
+    the cross-engine equality assert, not just the baseline.
+    """
+    from repro.analysis.reliability import reliability_sweep
+
+    application = mp3_decoder_psdf()
+    platform = paper_platform(2, package_size=8)
+
+    def run() -> Dict[str, int]:
+        curve = reliability_sweep(
+            application,
+            platform,
+            rates=_FAULTS_SWEEP_RATES,
+            seeds=_FAULTS_SWEEP_SEEDS,
+            engine=engine,
+            workers=1,
+        )
+        ticks: Dict[str, int] = {
+            "completed": sum(p.completed for p in curve.points),
+            "degraded": sum(p.degraded for p in curve.points),
+            "failed": sum(p.failed for p in curve.points),
+            "baseline_ns": int(
+                round(curve.baseline_execution_time_us * 1000)
+            ),
+        }
+        for point in curve.points:
+            ticks[f"r{point.rate:g}_mean_ns"] = int(
+                round(point.mean_execution_time_us * 1000)
+            )
+        return ticks
+
+    return run
+
+
+def _faults_sweep(engine: str = "fast") -> Dict[str, int]:
+    return _faults_sweep_prepare(engine)()
+
+
 def _random_oracle_batch() -> Dict[str, int]:
     from repro.testing.generators import generate_models
     from repro.testing.oracles import run_differential_oracle
@@ -268,6 +366,14 @@ SCENARIOS: Tuple[BenchScenario, ...] = (
         prepare=_sweep_prepare,
     ),
     BenchScenario(
+        "faults_sweep",
+        "MP3 two-segment reliability grid (4 rates x 12 seeds + baseline)",
+        _faults_sweep,
+        prepare=_faults_sweep_prepare,
+        speedup_min_batch=5.0,
+        models_per_round=FAULTS_SWEEP_MODELS,
+    ),
+    BenchScenario(
         "random_oracle_batch",
         "20 generated models through the differential oracle",
         _random_oracle_batch,
@@ -305,6 +411,27 @@ def _time_runs(
     return ticks, walls
 
 
+def _percentiles(walls: Sequence[float]) -> Dict[str, float]:
+    """Nearest-rank p50/p90/p99 of the per-round walls (jitter profile)."""
+    ordered = sorted(walls)
+    out: Dict[str, float] = {}
+    for q in (50, 90, 99):
+        rank = max(0, min(len(ordered) - 1, -(-q * len(ordered) // 100) - 1))
+        out[f"p{q}"] = ordered[rank]
+    return out
+
+
+def _traced_peak_kb(run: Callable[[], Dict[str, int]]) -> int:
+    """Peak traced allocation of one (untimed) round, in KiB."""
+    tracemalloc.start()
+    try:
+        run()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return int(peak // 1024)
+
+
 def run_scenario(
     item: BenchScenario,
     repeats: int = 3,
@@ -313,13 +440,16 @@ def run_scenario(
 ) -> BenchResult:
     """Run one scenario ``repeats`` times; keep ticks, best and median wall.
 
-    Engine-aware scenarios are timed once per engine (both by default,
-    a single one when ``engine`` names it); their tick counters must be
-    exact-equal across engines or the run itself fails.  The headline
-    ``wall_ms``/``wall_median_ms`` pair reports the *fast* engine (the
-    default execution path); the stepped walls live in
-    ``engine_wall_ms``.  ``inject_slowdown`` scales every engine's wall
-    uniformly so the gate trips regardless of which engine feeds it.
+    Engine-aware scenarios are timed once per engine (every engine by
+    default, a single one when ``engine`` names it); their tick counters
+    must be exact-equal across engines or the run itself fails.  The
+    headline ``wall_ms``/``wall_median_ms`` pair reports the *fast*
+    engine (the default execution path); the other engines' walls live
+    in ``engine_wall_ms``.  The warm-up round doubles as the memory
+    round: it runs untimed under ``tracemalloc`` and records the peak.
+    ``inject_slowdown`` scales every engine's wall uniformly so the wall
+    gate trips regardless of which engine feeds it (the speedup ratios,
+    taken per round, are invariant to a uniform factor by design).
     """
     repeats = max(1, repeats)
     factor = max(inject_slowdown, 0.0)
@@ -336,11 +466,13 @@ def run_scenario(
     runners = {name: item.prepare(name) for name in engines}
     ticks_by: Dict[str, Dict[str, int]] = {}
     raw_walls: Dict[str, List[float]] = {name: [] for name in engines}
-    for name in engines:
-        ticks_by[name] = runners[name]()  # untimed warm-up round
+    peak_mem_kb: Dict[str, int] = {}
+    for name in engines:  # untimed warm-up round, traced for peak memory
+        peak_mem_kb[name] = _traced_peak_kb(runners[name])
+        ticks_by[name] = runners[name]()
     # interleave the engines round by round: host-load episodes (CPU
-    # scaling, noisy neighbours) then hit both engines alike, so the
-    # per-round ratio stays meaningful even when absolute walls jitter
+    # scaling, noisy neighbours) then hit every engine alike, so the
+    # per-round ratios stay meaningful even when absolute walls jitter
     for _ in range(repeats):
         for name in engines:
             start = time.perf_counter()
@@ -355,20 +487,23 @@ def run_scenario(
                 f"{ticks_by[name]} (the engines must be tick-for-tick "
                 "equivalent; run `segbus selftest` to localize)"
             )
+
+    def _ratio(numer: str, denom: str) -> Optional[float]:
+        if numer not in raw_walls or denom not in raw_walls:
+            return None
+        ratios = sorted(
+            n / d
+            for n, d in zip(raw_walls[numer], raw_walls[denom])
+            if d > 0
+        )
+        return ratios[len(ratios) // 2] if ratios else None
+
     primary = "fast" if "fast" in raw_walls else engines[0]
     walls = sorted(raw_walls[primary])
     engine_wall_ms = {
         name: sorted(times)[len(times) // 2] * factor
         for name, times in raw_walls.items()
     }
-    speedup = None
-    if "fast" in raw_walls and "stepped" in raw_walls:
-        ratios = sorted(
-            s / f
-            for s, f in zip(raw_walls["stepped"], raw_walls["fast"])
-            if f > 0
-        )
-        speedup = ratios[len(ratios) // 2] if ratios else None
     return BenchResult(
         name=item.name,
         ticks=reference,
@@ -376,7 +511,18 @@ def run_scenario(
         wall_median_ms=walls[len(walls) // 2] * factor,
         repeats=repeats,
         engine_wall_ms=engine_wall_ms,
-        speedup=speedup,
+        speedup=_ratio("stepped", "fast"),
+        batch_speedup=_ratio("stepped", "batch"),
+        throughput_models_per_s={
+            name: item.models_per_round * 1e3 / median
+            for name, median in engine_wall_ms.items()
+            if median > 0
+        },
+        jitter_ms={
+            name: {p: v * factor for p, v in _percentiles(times).items()}
+            for name, times in raw_walls.items()
+        },
+        peak_mem_kb=peak_mem_kb,
     )
 
 
@@ -494,6 +640,7 @@ def load_baseline(name: str, baseline_dir: Union[str, Path]) -> BenchResult:
             f"baseline {path}: unsupported version {data.get('version')!r}"
         )
     speedup = data.get("speedup")
+    batch_speedup = data.get("batch_speedup")
     return BenchResult(
         name=str(data["name"]),
         ticks={str(k): int(v) for k, v in dict(data["ticks"]).items()},
@@ -505,6 +652,21 @@ def load_baseline(name: str, baseline_dir: Union[str, Path]) -> BenchResult:
             for k, v in dict(data.get("engine_wall_ms", {})).items()
         },
         speedup=float(speedup) if speedup is not None else None,
+        batch_speedup=(
+            float(batch_speedup) if batch_speedup is not None else None
+        ),
+        throughput_models_per_s={
+            str(k): float(v)
+            for k, v in dict(data.get("throughput_models_per_s", {})).items()
+        },
+        jitter_ms={
+            str(engine): {str(p): float(v) for p, v in dict(pcts).items()}
+            for engine, pcts in dict(data.get("jitter_ms", {})).items()
+        },
+        peak_mem_kb={
+            str(k): int(v)
+            for k, v in dict(data.get("peak_mem_kb", {})).items()
+        },
     )
 
 
@@ -535,20 +697,27 @@ def check_bench(
                     "`segbus bench --update`)"
                 )
         try:
-            speedup_min = scenario(result.name).speedup_min
+            item = scenario(result.name)
+            speedup_min = item.speedup_min
+            speedup_min_batch = item.speedup_min_batch
         except SegBusError:  # pragma: no cover - results come from the registry
-            speedup_min = None
-        if speedup_min is not None:
-            if result.speedup is None:
+            speedup_min = speedup_min_batch = None
+        for gate_min, measured, kernel in (
+            (speedup_min, result.speedup, "fast"),
+            (speedup_min_batch, result.batch_speedup, "batch"),
+        ):
+            if gate_min is None:
+                continue
+            if measured is None:
                 check.notes.append(
-                    f"{result.name}: speedup gate (≥{speedup_min}x) skipped — "
-                    "run without --engine to time both engines"
+                    f"{result.name}: {kernel} speedup gate (≥{gate_min}x) "
+                    "skipped — run without --engine to time every engine"
                 )
-            elif result.speedup < speedup_min:
+            elif measured < gate_min:
                 check.failures.append(
-                    f"{result.name}: fast engine speedup {result.speedup:.2f}x "
-                    f"below the pinned minimum {speedup_min}x "
-                    "(fast-kernel perf regression)"
+                    f"{result.name}: {kernel} engine speedup {measured:.2f}x "
+                    f"below the pinned minimum {gate_min}x "
+                    f"({kernel}-kernel perf regression)"
                 )
         if not check_wall:
             continue
@@ -572,7 +741,9 @@ def check_bench(
 
 
 def format_results(results: Sequence[BenchResult]) -> str:
-    lines = [f"{'scenario':<24} {'wall_ms':>10} {'speedup':>8}  ticks"]
+    lines = [
+        f"{'scenario':<24} {'wall_ms':>10} {'speedup':>8} {'batch':>8}  ticks"
+    ]
     for result in results:
         ticks = ", ".join(
             f"{k}={v}" for k, v in sorted(result.ticks.items())
@@ -580,7 +751,13 @@ def format_results(results: Sequence[BenchResult]) -> str:
         speedup = (
             f"{result.speedup:.2f}x" if result.speedup is not None else "-"
         )
+        batch = (
+            f"{result.batch_speedup:.2f}x"
+            if result.batch_speedup is not None
+            else "-"
+        )
         lines.append(
-            f"{result.name:<24} {result.wall_ms:>10.1f} {speedup:>8}  {ticks}"
+            f"{result.name:<24} {result.wall_ms:>10.1f} {speedup:>8} "
+            f"{batch:>8}  {ticks}"
         )
     return "\n".join(lines)

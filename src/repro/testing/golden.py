@@ -38,7 +38,7 @@ DEFAULT_MODELS_DIR = Path("examples") / "models"
 DEFAULT_STORE = (
     Path("tests") / "integration" / "golden" / "trace_digests.json"
 )
-STORE_VERSION = 1
+STORE_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -139,8 +139,8 @@ def measure_pair(
 ) -> GoldenEntry:
     """Emulate one pair with a tracer and digest everything.
 
-    ``engine`` picks the simulation kernel; both engines are pinned
-    against the *same* store entries, so drift in either one trips the
+    ``engine`` picks the simulation kernel; every engine is pinned
+    against the *same* store entries, so drift in any one trips the
     same check.
     """
     application = parse_psdf_xml(
@@ -182,6 +182,7 @@ def write_store(
     target.parent.mkdir(parents=True, exist_ok=True)
     payload = {
         "version": STORE_VERSION,
+        "engines": list(ENGINE_NAMES),
         "entries": {
             key: entries[key].to_dict() for key in sorted(entries)
         },
@@ -196,11 +197,24 @@ def update_goldens(
     models_dir: Union[str, Path] = DEFAULT_MODELS_DIR,
     store_path: Union[str, Path] = DEFAULT_STORE,
 ) -> Dict[str, GoldenEntry]:
-    """Re-measure every pair and (re)write the store — the intentional path."""
-    entries = {
-        key: measure_pair(psdf, psm, key)
-        for key, psdf, psm in discover_pairs(models_dir)
-    }
+    """Re-measure every pair and (re)write the store — the intentional path.
+
+    Pinning refuses to proceed if the engines disagree with each other:
+    a store written from a divergent matrix would silently bless exactly
+    the bug ENG-1 exists to catch.
+    """
+    entries: Dict[str, GoldenEntry] = {}
+    for key, psdf, psm in discover_pairs(models_dir):
+        entries[key] = measure_pair(psdf, psm, key)
+        for engine in ENGINE_NAMES[1:]:
+            drift = _diff_entry(
+                entries[key], measure_pair(psdf, psm, key, engine=engine)
+            )
+            if drift:
+                raise SegBusError(
+                    f"refusing to pin {key}: the {engine} engine diverges "
+                    f"from {ENGINE_NAMES[0]}:\n{drift}"
+                )
     if not entries:
         raise SegBusError(f"no (psdf, psm) pairs found under {models_dir}")
     write_store(entries, store_path)
@@ -258,7 +272,8 @@ def check_goldens(
 
     The store holds a single set of digests per pair; every engine in
     ``engines`` must reproduce them exactly, so the same pins catch drift
-    in the stepped kernel, the fast kernel, or both.
+    in the stepped kernel, the fast kernel, the batch kernel, or any
+    combination — the matrix is pairs x engines.
     """
     store = load_store(store_path)
     check = GoldenCheck()

@@ -22,12 +22,13 @@ independent directions and fails loudly on any divergence:
   equal the outgoing package count; per BU pair the crossing count matches
   the mapped schedule exactly (``CONS-*``).
 
-* **ENG — engine equivalence.**  The same model runs through *both*
-  simulation engines (the cycle-stepped reference and the event-driven
-  fast kernel, see docs/PERFORMANCE.md) and the trace, timeline and
-  report digests plus the executed event count must be byte-identical
-  (``ENG-1``) — the fast kernel is only allowed constant-factor
-  optimizations, never observable ones.
+* **ENG — engine equivalence.**  The same model runs through *every*
+  simulation engine (the cycle-stepped reference, the event-driven fast
+  kernel and the vectorized batch kernel, see docs/PERFORMANCE.md) and
+  the trace, timeline and report digests plus the executed event count
+  must be byte-identical across the whole matrix (``ENG-1``) — the
+  derived kernels are only allowed constant-factor optimizations, never
+  observable ones.
 
 On top, the protocol conformance checker
 (:func:`repro.emulator.conformance.check_conformance`) runs with a live
@@ -160,33 +161,36 @@ def _check_engine_equivalence(
     primary: str,
     report: OracleReport,
 ) -> None:
-    """ENG-1: the other engine must reproduce the run byte-for-byte."""
-    report.checked += 1
-    other = next(n for n in ENGINE_NAMES if n != primary)
-    other_tracer = Tracer()
-    other_sim = simulation_class(other)(
-        sim.application, spec, config, tracer=other_tracer
-    ).run()
+    """ENG-1: every other engine must reproduce the run byte-for-byte."""
     mine = build_report(sim)
-    theirs = build_report(other_sim)
-    for name, a, b in (
-        ("trace", tracer.digest(), other_tracer.digest()),
-        ("timeline", mine.timeline.digest(), theirs.timeline.digest()),
-        ("report", mine.digest(), theirs.digest()),
-    ):
-        if a != b:
+    for other in ENGINE_NAMES:
+        if other == primary:
+            continue
+        report.checked += 1
+        other_tracer = Tracer()
+        other_sim = simulation_class(other)(
+            sim.application, spec, config, tracer=other_tracer
+        ).run()
+        theirs = build_report(other_sim)
+        for name, a, b in (
+            ("trace", tracer.digest(), other_tracer.digest()),
+            ("timeline", mine.timeline.digest(), theirs.timeline.digest()),
+            ("report", mine.digest(), theirs.digest()),
+        ):
+            if a != b:
+                report.add(
+                    "ENG-1",
+                    f"{name} digest diverges between the {primary} and "
+                    f"{other} engines ({a[:12]}… != {b[:12]}…): the engines "
+                    "must be tick-for-tick equivalent",
+                )
+        if sim.queue.executed != other_sim.queue.executed:
             report.add(
                 "ENG-1",
-                f"{name} digest diverges between the {primary} and {other} "
-                f"engines ({a[:12]}… != {b[:12]}…): the engines must be "
-                "tick-for-tick equivalent",
+                f"executed event counts diverge: {primary} ran "
+                f"{sim.queue.executed}, {other} ran "
+                f"{other_sim.queue.executed}",
             )
-    if sim.queue.executed != other_sim.queue.executed:
-        report.add(
-            "ENG-1",
-            f"executed event counts diverge: {primary} ran "
-            f"{sim.queue.executed}, {other} ran {other_sim.queue.executed}",
-        )
 
 
 # ---------------------------------------------------------------------------

@@ -6,12 +6,12 @@ Two stages, both deterministic:
    models (:mod:`repro.testing.generators`) and push each through the
    differential oracle (:mod:`repro.testing.oracles`).  Any violation of
    the analytic bounds, the total-time law, TCT monotonicity, package
-   conservation, engine equivalence (ENG-1 runs every model through both
-   the stepped and the fast kernel and compares digests), or protocol
+   conservation, engine equivalence (ENG-1 runs every model through the
+   stepped, fast *and* batch kernels and compares digests), or protocol
    conformance fails the selftest with the model's seed (re-run
    ``generate_model(seed)`` to reproduce it alone).
 2. **Golden traces** — re-emulate every ``examples/models/`` pair with
-   *both* engines and compare trace/timeline/report digests against the
+   *every* engine and compare trace/timeline/report digests against the
    pinned store (:mod:`repro.testing.golden`).
 
 The default ``count`` is 200 (the conformance bar); ``--quick`` drops to
@@ -153,7 +153,7 @@ def run_selftest(
     lines (the CLI passes ``print``); ``update_golden`` re-pins the golden
     store instead of checking it.  ``engine`` names the primary oracle
     engine (default honours ``SEGBUS_ENGINE``) — the ENG-1 check and the
-    golden stage cover both engines regardless.
+    golden stage cover every engine regardless.
 
     The fuzz stage runs through the supervised campaign executor:
     ``workers`` parallelizes the seeds, ``executor_policy`` adds per-seed

@@ -154,3 +154,54 @@ class TestCheckpointedEmulation:
             resume=True,
         )
         assert clean == first == resumed  # bit-identical summaries
+
+
+class TestVectorizedBatchPath:
+    """All-``batch`` jobs collapse into one lockstep run (no pool)."""
+
+    def _as_engine(self, engine):
+        return [
+            EmulationJob(
+                label=job.label,
+                application=job.application,
+                spec=job.spec,
+                config=job.config,
+                engine=engine,
+            )
+            for job in make_jobs()
+        ]
+
+    def test_vectorized_results_equal_executor_path(self):
+        from repro.analysis.parallel import emulate_batch
+
+        fast = emulate_batch(self._as_engine("fast"), workers=1)
+        batch = emulate_batch(self._as_engine("batch"), workers=1)
+        assert fast.ok and batch.ok
+        assert tuple(fast.results) == tuple(batch.results)
+        assert batch.stats.attempts == len(fast.results)
+
+    def test_mixed_engines_use_the_executor_path(self):
+        from repro.analysis.parallel import emulate_batch
+
+        jobs = self._as_engine("batch")
+        jobs[0] = EmulationJob(
+            label=jobs[0].label,
+            application=jobs[0].application,
+            spec=jobs[0].spec,
+            config=jobs[0].config,
+            engine="fast",
+        )
+        # one non-batch job disables the vectorized collapse; results
+        # are identical anyway because the engines are equivalent
+        mixed = emulate_batch(jobs, workers=1)
+        pure = emulate_batch(self._as_engine("fast"), workers=1)
+        assert tuple(mixed.results) == tuple(pure.results)
+
+    def test_checkpointing_keeps_the_supervised_path(self, tmp_path):
+        from repro.analysis.parallel import emulate_batch
+
+        jobs = self._as_engine("batch")
+        journaled = emulate_batch(jobs, workers=1, checkpoint_dir=tmp_path)
+        direct = emulate_batch(jobs, workers=1)
+        assert tuple(journaled.results) == tuple(direct.results)
+        assert list(tmp_path.iterdir()), "checkpoint journal was not written"

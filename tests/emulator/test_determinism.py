@@ -26,9 +26,11 @@ REPO_ROOT = Path(__file__).resolve().parents[2]
 
 _DIGEST_SCRIPT = """
 from repro.apps.mp3 import mp3_decoder_psdf, paper_platform
+from repro.emulator.batchkernel import BatchMember, run_batch
 from repro.emulator.kernel import PlatformSpec, Simulation
 from repro.emulator.report import build_report
 from repro.emulator.trace import Tracer
+from repro.faults import FaultPlan, RetryPolicy
 from repro.testing.generators import generate_model
 
 def digests(application, platform):
@@ -43,6 +45,22 @@ for d in digests(mp3_decoder_psdf(), paper_platform(3)):
     print(d)
 for d in digests(model.application, model.platform):
     print(d)
+
+# one faulted lockstep batch: per-member report digests must be just as
+# independent of str-hash randomization as the single-run engines
+spec = PlatformSpec.from_platform(paper_platform(2, package_size=8))
+members = [
+    BatchMember(
+        label="m%d" % seed,
+        application=mp3_decoder_psdf(),
+        spec=spec,
+        fault_plan=FaultPlan.transient(seed=seed, corruption_rate=0.01),
+        retry_policy=RetryPolicy(on_exhaustion="degrade"),
+    )
+    for seed in (1, 2, 3)
+]
+for outcome in run_batch(members).outcomes:
+    print(outcome.report.digest())
 """
 
 
@@ -75,6 +93,33 @@ class TestSameProcess:
         assert len(tracer.canonical_lines()) == len(tracer)
         assert sum(tracer.kind_counts().values()) == len(tracer)
 
+    def test_batch_double_run_identical_digests(self):
+        from repro.emulator.batchkernel import BatchMember, run_batch
+        from repro.faults import FaultPlan, RetryPolicy
+
+        def batch_digests():
+            spec = PlatformSpec.from_platform(
+                paper_platform(2, package_size=8)
+            )
+            members = [
+                BatchMember(
+                    label=f"m{seed}",
+                    application=mp3_decoder_psdf(),
+                    spec=spec,
+                    fault_plan=FaultPlan.transient(
+                        seed=seed, corruption_rate=0.01
+                    ),
+                    retry_policy=RetryPolicy(on_exhaustion="degrade"),
+                )
+                for seed in (1, 2, 3, 4)
+            ]
+            return tuple(
+                outcome.report.digest()
+                for outcome in run_batch(members).outcomes
+            )
+
+        assert batch_digests() == batch_digests()
+
 
 class TestAcrossInterpreters:
     def _digests_under_hashseed(self, hashseed: str):
@@ -90,7 +135,7 @@ class TestAcrossInterpreters:
             check=True,
         )
         lines = result.stdout.split()
-        assert len(lines) == 6
+        assert len(lines) == 9
         return lines
 
     def test_digests_stable_across_hash_randomization(self):

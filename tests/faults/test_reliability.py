@@ -77,3 +77,45 @@ class TestExports:
         assert data["points"][1]["mean_retries"] == round(
             curve.point_at(0.05).mean_retries, 2
         )
+
+
+class TestEngineMatrix:
+    """The sweep's aggregated curve is engine-independent (ENG-1 applied)."""
+
+    @pytest.mark.parametrize("engine", ["fast", "batch"])
+    def test_curve_identical_to_stepped(self, request, engine):
+        mp3_graph = request.getfixturevalue("mp3_graph")
+        platform_3seg = request.getfixturevalue("platform_3seg")
+        kwargs = dict(
+            rates=[0.0, 0.01],
+            seeds=(1, 2, 3),
+            retry_policy=RetryPolicy(max_attempts=8, on_exhaustion="degrade"),
+            workers=1,
+        )
+        stepped = reliability_sweep(
+            mp3_graph, platform_3seg, engine="stepped", **kwargs
+        )
+        other = reliability_sweep(
+            mp3_graph, platform_3seg, engine=engine, **kwargs
+        )
+        assert other.as_dict() == stepped.as_dict()
+
+    def test_batch_path_checkpointing_falls_back(self, request, tmp_path):
+        # checkpoint/resume journaling belongs to the per-job executor
+        # path; asking for it with the batch engine must still work (and
+        # still produce the same curve), not silently skip the journal
+        mp3_graph = request.getfixturevalue("mp3_graph")
+        platform_3seg = request.getfixturevalue("platform_3seg")
+        kwargs = dict(rates=[0.0, 0.01], seeds=(1, 2), workers=1)
+        direct = reliability_sweep(
+            mp3_graph, platform_3seg, engine="batch", **kwargs
+        )
+        journaled = reliability_sweep(
+            mp3_graph,
+            platform_3seg,
+            engine="batch",
+            checkpoint_dir=tmp_path,
+            **kwargs,
+        )
+        assert journaled.as_dict() == direct.as_dict()
+        assert list(tmp_path.iterdir()), "checkpoint journal was not written"

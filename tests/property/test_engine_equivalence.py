@@ -1,16 +1,19 @@
-"""Differential property suite: the fast engine mirrors the stepped one.
+"""Differential property suite: every derived engine mirrors the stepped one.
 
 Every generated model — fault-free, under seeded transient fault plans,
-with retry/timeout policies, and under the store-and-forward protocol —
-must produce *byte-identical* trace, timeline and report digests and the
-same executed-event count on both engines.  This is the enforcement arm
-of the fastkernel equivalence contract (docs/PERFORMANCE.md): anything
-the stepped kernel observes, the fast kernel must observe identically.
+with retry/timeout policies (including degraded outcomes), and under the
+store-and-forward protocol — must produce *byte-identical* trace,
+timeline and report digests and the same executed-event count across the
+whole engine matrix: the cycle-stepped reference, the event-driven fast
+kernel and the vectorized batch kernel.  This is the enforcement arm of
+the engine equivalence contract (docs/PERFORMANCE.md): anything the
+stepped kernel observes, the derived kernels must observe identically.
 """
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.emulator.batchkernel import BatchSimulation
 from repro.emulator.config import EmulationConfig
 from repro.emulator.fastkernel import FastSimulation
 from repro.emulator.kernel import PlatformSpec, Simulation
@@ -19,7 +22,7 @@ from repro.emulator.trace import Tracer
 from repro.faults import FaultPlan, RetryPolicy
 from repro.testing.generators import generate_model
 
-ENGINES = (Simulation, FastSimulation)
+ENGINES = (Simulation, FastSimulation, BatchSimulation)
 
 
 def _observe(engine_cls, application, spec, config=None, fault_plan=None,
@@ -48,9 +51,9 @@ def _observe(engine_cls, application, spec, config=None, fault_plan=None,
 
 def _assert_equivalent(application, spec, config=None, make_fault_plan=None,
                        retry_policy=None):
-    """Both engines, fresh fault plans each (plans hold RNG state)."""
-    observations = [
-        _observe(
+    """Every engine, fresh fault plans each (plans hold RNG state)."""
+    observations = {
+        engine_cls.__name__: _observe(
             engine_cls,
             application,
             spec,
@@ -59,15 +62,16 @@ def _assert_equivalent(application, spec, config=None, make_fault_plan=None,
             retry_policy=retry_policy,
         )
         for engine_cls in ENGINES
-    ]
-    assert observations[0] == observations[1], (
-        "engines diverged: "
-        + ", ".join(
-            key
-            for key in observations[0]
-            if observations[0][key] != observations[1][key]
+    }
+    reference_name = ENGINES[0].__name__
+    reference = observations[reference_name]
+    for name, observed in observations.items():
+        assert observed == reference, (
+            f"{name} diverged from {reference_name}: "
+            + ", ".join(
+                key for key in reference if reference[key] != observed[key]
+            )
         )
-    )
 
 
 class TestFaultFreeEquivalence:

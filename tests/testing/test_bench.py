@@ -118,20 +118,23 @@ class TestGates:
 
 
 class TestEngineAwareness:
-    def test_both_engines_timed_by_default(self):
+    def test_every_engine_timed_by_default(self):
         result = run_bench(names=[EMU], repeats=1)[0]
-        assert set(result.engine_wall_ms) == {"stepped", "fast"}
+        assert set(result.engine_wall_ms) == {"stepped", "fast", "batch"}
         assert result.speedup is not None and result.speedup > 0
+        assert result.batch_speedup is not None and result.batch_speedup > 0
 
     def test_single_engine_run_has_no_speedup(self):
         result = run_bench(names=[EMU], repeats=1, engine="stepped")[0]
         assert set(result.engine_wall_ms) == {"stepped"}
         assert result.speedup is None
+        assert result.batch_speedup is None
 
     def test_engines_report_identical_ticks(self):
         stepped = run_bench(names=[EMU], repeats=1, engine="stepped")[0]
         fast = run_bench(names=[EMU], repeats=1, engine="fast")[0]
-        assert stepped.ticks == fast.ticks
+        batch = run_bench(names=[EMU], repeats=1, engine="batch")[0]
+        assert stepped.ticks == fast.ticks == batch.ticks
 
     def test_tick_divergence_between_engines_raises(self):
         item = BenchScenario(
@@ -145,12 +148,31 @@ class TestEngineAwareness:
         with pytest.raises(SegBusError, match="diverge between engines"):
             run_scenario(item, repeats=1)
 
-    def test_v2_baseline_roundtrip(self, tmp_path):
+    def test_v3_baseline_roundtrip(self, tmp_path):
         results = run_bench(names=[EMU], repeats=1)
         write_baselines(results, tmp_path)
         loaded = load_baseline(EMU, tmp_path)
-        assert set(loaded.engine_wall_ms) == {"stepped", "fast"}
+        assert set(loaded.engine_wall_ms) == {"stepped", "fast", "batch"}
         assert loaded.speedup == round(results[0].speedup, 2)
+        assert loaded.batch_speedup == round(results[0].batch_speedup, 2)
+        assert set(loaded.throughput_models_per_s) == set(
+            loaded.engine_wall_ms
+        )
+        assert set(loaded.jitter_ms) == set(loaded.engine_wall_ms)
+        assert set(loaded.peak_mem_kb) == set(loaded.engine_wall_ms)
+
+    def test_v3_metrics_are_sane(self):
+        result = run_bench(names=[EMU], repeats=3)[0]
+        for engine, pcts in result.jitter_ms.items():
+            assert 0 < pcts["p50"] <= pcts["p90"] <= pcts["p99"]
+        for engine, peak in result.peak_mem_kb.items():
+            assert peak > 0
+        for engine, median in result.engine_wall_ms.items():
+            # models/sec must be consistent with the median round wall
+            expected = scenario(EMU).models_per_round * 1e3 / median
+            assert result.throughput_models_per_s[engine] == pytest.approx(
+                expected
+            )
 
     @pytest.mark.parametrize("engine", ["stepped", "fast"])
     def test_slowdown_trips_wall_gate_for_each_engine(self, tmp_path, engine):
@@ -202,6 +224,64 @@ class TestSpeedupGate:
         check = check_bench([single], baseline_dir=tmp_path, check_wall=False)
         assert check.ok
         assert any("speedup gate" in n for n in check.notes)
+
+
+class TestBatchSpeedupGate:
+    """faults_sweep pins ``speedup_min_batch`` — gate it synthetically.
+
+    The scenario itself runs a whole reliability grid per engine, so the
+    gate logic is exercised on hand-built results against a hand-built
+    baseline instead of re-running the grid in the unit suite (the real
+    measurement lives in the committed baseline and CI's --check run).
+    """
+
+    GATED_BATCH = "faults_sweep"
+
+    def _result(self, batch_speedup):
+        return BenchResult(
+            name=self.GATED_BATCH,
+            ticks={"completed": 48},
+            wall_ms=1.0,
+            wall_median_ms=1.0,
+            repeats=1,
+            engine_wall_ms={"stepped": 18.0, "fast": 6.0, "batch": 1.0},
+            speedup=3.0,
+            batch_speedup=batch_speedup,
+        )
+
+    def test_scenario_pins_batch_minimum(self):
+        assert scenario(self.GATED_BATCH).speedup_min_batch == 5.0
+
+    def test_low_batch_speedup_fails_even_without_wall(self, tmp_path):
+        write_baselines([self._result(18.0)], tmp_path)
+        check = check_bench(
+            [self._result(1.2)], baseline_dir=tmp_path, check_wall=False
+        )
+        assert not check.ok
+        assert any(
+            "batch engine speedup" in f and "below the pinned minimum" in f
+            for f in check.failures
+        )
+
+    def test_missing_batch_speedup_noted_not_failed(self, tmp_path):
+        write_baselines([self._result(18.0)], tmp_path)
+        check = check_bench(
+            [self._result(None)], baseline_dir=tmp_path, check_wall=False
+        )
+        assert check.ok
+        assert any("batch speedup gate" in n for n in check.notes)
+
+    def test_committed_baseline_records_ten_x_throughput(self):
+        # the acceptance bar: the committed measurement must show >=10x
+        # aggregate throughput for batch vs stepped on the faults sweep,
+        # with the per-engine memory and jitter columns populated
+        baseline = load_baseline(self.GATED_BATCH, DEFAULT_BASELINE_DIR)
+        assert baseline.batch_speedup is not None
+        assert baseline.batch_speedup >= 10.0
+        throughput = baseline.throughput_models_per_s
+        assert throughput["batch"] >= 10.0 * throughput["stepped"]
+        assert set(baseline.jitter_ms) == {"stepped", "fast", "batch"}
+        assert set(baseline.peak_mem_kb) == {"stepped", "fast", "batch"}
 
 
 class TestFormatting:
