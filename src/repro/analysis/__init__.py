@@ -28,9 +28,19 @@ from repro.analysis.campaign import Campaign, Variant, VariantResult
 from repro.analysis.analytic import (
     AnalyticEstimate,
     ContentionDiagnosis,
+    PathTiming,
     analytic_estimate,
     critical_path,
     diagnose_contention,
+    path_timing,
+    platform_clocks,
+)
+from repro.analysis.stochastic import (
+    PlacementMove,
+    QueueModel,
+    StochasticEstimate,
+    stochastic_estimate,
+    suggest_placement_move,
 )
 from repro.analysis.latency import FlowLatency, LatencyReport, measure_latencies
 from repro.analysis.reliability import (
@@ -86,9 +96,17 @@ __all__ = [
     "frequency_sweep",
     "AnalyticEstimate",
     "ContentionDiagnosis",
+    "PathTiming",
     "analytic_estimate",
     "diagnose_contention",
     "critical_path",
+    "path_timing",
+    "platform_clocks",
+    "PlacementMove",
+    "QueueModel",
+    "StochasticEstimate",
+    "stochastic_estimate",
+    "suggest_placement_move",
     "FlowLatency",
     "LatencyReport",
     "measure_latencies",

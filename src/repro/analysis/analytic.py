@@ -25,14 +25,15 @@ its own right.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Tuple
+from functools import lru_cache
+from typing import Dict, Mapping, Optional, Tuple
 
 from repro.emulator.clock import ClockDomain
 from repro.emulator.config import EmulationConfig
 from repro.emulator.kernel import PlatformSpec
 from repro.model.topology import LinearTopology
 from repro.psdf.graph import PSDFGraph
-from repro.psdf.schedule import extract_schedule
+from repro.psdf.schedule import Schedule, extract_schedule
 from repro.units import Frequency, fs_to_us
 
 
@@ -51,39 +52,135 @@ class AnalyticEstimate:
         return fs_to_us(self.completion_fs[process])
 
 
+@lru_cache(maxsize=256)
+def _clock_domain(name: str, mhz: float) -> ClockDomain:
+    """One shared immutable clock per (name, frequency) pair.
+
+    The estimators build clocks for every candidate they score; caching
+    the (frozen, hence shareable) domains keeps the cached period
+    arithmetic warm across thousands of placement/DSE evaluations.
+    """
+    return ClockDomain(name, Frequency.from_mhz(mhz))
+
+
+def platform_clocks(
+    spec: PlatformSpec,
+) -> Tuple[Dict[int, ClockDomain], ClockDomain]:
+    """The per-segment clock domains and the CA clock of a platform."""
+    clocks: Dict[int, ClockDomain] = {
+        index: _clock_domain(f"Segment{index}", mhz)
+        for index, mhz in spec.segment_frequencies_mhz.items()
+    }
+    ca_clock = _clock_domain("CA", spec.ca_frequency_mhz)
+    return clocks, ca_clock
+
+
+@lru_cache(maxsize=128)
+def schedule_for(application: PSDFGraph, package_size: int) -> Schedule:
+    """Memoized :func:`~repro.psdf.schedule.extract_schedule`.
+
+    A :class:`PSDFGraph` is immutable after construction (its docstring
+    guarantees it) and hashes by identity, so the flat schedule of a
+    (graph, package size) pair can be computed once and shared across the
+    many estimator calls a placement search or DSE sweep makes against
+    the same application.
+    """
+    return extract_schedule(application, package_size)
+
+
+@dataclass(frozen=True)
+class PathTiming:
+    """Contention-free bus timing of one package along one transfer path.
+
+    ``legs`` lists every segment bus the package occupies with the
+    occupation in that segment's clock, in femtoseconds: the source
+    segment's fill (plus slave-ack for intra-segment transfers) followed
+    by one entry per crossed segment (BU sampling + sync + the hop, plus
+    slave-ack at the destination).  ``ca_overhead_fs`` is the CA decision
+    charged once per package on inter-segment paths.  The sum of all parts
+    is exactly the analytic walk's per-package transfer duration.
+    """
+
+    source_segment: int
+    target_segment: int
+    path: Tuple[int, ...]
+    legs: Tuple[Tuple[int, int], ...]
+    ca_overhead_fs: int
+
+    @property
+    def duration_fs(self) -> int:
+        """Grant-to-delivery bus time of one package (no waiting)."""
+        return self.ca_overhead_fs + sum(fs for _, fs in self.legs)
+
+
+def path_timing(
+    source_seg: int,
+    target_seg: int,
+    clocks: Mapping[int, ClockDomain],
+    ca_clock: ClockDomain,
+    topology: LinearTopology,
+    package_size: int,
+    config: EmulationConfig,
+) -> PathTiming:
+    """Per-segment bus occupation of one package from grant to delivery."""
+    src = clocks[source_seg]
+    s = package_size
+    if source_seg == target_seg:
+        occupation = s + config.slave_ack_ticks
+        leg = src.ticks_to_fs(config.grant_latency_ticks + occupation)
+        return PathTiming(
+            source_segment=source_seg,
+            target_segment=target_seg,
+            path=(source_seg,),
+            legs=((source_seg, leg),),
+            ca_overhead_fs=0,
+        )
+    path = topology.path(source_seg, target_seg)
+    legs = [(source_seg, src.ticks_to_fs(config.grant_latency_ticks + s))]
+    for index in path[1:]:
+        hop_clock = clocks[index]
+        wait = config.bu_sampling_ticks + config.bu_sync_ticks
+        is_destination = index == path[-1]
+        ticks = wait + s + (config.slave_ack_ticks if is_destination else 0)
+        legs.append((index, hop_clock.ticks_to_fs(ticks)))
+    return PathTiming(
+        source_segment=source_seg,
+        target_segment=target_seg,
+        path=tuple(path),
+        legs=tuple(legs),
+        ca_overhead_fs=ca_clock.ticks_to_fs(config.ca_decision_ticks),
+    )
+
+
 def analytic_estimate(
     application: PSDFGraph,
     spec: PlatformSpec,
     config: EmulationConfig = EmulationConfig(),
+    schedule: Optional[Schedule] = None,
 ) -> AnalyticEstimate:
-    """Contention-free completion-time walk over the precedence graph."""
-    schedule = extract_schedule(application, spec.package_size)
+    """Contention-free completion-time walk over the precedence graph.
+
+    Callers that already extracted the flat schedule (e.g. the stochastic
+    layer, which needs it for its census anyway) can pass it in to skip
+    re-extraction — the hot path when estimating thousands of candidates.
+    """
+    if schedule is None:
+        schedule = schedule_for(application, spec.package_size)
     topology = LinearTopology(spec.segment_count)
-    clocks: Dict[int, ClockDomain] = {
-        index: ClockDomain(
-            f"Segment{index}", Frequency.from_mhz(mhz)
-        )
-        for index, mhz in spec.segment_frequencies_mhz.items()
-    }
-    ca_clock = ClockDomain("CA", Frequency.from_mhz(spec.ca_frequency_mhz))
+    clocks, ca_clock = platform_clocks(spec)
     s = spec.package_size
+    duration_cache: Dict[Tuple[int, int], int] = {}
 
     def transfer_duration_fs(source_seg: int, target_seg: int) -> int:
         """Bus time of one package from grant to delivery (no waiting)."""
-        src = clocks[source_seg]
-        occupation = s + config.slave_ack_ticks
-        if source_seg == target_seg:
-            return src.ticks_to_fs(config.grant_latency_ticks + occupation)
-        total = ca_clock.ticks_to_fs(config.ca_decision_ticks)
-        total += src.ticks_to_fs(config.grant_latency_ticks + s)  # fill
-        path = topology.path(source_seg, target_seg)
-        for index in path[1:]:
-            hop_clock = clocks[index]
-            wait = config.bu_sampling_ticks + config.bu_sync_ticks
-            is_destination = index == path[-1]
-            ticks = wait + s + (config.slave_ack_ticks if is_destination else 0)
-            total += hop_clock.ticks_to_fs(ticks)
-        return total
+        key = (source_seg, target_seg)
+        cached = duration_cache.get(key)
+        if cached is None:
+            cached = path_timing(
+                source_seg, target_seg, clocks, ca_clock, topology, s, config
+            ).duration_fs
+            duration_cache[key] = cached
+        return cached
 
     # completion time of each flow (source, target, order) and each process
     ready: Dict[str, int] = {}
@@ -107,8 +204,9 @@ def analytic_estimate(
             duration = transfer_duration_fs(
                 segment, spec.placement[transfer.target]
             )
-            for _ in range(transfer.packages):
-                cursor += per_package_compute + duration
+            # the per-package increment is loop-invariant, so the package
+            # loop collapses to one integer multiply (identical arithmetic)
+            cursor += transfer.packages * (per_package_compute + duration)
             flow_done[(transfer.source, transfer.target, transfer.order)] = cursor
 
     completion: Dict[str, int] = {}

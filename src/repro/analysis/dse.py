@@ -29,13 +29,18 @@ from repro.psdf.graph import PSDFGraph
 
 @dataclass(frozen=True)
 class DesignPoint:
-    """One candidate configuration with its emulated performance."""
+    """One candidate configuration with its emulated performance.
+
+    ``estimated_us`` carries the stochastic pre-estimate when the
+    exploration ran with ``estimator_prune`` (None otherwise).
+    """
 
     segment_count: int
     package_size: int
     allocation: Allocation
     allocation_source: str
     report: EmulationReport
+    estimated_us: Optional[float] = None
 
     @property
     def execution_time_us(self) -> float:
@@ -80,6 +85,7 @@ def explore_design_space(
     checkpoint_dir=None,
     checkpoint_name: Optional[str] = None,
     resume: bool = False,
+    estimator_prune: Optional[int] = None,
 ) -> Tuple[DesignPoint, ...]:
     """Emulate every candidate configuration; return points sorted best-first.
 
@@ -90,6 +96,13 @@ def explore_design_space(
     ``executor_policy`` adds per-candidate timeout/retries, and
     ``checkpoint_dir``/``resume`` let an interrupted exploration pick up
     where it stopped.
+
+    ``estimator_prune`` turns on the fast inner loop: every candidate is
+    first ranked by the stochastic contention estimate
+    (:func:`repro.analysis.stochastic.stochastic_estimate`, microseconds
+    per candidate) and only the best ``estimator_prune`` survivors are
+    emulated — the estimator prunes, the engines confirm.  Returned points
+    then carry their ``estimated_us``.
     """
     tool = place_tool or PlaceTool()
     candidates: List[Tuple[str, Allocation]] = []
@@ -124,6 +137,26 @@ def explore_design_space(
                 )
             )
 
+    estimates: List[Optional[float]] = [None] * len(grid)
+    if estimator_prune is not None:
+        if estimator_prune < 1:
+            raise ValueError(
+                f"estimator_prune must be >= 1, got {estimator_prune}"
+            )
+        from repro.analysis.stochastic import stochastic_estimate
+        from repro.emulator.kernel import PlatformSpec
+
+        for index, (_label, _allocation, _size, job) in enumerate(grid):
+            estimates[index] = stochastic_estimate(
+                job.application,
+                PlatformSpec.from_platform(job.platform),
+                job.config or EmulationConfig(),
+            ).execution_time_us
+        ranked = sorted(range(len(grid)), key=lambda i: estimates[i])
+        survivors = sorted(ranked[:estimator_prune])
+        grid = [grid[i] for i in survivors]
+        estimates = [estimates[i] for i in survivors]
+
     executor = CampaignExecutor(
         _run_candidate,
         policy=executor_policy,
@@ -136,7 +169,9 @@ def explore_design_space(
     batch.raise_on_failure(what="design point")
 
     points: List[DesignPoint] = []
-    for (label, allocation, size, _job), report in zip(grid, batch.results):
+    for (label, allocation, size, _job), report, estimated in zip(
+        grid, batch.results, estimates
+    ):
         points.append(
             DesignPoint(
                 segment_count=allocation.segment_count,
@@ -144,6 +179,7 @@ def explore_design_space(
                 allocation=allocation,
                 allocation_source=label,
                 report=report,
+                estimated_us=estimated,
             )
         )
     return tuple(sorted(points, key=lambda p: p.execution_time_us))

@@ -28,7 +28,7 @@ joules would need a characterized library the paper does not provide.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping
+from typing import Dict
 
 from repro.emulator.kernel import Simulation
 

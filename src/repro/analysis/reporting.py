@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import io
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import List, Union
 
 from repro.analysis.bu_utilization import bu_utilization
 from repro.analysis.sweep import package_size_sweep

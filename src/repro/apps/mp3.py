@@ -22,7 +22,7 @@ topology) and the paper's clock plan (segments at 91/98/89 MHz, CA at
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Tuple
 
 from repro.errors import SegBusError
 from repro.model.elements import SegBusPlatform

@@ -60,7 +60,6 @@ from repro.apps.mp3 import (
     paper_segment_frequencies_mhz,
 )
 from repro.apps.workloads import named_workload, workload_catalog
-from repro.emulator.config import EmulationConfig
 from repro.emulator.emulator import SegBusEmulator
 from repro.reference.accuracy import compare_estimate_to_reference
 from repro.xmlio.codegen import CodeEngineeringSet, generate_models
@@ -147,13 +146,19 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         segment_frequencies_mhz=freq,
         ca_frequency_mhz=ca,
         extra_allocations=extra,
+        estimator_prune=args.estimate_prune,
     )
     print(f"{'rank':>4} {'segments':>8} {'pkg':>4} {'time (us)':>10}  allocation")
     for rank, point in enumerate(points, start=1):
+        estimated = (
+            f" (est {point.estimated_us:.2f})"
+            if point.estimated_us is not None
+            else ""
+        )
         print(
             f"{rank:>4} {point.segment_count:>8} {point.package_size:>4} "
             f"{point.execution_time_us:>10.2f}  "
-            f"{point.allocation_source}: {point.allocation}"
+            f"{point.allocation_source}: {point.allocation}{estimated}"
         )
     return 0
 
@@ -207,6 +212,45 @@ def _cmd_trace(args: argparse.Namespace) -> int:
           f"run length {sim.global_end_fs / 1e9:.2f} us")
     if args.log:
         print(tracer.format_log(limit=args.log))
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    from repro.analysis.stochastic import stochastic_estimate
+    from repro.emulator.emulator import SegBusEmulator
+
+    emulator = SegBusEmulator.from_files(args.psdf, args.psm)
+    estimate = stochastic_estimate(
+        emulator.application, emulator.spec, emulator.config
+    )
+    print(
+        f"analytic lower bound:  {estimate.analytic_us:.2f} us\n"
+        f"predicted contention:  {estimate.contention_us:.2f} us\n"
+        f"expected TCT:          {estimate.execution_time_us:.2f} us "
+        f"({estimate.contention_ratio:.3f}x the bound)\n"
+        f"critical chain:        {' -> '.join(estimate.critical_chain)}"
+    )
+    print(f"\n{'resource':<10} {'grants':>7} {'rho':>6} {'Wq (us)':>9} {'Lq':>7}")
+    rows = [estimate.segments[i] for i in sorted(estimate.segments)]
+    rows.append(estimate.ca)
+    rows.extend(estimate.border_units[p] for p in sorted(estimate.border_units))
+    for model in rows:
+        print(
+            f"{model.name:<10} {model.arrivals:>7} {model.utilization:>6.3f} "
+            f"{model.mean_wait_fs / 1e9:>9.4f} {model.mean_queue_depth:>7.4f}"
+        )
+    if args.emulate:
+        report = emulator.run(engine=args.engine)
+        error = (
+            (estimate.execution_time_us - report.execution_time_us)
+            / report.execution_time_us
+            if report.execution_time_us
+            else 0.0
+        )
+        print(
+            f"\nemulated TCT:          {report.execution_time_us:.2f} us "
+            f"(estimate off by {error:+.2%})"
+        )
     return 0
 
 
@@ -560,6 +604,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--segment-counts", type=int, nargs="+", default=[1, 2, 3]
     )
     exp.add_argument("--package-sizes", type=int, nargs="+", default=[18, 36])
+    exp.add_argument(
+        "--estimate-prune",
+        type=int,
+        default=None,
+        metavar="N",
+        help="rank candidates with the stochastic estimator and emulate "
+        "only the best N (the estimator prunes, the engines confirm)",
+    )
     exp.set_defaults(func=_cmd_explore)
 
     pwr = sub.add_parser("power", help="energy breakdown of a configuration")
@@ -601,6 +653,20 @@ def build_parser() -> argparse.ArgumentParser:
     ana.add_argument("--segments", type=int, default=3)
     ana.add_argument("--package-size", type=int, default=36)
     ana.set_defaults(func=_cmd_analytic)
+
+    est = sub.add_parser(
+        "estimate",
+        help="stochastic contention estimate from XML schemes (no simulation)",
+    )
+    est.add_argument("psdf", type=Path)
+    est.add_argument("psm", type=Path)
+    est.add_argument(
+        "--emulate",
+        action="store_true",
+        help="also emulate and report the estimator's signed error",
+    )
+    _add_engine_flag(est)
+    est.set_defaults(func=_cmd_estimate)
 
     rep = sub.add_parser(
         "report", help="re-run the headline experiments, write a Markdown report"

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List
 
 from repro.errors import SegBusError
 

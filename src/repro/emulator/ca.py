@@ -10,7 +10,7 @@ held by circuits; the granting logic lives in the kernel.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.emulator.clock import ClockDomain
 from repro.emulator.counters import CACounters

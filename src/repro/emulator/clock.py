@@ -9,6 +9,7 @@ femtoseconds, edges sit at integer multiples of the period.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.units import Frequency
 
@@ -20,7 +21,7 @@ class ClockDomain:
     name: str
     frequency: Frequency
 
-    @property
+    @cached_property
     def period_fs(self) -> int:
         return self.frequency.period_fs
 

@@ -10,7 +10,7 @@ delivery may fire the receiving process).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.emulator.counters import ProcessCounters

@@ -12,7 +12,7 @@ predicate the kernel asserts after the queue drains.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Tuple
+from typing import Mapping, Tuple
 
 from repro.emulator.kernel import Simulation
 

@@ -10,8 +10,8 @@ text layout via :meth:`format_listing`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from repro.emulator.kernel import Simulation
 from repro.emulator.timeline import ProcessTimeline, build_timeline

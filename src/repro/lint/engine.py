@@ -1,6 +1,6 @@
 """The lint engine: registry assembly and rule execution.
 
-:func:`default_registry` assembles the full ``SB1xx``–``SB4xx`` catalogue
+:func:`default_registry` assembles the full ``SB1xx``–``SB5xx`` catalogue
 from the rule modules; :func:`run_rules` executes a registry over one
 :class:`~repro.lint.context.LintContext`.  A rule that raises is reported
 as an ``SB999`` internal-error finding instead of aborting the run — one
@@ -23,6 +23,7 @@ _RULE_MODULE_NAMES = (
     "repro.lint.rules_psdf",
     "repro.lint.rules_hazards",
     "repro.lint.rules_scheme",
+    "repro.lint.rules_performance",
 )
 
 INTERNAL_RULE_ID = "SB999"

@@ -1,0 +1,250 @@
+"""Static performance lint (``SB5xx``).
+
+Backed by the stochastic contention analyzer
+(:mod:`repro.analysis.stochastic`): from the PSDF graph + placement +
+platform spec alone it predicts per-resource offered load, expected queue
+depths and the expected TCT with contention — so saturation, contention
+blow-ups and undersized BU FIFOs can be flagged *before* any emulation,
+the same pre-implementation pruning the STbus crossbar methodology applies
+to candidate topologies.
+
+Every rule guards on a fully estimable context (application + platform
+with a complete placement); a partial or structurally broken model is the
+SB1xx/SB2xx families' business and simply runs no SB5xx checks.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.emulator.kernel import PlatformSpec
+
+from repro.analysis.stochastic import (
+    CONTENTION_CEILING,
+    UTILIZATION_KNEE,
+    StochasticEstimate,
+    stochastic_estimate,
+    suggest_placement_move,
+)
+from repro.lint.context import LintContext
+from repro.lint.core import Finding, RuleRegistry, Severity
+
+CATEGORY = "performance"
+
+#: a suggested placement move must save at least this share of the
+#: predicted TCT before SB505 bothers the designer with it
+MOVE_GAIN_SHARE = 0.05
+
+_CACHE_ATTR = "_sb5xx_estimation"
+
+
+def _estimation(
+    ctx: LintContext,
+) -> Optional[Tuple["PlatformSpec", StochasticEstimate]]:
+    """The context's platform spec + stochastic estimate, or ``None``.
+
+    ``None`` whenever the context is not statically estimable — no
+    platform, no application, incomplete placement, or a graph the PSDF
+    constructor rejects (cycles, undeclared endpoints — all diagnosed by
+    their own rules).  Cached on the context: five rules, one analysis.
+    """
+    if _CACHE_ATTR in ctx.__dict__:
+        return ctx.__dict__[_CACHE_ATTR]
+    result = None
+    if ctx.platform is not None and ctx.has_application and ctx.flows:
+        try:
+            from repro.emulator.kernel import PlatformSpec
+            from repro.psdf.graph import PSDFGraph
+
+            graph = PSDFGraph(
+                ctx.processes,
+                ctx.flows,
+                name=ctx.application_name or "application",
+            )
+            spec = PlatformSpec.from_platform(ctx.platform)
+            result = (spec, stochastic_estimate(graph, spec))
+        except Exception:
+            result = None
+    ctx.__dict__[_CACHE_ATTR] = result
+    return result
+
+
+def register(registry: RuleRegistry) -> None:
+    @registry.rule(
+        "SB501",
+        "predicted-segment-saturation",
+        severity=Severity.WARNING,
+        category=CATEGORY,
+        description=f"predicted segment bus load stays below ρ = {UTILIZATION_KNEE}",
+        rationale=(
+            "beyond the M/D/1 knee the expected grant-queue wait grows as "
+            "1/(1−ρ): a statically oversubscribed segment bus dominates the "
+            "TCT regardless of how fast its functional units compute"
+        ),
+        example="14 heavy flows all placed on segment 1 of a 3-segment platform",
+        fix_hint="move producers off the hot segment or raise its frequency",
+    )
+    def _segment_saturation(ctx: LintContext) -> Iterable[Finding]:
+        estimation = _estimation(ctx)
+        if estimation is None:
+            return
+        _, estimate = estimation
+        psdf = ctx.file_for("psdf")
+        for index, model in estimate.segments.items():
+            if model.utilization > UTILIZATION_KNEE:
+                yield registry.get("SB501").finding(
+                    f"segment {index} bus is predicted at ρ = "
+                    f"{model.utilization:.2f} offered load "
+                    f"(> {UTILIZATION_KNEE}): expected grant wait "
+                    f"{model.mean_wait_fs / 1e9:.3f} us per package",
+                    segment=index,
+                    file=psdf,
+                )
+
+    @registry.rule(
+        "SB502",
+        "predicted-ca-saturation",
+        severity=Severity.WARNING,
+        category=CATEGORY,
+        description=f"predicted CA path-holding load stays below ρ = {UTILIZATION_KNEE}",
+        rationale=(
+            "the CA holds the whole source→target path per inter-segment "
+            "package (circuit switching): when the summed path-holding time "
+            "approaches the makespan, every new inter-segment request "
+            "queues behind a busy central arbiter"
+        ),
+        example="every flow of a 4-segment platform crossing segment borders",
+        fix_hint="co-place chatty process pairs to convert inter- to intra-segment traffic",
+    )
+    def _ca_saturation(ctx: LintContext) -> Iterable[Finding]:
+        estimation = _estimation(ctx)
+        if estimation is None:
+            return
+        _, estimate = estimation
+        if estimate.ca.utilization > UTILIZATION_KNEE:
+            yield registry.get("SB502").finding(
+                f"CA path-holding is predicted at ρ = "
+                f"{estimate.ca.utilization:.2f} of the makespan "
+                f"(> {UTILIZATION_KNEE}) over {estimate.ca.arrivals} "
+                "inter-segment package grants",
+                file=ctx.file_for("psdf"),
+            )
+
+    @registry.rule(
+        "SB503",
+        "predicted-contention-blowup",
+        severity=Severity.WARNING,
+        category=CATEGORY,
+        description=(
+            "predicted TCT stays below "
+            f"{CONTENTION_CEILING}x the contention-free bound"
+        ),
+        rationale=(
+            "the ANA-2 oracle rejects emulations beyond this ceiling as "
+            "pathological; predicting the blow-up statically saves the "
+            "emulation that would only confirm the platform is undersized"
+        ),
+        example="a single-segment platform serializing 40 concurrent flows",
+        fix_hint="add segments or re-place processes before emulating",
+    )
+    def _contention_blowup(ctx: LintContext) -> Iterable[Finding]:
+        estimation = _estimation(ctx)
+        if estimation is None:
+            return
+        _, estimate = estimation
+        if estimate.contention_ratio >= CONTENTION_CEILING:
+            yield registry.get("SB503").finding(
+                f"predicted TCT {estimate.execution_time_us:.1f} us is "
+                f"{estimate.contention_ratio:.1f}x the contention-free "
+                f"bound {estimate.analytic_us:.1f} us (ANA-2 ceiling: "
+                f"{CONTENTION_CEILING}x)",
+                file=ctx.file_for("psdf"),
+            )
+
+    @registry.rule(
+        "SB504",
+        "predicted-bu-queue-overflow",
+        severity=Severity.WARNING,
+        category=CATEGORY,
+        description="expected BU queue depth fits the configured FIFO",
+        rationale=(
+            "a BU whose expected number of queued packages exceeds its "
+            "FIFO depth back-pressures the upstream segment on average, "
+            "not just in bursts — the configured depth is statically "
+            "undersized for the offered inter-segment traffic"
+        ),
+        example="depth-1 BU between two segments exchanging most of the traffic",
+        fix_hint="deepen the BU FIFO in the PSM or reduce border-crossing traffic",
+    )
+    def _bu_queue_overflow(ctx: LintContext) -> Iterable[Finding]:
+        estimation = _estimation(ctx)
+        if estimation is None:
+            return
+        spec, estimate = estimation
+        psm = ctx.file_for("psm")
+        for pair, model in estimate.border_units.items():
+            depth = spec.bu_depths.get(pair, 1)
+            if model.mean_queue_depth > depth:
+                yield registry.get("SB504").finding(
+                    f"BU{pair[0]}{pair[1]} (FIFO depth {depth}) expects "
+                    f"{model.mean_queue_depth:.1f} queued packages at "
+                    f"ρ = {model.utilization:.2f} offered load",
+                    element=f"BU{pair[0]}{pair[1]}",
+                    segment=pair[0],
+                    file=psm,
+                )
+
+    @registry.rule(
+        "SB505",
+        "hot-segment-placement",
+        severity=Severity.WARNING,
+        category=CATEGORY,
+        description="no single placement move relieves a saturating segment",
+        rationale=(
+            "when one segment saturates while a one-process move would cut "
+            "the predicted TCT materially, the placement — not the "
+            "platform — is the bottleneck; the estimator can name the move "
+            "without emulating the neighbourhood"
+        ),
+        example="moving one producer off the hot segment cuts the estimate 20%",
+        fix_hint="apply the suggested move (or run PlaceTool.solve_estimated)",
+    )
+    def _hot_segment_placement(ctx: LintContext) -> Iterable[Finding]:
+        estimation = _estimation(ctx)
+        if estimation is None:
+            return
+        spec, estimate = estimation
+        hot = estimate.hottest_segment()
+        if hot is None or estimate.segments[hot].utilization <= UTILIZATION_KNEE:
+            return
+        try:
+            from repro.psdf.graph import PSDFGraph
+
+            graph = PSDFGraph(
+                ctx.processes,
+                ctx.flows,
+                name=ctx.application_name or "application",
+            )
+            move = suggest_placement_move(graph, spec, estimate=estimate)
+        except Exception:
+            return
+        if move is None:
+            return
+        if move.predicted_saving_fs < MOVE_GAIN_SHARE * estimate.execution_time_fs:
+            return
+        saving_share = move.predicted_saving_fs / estimate.execution_time_fs
+        yield registry.get("SB505").finding(
+            f"segment {move.from_segment} is the predicted hotspot (ρ = "
+            f"{estimate.segments[hot].utilization:.2f}); moving "
+            f"{move.process} to segment {move.to_segment} is predicted to "
+            f"save {move.predicted_saving_us:.1f} us "
+            f"({saving_share:.0%} of the TCT)",
+            element=move.process,
+            segment=move.from_segment,
+            file=ctx.file_for("psm"),
+            fix_hint=(
+                f"re-place {move.process} on segment {move.to_segment} "
+                "(or run PlaceTool.solve_estimated)"
+            ),
+        )

@@ -10,7 +10,7 @@ remains a separate, explicit step (as in the tool) via
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional, Sequence, Union
+from typing import Iterable, Mapping, Optional, Sequence, Union
 
 from repro.errors import ModelError
 from repro.model.elements import (

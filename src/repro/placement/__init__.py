@@ -21,6 +21,7 @@ from repro.placement.kernighan_lin import refine_placement
 from repro.placement.annealing import annealed_placement
 from repro.placement.placetool import (
     EmulatedPlacementResult,
+    EstimatedPlacementResult,
     PlaceTool,
     PlacementResult,
 )
@@ -35,4 +36,5 @@ __all__ = [
     "PlaceTool",
     "PlacementResult",
     "EmulatedPlacementResult",
+    "EstimatedPlacementResult",
 ]

@@ -13,7 +13,7 @@ everything is just a single bus again).
 
 from __future__ import annotations
 
-from typing import Dict, Mapping
+from typing import Mapping
 
 from repro.errors import PlacementError
 from repro.psdf.matrix import CommunicationMatrix

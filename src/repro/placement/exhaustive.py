@@ -9,7 +9,7 @@ instances beyond a configurable budget instead of silently taking hours.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from repro.errors import PlacementError
 from repro.placement.cost import objective

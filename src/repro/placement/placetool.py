@@ -202,6 +202,103 @@ class PlaceTool:
         )
 
 
+    def solve_estimated(
+        self,
+        application: PSDFGraph,
+        segment_count: int,
+        segment_frequencies_mhz,
+        ca_frequency_mhz: float,
+        package_size: int = 36,
+        neighbourhood: int = 32,
+        confirm: int = 4,
+    ) -> "EstimatedPlacementResult":
+        """Estimator-pruned placement search: rank wide, emulate narrow.
+
+        Where :meth:`solve_emulated` emulates every neighbourhood candidate,
+        this method ranks the whole (much larger) single-move neighbourhood
+        with the stochastic contention estimator — microseconds per
+        candidate — and emulates only the best ``confirm`` survivors to pick
+        the winner by ground truth.  Same quality frontier, a fraction of
+        the simulation budget (docs/PERFORMANCE.md, "estimate vs emulate").
+        """
+        from repro.analysis.stochastic import stochastic_estimate
+        from repro.emulator.emulator import emulate  # local: avoid cycle
+        from repro.emulator.kernel import PlatformSpec
+        from repro.model.mapping import map_application
+
+        if confirm < 1:
+            raise ValueError(f"confirm must be >= 1, got {confirm}")
+        matrix = build_communication_matrix(application)
+        base = self.solve_matrix(matrix, segment_count)
+        candidates: Dict[tuple, Dict[str, int]] = {}
+
+        def add(placement: Dict[str, int]) -> None:
+            if set(placement.values()) != set(range(1, segment_count + 1)):
+                return  # would empty a segment
+            key = tuple(sorted(placement.items()))
+            candidates.setdefault(key, dict(placement))
+
+        add(base.placement)
+        neighbours = []
+        for process in sorted(base.placement):
+            for seg in range(1, segment_count + 1):
+                if seg == base.placement[process]:
+                    continue
+                trial = dict(base.placement)
+                trial[process] = seg
+                if set(trial.values()) != set(range(1, segment_count + 1)):
+                    continue
+                neighbours.append(
+                    (objective(matrix, trial, segment_count,
+                               self.balance_weight), trial)
+                )
+        neighbours.sort(key=lambda item: item[0])
+        for _, trial in neighbours[:neighbourhood]:
+            add(trial)
+
+        def mapped_platform(placement: Dict[str, int]):
+            return map_application(
+                application,
+                Allocation.from_placement(placement),
+                segment_frequencies_mhz=segment_frequencies_mhz,
+                ca_frequency_mhz=ca_frequency_mhz,
+                package_size=package_size,
+            ).platform
+
+        ranked = []
+        for placement in candidates.values():
+            platform = mapped_platform(placement)
+            estimate = stochastic_estimate(
+                application, PlatformSpec.from_platform(platform)
+            )
+            ranked.append((estimate.execution_time_us, placement, platform))
+        ranked.sort(key=lambda item: item[0])
+
+        best_placement: Optional[Dict[str, int]] = None
+        best_us = float("inf")
+        best_estimated = 0.0
+        emulated = 0
+        for estimated_us, placement, platform in ranked[:confirm]:
+            report = emulate(application, platform)
+            emulated += 1
+            if report.execution_time_us < best_us:
+                best_us = report.execution_time_us
+                best_placement = placement
+                best_estimated = estimated_us
+        assert best_placement is not None
+        return EstimatedPlacementResult(
+            placement=best_placement,
+            segment_count=segment_count,
+            execution_time_us=best_us,
+            estimated_us=best_estimated,
+            candidates_estimated=len(ranked),
+            candidates_emulated=emulated,
+            proxy_cost=objective(
+                matrix, best_placement, segment_count, self.balance_weight
+            ),
+        )
+
+
 @dataclass(frozen=True)
 class EmulatedPlacementResult:
     """An allocation chosen by emulated execution time."""
@@ -210,6 +307,24 @@ class EmulatedPlacementResult:
     segment_count: int
     execution_time_us: float
     candidates_evaluated: int
+    proxy_cost: int
+
+    def allocation(self) -> Allocation:
+        return Allocation.from_placement(self.placement)
+
+
+@dataclass(frozen=True)
+class EstimatedPlacementResult:
+    """An allocation chosen by estimator-pruned emulation."""
+
+    placement: Dict[str, int]
+    segment_count: int
+    #: emulated time of the confirmed winner (ground truth)
+    execution_time_us: float
+    #: the winner's stochastic pre-estimate
+    estimated_us: float
+    candidates_estimated: int
+    candidates_emulated: int
     proxy_cost: int
 
     def allocation(self) -> Allocation:

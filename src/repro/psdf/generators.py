@@ -23,7 +23,6 @@ from typing import List, Optional, Tuple, Union
 import numpy as np
 
 from repro.errors import PSDFError
-from repro.psdf.flow import FlowCost, PacketFlow
 from repro.psdf.graph import PSDFGraph
 
 RngLike = Union[int, np.random.Generator, None]

@@ -22,7 +22,7 @@ reference, the event-driven fast kernel and the vectorized batch kernel
 — the tick counters are asserted exact-equal across engines at run
 time, and the result records a per-engine median plus **speedup** ratios
 (stepped/fast and stepped/batch).  Scenarios may pin a ``speedup_min``
-(``mp3_2seg_emulate`` demands ≥3x fast) and/or a ``speedup_min_batch``
+(``mp3_2seg_emulate`` demands ≥2.5x fast) and/or a ``speedup_min_batch``
 (``faults_sweep`` demands ≥5x batch) which ``--check`` gates even under
 ``--no-wall`` — the ratios are taken on one host, so they are far more
 machine-independent than absolute wall time.  ``--engine`` restricts
@@ -100,6 +100,14 @@ class BenchScenario:
     speedup_min: Optional[float] = None
     speedup_min_batch: Optional[float] = None
     models_per_round: int = 1
+    #: when set, a *simulation-free* evaluation of the same workload
+    #: (the stochastic estimator); timed interleaved with the engines as a
+    #: pseudo-engine.  Its ticks are recorded under an ``est_`` prefix and
+    #: exempt from the cross-engine equality assert (an estimate is not an
+    #: emulation).  ``estimator_speedup_min`` pins batch-median /
+    #: estimator-median, the harshest comparison available.
+    prepare_estimator: Optional[Callable[[], Callable[[], Dict[str, int]]]] = None
+    estimator_speedup_min: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -127,6 +135,11 @@ class BenchResult:
     throughput_models_per_s: Dict[str, float] = field(default_factory=dict)
     jitter_ms: Dict[str, Dict[str, float]] = field(default_factory=dict)
     peak_mem_kb: Dict[str, int] = field(default_factory=dict)
+    #: stochastic-estimator pseudo-engine (scenarios with
+    #: ``prepare_estimator`` only): median wall of the estimator pass and
+    #: the batch-median / estimator-median per-round ratio
+    estimator_wall_ms: Optional[float] = None
+    estimator_speedup: Optional[float] = None
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -156,6 +169,16 @@ class BenchResult:
                 for engine, pcts in sorted(self.jitter_ms.items())
             },
             "peak_mem_kb": dict(sorted(self.peak_mem_kb.items())),
+            "estimator_wall_ms": (
+                round(self.estimator_wall_ms, 3)
+                if self.estimator_wall_ms is not None
+                else None
+            ),
+            "estimator_speedup": (
+                round(self.estimator_speedup, 2)
+                if self.estimator_speedup is not None
+                else None
+            ),
         }
 
 
@@ -313,6 +336,66 @@ def _faults_sweep(engine: str = "fast") -> Dict[str, int]:
     return _faults_sweep_prepare(engine)()
 
 
+#: the estimator-vs-emulation DSE grid: MP3 across segment counts and
+#: (small) package sizes.  Small packages multiply the emulated event
+#: count but leave the estimator's schedule-pass cost untouched — exactly
+#: the regime where a static estimate must pay off as a pruning inner loop.
+_DSE_SWEEP_CANDIDATES: Tuple[Tuple[int, int], ...] = tuple(
+    (segments, size) for segments in (2, 3) for size in (3, 4, 6)
+)
+
+
+def _dse_sweep_specs() -> Dict[Tuple[int, int], PlatformSpec]:
+    return {
+        (segments, size): PlatformSpec.from_platform(
+            paper_platform(segments, package_size=size)
+        )
+        for segments, size in _DSE_SWEEP_CANDIDATES
+    }
+
+
+def _dse_sweep_prepare(engine: str) -> Callable[[], Dict[str, int]]:
+    """Emulate every candidate of the DSE grid under one kernel."""
+    application = mp3_decoder_psdf()
+    specs = _dse_sweep_specs()
+    cls = simulation_class(engine)
+
+    def run() -> Dict[str, int]:
+        ticks: Dict[str, int] = {"events": 0}
+        for (segments, size), spec in specs.items():
+            sim = cls(application, spec).run()
+            ticks["events"] += sim.queue.executed
+            ticks[f"g{segments}s{size}_execution_time_ps"] = fs_to_ps(
+                sim.execution_time_fs()
+            )
+        return ticks
+
+    return run
+
+
+def _dse_sweep_estimator() -> Callable[[], Dict[str, int]]:
+    """Score the same DSE grid with the stochastic estimator (no kernel)."""
+    from repro.analysis.stochastic import stochastic_estimate
+
+    application = mp3_decoder_psdf()
+    specs = _dse_sweep_specs()
+
+    def run() -> Dict[str, int]:
+        ticks: Dict[str, int] = {}
+        for (segments, size), spec in specs.items():
+            estimate = stochastic_estimate(application, spec)
+            ticks[f"g{segments}s{size}_estimate_ps"] = fs_to_ps(
+                estimate.execution_time_fs
+            )
+        return ticks
+
+    return run
+
+
+def _dse_estimator_sweep(engine: str = "fast") -> Dict[str, int]:
+    return _dse_sweep_prepare(engine)()
+
+
 def _random_oracle_batch() -> Dict[str, int]:
     from repro.testing.generators import generate_models
     from repro.testing.oracles import run_differential_oracle
@@ -340,7 +423,12 @@ SCENARIOS: Tuple[BenchScenario, ...] = (
         "MP3 decoder on the two-segment paper platform",
         lambda: _mp3_emulate(2),
         prepare=lambda engine: _mp3_prepare(2, engine),
-        speedup_min=3.0,
+        # was 3.0 before clock periods were cached (units.py): the stepped
+        # reference makes far more period_fs calls per event than the fast
+        # kernel, so the uniform caching win compressed this ratio to ~3x —
+        # the pin keeps margin for host jitter while still catching a real
+        # fast-kernel regression
+        speedup_min=2.5,
     ),
     BenchScenario(
         "mp3_3seg_emulate",
@@ -372,6 +460,16 @@ SCENARIOS: Tuple[BenchScenario, ...] = (
         prepare=_faults_sweep_prepare,
         speedup_min_batch=5.0,
         models_per_round=FAULTS_SWEEP_MODELS,
+    ),
+    BenchScenario(
+        "dse_estimator_sweep",
+        "MP3 DSE grid (2-3 segments x package sizes 3/4/6): emulate vs "
+        "stochastic estimate",
+        _dse_estimator_sweep,
+        prepare=_dse_sweep_prepare,
+        prepare_estimator=_dse_sweep_estimator,
+        estimator_speedup_min=50.0,
+        models_per_round=len(_DSE_SWEEP_CANDIDATES),
     ),
     BenchScenario(
         "random_oracle_batch",
@@ -464,12 +562,20 @@ def run_scenario(
         )
     engines = ENGINE_NAMES if engine is None else (resolve_engine(engine),)
     runners = {name: item.prepare(name) for name in engines}
+    estimator_runner = (
+        item.prepare_estimator() if item.prepare_estimator is not None else None
+    )
     ticks_by: Dict[str, Dict[str, int]] = {}
     raw_walls: Dict[str, List[float]] = {name: [] for name in engines}
+    estimator_walls: List[float] = []
+    estimator_ticks: Dict[str, int] = {}
     peak_mem_kb: Dict[str, int] = {}
     for name in engines:  # untimed warm-up round, traced for peak memory
         peak_mem_kb[name] = _traced_peak_kb(runners[name])
         ticks_by[name] = runners[name]()
+    if estimator_runner is not None:
+        peak_mem_kb["estimator"] = _traced_peak_kb(estimator_runner)
+        estimator_ticks = estimator_runner()
     # interleave the engines round by round: host-load episodes (CPU
     # scaling, noisy neighbours) then hit every engine alike, so the
     # per-round ratios stay meaningful even when absolute walls jitter
@@ -478,6 +584,10 @@ def run_scenario(
             start = time.perf_counter()
             ticks_by[name] = runners[name]()
             raw_walls[name].append((time.perf_counter() - start) * 1e3)
+        if estimator_runner is not None:
+            start = time.perf_counter()
+            estimator_ticks = estimator_runner()
+            estimator_walls.append((time.perf_counter() - start) * 1e3)
     reference = ticks_by[engines[0]]
     for name in engines[1:]:
         if ticks_by[name] != reference:
@@ -487,6 +597,13 @@ def run_scenario(
                 f"{ticks_by[name]} (the engines must be tick-for-tick "
                 "equivalent; run `segbus selftest` to localize)"
             )
+    # the estimator is a pseudo-engine: its ticks are pinned in the
+    # baseline too (the estimate is deterministic) but under an ``est_``
+    # prefix, outside the cross-engine equality above — an expected TCT
+    # is not an emulated TCT
+    ticks = dict(reference)
+    for key, value in estimator_ticks.items():
+        ticks[f"est_{key}"] = value
 
     def _ratio(numer: str, denom: str) -> Optional[float]:
         if numer not in raw_walls or denom not in raw_walls:
@@ -504,9 +621,22 @@ def run_scenario(
         name: sorted(times)[len(times) // 2] * factor
         for name, times in raw_walls.items()
     }
+    estimator_wall_ms: Optional[float] = None
+    estimator_speedup: Optional[float] = None
+    if estimator_walls:
+        ordered = sorted(estimator_walls)
+        estimator_wall_ms = ordered[len(ordered) // 2] * factor
+        if "batch" in raw_walls:  # per-round ratio, like _ratio above
+            ratios = sorted(
+                b / e
+                for b, e in zip(raw_walls["batch"], estimator_walls)
+                if e > 0
+            )
+            if ratios:
+                estimator_speedup = ratios[len(ratios) // 2]
     return BenchResult(
         name=item.name,
-        ticks=reference,
+        ticks=ticks,
         wall_ms=walls[0] * factor,
         wall_median_ms=walls[len(walls) // 2] * factor,
         repeats=repeats,
@@ -523,6 +653,8 @@ def run_scenario(
             for name, times in raw_walls.items()
         },
         peak_mem_kb=peak_mem_kb,
+        estimator_wall_ms=estimator_wall_ms,
+        estimator_speedup=estimator_speedup,
     )
 
 
@@ -667,6 +799,16 @@ def load_baseline(name: str, baseline_dir: Union[str, Path]) -> BenchResult:
             str(k): int(v)
             for k, v in dict(data.get("peak_mem_kb", {})).items()
         },
+        estimator_wall_ms=(
+            float(data["estimator_wall_ms"])
+            if data.get("estimator_wall_ms") is not None
+            else None
+        ),
+        estimator_speedup=(
+            float(data["estimator_speedup"])
+            if data.get("estimator_speedup") is not None
+            else None
+        ),
     )
 
 
@@ -700,8 +842,9 @@ def check_bench(
             item = scenario(result.name)
             speedup_min = item.speedup_min
             speedup_min_batch = item.speedup_min_batch
+            estimator_min = item.estimator_speedup_min
         except SegBusError:  # pragma: no cover - results come from the registry
-            speedup_min = speedup_min_batch = None
+            speedup_min = speedup_min_batch = estimator_min = None
         for gate_min, measured, kernel in (
             (speedup_min, result.speedup, "fast"),
             (speedup_min_batch, result.batch_speedup, "batch"),
@@ -718,6 +861,20 @@ def check_bench(
                     f"{result.name}: {kernel} engine speedup {measured:.2f}x "
                     f"below the pinned minimum {gate_min}x "
                     f"({kernel}-kernel perf regression)"
+                )
+        if estimator_min is not None:
+            if result.estimator_speedup is None:
+                check.notes.append(
+                    f"{result.name}: estimator speedup gate "
+                    f"(≥{estimator_min}x) skipped — needs the batch engine "
+                    "timed in the same run (no --engine restriction)"
+                )
+            elif result.estimator_speedup < estimator_min:
+                check.failures.append(
+                    f"{result.name}: stochastic estimator only "
+                    f"{result.estimator_speedup:.2f}x faster than the batch "
+                    f"engine, below the pinned minimum {estimator_min}x "
+                    "(estimator perf regression)"
                 )
         if not check_wall:
             continue
@@ -742,7 +899,8 @@ def check_bench(
 
 def format_results(results: Sequence[BenchResult]) -> str:
     lines = [
-        f"{'scenario':<24} {'wall_ms':>10} {'speedup':>8} {'batch':>8}  ticks"
+        f"{'scenario':<24} {'wall_ms':>10} {'speedup':>8} {'batch':>8} "
+        f"{'est':>8}  ticks"
     ]
     for result in results:
         ticks = ", ".join(
@@ -756,8 +914,13 @@ def format_results(results: Sequence[BenchResult]) -> str:
             if result.batch_speedup is not None
             else "-"
         )
+        est = (
+            f"{result.estimator_speedup:.0f}x"
+            if result.estimator_speedup is not None
+            else "-"
+        )
         lines.append(
             f"{result.name:<24} {result.wall_ms:>10.1f} {speedup:>8} "
-            f"{batch:>8}  {ticks}"
+            f"{batch:>8} {est:>8}  {ticks}"
         )
     return "\n".join(lines)

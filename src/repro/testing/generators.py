@@ -30,7 +30,7 @@ checked construction, not by hope.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Tuple
 
 import numpy as np
 

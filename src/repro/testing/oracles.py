@@ -30,6 +30,14 @@ independent directions and fails loudly on any divergence:
   derived kernels are only allowed constant-factor optimizations, never
   observable ones.
 
+* **SAN — stochastic estimator band.**  The static contention estimator
+  (:func:`repro.analysis.stochastic.stochastic_estimate`) must stay at or
+  above the analytic lower bound and within a pinned relative error band
+  of the emulated time (``SAN-1``) — the "estimation" in the paper's title
+  is only trustworthy while its error against ground truth stays bounded
+  on every corpus model (measured ≤ 4% worst case; the band leaves
+  headroom at 15%, docs/PERFORMANCE.md).
+
 On top, the protocol conformance checker
 (:func:`repro.emulator.conformance.check_conformance`) runs with a live
 tracer, so its BUS/BU/ORD/FIRE/CNT invariants ride along for free.
@@ -44,6 +52,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.analytic import analytic_estimate
+from repro.analysis.stochastic import stochastic_estimate
 from repro.emulator.config import EmulationConfig
 from repro.emulator.conformance import check_conformance
 from repro.emulator.fastkernel import (
@@ -68,9 +77,14 @@ class OracleTolerance:
     cost.  On the generator's computation-bound random models the observed
     ratio stays well below 2; 4.0 leaves room for genuinely contended
     draws while still catching runaway-contention regressions.
+
+    ``stochastic_error_max`` bounds ``|stochastic − emulated| / emulated``:
+    the corpus-measured worst case is below 4% (MAE < 1%), so 0.15 is a
+    generous regression ceiling, not the expected accuracy.
     """
 
     contention_ratio_max: float = 4.0
+    stochastic_error_max: float = 0.15
 
 
 @dataclass
@@ -83,6 +97,7 @@ class OracleReport:
     total_events: int
     violations: List[str] = field(default_factory=list)
     checked: int = 0
+    stochastic_us: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -100,6 +115,7 @@ class OracleReport:
         lines = [
             f"{self.label}: {status} — emulated {self.emulated_us:.2f} us, "
             f"analytic {self.analytic_us:.2f} us, "
+            f"stochastic {self.stochastic_us:.2f} us, "
             f"{self.total_events} events"
         ]
         lines.extend(f"    {v}" for v in self.violations)
@@ -129,14 +145,17 @@ def run_differential_oracle(
         application, spec, config, tracer=tracer
     ).run()
     analytic = analytic_estimate(application, spec, config)
+    stochastic = stochastic_estimate(application, spec, config)
 
     report = OracleReport(
         label=label or f"{application.name} on {platform.name}",
         emulated_us=fs_to_us(sim.execution_time_fs()),
         analytic_us=analytic.execution_time_us,
         total_events=sim.queue.executed,
+        stochastic_us=stochastic.execution_time_us,
     )
     _check_analytic_bounds(sim, spec, analytic, tolerance, report)
+    _check_stochastic_band(sim, analytic, stochastic, tolerance, report)
     _check_total_time_law(sim, report)
     _check_tct_monotonicity(sim, report)
     _check_bu_conservation(sim, spec, report)
@@ -254,6 +273,49 @@ def _check_analytic_bounds(
             f"{analytic.execution_time_us:.3f} us: contention beyond the "
             "documented tolerance (emulator regression or generator drift)",
         )
+
+
+# ---------------------------------------------------------------------------
+# SAN — stochastic estimator band
+# ---------------------------------------------------------------------------
+
+
+def _check_stochastic_band(
+    sim: Simulation,
+    analytic,
+    stochastic,
+    tolerance: OracleTolerance,
+    report: OracleReport,
+) -> None:
+    """SAN-1: the static contention estimate brackets the emulated time.
+
+    Lower side exactly (the estimate only ever *adds* expected waiting to
+    the analytic walk, so falling below it means the estimator is broken);
+    upper and lower error against the emulation within the pinned band.
+    """
+    report.checked += 2
+    if stochastic.execution_time_fs < analytic.execution_time_fs:
+        report.add(
+            "SAN-1",
+            f"stochastic estimate {stochastic.execution_time_us:.3f} us "
+            f"fell below its own analytic lower bound "
+            f"{analytic.execution_time_us:.3f} us: the contention term "
+            "must be non-negative",
+        )
+    emulated_fs = sim.execution_time_fs()
+    if emulated_fs > 0:
+        error = (
+            abs(stochastic.execution_time_fs - emulated_fs) / emulated_fs
+        )
+        if error > tolerance.stochastic_error_max:
+            report.add(
+                "SAN-1",
+                f"stochastic estimate {stochastic.execution_time_us:.3f} us "
+                f"is {error:.1%} off the emulated "
+                f"{fs_to_us(emulated_fs):.3f} us (band: "
+                f"{tolerance.stochastic_error_max:.0%}): estimator drift "
+                "against ground truth",
+            )
 
 
 # ---------------------------------------------------------------------------

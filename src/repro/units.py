@@ -18,6 +18,7 @@ cycle).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 #: femtoseconds per second
 FS_PER_SECOND = 10**15
@@ -83,7 +84,7 @@ class Frequency:
     def mhz(self) -> float:
         return self.hz / MHZ
 
-    @property
+    @cached_property
     def period_fs(self) -> int:
         return period_fs_from_hz(self.hz)
 

@@ -11,7 +11,7 @@ per-package costs, since the scheme stores ``C`` at a fixed package size).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from repro.errors import XMLFormatError
 from repro.psdf.flow import PacketFlow

@@ -18,7 +18,6 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import XMLFormatError
 from repro.model.builder import PlatformBuilder
 from repro.model.elements import SegBusPlatform
-from repro.units import Frequency
 from repro.xmlio.psm_writer import PARAM_TYPE
 from repro.xmlio.schema_writer import ComplexType, SchemaDocument
 

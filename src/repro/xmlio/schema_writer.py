@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import io
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional
+from typing import List
 from xml.etree import ElementTree as ET
 
 from repro.errors import XMLFormatError

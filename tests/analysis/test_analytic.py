@@ -3,6 +3,7 @@
 import pytest
 
 from repro.analysis.analytic import (
+    ContentionDiagnosis,
     analytic_estimate,
     diagnose_contention,
 )
@@ -82,6 +83,38 @@ class TestLowerBound:
         assert diagnosis.analytic_us <= diagnosis.emulated_us
         # the MP3 app is lightly contended: analytic within 10 %
         assert diagnosis.contention_share < 0.10
+
+
+class TestDiagnosisArithmetic:
+    def test_contention_fields_are_derived(self):
+        diagnosis = ContentionDiagnosis(analytic_us=80.0, emulated_us=100.0)
+        assert diagnosis.contention_us == pytest.approx(20.0)
+        assert diagnosis.contention_share == pytest.approx(0.2)
+
+    def test_zero_emulated_time_has_zero_share(self):
+        diagnosis = ContentionDiagnosis(analytic_us=0.0, emulated_us=0.0)
+        assert diagnosis.contention_share == 0.0
+
+    def test_contention_free_model_diagnoses_clean(self):
+        graph = PSDFGraph.from_edges([("A", "B", 36, 1, 50)])
+        diagnosis = diagnose_contention(graph, spec_for({"A": 1, "B": 1}))
+        assert diagnosis.contention_us == pytest.approx(0.0)
+        assert diagnosis.contention_share == pytest.approx(0.0)
+
+    def test_diagnosis_respects_config(self):
+        # the reference config adds grant/turnaround overheads to both
+        # sides; the bound must still hold and both times must grow
+        graph = PSDFGraph.from_edges(
+            [("A", "C", 180, 1, 10), ("B", "C", 180, 1, 10)]
+        )
+        spec = spec_for({"A": 1, "B": 1, "C": 1})
+        default = diagnose_contention(graph, spec)
+        reference = diagnose_contention(
+            graph, spec, EmulationConfig.reference()
+        )
+        assert reference.analytic_us >= default.analytic_us
+        assert reference.emulated_us >= default.emulated_us
+        assert reference.analytic_us <= reference.emulated_us
 
 
 class TestEstimateObject:

@@ -53,6 +53,33 @@ def test_mp3_critical_path_is_left_channel(mp3_graph, platform_3seg):
     assert path[-3:] == ("P6", "P7", "P14")
 
 
+def test_single_flow_path():
+    graph = PSDFGraph.from_edges([("A", "B", 36, 1, 50)])
+    estimate = analytic_estimate(graph, spec_for({"A": 1, "B": 1}))
+    assert critical_path(graph, estimate) == ("A", "B")
+
+
+def test_path_starts_at_an_initial_process(mp3_graph, platform_3seg):
+    estimate = analytic_estimate(
+        mp3_graph, PlatformSpec.from_platform(platform_3seg)
+    )
+    path = critical_path(mp3_graph, estimate)
+    assert not mp3_graph.incoming(path[0])
+
+
+def test_completion_times_monotone_along_path(mp3_graph, platform_3seg):
+    # the path walks binding precedences, so completion times can never
+    # decrease along it
+    estimate = analytic_estimate(
+        mp3_graph, PlatformSpec.from_platform(platform_3seg)
+    )
+    path = critical_path(mp3_graph, estimate)
+    times = [estimate.completion_fs[p] for p in path]
+    assert all(a <= b for a, b in zip(times, times[1:]))
+    # and it ends at the globally last completion
+    assert times[-1] == max(estimate.completion_fs.values())
+
+
 def test_every_hop_is_a_real_flow(mp3_graph, platform_3seg):
     estimate = analytic_estimate(
         mp3_graph, PlatformSpec.from_platform(platform_3seg)

@@ -1,0 +1,279 @@
+"""Stochastic contention analyzer tests: queue math, bounds, accuracy."""
+
+import pytest
+
+from repro.analysis.analytic import (
+    analytic_estimate,
+    path_timing,
+    platform_clocks,
+    schedule_for,
+)
+from repro.analysis.stochastic import (
+    CONTENTION_CEILING,
+    RHO_CAP,
+    UTILIZATION_KNEE,
+    QueueModel,
+    stochastic_estimate,
+    suggest_placement_move,
+)
+from repro.emulator.config import EmulationConfig
+from repro.emulator.fastkernel import make_simulation
+from repro.emulator.kernel import PlatformSpec
+from repro.model.topology import LinearTopology
+from repro.psdf.flow import FlowCost, PacketFlow
+from repro.psdf.graph import PSDFGraph
+from repro.psdf.process import Process, ProcessKind
+from repro.testing.generators import generate_models
+from repro.testing.oracles import OracleTolerance
+
+
+def spec_for(placement, segments=1, package_size=36):
+    return PlatformSpec(
+        package_size=package_size,
+        segment_frequencies_mhz={i: 100.0 for i in range(1, segments + 1)},
+        ca_frequency_mhz=100.0,
+        placement=placement,
+    )
+
+
+def hot_mesh_model():
+    """Six parallel cross-segment chains saturating both buses and the BU.
+
+    The shape the SB5xx family exists for: every chain crosses the
+    segment border twice, all at the same transfer orders, so segment,
+    CA and BU loads all blow past the knee.
+    """
+    processes, flows = [], []
+    for i in range(6):
+        x, y, z = f"X{i}", f"Y{i}", f"Z{i}"
+        processes += [
+            Process(x, ProcessKind.INITIAL),
+            Process(y, ProcessKind.PROCESS),
+            Process(z, ProcessKind.FINAL),
+        ]
+        flows += [
+            PacketFlow(source=x, target=y, data_items=3600, order=1,
+                       cost=FlowCost.constant(1)),
+            PacketFlow(source=y, target=z, data_items=3600, order=2,
+                       cost=FlowCost.constant(1)),
+        ]
+    graph = PSDFGraph(processes, flows, name="HotMesh")
+    placement = {}
+    for i in range(6):
+        placement[f"X{i}"] = 1
+        placement[f"Z{i}"] = 1
+        placement[f"Y{i}"] = 2
+    spec = PlatformSpec(
+        package_size=36,
+        segment_frequencies_mhz={1: 90.0, 2: 95.0},
+        ca_frequency_mhz=110.0,
+        placement=placement,
+    )
+    return graph, spec
+
+
+def misplaced_pipeline_model():
+    """Independent pairs crowding segment 1 plus a chain whose middle
+    stage sits on the wrong (hot) segment — one move fixes it."""
+    processes, flows = [], []
+    for i in range(5):
+        x, y = f"X{i}", f"Y{i}"
+        processes += [
+            Process(x, ProcessKind.INITIAL),
+            Process(y, ProcessKind.FINAL),
+        ]
+        flows.append(
+            PacketFlow(source=x, target=y, data_items=3600, order=1 + i,
+                       cost=FlowCost.constant(1))
+        )
+    processes += [
+        Process("A0", ProcessKind.INITIAL),
+        Process("B0", ProcessKind.PROCESS),
+        Process("C0", ProcessKind.FINAL),
+    ]
+    flows += [
+        PacketFlow(source="A0", target="B0", data_items=3600, order=6,
+                   cost=FlowCost.constant(1)),
+        PacketFlow(source="B0", target="C0", data_items=3600, order=7,
+                   cost=FlowCost.constant(1)),
+    ]
+    graph = PSDFGraph(processes, flows, name="MisplacedPipeline")
+    placement = {"A0": 2, "B0": 1, "C0": 2}
+    for i in range(5):
+        placement[f"X{i}"] = 1
+        placement[f"Y{i}"] = 1
+    spec = PlatformSpec(
+        package_size=36,
+        segment_frequencies_mhz={1: 90.0, 2: 95.0},
+        ca_frequency_mhz=110.0,
+        placement=placement,
+    )
+    return graph, spec
+
+
+class TestQueueModel:
+    def test_idle_resource_has_no_wait(self):
+        q = QueueModel(name="S1", arrivals=0, busy_fs=0, window_fs=1000)
+        assert q.utilization == 0.0
+        assert q.mean_wait_fs == 0.0
+        assert q.mean_queue_depth == 0.0
+        assert q.occupancy_distribution() == (1.0,) + (0.0,) * 8
+
+    def test_md1_wait_formula(self):
+        # rho = 0.5, D = 100 -> Wq = 0.5 * 100 / (2 * 0.5) = 50
+        q = QueueModel(name="S1", arrivals=5, busy_fs=500, window_fs=1000)
+        assert q.utilization == pytest.approx(0.5)
+        assert q.mean_service_fs == pytest.approx(100.0)
+        assert q.mean_wait_fs == pytest.approx(50.0)
+        # Little: Lq = lambda * Wq = (5/1000) * 50 = 0.25
+        assert q.mean_queue_depth == pytest.approx(0.25)
+
+    def test_overload_is_capped_not_infinite(self):
+        q = QueueModel(name="S1", arrivals=100, busy_fs=5000, window_fs=1000)
+        assert q.utilization == pytest.approx(5.0)  # uncapped, reported
+        capped = RHO_CAP * q.mean_service_fs / (2.0 * (1.0 - RHO_CAP))
+        assert q.mean_wait_fs == pytest.approx(capped)
+
+    def test_occupancy_distribution_sums_to_one(self):
+        q = QueueModel(name="S1", arrivals=8, busy_fs=700, window_fs=1000)
+        dist = q.occupancy_distribution(max_occupancy=6)
+        assert len(dist) == 7
+        assert sum(dist) == pytest.approx(1.0)
+        # geometric surrogate: strictly decreasing head
+        assert dist[0] > dist[1] > dist[2]
+
+    def test_saturation_probability_monotone_in_depth(self):
+        q = QueueModel(name="S1", arrivals=8, busy_fs=700, window_fs=1000)
+        probs = [q.saturation_probability(d) for d in range(5)]
+        assert all(a >= b for a, b in zip(probs, probs[1:]))
+        assert q.saturation_probability(-1) == 1.0
+
+    def test_occupancy_requires_positive_depth(self):
+        q = QueueModel(name="S1", arrivals=1, busy_fs=1, window_fs=10)
+        with pytest.raises(ValueError):
+            q.occupancy_distribution(max_occupancy=0)
+
+
+class TestEstimateStructure:
+    def test_estimate_never_below_analytic(self, mp3_graph, platform_3seg):
+        spec = PlatformSpec.from_platform(platform_3seg)
+        estimate = stochastic_estimate(mp3_graph, spec)
+        analytic = analytic_estimate(mp3_graph, spec)
+        assert estimate.execution_time_fs >= analytic.execution_time_fs
+        assert estimate.analytic_fs == analytic.execution_time_fs
+        assert estimate.contention_ratio >= 1.0
+
+    def test_resources_cover_the_platform(self, mp3_graph, platform_3seg):
+        spec = PlatformSpec.from_platform(platform_3seg)
+        estimate = stochastic_estimate(mp3_graph, spec)
+        assert set(estimate.segments) == {1, 2, 3}
+        assert estimate.ca.arrivals > 0  # MP3 has inter-segment flows
+        assert estimate.border_units  # and at least one BU carries them
+        for model in estimate.segments.values():
+            assert model.window_fs == estimate.analytic_fs
+
+    def test_critical_chain_is_recorded(self, mp3_graph, platform_3seg):
+        spec = PlatformSpec.from_platform(platform_3seg)
+        estimate = stochastic_estimate(mp3_graph, spec)
+        assert estimate.critical_chain
+        assert estimate.critical_chain[0] == "P0"
+
+    def test_single_flow_has_no_contention(self):
+        graph = PSDFGraph.from_edges([("A", "B", 36, 1, 50)])
+        estimate = stochastic_estimate(graph, spec_for({"A": 1, "B": 1}))
+        assert estimate.contention_fs == 0
+        assert estimate.contention_ratio == 1.0
+
+    def test_hottest_segment_none_when_idle(self):
+        graph = PSDFGraph.from_edges([("A", "B", 36, 1, 50)])
+        estimate = stochastic_estimate(graph, spec_for({"A": 1, "B": 1}))
+        # segment 1 carries the one flow, so it is the hottest
+        assert estimate.hottest_segment() == 1
+
+    def test_hot_mesh_blows_every_gauge(self):
+        graph, spec = hot_mesh_model()
+        estimate = stochastic_estimate(graph, spec)
+        assert estimate.segments[1].utilization > UTILIZATION_KNEE
+        assert estimate.segments[2].utilization > UTILIZATION_KNEE
+        assert estimate.ca.utilization > UTILIZATION_KNEE
+        assert estimate.contention_ratio >= CONTENTION_CEILING
+        bu = estimate.border_units[(1, 2)]
+        assert bu.mean_queue_depth > 1.0
+
+
+class TestAccuracy:
+    """The SAN-1 claim, asserted directly on a generated corpus."""
+
+    def test_corpus_error_band(self):
+        band = OracleTolerance().stochastic_error_max
+        errors = []
+        for model in generate_models(40, base_seed=500):
+            spec = PlatformSpec.from_platform(model.platform)
+            config = EmulationConfig()
+            estimate = stochastic_estimate(model.application, spec, config)
+            analytic = analytic_estimate(model.application, spec, config)
+            assert estimate.execution_time_fs >= analytic.execution_time_fs
+            emulated = make_simulation(
+                model.application, spec, config
+            ).run().execution_time_fs()
+            error = abs(estimate.execution_time_fs - emulated) / emulated
+            assert error <= band, f"{model.label}: err {error:.3f}"
+            errors.append(error)
+        assert sum(errors) / len(errors) <= 0.05  # corpus MAE, see docs
+
+    def test_mp3_estimate_close_to_emulation(self, mp3_graph, platform_3seg):
+        spec = PlatformSpec.from_platform(platform_3seg)
+        estimate = stochastic_estimate(mp3_graph, spec)
+        emulated = make_simulation(mp3_graph, spec).run().execution_time_fs()
+        assert abs(estimate.execution_time_fs - emulated) / emulated < 0.05
+
+
+class TestPlacementMove:
+    def test_misplaced_pipeline_move_found(self):
+        graph, spec = misplaced_pipeline_model()
+        move = suggest_placement_move(graph, spec)
+        assert move is not None
+        assert move.process == "B0"
+        assert move.from_segment == 1
+        assert move.to_segment == 2
+        assert move.predicted_saving_fs > 0
+        # the move must actually improve the estimate it was derived from
+        base = stochastic_estimate(graph, spec)
+        assert move.predicted_saving_us < base.execution_time_us
+
+    def test_single_segment_has_no_move(self):
+        graph = PSDFGraph.from_edges([("A", "B", 36, 1, 50)])
+        assert suggest_placement_move(graph, spec_for({"A": 1, "B": 1})) is None
+
+    def test_balanced_platform_needs_no_move(self, mp3_graph, platform_3seg):
+        # the paper's placement is already good: any suggested move must
+        # be a genuine predicted improvement, not noise
+        spec = PlatformSpec.from_platform(platform_3seg)
+        move = suggest_placement_move(mp3_graph, spec)
+        if move is not None:
+            assert move.predicted_saving_fs > 0
+
+
+class TestSchedulingCache:
+    def test_schedule_for_is_memoized_by_identity(self, mp3_graph):
+        assert schedule_for(mp3_graph, 36) is schedule_for(mp3_graph, 36)
+        assert schedule_for(mp3_graph, 36) is not schedule_for(mp3_graph, 18)
+
+    def test_path_timing_matches_analytic_duration(self):
+        spec = spec_for({"A": 1, "B": 3}, segments=3)
+        clocks, ca_clock = platform_clocks(spec)
+        topology = LinearTopology(3)
+        config = EmulationConfig()
+        timing = path_timing(1, 3, clocks, ca_clock, topology, 36, config)
+        assert timing.path == (1, 2, 3)
+        assert [seg for seg, _ in timing.legs] == [1, 2, 3]
+        assert timing.duration_fs == (
+            timing.ca_overhead_fs + sum(fs for _, fs in timing.legs)
+        )
+
+    def test_platform_clocks_share_domains(self):
+        spec = spec_for({"A": 1}, segments=2)
+        clocks_a, ca_a = platform_clocks(spec)
+        clocks_b, ca_b = platform_clocks(spec)
+        assert ca_a is ca_b
+        assert clocks_a[1] is clocks_b[1]

@@ -78,3 +78,42 @@ class TestDSE:
             ca_frequency_mhz=PAPER_CA_FREQUENCY_MHZ,
         )
         assert all("placetool" in p.allocation_source for p in points)
+
+
+class TestEstimatorPrune:
+    def explore(self, mp3_graph, **kwargs):
+        return explore_design_space(
+            mp3_graph,
+            segment_counts=[2],
+            package_sizes=[36, 72],
+            segment_frequencies_mhz=paper_segment_frequencies_mhz,
+            ca_frequency_mhz=PAPER_CA_FREQUENCY_MHZ,
+            extra_allocations=[("paper", paper_allocation(2))],
+            **kwargs,
+        )
+
+    def test_prune_narrows_the_grid(self, mp3_graph):
+        full = self.explore(mp3_graph)
+        pruned = self.explore(mp3_graph, estimator_prune=2)
+        assert len(full) == 4
+        assert len(pruned) == 2
+        # the pre-estimate rides along on every surviving point
+        assert all(p.estimated_us is not None and p.estimated_us > 0
+                   for p in pruned)
+        assert all(p.estimated_us is None for p in full)
+
+    def test_prune_preserves_the_winner(self, mp3_graph):
+        # the estimator ranks well enough that the emulated optimum
+        # survives a half-width cut — the whole point of the inner loop
+        full = self.explore(mp3_graph)
+        pruned = self.explore(mp3_graph, estimator_prune=2)
+        assert pruned[0].execution_time_us == full[0].execution_time_us
+        assert pruned[0].package_size == full[0].package_size
+
+    def test_prune_wider_than_grid_keeps_everything(self, mp3_graph):
+        pruned = self.explore(mp3_graph, estimator_prune=100)
+        assert len(pruned) == 4
+
+    def test_prune_must_be_positive(self, mp3_graph):
+        with pytest.raises(ValueError, match="estimator_prune"):
+            self.explore(mp3_graph, estimator_prune=0)

@@ -1,0 +1,51 @@
+"""CLI estimate subcommand tests."""
+
+import pytest
+
+from repro.apps.mp3 import PAPER_PACKAGE_SIZE, mp3_decoder_psdf, paper_platform
+from repro.cli import main
+from repro.xmlio.psdf_writer import psdf_to_xml
+from repro.xmlio.psm_writer import psm_to_xml
+
+
+@pytest.fixture()
+def scheme_files(tmp_path):
+    psdf = tmp_path / "app.xml"
+    psm = tmp_path / "platform.xml"
+    psdf.write_text(psdf_to_xml(mp3_decoder_psdf(), PAPER_PACKAGE_SIZE))
+    psm.write_text(psm_to_xml(paper_platform(3)))
+    return psdf, psm
+
+
+def test_estimate_prints_the_breakdown(capsys, scheme_files):
+    psdf, psm = scheme_files
+    rc = main(["estimate", str(psdf), str(psm)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "analytic lower bound:" in out
+    assert "predicted contention:" in out
+    assert "expected TCT:" in out
+    assert "critical chain:" in out
+    # the per-resource queue table: three segments, the CA, and BUs
+    for name in ("S1", "S2", "S3", "CA", "BU1-2", "BU2-3"):
+        assert name in out
+    # no emulation without --emulate
+    assert "emulated TCT" not in out
+
+
+def test_estimate_emulate_reports_signed_error(capsys, scheme_files):
+    psdf, psm = scheme_files
+    rc = main(["estimate", str(psdf), str(psm), "--emulate"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "emulated TCT:" in out
+    assert "estimate off by" in out
+
+
+def test_estimate_emulate_accepts_engine(capsys, scheme_files):
+    psdf, psm = scheme_files
+    rc = main(
+        ["estimate", str(psdf), str(psm), "--emulate", "--engine", "fast"]
+    )
+    assert rc == 0
+    assert "emulated TCT:" in capsys.readouterr().out

@@ -1,0 +1,42 @@
+"""Regenerate the SARIF snapshot fixtures in this directory.
+
+Run from the repo root:
+
+    PYTHONPATH=src:. python tests/lint/data/regen_snapshot.py
+
+and commit the resulting diff together with the rule change that
+motivated it.
+"""
+
+import os
+from pathlib import Path
+
+from repro.lint import default_registry, lint_paths
+from repro.lint.output import format_sarif
+from repro.xmlio.psdf_writer import psdf_to_xml
+from repro.xmlio.psm_writer import psm_to_xml
+
+from tests.lint.test_rules_performance import hot_mesh_models
+
+
+def main() -> None:
+    data = Path(__file__).resolve().parent
+    graph, platform = hot_mesh_models()
+    (data / "hot_mesh_psdf.xml").write_text(
+        psdf_to_xml(graph, platform.package_size)
+    )
+    (data / "hot_mesh_psm.xml").write_text(psm_to_xml(platform))
+
+    os.chdir(data)
+    registry = default_registry()
+    report = lint_paths(
+        ["hot_mesh_psdf.xml", "hot_mesh_psm.xml"], registry=registry
+    )
+    (data / "hot_mesh_sarif.json").write_text(
+        format_sarif(report, registry=registry) + "\n"
+    )
+    print(f"wrote {len(report.findings)} findings to hot_mesh_sarif.json")
+
+
+if __name__ == "__main__":
+    main()

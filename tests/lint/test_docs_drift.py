@@ -1,0 +1,38 @@
+"""docs/LINTING.md must not drift from the registered rule catalogue."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.lint import default_registry
+
+LINTING_MD = Path(__file__).resolve().parents[2] / "docs" / "LINTING.md"
+
+
+@pytest.fixture(scope="module")
+def doc_text():
+    return LINTING_MD.read_text()
+
+
+def test_every_registered_rule_is_documented(doc_text):
+    documented = set(re.findall(r"`(SB\d{3})`", doc_text))
+    registered = {rule.id for rule in default_registry()}
+    missing = registered - documented
+    assert not missing, (
+        f"rules missing from docs/LINTING.md: {sorted(missing)}"
+    )
+
+
+def test_no_ghost_rules_in_the_catalogue_table(doc_text):
+    # table rows look like `| `SBxxx` | name | ...` — every row must be
+    # a real rule; prose may mention IDs freely
+    rows = set(re.findall(r"^\|\s*`(SB\d{3})`", doc_text, re.MULTILINE))
+    registered = {rule.id for rule in default_registry()}
+    ghosts = rows - registered
+    assert not ghosts, f"documented but not registered: {sorted(ghosts)}"
+
+
+def test_doc_quotes_the_catalogue_size(doc_text):
+    checked = len(default_registry()) - 1  # SB999 is internal-only
+    assert f"{checked} rule(s) checked" in doc_text

@@ -18,11 +18,11 @@ def registry():
 
 class TestDefaultRegistry:
     def test_catalogue_size(self, registry):
-        assert len(registry) == 39
+        assert len(registry) == 44
 
     def test_every_band_is_present(self, registry):
         bands = {rule.id[:3] for rule in registry}
-        assert bands == {"SB1", "SB2", "SB3", "SB4", "SB9"}
+        assert bands == {"SB1", "SB2", "SB3", "SB4", "SB5", "SB9"}
 
     def test_ids_and_names_unique(self, registry):
         ids = [r.id for r in registry]

@@ -1,0 +1,162 @@
+"""SB5xx: the stochastic-estimator-backed performance lint."""
+
+import pytest
+
+from repro.apps.mp3 import mp3_decoder_psdf, paper_platform
+from repro.lint import LintContext, default_registry, lint_models, run_rules
+from repro.model.mapping import Allocation, map_application
+from repro.psdf.flow import FlowCost, PacketFlow
+from repro.psdf.graph import PSDFGraph
+from repro.psdf.process import Process, ProcessKind
+
+from tests.analysis.test_stochastic import (
+    hot_mesh_model,
+    misplaced_pipeline_model,
+)
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return default_registry()
+
+
+def psm_for(graph, groups, frequencies, ca_mhz=110.0, package_size=36):
+    return map_application(
+        graph,
+        Allocation.from_groups(groups),
+        segment_frequencies_mhz=frequencies,
+        ca_frequency_mhz=ca_mhz,
+        package_size=package_size,
+        name="PerfLint",
+    )
+
+
+def hot_mesh_models():
+    graph, _spec = hot_mesh_model()
+    groups = [
+        [f"X{i}" for i in range(6)] + [f"Z{i}" for i in range(6)],
+        [f"Y{i}" for i in range(6)],
+    ]
+    return graph, psm_for(graph, groups, [90, 95]).platform
+
+
+def misplaced_pipeline_models():
+    graph, _spec = misplaced_pipeline_model()
+    groups = [
+        [f"X{i}" for i in range(5)] + [f"Y{i}" for i in range(5)] + ["B0"],
+        ["A0", "C0"],
+    ]
+    return graph, psm_for(graph, groups, [90, 95]).platform
+
+
+class TestHotMesh:
+    @pytest.fixture(scope="class")
+    def report(self, registry):
+        graph, platform = hot_mesh_models()
+        return lint_models(
+            application=graph, platform=platform, registry=registry
+        )
+
+    def test_segment_saturation_fires_per_segment(self, report):
+        findings = [f for f in report.findings if f.rule_id == "SB501"]
+        assert {f.location.segment for f in findings} == {1, 2}
+        assert all("offered load" in f.message for f in findings)
+
+    def test_ca_saturation_fires(self, report):
+        assert any(f.rule_id == "SB502" for f in report.findings)
+
+    def test_contention_blowup_fires(self, report):
+        findings = [f for f in report.findings if f.rule_id == "SB503"]
+        assert findings and "ANA-2 ceiling" in findings[0].message
+
+    def test_bu_queue_overflow_fires(self, report):
+        findings = [f for f in report.findings if f.rule_id == "SB504"]
+        assert findings
+        assert findings[0].location.element == "BU12"
+
+    def test_no_internal_errors(self, report):
+        assert not any(f.rule_id == "SB999" for f in report.findings)
+
+    def test_warnings_exit_code(self, report):
+        assert report.exit_code == 1
+
+
+class TestHotPlacement:
+    def test_sb505_names_the_move(self, registry):
+        graph, platform = misplaced_pipeline_models()
+        report = lint_models(
+            application=graph, platform=platform, registry=registry
+        )
+        findings = [f for f in report.findings if f.rule_id == "SB505"]
+        assert findings
+        finding = findings[0]
+        assert finding.location.element == "B0"
+        assert "segment 2" in finding.message
+        assert "B0" in finding.fix_hint
+
+    def test_sb505_quiet_when_no_segment_saturates(self, registry):
+        graph = PSDFGraph.from_edges(
+            [("A", "B", 72, 1, 50), ("B", "C", 72, 2, 50)]
+        )
+        psm = psm_for(graph, [["A", "B"], ["C"]], [91, 98])
+        report = lint_models(
+            application=graph, platform=psm.platform, registry=registry
+        )
+        assert not any(f.rule_id.startswith("SB5") for f in report.findings)
+
+
+class TestCleanModels:
+    def test_paper_mp3_is_performance_clean(self, registry):
+        report = lint_models(
+            application=mp3_decoder_psdf(),
+            platform=paper_platform(3),
+            registry=registry,
+        )
+        assert report.exit_code == 0
+        assert not any(
+            f.rule_id.startswith("SB5") for f in report.findings
+        )
+
+
+class TestGuards:
+    def test_no_platform_means_no_sb5xx(self, registry):
+        # performance lint needs a placement; without a platform the
+        # rules must stay silent (and must not crash into SB999)
+        ctx = LintContext.from_models()
+        ctx.processes = (
+            Process("A", ProcessKind.INITIAL),
+            Process("B", ProcessKind.FINAL),
+        )
+        ctx.flows = (
+            PacketFlow(source="A", target="B", data_items=36, order=1,
+                       cost=FlowCost.constant(50)),
+        )
+        report = run_rules(ctx, registry=registry)
+        assert not any(f.rule_id.startswith("SB5") for f in report.findings)
+        assert not any(f.rule_id == "SB999" for f in report.findings)
+
+    def test_cyclic_graph_means_no_sb5xx(self, registry):
+        # the PSDF constructor rejects cycles, so the estimator cannot
+        # run; SB207 owns the diagnosis and SB5xx must not crash
+        graph, platform = hot_mesh_models()
+        ctx = LintContext.from_models(platform=platform)
+        ctx.processes = tuple(
+            Process(n, ProcessKind.PROCESS) for n in ("A", "B")
+        )
+        ctx.flows = (
+            PacketFlow(source="A", target="B", data_items=36, order=1,
+                       cost=FlowCost.constant(50)),
+            PacketFlow(source="B", target="A", data_items=36, order=2,
+                       cost=FlowCost.constant(50)),
+        )
+        report = run_rules(ctx, registry=registry)
+        assert not any(f.rule_id.startswith("SB5") for f in report.findings)
+        assert not any(f.rule_id == "SB999" for f in report.findings)
+
+    def test_estimation_is_cached_on_context(self, registry):
+        graph, platform = hot_mesh_models()
+        ctx = LintContext.from_models(platform=platform)
+        ctx.processes = tuple(graph.processes)
+        ctx.flows = tuple(graph.flows)
+        run_rules(ctx, registry=registry)
+        assert "_sb5xx_estimation" in ctx.__dict__

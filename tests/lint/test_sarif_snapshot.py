@@ -1,0 +1,66 @@
+"""SARIF output is pinned byte-for-byte against a committed snapshot.
+
+The fixture scheme (tests/lint/data/hot_mesh_*.xml) is the hot-mesh
+model from the stochastic-analyzer tests: it trips the SB5xx
+performance band plus the SB22x frequency rules, so the snapshot locks
+both the SARIF envelope and the estimator-derived messages. Regenerate
+with `python tests/lint/data/regen_snapshot.py` after an intentional
+rule change and commit the diff.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import default_registry, lint_paths
+from repro.lint.output import format_sarif
+
+DATA_DIR = Path(__file__).resolve().parent / "data"
+SNAPSHOT = DATA_DIR / "hot_mesh_sarif.json"
+
+
+@pytest.fixture()
+def report(monkeypatch):
+    # relative paths keep the artifact URIs in the snapshot stable
+    monkeypatch.chdir(DATA_DIR)
+    return lint_paths(
+        ["hot_mesh_psdf.xml", "hot_mesh_psm.xml"], registry=default_registry()
+    )
+
+
+def test_sarif_matches_committed_snapshot(report):
+    rendered = format_sarif(report, registry=default_registry()) + "\n"
+    assert rendered == SNAPSHOT.read_text()
+
+
+def test_snapshot_carries_the_performance_band(report):
+    doc = json.loads(SNAPSHOT.read_text())
+    run = doc["runs"][0]
+    assert doc["version"] == "2.1.0"
+    assert run["tool"]["driver"]["name"] == "segbus-lint"
+
+    rule_ids = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+    fired = {result["ruleId"] for result in run["results"]}
+    assert {"SB501", "SB502", "SB503", "SB504"} <= fired
+    # every fired rule carries its metadata, and ruleIndex points at it
+    assert fired <= set(rule_ids)
+    for result in run["results"]:
+        assert rule_ids[result["ruleIndex"]] == result["ruleId"]
+
+    uris = {
+        loc["physicalLocation"]["artifactLocation"]["uri"]
+        for result in run["results"]
+        for loc in result["locations"]
+    }
+    assert uris <= {"hot_mesh_psdf.xml", "hot_mesh_psm.xml"}
+
+
+def test_snapshot_sb504_names_the_border_unit(report):
+    doc = json.loads(SNAPSHOT.read_text())
+    results = [
+        r for r in doc["runs"][0]["results"] if r["ruleId"] == "SB504"
+    ]
+    assert results
+    assert results[0]["properties"]["element"] == "BU12"
+    assert results[0]["properties"]["fix_hint"]

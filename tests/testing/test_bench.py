@@ -284,6 +284,78 @@ class TestBatchSpeedupGate:
         assert set(baseline.peak_mem_kb) == {"stepped", "fast", "batch"}
 
 
+class TestEstimatorGate:
+    """dse_estimator_sweep pins ``estimator_speedup_min`` at 50x.
+
+    Gate logic runs on hand-built results (same convention as the batch
+    gate above); one live single-repeat run covers the real plumbing —
+    interleaved estimator timing, ``est_``-prefixed ticks, the measured
+    ratio — without re-running the full grid per test.
+    """
+
+    GATED_EST = "dse_estimator_sweep"
+
+    def _result(self, estimator_speedup, ticks=None):
+        return BenchResult(
+            name=self.GATED_EST,
+            ticks=ticks if ticks is not None else {"events": 480},
+            wall_ms=1.0,
+            wall_median_ms=1.0,
+            repeats=1,
+            engine_wall_ms={"stepped": 40.0, "fast": 12.0, "batch": 9.0},
+            speedup=3.3,
+            batch_speedup=4.4,
+            estimator_wall_ms=0.12,
+            estimator_speedup=estimator_speedup,
+        )
+
+    def test_scenario_pins_estimator_minimum(self):
+        assert scenario(self.GATED_EST).estimator_speedup_min == 50.0
+
+    def test_live_run_measures_the_claim(self):
+        result = run_bench(names=[self.GATED_EST], repeats=1)[0]
+        # the estimator's own predictions ride along as est_ ticks,
+        # exempt from the cross-engine equality assert
+        est_ticks = [k for k in result.ticks if k.startswith("est_")]
+        assert len(est_ticks) == scenario(self.GATED_EST).models_per_round
+        assert result.estimator_wall_ms is not None
+        assert result.estimator_speedup is not None
+        assert result.estimator_speedup >= 50.0
+
+    def test_low_estimator_speedup_fails_even_without_wall(self, tmp_path):
+        write_baselines([self._result(70.0)], tmp_path)
+        check = check_bench(
+            [self._result(8.0)], baseline_dir=tmp_path, check_wall=False
+        )
+        assert not check.ok
+        assert any(
+            "stochastic estimator" in f and "below the pinned minimum" in f
+            for f in check.failures
+        )
+
+    def test_missing_estimator_speedup_noted_not_failed(self, tmp_path):
+        write_baselines([self._result(70.0)], tmp_path)
+        check = check_bench(
+            [self._result(None)], baseline_dir=tmp_path, check_wall=False
+        )
+        assert check.ok
+        assert any("estimator speedup gate" in n for n in check.notes)
+
+    def test_estimator_fields_roundtrip_through_baseline(self, tmp_path):
+        write_baselines([self._result(70.0)], tmp_path)
+        loaded = load_baseline(self.GATED_EST, tmp_path)
+        assert loaded.estimator_wall_ms == pytest.approx(0.12)
+        assert loaded.estimator_speedup == pytest.approx(70.0)
+
+    def test_committed_baseline_records_fifty_x(self):
+        # the acceptance bar: the committed measurement must show the
+        # estimator >=50x faster than the batch engine on the DSE grid
+        baseline = load_baseline(self.GATED_EST, DEFAULT_BASELINE_DIR)
+        assert baseline.estimator_speedup is not None
+        assert baseline.estimator_speedup >= 50.0
+        assert any(k.startswith("est_") for k in baseline.ticks)
+
+
 class TestFormatting:
     def test_table_lists_every_result(self):
         results = run_bench(names=[FAST], repeats=1)
