@@ -33,6 +33,7 @@ from repro.emulator.config import EmulationConfig
 from repro.emulator.kernel import PlatformSpec
 from repro.model.topology import LinearTopology
 from repro.psdf.graph import PSDFGraph
+from repro.psdf.modes import MultiModeApplication, resolve_iterations
 from repro.psdf.schedule import Schedule, extract_schedule
 from repro.units import Frequency, fs_to_us
 
@@ -225,6 +226,122 @@ def analytic_estimate(
     return AnalyticEstimate(
         completion_fs=completion,
         execution_time_fs=execution * ca_clock.period_fs,
+    )
+
+
+# ---------------------------------------------------------------------------
+# multi-mode composition
+# ---------------------------------------------------------------------------
+
+
+def transition_delay_fs(application: MultiModeApplication, spec: PlatformSpec) -> int:
+    """The femtosecond cost of one mode switch on ``spec``.
+
+    The schedule's :class:`~repro.psdf.modes.TransitionSpec` is in CA
+    ticks (reconfiguration plus one FIFO flush per border unit); a linear
+    platform with ``n`` segments has ``n - 1`` BUs.
+    """
+    _, ca_clock = platform_clocks(spec)
+    bu_count = max(spec.segment_count - 1, 0)
+    return ca_clock.ticks_to_fs(
+        application.schedule.transition.delay_ticks(bu_count)
+    )
+
+
+def mode_analytic_estimates(
+    application: MultiModeApplication,
+    spec: PlatformSpec,
+    config: EmulationConfig = EmulationConfig(),
+) -> Dict[str, AnalyticEstimate]:
+    """One contention-free estimate per *scheduled* mode."""
+    return {
+        name: analytic_estimate(application.modes[name], spec, config)
+        for name in application.scheduled_modes()
+    }
+
+
+def resolved_phase_iterations(
+    application: MultiModeApplication,
+    spec: PlatformSpec,
+    config: EmulationConfig = EmulationConfig(),
+    per_mode: Optional[Mapping[str, AnalyticEstimate]] = None,
+) -> Tuple[int, ...]:
+    """Effective iteration count of every schedule phase, in order.
+
+    Tick-based switch points (``min_dwell_ticks``) resolve against the
+    analytic per-iteration time — a deterministic, engine-independent
+    schedule decision shared by the emulator composition
+    (:mod:`repro.emulator.multimode`) and both estimators, so emulation
+    and estimation always agree on how many iterations each phase runs.
+    """
+    if per_mode is None:
+        per_mode = mode_analytic_estimates(application, spec, config)
+    _, ca_clock = platform_clocks(spec)
+    return tuple(
+        resolve_iterations(
+            phase,
+            per_mode[phase.mode].execution_time_fs,
+            ca_clock.period_fs,
+        )
+        for phase in application.schedule.phases
+    )
+
+
+@dataclass(frozen=True)
+class MultiModeAnalytic:
+    """Per-mode analytic estimates composed with transition charges."""
+
+    per_mode: Mapping[str, AnalyticEstimate]
+    phases: Tuple[Tuple[str, int], ...]  # (mode, effective iterations)
+    transition_total_fs: int
+    execution_time_fs: int
+
+    @property
+    def execution_time_us(self) -> float:
+        return fs_to_us(self.execution_time_fs)
+
+    @property
+    def switch_count(self) -> int:
+        return sum(
+            1
+            for (previous, _), (current, _) in zip(self.phases, self.phases[1:])
+            if previous != current
+        )
+
+
+def analytic_estimate_multimode(
+    application: MultiModeApplication,
+    spec: PlatformSpec,
+    config: EmulationConfig = EmulationConfig(),
+) -> MultiModeAnalytic:
+    """Contention-free estimate of a multi-mode application.
+
+    Each phase contributes its effective iteration count times the mode's
+    single-iteration analytic time; every switch between consecutive
+    phases of *different* modes charges one transition delay.  This is the
+    same composition law :func:`repro.emulator.multimode.run_multimode`
+    applies to emulated per-mode times, so the end-to-end relative error
+    of the composed estimate is bounded by the worst per-mode error.
+    """
+    application.validate_for_run()
+    per_mode = mode_analytic_estimates(application, spec, config)
+    iterations = resolved_phase_iterations(
+        application, spec, config, per_mode=per_mode
+    )
+    switch_fs = transition_delay_fs(application, spec)
+    transition_total = application.schedule.switch_count() * switch_fs
+    execution = transition_total + sum(
+        count * per_mode[phase.mode].execution_time_fs
+        for phase, count in zip(application.schedule.phases, iterations)
+    )
+    return MultiModeAnalytic(
+        per_mode=per_mode,
+        phases=tuple(
+            (phase.mode, count)
+            for phase, count in zip(application.schedule.phases, iterations)
+        ),
+        transition_total_fs=transition_total,
+        execution_time_fs=execution,
     )
 
 

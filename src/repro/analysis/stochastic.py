@@ -38,8 +38,10 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.analysis.analytic import (
     AnalyticEstimate,
+    MultiModeAnalytic,
     PathTiming,
     analytic_estimate,
+    analytic_estimate_multimode,
     critical_path,
     path_timing,
     platform_clocks,
@@ -49,6 +51,7 @@ from repro.emulator.config import EmulationConfig
 from repro.emulator.kernel import PlatformSpec
 from repro.model.topology import LinearTopology
 from repro.psdf.graph import PSDFGraph
+from repro.psdf.modes import MultiModeApplication
 from repro.units import fs_to_us
 
 #: utilizations are capped here before entering the 1/(1−ρ) pole, so an
@@ -363,3 +366,64 @@ def suggest_placement_move(
                     predicted_saving_fs=saving,
                 )
     return best
+
+
+# ---------------------------------------------------------------------------
+# multi-mode composition
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MultiModeStochastic:
+    """Per-mode stochastic estimates composed with transition charges.
+
+    The composition law is identical to the analytic one (and to the
+    emulator's): effective iterations times the per-mode estimate, plus
+    one transition delay per mode switch.  Because the transition terms
+    are shared exactly with :class:`MultiModeAnalytic`, the end-to-end
+    relative error against emulation is bounded by the worst per-mode
+    error — which is what lets SAN-1 hold both per mode and end to end.
+    """
+
+    analytic: MultiModeAnalytic
+    per_mode: Mapping[str, StochasticEstimate]
+    execution_time_fs: int
+
+    @property
+    def analytic_fs(self) -> int:
+        return self.analytic.execution_time_fs
+
+    @property
+    def execution_time_us(self) -> float:
+        return fs_to_us(self.execution_time_fs)
+
+    @property
+    def contention_fs(self) -> int:
+        """Expected waiting summed over every phase iteration."""
+        return self.execution_time_fs - self.analytic_fs
+
+    @property
+    def contention_us(self) -> float:
+        return fs_to_us(self.contention_fs)
+
+
+def stochastic_estimate_multimode(
+    application: MultiModeApplication,
+    spec: PlatformSpec,
+    config: EmulationConfig = EmulationConfig(),
+) -> MultiModeStochastic:
+    """Static expected TCT of a multi-mode application (no simulation)."""
+    analytic = analytic_estimate_multimode(application, spec, config)
+    per_mode = {
+        name: stochastic_estimate(application.modes[name], spec, config)
+        for name in application.scheduled_modes()
+    }
+    execution = analytic.transition_total_fs + sum(
+        count * per_mode[mode].execution_time_fs
+        for mode, count in analytic.phases
+    )
+    return MultiModeStochastic(
+        analytic=analytic,
+        per_mode=per_mode,
+        execution_time_fs=execution,
+    )

@@ -4,13 +4,30 @@ The paper's future work asks for *"more application models to be tested on
 the emulator platform"*; this module curates deterministic instances of the
 generator families in :mod:`repro.psdf.generators` so examples, tests and
 benchmarks can reference workloads by name.
+
+Two catalogs live here:
+
+* :func:`workload_catalog` — bare PSDF graphs (the original families plus
+  the adversarial shapes), for callers that bring their own platform;
+* :func:`scenario_catalog` — complete *scenarios*: an application (single-
+  or multi-mode) **and** the platform it runs on, lint-clean by
+  construction.  These back ``segbus emulate/estimate --workload``, the
+  workload golden store and the ``multimode_switch`` bench scenario.
+
+The adversarial scenarios are fixed seeds of
+:func:`repro.testing.generators.generate_adversarial_model`;
+``mp3_jpeg_multimode`` composes the two paper-grade case studies (MP3 and
+JPEG decoding) as a two-phase multi-mode application on one shared
+three-segment platform.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple, Union
 
 from repro.errors import SegBusError
+from repro.model.elements import SegBusPlatform
 from repro.psdf.generators import (
     chain_psdf,
     fork_join_psdf,
@@ -18,6 +35,18 @@ from repro.psdf.generators import (
     stereo_pipeline_psdf,
 )
 from repro.psdf.graph import PSDFGraph
+from repro.psdf.modes import ModePhase, ModeSchedule, MultiModeApplication, TransitionSpec
+
+#: seed pinning the adversarial scenario instances (goldens depend on it)
+_SCENARIO_SEED = 2026
+
+
+def _adversarial_graph(shape: str) -> PSDFGraph:
+    # lazy: testing.generators pulls in numpy + the lint engine
+    from repro.testing.generators import generate_adversarial_model
+
+    return generate_adversarial_model(_SCENARIO_SEED, shape).application
+
 
 _CATALOG: Dict[str, Callable[[], PSDFGraph]] = {
     "chain4": lambda: chain_psdf(4, items_per_stage=576, ticks_per_package=250),
@@ -28,6 +57,12 @@ _CATALOG: Dict[str, Callable[[], PSDFGraph]] = {
     "stereo5": lambda: stereo_pipeline_psdf(5, items=360),
     "random12": lambda: random_dag_psdf(12, seed=7),
     "random20": lambda: random_dag_psdf(20, seed=11),
+    "bursty": lambda: _adversarial_graph("bursty"),
+    "adversarial_hot_segment": lambda: _adversarial_graph(
+        "adversarial_hot_segment"
+    ),
+    "long_tail": lambda: _adversarial_graph("long_tail"),
+    "pipelined_streaming": lambda: _adversarial_graph("pipelined_streaming"),
 }
 
 
@@ -43,5 +78,141 @@ def named_workload(name: str) -> PSDFGraph:
     except KeyError:
         raise SegBusError(
             f"unknown workload {name!r}; available: {', '.join(workload_catalog())}"
+        ) from None
+    return factory()
+
+
+# ---------------------------------------------------------------------------
+# scenarios: application + platform pairs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkloadModel:
+    """One complete scenario: an application plus the platform it runs on."""
+
+    name: str
+    description: str
+    application: Union[PSDFGraph, MultiModeApplication]
+    platform: SegBusPlatform
+
+    @property
+    def is_multimode(self) -> bool:
+        return isinstance(self.application, MultiModeApplication)
+
+
+def _adversarial_scenario(shape: str, description: str) -> WorkloadModel:
+    from repro.testing.generators import generate_adversarial_model
+
+    model = generate_adversarial_model(_SCENARIO_SEED, shape)
+    return WorkloadModel(
+        name=shape,
+        description=description,
+        application=model.application,
+        platform=model.platform,
+    )
+
+
+def mp3_jpeg_multimode() -> WorkloadModel:
+    """The two-phase MP3↔JPEG multi-mode scenario on one shared platform.
+
+    A portable player decoding an album while showing cover art: the
+    platform alternates between the paper's MP3 decoder and the JPEG
+    sibling study.  The process sets are disjoint, so the shared platform
+    maps the union graph onto three segments (each segment hosting one
+    MP3 allocation group and one JPEG allocation group, paper clock plan);
+    the schedule runs two MP3 iterations, switches, runs two JPEG
+    iterations, and charges a deliberately visible transition cost.
+    """
+    from repro.apps.jpeg import jpeg_decoder_psdf
+    from repro.apps.mp3 import (
+        PAPER_CA_FREQUENCY_MHZ,
+        PAPER_PACKAGE_SIZE,
+        PAPER_SEGMENT_FREQUENCIES_MHZ,
+        mp3_decoder_psdf,
+        paper_allocation,
+    )
+    from repro.model.mapping import Allocation, map_application
+
+    mp3 = mp3_decoder_psdf()
+    jpeg = jpeg_decoder_psdf()
+    schedule = ModeSchedule(
+        phases=(ModePhase("mp3", iterations=2), ModePhase("jpeg", iterations=2)),
+        transition=TransitionSpec(reconfig_ticks=64, flush_ticks_per_bu=8),
+    )
+    application = MultiModeApplication(
+        name="mp3_jpeg_multimode",
+        modes={"mp3": mp3, "jpeg": jpeg},
+        schedule=schedule,
+    )
+    # JPEG placement differs from jpeg_allocation(3): with MP3's paper
+    # allocation fixing the segment cut, color conversion joins the chroma
+    # segment so the seg2->seg3 bridge carries no JPEG traffic (keeps the
+    # SB221 bridge-dominance lint quiet on the shared platform)
+    mp3_groups = paper_allocation(3).groups
+    jpeg_groups = (
+        ("ED", "DQy", "IDCTy"),
+        ("DQcb", "IDCTcb", "UPcb", "DQcr", "IDCTcr", "UPcr", "CC", "OUT"),
+        (),
+    )
+    merged = Allocation.from_groups(
+        [
+            tuple(mp3_group) + tuple(jpeg_group)
+            for mp3_group, jpeg_group in zip(mp3_groups, jpeg_groups)
+        ]
+    )
+    psm = map_application(
+        application.union_graph(),
+        merged,
+        segment_frequencies_mhz=PAPER_SEGMENT_FREQUENCIES_MHZ,
+        ca_frequency_mhz=PAPER_CA_FREQUENCY_MHZ,
+        package_size=PAPER_PACKAGE_SIZE,
+        name="SBPMp3Jpeg",
+    )
+    return WorkloadModel(
+        name="mp3_jpeg_multimode",
+        description=(
+            "two-phase MP3->JPEG multi-mode application on a shared "
+            "3-segment platform with a visible transition cost"
+        ),
+        application=application,
+        platform=psm.platform,
+    )
+
+
+_SCENARIOS: Dict[str, Callable[[], WorkloadModel]] = {
+    "bursty": lambda: _adversarial_scenario(
+        "bursty",
+        "chain alternating single-package trickles with multi-package bursts",
+    ),
+    "adversarial_hot_segment": lambda: _adversarial_scenario(
+        "adversarial_hot_segment",
+        "chain plus fan-in funnelling every flow through one border unit",
+    ),
+    "long_tail": lambda: _adversarial_scenario(
+        "long_tail",
+        "chain with one oversized mid-chain transfer dominating the tail",
+    ),
+    "pipelined_streaming": lambda: _adversarial_scenario(
+        "pipelined_streaming",
+        "source feeding parallel branch chains that rejoin at a sink",
+    ),
+    "mp3_jpeg_multimode": mp3_jpeg_multimode,
+}
+
+
+def scenario_catalog() -> Tuple[str, ...]:
+    """Names of the complete (application + platform) scenarios, sorted."""
+    return tuple(sorted(_SCENARIOS))
+
+
+def workload_model(name: str) -> WorkloadModel:
+    """Instantiate a complete scenario by name (deterministic)."""
+    try:
+        factory = _SCENARIOS[name]
+    except KeyError:
+        raise SegBusError(
+            f"unknown scenario {name!r}; available: "
+            f"{', '.join(scenario_catalog())}"
         ) from None
     return factory()

@@ -98,8 +98,56 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _workload_or_files(args: argparse.Namespace, command: str):
+    """Resolve the scheme-files-vs-``--workload`` choice of a subcommand.
+
+    Returns the named :class:`~repro.apps.workloads.WorkloadModel`, or
+    ``None`` for the scheme-file path; raises ``SystemExit``-style by
+    printing and returning an error marker string on misuse.
+    """
+    if args.workload is not None:
+        if args.psdf is not None or args.psm is not None:
+            print(
+                f"{command}: give either PSDF/PSM scheme files or "
+                "--workload, not both",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.apps.workloads import workload_model
+
+        return workload_model(args.workload)
+    if args.psdf is None or args.psm is None:
+        print(
+            f"{command}: need a PSDF and a PSM scheme file "
+            "(or --workload NAME)",
+            file=sys.stderr,
+        )
+        return 2
+    return None
+
+
 def _cmd_emulate(args: argparse.Namespace) -> int:
-    emulator = SegBusEmulator.from_files(args.psdf, args.psm)
+    resolved = _workload_or_files(args, "emulate")
+    if resolved == 2:
+        return 2
+    if resolved is not None and resolved.is_multimode:
+        from repro.emulator.multimode import run_multimode
+
+        composed = run_multimode(
+            resolved.application, resolved.platform, engine=args.engine
+        )
+        print(composed.format_listing())
+        print(
+            f"\nTotal execution time: {composed.execution_time_us:.2f} us "
+            f"({composed.total_events} events)"
+        )
+        return 0
+    if resolved is not None:
+        emulator = SegBusEmulator.from_models(
+            resolved.application, resolved.platform
+        )
+    else:
+        emulator = SegBusEmulator.from_files(args.psdf, args.psm)
     report = emulator.run(strict=args.strict, engine=args.engine)
     print(report.format_listing())
     print(
@@ -215,11 +263,58 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_estimate_multimode(args: argparse.Namespace, resolved) -> int:
+    from repro.analysis.stochastic import stochastic_estimate_multimode
+    from repro.emulator.kernel import PlatformSpec
+
+    spec = PlatformSpec.from_platform(resolved.platform)
+    estimate = stochastic_estimate_multimode(resolved.application, spec)
+    analytic = estimate.analytic
+    print(
+        f"analytic lower bound:  {analytic.execution_time_us:.2f} us "
+        f"(incl. {analytic.transition_total_fs / 1e9:.2f} us over "
+        f"{analytic.switch_count} switch(es))\n"
+        f"predicted contention:  {estimate.contention_us:.2f} us\n"
+        f"expected TCT:          {estimate.execution_time_us:.2f} us"
+    )
+    print(f"\n{'#':>3} {'mode':<24} {'iter':>5} {'per-iter (us)':>14}")
+    for index, (mode, count) in enumerate(analytic.phases):
+        per_iter = estimate.per_mode[mode].execution_time_us
+        print(f"{index:>3} {mode:<24} {count:>5} {per_iter:>14.2f}")
+    if args.emulate:
+        from repro.emulator.multimode import run_multimode
+
+        composed = run_multimode(
+            resolved.application, spec, engine=args.engine
+        )
+        error = (
+            (estimate.execution_time_us - composed.execution_time_us)
+            / composed.execution_time_us
+            if composed.execution_time_us
+            else 0.0
+        )
+        print(
+            f"\nemulated TCT:          {composed.execution_time_us:.2f} us "
+            f"(estimate off by {error:+.2%})"
+        )
+    return 0
+
+
 def _cmd_estimate(args: argparse.Namespace) -> int:
     from repro.analysis.stochastic import stochastic_estimate
     from repro.emulator.emulator import SegBusEmulator
 
-    emulator = SegBusEmulator.from_files(args.psdf, args.psm)
+    resolved = _workload_or_files(args, "estimate")
+    if resolved == 2:
+        return 2
+    if resolved is not None and resolved.is_multimode:
+        return _cmd_estimate_multimode(args, resolved)
+    if resolved is not None:
+        emulator = SegBusEmulator.from_models(
+            resolved.application, resolved.platform
+        )
+    else:
+        emulator = SegBusEmulator.from_files(args.psdf, args.psm)
     estimate = stochastic_estimate(
         emulator.application, emulator.spec, emulator.config
     )
@@ -525,6 +620,19 @@ def _executor_kwargs(args: argparse.Namespace) -> dict:
     }
 
 
+def _add_workload_flag(parser: argparse.ArgumentParser) -> None:
+    from repro.apps.workloads import scenario_catalog
+
+    parser.add_argument(
+        "--workload",
+        default=None,
+        choices=sorted(scenario_catalog()),
+        metavar="NAME",
+        help="run a named workload scenario instead of scheme files: "
+        f"{', '.join(sorted(scenario_catalog()))}",
+    )
+
+
 def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
     from repro.emulator.fastkernel import ENGINE_NAMES
 
@@ -560,9 +668,12 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--output-dir", default="generated")
     gen.set_defaults(func=_cmd_generate)
 
-    emu = sub.add_parser("emulate", help="emulate from XML schemes")
-    emu.add_argument("psdf", type=Path)
-    emu.add_argument("psm", type=Path)
+    emu = sub.add_parser(
+        "emulate", help="emulate from XML schemes or a named workload scenario"
+    )
+    emu.add_argument("psdf", type=Path, nargs="?", default=None)
+    emu.add_argument("psm", type=Path, nargs="?", default=None)
+    _add_workload_flag(emu)
     emu.add_argument(
         "--strict",
         action="store_true",
@@ -658,8 +769,9 @@ def build_parser() -> argparse.ArgumentParser:
         "estimate",
         help="stochastic contention estimate from XML schemes (no simulation)",
     )
-    est.add_argument("psdf", type=Path)
-    est.add_argument("psm", type=Path)
+    est.add_argument("psdf", type=Path, nargs="?", default=None)
+    est.add_argument("psm", type=Path, nargs="?", default=None)
+    _add_workload_flag(est)
     est.add_argument(
         "--emulate",
         action="store_true",

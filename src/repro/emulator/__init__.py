@@ -46,6 +46,12 @@ from repro.emulator.fastkernel import (
     resolve_engine,
     simulation_class,
 )
+from repro.emulator.multimode import (
+    ModeRun,
+    MultiModeReport,
+    PhaseExecution,
+    run_multimode,
+)
 from repro.emulator.report import EmulationReport
 from repro.emulator.timeline import ProcessTimeline, TimelineEntry
 from repro.emulator.activity import ActivitySeries, activity_series
@@ -63,6 +69,10 @@ __all__ = [
     "resolve_engine",
     "simulation_class",
     "EmulationReport",
+    "ModeRun",
+    "MultiModeReport",
+    "PhaseExecution",
+    "run_multimode",
     "ProcessTimeline",
     "TimelineEntry",
     "ActivitySeries",

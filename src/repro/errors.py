@@ -36,6 +36,10 @@ class ScheduleError(PSDFError):
     """The T-ordering of flows cannot be turned into a valid schedule."""
 
 
+class ModeError(PSDFError):
+    """A multi-mode application or its mode-switch schedule is ill-formed."""
+
+
 class ModelError(SegBusError):
     """A platform model (PSM) is structurally ill-formed."""
 

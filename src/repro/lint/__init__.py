@@ -27,6 +27,7 @@ from repro.lint.engine import (
     INTERNAL_RULE_ID,
     default_registry,
     lint_models,
+    lint_multimode,
     lint_paths,
     run_rules,
 )
@@ -66,6 +67,7 @@ __all__ = [
     "format_sarif",
     "format_text",
     "lint_models",
+    "lint_multimode",
     "lint_paths",
     "load_paths",
     "merge_reports",

@@ -53,6 +53,11 @@ class LintContext:
     platform: Optional[SegBusPlatform] = None
     fault_plan: Optional[FaultPlan] = None
     documents: Tuple[SchemeFile, ...] = ()
+    #: a :class:`~repro.psdf.modes.MultiModeApplication` when linting a
+    #: multi-mode model (typed loosely: lint must not import psdf.modes
+    #: just to hold a reference).  The mode-consistency rules (SB23x)
+    #: guard on it; every other rule ignores it.
+    multimode: Optional[object] = None
     #: file paths findings should anchor to, keyed by input kind
     source_files: Dict[str, str] = field(default_factory=dict)
 
@@ -65,6 +70,7 @@ class LintContext:
         platform: Optional[SegBusPlatform] = None,
         fault_plan: Optional[FaultPlan] = None,
         documents: Tuple[SchemeFile, ...] = (),
+        multimode: Optional[object] = None,
     ) -> "LintContext":
         """Build from in-memory models.  ``application`` may be a
         :class:`~repro.psdf.graph.PSDFGraph`, a
@@ -84,6 +90,7 @@ class LintContext:
             platform=platform,
             fault_plan=fault_plan,
             documents=documents,
+            multimode=multimode,
         )
 
     # -- application views -----------------------------------------------------

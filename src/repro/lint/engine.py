@@ -23,6 +23,7 @@ _RULE_MODULE_NAMES = (
     "repro.lint.rules_psdf",
     "repro.lint.rules_hazards",
     "repro.lint.rules_scheme",
+    "repro.lint.rules_modes",
     "repro.lint.rules_performance",
 )
 
@@ -97,6 +98,37 @@ def lint_models(
         documents=tuple(documents),
     )
     return run_rules(context, registry=registry, disable=disable)
+
+
+def lint_multimode(
+    multimode,
+    platform=None,
+    registry: Optional[RuleRegistry] = None,
+    disable: Sequence[str] = (),
+) -> LintReport:
+    """Lint a multi-mode application: composition rules + per-mode passes.
+
+    One pass runs the mode-consistency family (``SB23x``) over the
+    composition; then every defined mode's graph goes through the full
+    single-mode catalogue against the shared ``platform``.  The per-mode
+    passes disable ``SB112`` (stray mapped process): the platform maps the
+    *union* of every mode's processes, so processes of the other modes are
+    expected strays.  Findings merge with the usual key-based dedup.
+    """
+    registry = registry if registry is not None else default_registry()
+    context = LintContext.from_models(platform=platform, multimode=multimode)
+    combined = run_rules(context, registry=registry, disable=disable)
+    for name in sorted(multimode.modes):
+        sub = lint_models(
+            application=multimode.modes[name],
+            platform=platform,
+            registry=registry,
+            disable=tuple(disable) + ("SB112",),
+        )
+        combined.checked_rules += sub.checked_rules
+        for finding in sub.findings:
+            combined.add(finding)
+    return combined
 
 
 def lint_paths(

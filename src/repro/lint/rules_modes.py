@@ -1,0 +1,219 @@
+"""Mode-consistency rules (``SB230``–``SB234``) for multi-mode applications.
+
+A :class:`~repro.psdf.modes.MultiModeApplication` composes per-mode PSDF
+graphs under a switch schedule; this family checks the *composition* —
+undefined mode references, empty flow sets, unreachable modes, degenerate
+phases and out-of-proportion transition costs.  The per-mode graphs
+themselves are linted by the ordinary SB1xx/SB2xx/SB5xx families, one
+pass per mode (:func:`repro.lint.engine.lint_multimode` orchestrates
+both); every rule here guards on ``ctx.multimode`` and runs nowhere else.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.lint.context import LintContext
+from repro.lint.core import Finding, RuleRegistry, Severity
+
+CATEGORY = "modes"
+
+#: fallback package size for the SB233 work proxy when no platform is in
+#: the context (the paper's default)
+_DEFAULT_PACKAGE_SIZE = 36
+
+
+def _mode_work_ticks(graph, package_size: int) -> int:
+    """A static work proxy: total production ticks of one mode iteration."""
+    return sum(
+        flow.packages(package_size) * flow.cost.ticks(package_size)
+        for flow in graph.flows
+    )
+
+
+def _package_size(ctx: LintContext) -> int:
+    if ctx.platform is not None:
+        return ctx.platform.package_size
+    return _DEFAULT_PACKAGE_SIZE
+
+
+def _bu_count(ctx: LintContext) -> Optional[int]:
+    if ctx.platform is not None:
+        return max(ctx.platform.segment_count - 1, 0)
+    return None
+
+
+def register(registry: RuleRegistry) -> None:
+    @registry.rule(
+        "SB230",
+        "undefined-mode-reference",
+        severity=Severity.ERROR,
+        category=CATEGORY,
+        description="every schedule phase names a defined mode",
+        rationale=(
+            "a phase referencing an undefined mode has no flow set to "
+            "execute; the run would abort at the switch point instead of "
+            "at validation time"
+        ),
+        example="schedule phase 2 names 'jpeg' but only 'mp3' is defined",
+        fix_hint="define the mode or fix the phase's mode name",
+    )
+    def _undefined_mode(ctx: LintContext) -> Iterable[Finding]:
+        mm = ctx.multimode
+        if mm is None:
+            return
+        defined = set(mm.modes)
+        for index, phase in enumerate(mm.schedule.phases):
+            if phase.mode not in defined:
+                yield registry.get("SB230").finding(
+                    f"phase {index} references undefined mode "
+                    f"{phase.mode!r} (defined: "
+                    f"{', '.join(sorted(defined)) or '(none)'})",
+                    element=phase.mode,
+                )
+
+    @registry.rule(
+        "SB231",
+        "empty-mode-flow-set",
+        severity=Severity.ERROR,
+        category=CATEGORY,
+        description="every scheduled mode carries at least one packet flow",
+        rationale=(
+            "a mode without flows transfers nothing: its iterations have "
+            "zero duration, so dwell-based switch points can never resolve "
+            "and the phase degenerates to a no-op that still charges "
+            "transitions"
+        ),
+        example="mode 'idle' defined with an empty flow set yet scheduled",
+        fix_hint="give the mode a flow set or drop it from the schedule",
+    )
+    def _empty_mode(ctx: LintContext) -> Iterable[Finding]:
+        mm = ctx.multimode
+        if mm is None:
+            return
+        scheduled = set(mm.schedule.scheduled_modes())
+        for name in sorted(mm.modes):
+            graph = mm.modes[name]
+            if name in scheduled and not tuple(graph.flows):
+                yield registry.get("SB231").finding(
+                    f"scheduled mode {name!r} has an empty flow set",
+                    element=name,
+                )
+
+    @registry.rule(
+        "SB232",
+        "unreachable-mode",
+        severity=Severity.WARNING,
+        category=CATEGORY,
+        description="every defined mode appears in the switch schedule",
+        rationale=(
+            "a defined-but-never-scheduled mode is dead configuration: its "
+            "flow set is maintained and linted but can never execute — "
+            "usually a stale mode or a schedule typo"
+        ),
+        example="modes {'mp3', 'jpeg'} defined, schedule only enters 'mp3'",
+        fix_hint="schedule the mode or remove its definition",
+    )
+    def _unreachable_mode(ctx: LintContext) -> Iterable[Finding]:
+        mm = ctx.multimode
+        if mm is None:
+            return
+        for name in mm.unreachable_modes():
+            yield registry.get("SB232").finding(
+                f"mode {name!r} is defined but the schedule never enters it",
+                element=name,
+            )
+
+    @registry.rule(
+        "SB233",
+        "transition-cost-out-of-proportion",
+        severity=Severity.WARNING,
+        category=CATEGORY,
+        description=(
+            "one mode switch costs less than the smallest scheduled "
+            "mode's iteration work"
+        ),
+        rationale=(
+            "when reconfiguration + BU flushing outweighs a whole "
+            "iteration of useful work, the schedule thrashes: the platform "
+            "spends more ticks switching than computing — either the "
+            "transition spec is misconfigured or the phases are too short"
+        ),
+        example=(
+            "reconfig_ticks=50000 against a mode whose iteration costs "
+            "2000 production ticks"
+        ),
+        fix_hint=(
+            "reduce the transition cost or lengthen the phases "
+            "(more iterations per switch)"
+        ),
+    )
+    def _transition_cost(ctx: LintContext) -> Iterable[Finding]:
+        mm = ctx.multimode
+        if mm is None:
+            return
+        scheduled = [
+            name
+            for name in mm.schedule.scheduled_modes()
+            if name in mm.modes and tuple(mm.modes[name].flows)
+        ]
+        if not scheduled or mm.schedule.switch_count() == 0:
+            return
+        package_size = _package_size(ctx)
+        bu_count = _bu_count(ctx)
+        # without a platform, charge one flush as if every segment pair
+        # had a BU on a 3-segment platform (the generator default)
+        delay = mm.schedule.transition.delay_ticks(
+            bu_count if bu_count is not None else 2
+        )
+        if delay == 0:
+            return
+        smallest = min(
+            _mode_work_ticks(mm.modes[name], package_size)
+            for name in scheduled
+        )
+        if delay > smallest:
+            yield registry.get("SB233").finding(
+                f"one mode switch costs {delay} CA tick(s), more than the "
+                f"smallest scheduled mode's iteration work "
+                f"({smallest} production tick(s))",
+            )
+
+    @registry.rule(
+        "SB234",
+        "degenerate-schedule-phase",
+        severity=Severity.ERROR,
+        category=CATEGORY,
+        description=(
+            "the schedule is non-empty and every phase resolves to at "
+            "least one iteration"
+        ),
+        rationale=(
+            "an empty schedule, a negative count, or a zero-iteration "
+            "phase without a dwell can never execute; validate_for_run "
+            "would reject the application at the first switch instead of "
+            "statically"
+        ),
+        example="ModePhase('mp3', iterations=0) with no min_dwell_ticks",
+        fix_hint=(
+            "give the phase a positive iteration count or a positive "
+            "min_dwell_ticks"
+        ),
+    )
+    def _degenerate_phase(ctx: LintContext) -> Iterable[Finding]:
+        mm = ctx.multimode
+        if mm is None:
+            return
+        if not mm.schedule.phases:
+            yield registry.get("SB234").finding(
+                "the mode schedule has no phases"
+            )
+            return
+        for index, phase in enumerate(mm.schedule.phases):
+            if phase.is_degenerate:
+                yield registry.get("SB234").finding(
+                    f"phase {index} ({phase.mode!r}) is degenerate "
+                    f"(iterations={phase.iterations}, "
+                    f"min_dwell_ticks={phase.min_dwell_ticks})",
+                    element=phase.mode,
+                )

@@ -42,6 +42,13 @@ from repro.psdf.generators import (
     random_dag_psdf,
     stereo_pipeline_psdf,
 )
+from repro.psdf.modes import (
+    ModePhase,
+    ModeSchedule,
+    MultiModeApplication,
+    TransitionSpec,
+    resolve_iterations,
+)
 
 __all__ = [
     "FlowCost",
@@ -61,6 +68,11 @@ __all__ = [
     "fork_join_psdf",
     "random_dag_psdf",
     "stereo_pipeline_psdf",
+    "ModePhase",
+    "ModeSchedule",
+    "MultiModeApplication",
+    "TransitionSpec",
+    "resolve_iterations",
     "WorkloadSummary",
     "communication_to_computation",
     "max_parallelism",

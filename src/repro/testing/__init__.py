@@ -16,27 +16,37 @@ Entry points:
 """
 
 from repro.testing.generators import (
+    ADVERSARIAL_SHAPES,
     DEFAULT_PROFILE,
     GenerationError,
     GeneratorProfile,
     RandomModel,
+    RandomMultiModeModel,
+    generate_adversarial_model,
     generate_model,
     generate_models,
+    generate_multimode_model,
 )
 from repro.testing.oracles import (
     OracleReport,
     OracleTolerance,
     run_differential_oracle,
+    run_multimode_oracle,
 )
 
 __all__ = [
+    "ADVERSARIAL_SHAPES",
     "DEFAULT_PROFILE",
     "GenerationError",
     "GeneratorProfile",
     "OracleReport",
     "OracleTolerance",
     "RandomModel",
+    "RandomMultiModeModel",
+    "generate_adversarial_model",
     "generate_model",
     "generate_models",
+    "generate_multimode_model",
     "run_differential_oracle",
+    "run_multimode_oracle",
 ]

@@ -396,6 +396,43 @@ def _dse_estimator_sweep(engine: str = "fast") -> Dict[str, int]:
     return _dse_sweep_prepare(engine)()
 
 
+def _multimode_prepare(engine: str) -> Callable[[], Dict[str, int]]:
+    """The mp3_jpeg_multimode scenario: per-mode runs + composed switches.
+
+    Built once outside the timed region; the thunk re-executes both mode
+    kernels and the composition.  The ticks pin the composed total, the
+    transition charges, the switch count and every phase span, so a drift
+    in any per-mode kernel *or* in the transition accounting trips the
+    cross-engine equality assert and the baseline alike.
+    """
+    # lazy: the workload catalog pulls in the generators (numpy + lint)
+    from repro.apps.workloads import workload_model
+    from repro.emulator.multimode import run_multimode
+
+    workload = workload_model("mp3_jpeg_multimode")
+    spec = PlatformSpec.from_platform(workload.platform)
+
+    def run() -> Dict[str, int]:
+        composed = run_multimode(workload.application, spec, engine=engine)
+        ticks: Dict[str, int] = {
+            "events": composed.total_events,
+            "execution_time_ps": composed.execution_time_ps,
+            "transition_ps": fs_to_ps(composed.transition_total_fs),
+            "switches": composed.switch_count,
+        }
+        for phase in composed.phases:
+            ticks[f"phase{phase.index}_{phase.mode}_ps"] = fs_to_ps(
+                phase.phase_fs
+            )
+        return ticks
+
+    return run
+
+
+def _multimode_switch(engine: str = "fast") -> Dict[str, int]:
+    return _multimode_prepare(engine)()
+
+
 def _random_oracle_batch() -> Dict[str, int]:
     from repro.testing.generators import generate_models
     from repro.testing.oracles import run_differential_oracle
@@ -470,6 +507,14 @@ SCENARIOS: Tuple[BenchScenario, ...] = (
         prepare_estimator=_dse_sweep_estimator,
         estimator_speedup_min=50.0,
         models_per_round=len(_DSE_SWEEP_CANDIDATES),
+    ),
+    BenchScenario(
+        "multimode_switch",
+        "MP3<->JPEG two-phase multi-mode composition with transition "
+        "charges",
+        _multimode_switch,
+        prepare=_multimode_prepare,
+        models_per_round=2,
     ),
     BenchScenario(
         "random_oracle_batch",

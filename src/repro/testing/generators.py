@@ -30,7 +30,7 @@ checked construction, not by hope.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 import numpy as np
 
@@ -38,6 +38,7 @@ from repro.errors import SegBusError
 from repro.model.elements import SegBusPlatform
 from repro.model.mapping import Allocation, map_application
 from repro.psdf.graph import PSDFGraph
+from repro.psdf.modes import ModeSchedule, MultiModeApplication, TransitionSpec
 
 
 class GenerationError(SegBusError):
@@ -199,6 +200,329 @@ def _random_edges(
         ticks_per_package = int(rng.integers(3 * package_size, 12 * package_size))
         edges.append((f"P{i}", f"P{j}", data_items, order, ticks_per_package))
     return edges
+
+
+# ---------------------------------------------------------------------------
+# adversarial shapes
+# ---------------------------------------------------------------------------
+
+#: the named traffic shapes of :func:`generate_adversarial_model`
+ADVERSARIAL_SHAPES = (
+    "bursty",
+    "adversarial_hot_segment",
+    "long_tail",
+    "pipelined_streaming",
+)
+
+
+def generate_adversarial_model(
+    seed: int, shape: str, profile: GeneratorProfile = DEFAULT_PROFILE
+) -> RandomModel:
+    """Draw the lint-clean adversarial model of (``seed``, ``shape``).
+
+    Each shape stresses one emulator mechanism the uniform random family
+    rarely concentrates on — while staying lint-clean by the same
+    verified-retry construction as :func:`generate_model`:
+
+    * ``bursty`` — a chain whose links alternate single-package trickles
+      with multi-package bursts, exercising SA back-to-back grants;
+    * ``adversarial_hot_segment`` — a chain plus fan-in from the early
+      processes onto the final one, which sits alone on the last segment,
+      funnelling every flow through one BU;
+    * ``long_tail`` — a chain with one oversized mid-chain transfer that
+      dominates the schedule tail;
+    * ``pipelined_streaming`` — a source feeding parallel branch chains
+      that rejoin at a sink, the classic streaming split/merge.
+    """
+    from repro.lint import lint_models
+
+    if shape not in ADVERSARIAL_SHAPES:
+        raise SegBusError(
+            f"unknown adversarial shape {shape!r}; "
+            f"known: {', '.join(ADVERSARIAL_SHAPES)}"
+        )
+    for attempt in range(profile.max_attempts):
+        rng = np.random.default_rng((seed, attempt))
+        application, platform = _adversarial_candidate(rng, shape, profile)
+        report = lint_models(application=application, platform=platform)
+        if report.exit_code == 0:
+            return RandomModel(
+                seed=seed,
+                application=application,
+                platform=platform,
+                attempts=attempt + 1,
+            )
+    raise GenerationError(
+        f"seed {seed} shape {shape!r}: no lint-clean model in "
+        f"{profile.max_attempts} attempts"
+    )
+
+
+def _adversarial_candidate(
+    rng: np.random.Generator, shape: str, profile: GeneratorProfile
+) -> Tuple[PSDFGraph, SegBusPlatform]:
+    package_size = int(rng.choice(np.asarray(profile.package_sizes)))
+    if shape == "bursty":
+        processes = int(rng.integers(5, 9))
+        links = [
+            (i, i + 1, 1 if i % 2 == 0 else int(rng.integers(6, 10)))
+            for i in range(processes - 1)
+        ]
+        allocation = _cut_allocation(rng, processes, int(rng.integers(2, 4)))
+    elif shape == "adversarial_hot_segment":
+        processes = int(rng.integers(5, 9))
+        links = [
+            (i, i + 1, int(rng.integers(1, 3))) for i in range(processes - 1)
+        ]
+        # fan-in: early processes also feed the final one directly, so every
+        # flow funnels into the lone process on the last segment
+        for i in range(processes - 2):
+            if rng.random() < 0.6:
+                links.append((i, processes - 1, int(rng.integers(1, 4))))
+        allocation = Allocation.from_groups(
+            [
+                [f"P{i}" for i in range(processes - 1)],
+                [f"P{processes - 1}"],
+            ]
+        )
+    elif shape == "long_tail":
+        processes = int(rng.integers(6, 10))
+        heavy = int(rng.integers(2, processes - 2))
+        links = [
+            (i, i + 1, int(rng.integers(8, 13)) if i == heavy else 1)
+            for i in range(processes - 1)
+        ]
+        allocation = _cut_allocation(rng, processes, int(rng.integers(2, 4)))
+    elif shape == "pipelined_streaming":
+        branches = int(rng.integers(2, 4))
+        length = int(rng.integers(2, 4))
+        links = []
+        nxt = 1
+        heads: List[int] = []
+        for _ in range(branches):
+            head = nxt
+            links.append((0, head, int(rng.integers(1, 3))))
+            for step in range(1, length):
+                links.append(
+                    (head + step - 1, head + step, int(rng.integers(1, 3)))
+                )
+            heads.append(head + length - 1)
+            nxt = head + length
+        sink = nxt
+        for tail in heads:
+            links.append((tail, sink, int(rng.integers(1, 3))))
+        processes = sink + 1
+        allocation = _cut_allocation(rng, processes, int(rng.integers(2, 4)))
+    else:  # pragma: no cover - guarded by generate_adversarial_model
+        raise SegBusError(f"unknown adversarial shape {shape!r}")
+
+    application = PSDFGraph.from_edges(
+        _links_to_edges(rng, links, package_size),
+        name=f"{shape}_{processes}p",
+    )
+    segment_count = allocation.segment_count
+    frequencies = [
+        float(
+            rng.integers(profile.min_frequency_mhz, profile.max_frequency_mhz + 1)
+        )
+        for _ in range(segment_count)
+    ]
+    ca_frequency = float(
+        rng.integers(profile.min_frequency_mhz, profile.max_frequency_mhz + 41)
+    )
+    psm = map_application(
+        application,
+        allocation,
+        segment_frequencies_mhz=frequencies,
+        ca_frequency_mhz=ca_frequency,
+        package_size=package_size,
+        name=f"SBP_{shape}_{segment_count}seg",
+    )
+    return application, psm.platform
+
+
+def _links_to_edges(
+    rng: np.random.Generator,
+    links: List[Tuple[int, int, int]],
+    package_size: int,
+) -> List[Tuple[str, str, int, int, int]]:
+    """Assign contiguous depth-ordered T and pipeline-safe costs to links.
+
+    Same ordering discipline as :func:`_random_edges`: flows are numbered
+    by ascending source depth, so every flow's T exceeds the T of every
+    flow into its source, and costs span several package-times to keep
+    segments computation-bound.
+    """
+    depth: Dict[int, int] = {}
+    for i, j, _ in sorted(links, key=lambda e: e[1]):
+        depth.setdefault(i, 0)
+        depth[j] = max(depth.get(j, 0), depth[i] + 1)
+    ordered = sorted(links, key=lambda e: (depth[e[0]], e[0], e[1]))
+    edges: List[Tuple[str, str, int, int, int]] = []
+    for order, (i, j, packages) in enumerate(ordered, start=1):
+        ticks_per_package = int(rng.integers(3 * package_size, 12 * package_size))
+        edges.append(
+            (
+                f"P{i}",
+                f"P{j}",
+                packages * package_size,
+                order,
+                ticks_per_package,
+            )
+        )
+    return edges
+
+
+def _cut_allocation(
+    rng: np.random.Generator, processes: int, segment_count: int
+) -> Allocation:
+    """Cut ``P0..Pn-1`` into exactly ``segment_count`` contiguous blocks."""
+    segment_count = min(segment_count, processes)
+    if segment_count == 1:
+        return Allocation.from_groups([[f"P{i}" for i in range(processes)]])
+    cuts = sorted(
+        int(c)
+        for c in rng.choice(
+            np.arange(1, processes), size=segment_count - 1, replace=False
+        )
+    )
+    bounds = [0, *cuts, processes]
+    groups = [
+        [f"P{i}" for i in range(bounds[b], bounds[b + 1])]
+        for b in range(segment_count)
+    ]
+    return Allocation.from_groups(groups)
+
+
+# ---------------------------------------------------------------------------
+# multi-mode models
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RandomMultiModeModel:
+    """One generated multi-mode application + shared platform + provenance."""
+
+    seed: int
+    application: MultiModeApplication
+    platform: SegBusPlatform
+    attempts: int
+
+    @property
+    def label(self) -> str:
+        return (
+            f"seed={self.seed} app={self.application.name} "
+            f"modes={len(self.application.modes)} "
+            f"phases={len(self.application.schedule.phases)} "
+            f"segments={self.platform.segment_count} "
+            f"s={self.platform.package_size}"
+        )
+
+
+def generate_multimode_model(
+    seed: int,
+    profile: GeneratorProfile = DEFAULT_PROFILE,
+    min_modes: int = 2,
+    max_modes: int = 4,
+) -> RandomMultiModeModel:
+    """Draw the lint-clean multi-mode application of ``seed``.
+
+    Every mode's flow set spans the same process universe ``P0..Pn-1``
+    (each drawn with :func:`_random_edges`, so each is connected on its
+    own), sharing one platform: the mapping is built from the first mode
+    and then every FU gains the master/slave devices the *other* modes'
+    flow directions need.  The switch schedule covers every mode
+    (:meth:`~repro.psdf.modes.ModeSchedule.seeded`), mixes dwell- and
+    iteration-based switch points, and draws a small non-zero transition
+    cost.  Candidates are verified with
+    :func:`repro.lint.engine.lint_multimode` and re-drawn on the usual
+    (``seed``, ``attempt``) ladder until clean.
+    """
+    from repro.lint import lint_multimode
+
+    for attempt in range(profile.max_attempts):
+        rng = np.random.default_rng((seed, attempt))
+        model = _multimode_candidate(rng, profile, min_modes, max_modes)
+        application, platform = model
+        report = lint_multimode(application, platform=platform)
+        if report.exit_code == 0:
+            return RandomMultiModeModel(
+                seed=seed,
+                application=application,
+                platform=platform,
+                attempts=attempt + 1,
+            )
+    raise GenerationError(
+        f"seed {seed}: no lint-clean multi-mode model in "
+        f"{profile.max_attempts} attempts"
+    )
+
+
+def _multimode_candidate(
+    rng: np.random.Generator,
+    profile: GeneratorProfile,
+    min_modes: int,
+    max_modes: int,
+) -> Tuple[MultiModeApplication, SegBusPlatform]:
+    processes = int(
+        rng.integers(profile.min_processes, profile.max_processes + 1)
+    )
+    package_size = int(rng.choice(np.asarray(profile.package_sizes)))
+    mode_count = int(rng.integers(min_modes, max_modes + 1))
+    modes: Dict[str, PSDFGraph] = {}
+    for index in range(mode_count):
+        edges = _random_edges(rng, processes, package_size, profile)
+        modes[f"mode{index}"] = PSDFGraph.from_edges(
+            edges, name=f"mode{index}_{processes}p"
+        )
+
+    allocation = _contiguous_allocation(rng, processes, profile)
+    segment_count = allocation.segment_count
+    frequencies = [
+        float(
+            rng.integers(profile.min_frequency_mhz, profile.max_frequency_mhz + 1)
+        )
+        for _ in range(segment_count)
+    ]
+    ca_frequency = float(
+        rng.integers(profile.min_frequency_mhz, profile.max_frequency_mhz + 41)
+    )
+    psm = map_application(
+        modes["mode0"],
+        allocation,
+        segment_frequencies_mhz=frequencies,
+        ca_frequency_mhz=ca_frequency,
+        package_size=package_size,
+        name=f"SBP_multimode_{segment_count}seg",
+    )
+    platform = psm.platform
+    # the mapping instantiated devices for mode0's flow directions only;
+    # the other modes may drive a process the opposite way
+    for graph in modes.values():
+        for name in graph.process_names:
+            fu = platform.fu_of_process(name)
+            if graph.outgoing(name) and not fu.masters:
+                fu.add_master()
+            if graph.incoming(name) and not fu.slaves:
+                fu.add_slave()
+
+    transition = TransitionSpec(
+        reconfig_ticks=int(rng.integers(0, 65)),
+        flush_ticks_per_bu=int(rng.integers(0, 9)),
+    )
+    schedule = ModeSchedule.seeded(
+        seed=int(rng.integers(0, 2**31)),
+        mode_names=tuple(modes),
+        phase_count=int(rng.integers(mode_count, mode_count + 3)),
+        transition=transition,
+        dwell_probability=0.25,
+    )
+    application = MultiModeApplication(
+        name=f"multimode_{mode_count}x{processes}p",
+        modes=modes,
+        schedule=schedule,
+    )
+    return application, platform
 
 
 def _contiguous_allocation(

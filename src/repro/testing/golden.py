@@ -38,6 +38,14 @@ DEFAULT_MODELS_DIR = Path("examples") / "models"
 DEFAULT_STORE = (
     Path("tests") / "integration" / "golden" / "trace_digests.json"
 )
+#: pinned digests for the named workload scenarios (see
+#: :mod:`repro.apps.workloads`), including the composed multi-mode digests
+DEFAULT_WORKLOAD_STORE = (
+    Path("tests") / "integration" / "golden" / "workload_digests.json"
+)
+#: the scenarios pinned by default: one adversarial shape and the
+#: two-phase multi-mode composition
+WORKLOAD_GOLDEN_NAMES = ("adversarial_hot_segment", "mp3_jpeg_multimode")
 STORE_VERSION = 2
 
 
@@ -261,6 +269,112 @@ def _diff_entry(pinned: GoldenEntry, measured: GoldenEntry) -> Optional[str]:
         "and justify in EXPERIMENTS.md"
     )
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# workload scenarios: the same store machinery over the named catalog
+# ---------------------------------------------------------------------------
+
+
+def measure_workload(name: str, engine: str = "stepped") -> GoldenEntry:
+    """Run one named scenario with a tracer and digest everything.
+
+    Single-mode scenarios digest exactly like :func:`measure_pair`;
+    multi-mode scenarios pin the *composed*
+    :class:`~repro.emulator.multimode.MultiModeReport` digests, so a
+    drift in any per-mode run, the phase resolution, or the transition
+    accounting trips the check.
+    """
+    # lazy: the workload catalog pulls in the generators (numpy + lint)
+    from repro.apps.workloads import workload_model
+
+    workload = workload_model(name)
+    if workload.is_multimode:
+        from repro.emulator.multimode import run_multimode
+
+        composed = run_multimode(
+            workload.application, workload.platform, engine=engine
+        )
+        return GoldenEntry(
+            key=name,
+            trace_digest=composed.trace_digest(),
+            timeline_digest=composed.timeline_digest(),
+            report_digest=composed.report_digest(),
+            events=composed.total_events,
+            kind_counts=composed.kind_counts(),
+            execution_time_ps=composed.execution_time_ps,
+        )
+    spec = PlatformSpec.from_platform(workload.platform)
+    tracer = Tracer()
+    sim = simulation_class(engine)(
+        workload.application, spec, tracer=tracer
+    ).run()
+    report = build_report(sim)
+    return GoldenEntry(
+        key=name,
+        trace_digest=tracer.digest(),
+        timeline_digest=report.timeline.digest(),
+        report_digest=report.digest(),
+        events=len(tracer),
+        kind_counts=tracer.kind_counts(),
+        execution_time_ps=fs_to_ps(sim.execution_time_fs()),
+    )
+
+
+def update_workload_goldens(
+    store_path: Union[str, Path] = DEFAULT_WORKLOAD_STORE,
+    names: Tuple[str, ...] = WORKLOAD_GOLDEN_NAMES,
+) -> Dict[str, GoldenEntry]:
+    """Re-measure the named scenarios and (re)write their store.
+
+    Same refuse-to-pin discipline as :func:`update_goldens`: if any
+    engine diverges from the stepped reference on any scenario —
+    including on the composed multi-mode digests — nothing is written.
+    """
+    entries: Dict[str, GoldenEntry] = {}
+    for name in names:
+        entries[name] = measure_workload(name)
+        for engine in ENGINE_NAMES[1:]:
+            drift = _diff_entry(
+                entries[name], measure_workload(name, engine=engine)
+            )
+            if drift:
+                raise SegBusError(
+                    f"refusing to pin workload {name}: the {engine} engine "
+                    f"diverges from {ENGINE_NAMES[0]}:\n{drift}"
+                )
+    write_store(entries, store_path)
+    return entries
+
+
+def check_workload_goldens(
+    store_path: Union[str, Path] = DEFAULT_WORKLOAD_STORE,
+    names: Tuple[str, ...] = WORKLOAD_GOLDEN_NAMES,
+    engines: Tuple[str, ...] = ENGINE_NAMES,
+) -> GoldenCheck:
+    """Compare the named scenarios against their pinned store, per engine."""
+    store = load_store(store_path)
+    check = GoldenCheck()
+    seen = set()
+    for name in names:
+        seen.add(name)
+        pinned = store.get(name)
+        if pinned is None:
+            check.unpinned.append(name)
+            continue
+        for engine in engines:
+            check.checked += 1
+            drift = _diff_entry(
+                pinned, measure_workload(name, engine=engine)
+            )
+            if drift:
+                check.drifts.append(
+                    drift.replace(
+                        f"  {name}:", f"  {name} [{engine} engine]:", 1
+                    )
+                )
+    check.missing.extend(sorted(set(store) - seen))
+    return check
 
 
 def check_goldens(

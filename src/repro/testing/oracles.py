@@ -38,6 +38,17 @@ independent directions and fails loudly on any divergence:
   on every corpus model (measured ≤ 4% worst case; the band leaves
   headroom at 15%, docs/PERFORMANCE.md).
 
+* **MODE — multi-mode composition.**  For a
+  :class:`~repro.psdf.modes.MultiModeApplication`
+  (:func:`run_multimode_oracle`), the composed emulated total must cover
+  the largest per-mode analytic lower bound plus every charged transition
+  delay (``MODE-1``); every per-mode run re-passes the full ANA/LAW/MONO/
+  CONS/SAN single-mode battery (package conservation therefore holds
+  across every switch boundary — each phase starts from drained queues);
+  the end-to-end composed stochastic estimate stays inside the SAN-1
+  band; and the composed trace/timeline/report digests are byte-identical
+  across all three engines (ENG-1 lifted to mode-switch traces).
+
 On top, the protocol conformance checker
 (:func:`repro.emulator.conformance.check_conformance`) runs with a live
 tracer, so its BUS/BU/ORD/FIRE/CNT invariants ride along for free.
@@ -51,8 +62,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.analysis.analytic import analytic_estimate
-from repro.analysis.stochastic import stochastic_estimate
+from repro.analysis.analytic import analytic_estimate, analytic_estimate_multimode
+from repro.analysis.stochastic import (
+    stochastic_estimate,
+    stochastic_estimate_multimode,
+)
 from repro.emulator.config import EmulationConfig
 from repro.emulator.conformance import check_conformance
 from repro.emulator.fastkernel import (
@@ -61,10 +75,12 @@ from repro.emulator.fastkernel import (
     simulation_class,
 )
 from repro.emulator.kernel import PlatformSpec, Simulation
+from repro.emulator.multimode import run_multimode, run_multimode_detailed
 from repro.emulator.report import build_report
 from repro.emulator.trace import Tracer
 from repro.model.elements import SegBusPlatform
 from repro.psdf.graph import PSDFGraph
+from repro.psdf.modes import MultiModeApplication
 from repro.units import fs_to_us
 
 
@@ -164,6 +180,133 @@ def run_differential_oracle(
     conformance = check_conformance(sim, tracer)
     report.checked += conformance.checked
     report.violations.extend(conformance.violations)
+    return report
+
+
+def run_multimode_oracle(
+    application: MultiModeApplication,
+    platform,
+    config: Optional[EmulationConfig] = None,
+    tolerance: OracleTolerance = OracleTolerance(),
+    label: Optional[str] = None,
+    engine: Optional[str] = None,
+) -> OracleReport:
+    """Execute a multi-mode application and check the MODE battery.
+
+    ``platform`` may be a :class:`~repro.model.elements.SegBusPlatform`
+    or a prepared :class:`~repro.emulator.kernel.PlatformSpec`.  The
+    primary ``engine`` feeds the per-mode law checks; the composed run is
+    then repeated under every other engine for the lifted ENG-1 check.
+    """
+    config = config or EmulationConfig()
+    if isinstance(platform, PlatformSpec):
+        spec = platform
+    else:
+        spec = PlatformSpec.from_platform(platform)
+    primary = resolve_engine(engine)
+    composed, measurements = run_multimode_detailed(
+        application, spec, config, engine=primary
+    )
+    analytic = analytic_estimate_multimode(application, spec, config)
+    stochastic = stochastic_estimate_multimode(application, spec, config)
+
+    report = OracleReport(
+        label=label or application.name,
+        emulated_us=composed.execution_time_us,
+        analytic_us=analytic.execution_time_us,
+        total_events=composed.executed_events,
+        stochastic_us=stochastic.execution_time_us,
+    )
+
+    scheduled = application.scheduled_modes()
+
+    # MODE-1: the composed total covers the largest per-mode analytic
+    # lower bound plus every charged transition (each scheduled mode runs
+    # at least one full iteration, and transitions are pure added delay)
+    report.checked += 1
+    slack_fs = max(
+        analytic_slack_fs(application.modes[name], spec, config)
+        for name in scheduled
+    )
+    bound_fs = (
+        max(analytic.per_mode[name].execution_time_fs for name in scheduled)
+        + analytic.transition_total_fs
+    )
+    if composed.execution_time_fs + slack_fs < bound_fs:
+        report.add(
+            "MODE-1",
+            f"composed emulated total {composed.execution_time_us:.3f} us "
+            f"(+{fs_to_us(slack_fs):.3f} us slack) falls below the largest "
+            f"per-mode analytic bound plus transition charges "
+            f"({fs_to_us(bound_fs):.3f} us)",
+        )
+
+    # per-mode battery: every distinct scheduled mode's run re-passes the
+    # single-mode laws, so conservation holds across every switch boundary
+    for name in scheduled:
+        measurement = measurements[name]
+        sim, tracer = measurement.sim, measurement.tracer
+        start = len(report.violations)
+        _check_analytic_bounds(
+            sim, spec, analytic.per_mode[name], tolerance, report
+        )
+        _check_stochastic_band(
+            sim, analytic.per_mode[name], stochastic.per_mode[name],
+            tolerance, report,
+        )
+        _check_total_time_law(sim, report)
+        _check_tct_monotonicity(sim, report)
+        _check_bu_conservation(sim, spec, report)
+        _check_process_conservation(sim, report)
+        conformance = check_conformance(sim, tracer)
+        report.checked += conformance.checked
+        report.violations.extend(conformance.violations)
+        for index in range(start, len(report.violations)):
+            report.violations[index] = (
+                f"mode {name}: {report.violations[index]}"
+            )
+
+    # end-to-end SAN-1 on the composed estimate
+    report.checked += 1
+    if composed.execution_time_fs > 0:
+        error = (
+            abs(stochastic.execution_time_fs - composed.execution_time_fs)
+            / composed.execution_time_fs
+        )
+        if error > tolerance.stochastic_error_max:
+            report.add(
+                "SAN-1",
+                f"composed stochastic estimate "
+                f"{stochastic.execution_time_us:.3f} us is {error:.1%} off "
+                f"the composed emulated {composed.execution_time_us:.3f} us "
+                f"(band: {tolerance.stochastic_error_max:.0%})",
+            )
+
+    # ENG-1 lifted to mode-switch traces
+    for other in ENGINE_NAMES:
+        if other == primary:
+            continue
+        report.checked += 1
+        theirs = run_multimode(application, spec, config, engine=other)
+        for kind, a, b in (
+            ("trace", composed.trace_digest(), theirs.trace_digest()),
+            ("timeline", composed.timeline_digest(), theirs.timeline_digest()),
+            ("report", composed.report_digest(), theirs.report_digest()),
+        ):
+            if a != b:
+                report.add(
+                    "ENG-1",
+                    f"composed {kind} digest diverges between the {primary} "
+                    f"and {other} engines ({a[:12]}… != {b[:12]}…) on a "
+                    "mode-switch trace",
+                )
+        if composed.total_events != theirs.total_events:
+            report.add(
+                "ENG-1",
+                f"composed event counts diverge: {primary} traced "
+                f"{composed.total_events}, {other} traced "
+                f"{theirs.total_events}",
+            )
     return report
 
 

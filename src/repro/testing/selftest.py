@@ -2,17 +2,25 @@
 
 Two stages, both deterministic:
 
-1. **Differential fuzzing** — generate ``count`` seeded lint-clean random
-   models (:mod:`repro.testing.generators`) and push each through the
-   differential oracle (:mod:`repro.testing.oracles`).  Any violation of
-   the analytic bounds, the total-time law, TCT monotonicity, package
-   conservation, engine equivalence (ENG-1 runs every model through the
-   stepped, fast *and* batch kernels and compares digests), or protocol
-   conformance fails the selftest with the model's seed (re-run
-   ``generate_model(seed)`` to reproduce it alone).
-2. **Golden traces** — re-emulate every ``examples/models/`` pair with
-   *every* engine and compare trace/timeline/report digests against the
-   pinned store (:mod:`repro.testing.golden`).
+1. **Differential fuzzing** — generate ``count`` seeded lint-clean models
+   (:mod:`repro.testing.generators`) and push each through the matching
+   oracle (:mod:`repro.testing.oracles`).  The corpus cycles through
+   *families* (:data:`FAMILY_CYCLE`): half uniform random models, one of
+   each adversarial shape (bursty, hot-segment, long-tail, pipelined
+   streaming), and one random multi-mode application per ten seeds — the
+   multi-mode jobs run the MODE battery
+   (:func:`~repro.testing.oracles.run_multimode_oracle`), everything else
+   the single-mode differential oracle.  Any violation of the analytic
+   bounds, the total-time law, TCT monotonicity, package conservation,
+   engine equivalence (ENG-1 runs every model through the stepped, fast
+   *and* batch kernels and compares digests), or protocol conformance
+   fails the selftest with the model's seed and family (re-run the
+   matching ``generate_*`` function to reproduce it alone).
+2. **Golden traces** — re-emulate every ``examples/models/`` pair *and*
+   every pinned workload scenario (including the composed multi-mode
+   digests of ``mp3_jpeg_multimode``) with *every* engine and compare
+   trace/timeline/report digests against the pinned stores
+   (:mod:`repro.testing.golden`).
 
 The default ``count`` is 200 (the conformance bar); ``--quick`` drops to
 25 for CI smoke runs.  Exit code 0 means fully conformant, 1 means at
@@ -33,22 +41,36 @@ from repro.analysis.executor import (
     canonical_digest,
 )
 from repro.testing.generators import (
+    ADVERSARIAL_SHAPES,
     DEFAULT_PROFILE,
     GenerationError,
     GeneratorProfile,
+    generate_adversarial_model,
     generate_model,
+    generate_multimode_model,
 )
 from repro.testing.golden import (
     DEFAULT_MODELS_DIR,
     DEFAULT_STORE,
+    DEFAULT_WORKLOAD_STORE,
     GoldenCheck,
     check_goldens,
+    check_workload_goldens,
     update_goldens,
+    update_workload_goldens,
 )
-from repro.testing.oracles import OracleTolerance, run_differential_oracle
+from repro.testing.oracles import (
+    OracleTolerance,
+    run_differential_oracle,
+    run_multimode_oracle,
+)
 
 DEFAULT_COUNT = 200
 QUICK_COUNT = 25
+
+#: family of the job at seed offset ``i`` (cycled): half uniform random,
+#: one of each adversarial shape, one multi-mode per ten seeds
+FAMILY_CYCLE = ("random",) * 5 + ADVERSARIAL_SHAPES + ("multimode",)
 
 
 @dataclass(frozen=True)
@@ -64,30 +86,51 @@ class _FuzzJob:
     profile: GeneratorProfile
     tolerance: OracleTolerance
     engine: Optional[str]
+    family: str = "random"
 
     @property
     def label(self) -> str:
-        return f"fuzz#{self.seed}"
+        return f"fuzz:{self.family}#{self.seed}"
 
     def digest(self) -> str:
         return canonical_digest(
-            self.seed, self.profile, self.tolerance, self.engine or ""
+            self.seed,
+            self.profile,
+            self.tolerance,
+            self.engine or "",
+            self.family,
         )
 
 
 def _run_fuzz_job(job: _FuzzJob) -> Dict[str, object]:
-    """Generate one model and run the differential oracle (worker-side)."""
+    """Generate one model and run its family's oracle (worker-side)."""
     try:
-        model = generate_model(job.seed, job.profile)
+        if job.family == "multimode":
+            model = generate_multimode_model(job.seed, job.profile)
+        elif job.family in ADVERSARIAL_SHAPES:
+            model = generate_adversarial_model(
+                job.seed, job.family, job.profile
+            )
+        else:
+            model = generate_model(job.seed, job.profile)
     except GenerationError as exc:
         return {"generated": False, "failure": f"[GEN] {exc}"}
-    oracle = run_differential_oracle(
-        model.application,
-        model.platform,
-        tolerance=job.tolerance,
-        label=model.label,
-        engine=job.engine,
-    )
+    if job.family == "multimode":
+        oracle = run_multimode_oracle(
+            model.application,
+            model.platform,
+            tolerance=job.tolerance,
+            label=model.label,
+            engine=job.engine,
+        )
+    else:
+        oracle = run_differential_oracle(
+            model.application,
+            model.platform,
+            tolerance=job.tolerance,
+            label=model.label,
+            engine=job.engine,
+        )
     return {
         "generated": True,
         "checked": oracle.checked,
@@ -105,13 +148,16 @@ class SelftestReport:
     checks: int = 0
     failures: List[str] = field(default_factory=list)
     golden: Optional[GoldenCheck] = None
+    workload_golden: Optional[GoldenCheck] = None
     elapsed_s: float = 0.0
 
     @property
     def ok(self) -> bool:
         if self.failures:
             return False
-        return self.golden is None or self.golden.ok
+        if self.golden is not None and not self.golden.ok:
+            return False
+        return self.workload_golden is None or self.workload_golden.ok
 
     @property
     def exit_code(self) -> int:
@@ -127,6 +173,12 @@ class SelftestReport:
         lines.extend(f"  {item}" for item in self.failures)
         if self.golden is not None:
             lines.append(self.golden.format())
+        if self.workload_golden is not None:
+            lines.append(
+                self.workload_golden.format().replace(
+                    "golden traces:", "workload goldens:", 1
+                )
+            )
         return "\n".join(lines)
 
 
@@ -138,6 +190,7 @@ def run_selftest(
     include_golden: bool = True,
     models_dir: Union[str, Path] = DEFAULT_MODELS_DIR,
     store_path: Union[str, Path] = DEFAULT_STORE,
+    workload_store_path: Union[str, Path] = DEFAULT_WORKLOAD_STORE,
     update_golden: bool = False,
     progress=None,
     engine: Optional[str] = None,
@@ -171,6 +224,7 @@ def run_selftest(
             profile=profile,
             tolerance=tolerance,
             engine=resolved_engine,
+            family=FAMILY_CYCLE[offset % len(FAMILY_CYCLE)],
         )
         for offset in range(count)
     ]
@@ -212,8 +266,16 @@ def run_selftest(
                 f"into {store_path}"
             )
         report.golden = check_goldens(models_dir, store_path)
+        workload_entries = update_workload_goldens(workload_store_path)
+        if progress:
+            progress(
+                f"workload goldens: re-pinned {len(workload_entries)} "
+                f"scenario(s) into {workload_store_path}"
+            )
+        report.workload_golden = check_workload_goldens(workload_store_path)
     elif include_golden:
         report.golden = check_goldens(models_dir, store_path)
+        report.workload_golden = check_workload_goldens(workload_store_path)
 
     report.elapsed_s = time.perf_counter() - started
     return report

@@ -1,0 +1,158 @@
+"""Multi-mode estimate composition: transition charges, dwell, SAN band."""
+
+from repro.analysis.analytic import (
+    analytic_estimate,
+    analytic_estimate_multimode,
+    mode_analytic_estimates,
+    platform_clocks,
+    resolved_phase_iterations,
+    transition_delay_fs,
+)
+from repro.analysis.stochastic import (
+    stochastic_estimate,
+    stochastic_estimate_multimode,
+)
+from repro.emulator.kernel import PlatformSpec
+from repro.emulator.multimode import run_multimode
+from repro.model.mapping import Allocation, map_application
+from repro.psdf.graph import PSDFGraph
+from repro.psdf.modes import (
+    ModePhase,
+    ModeSchedule,
+    MultiModeApplication,
+    TransitionSpec,
+)
+
+TRANSITION = TransitionSpec(reconfig_ticks=12, flush_ticks_per_bu=3)
+
+
+def _graphs():
+    lo = PSDFGraph.from_edges(
+        [("A", "B", 36, 1, 10), ("B", "C", 36, 2, 10)], name="lo"
+    )
+    hi = PSDFGraph.from_edges(
+        [("A", "B", 72, 1, 20), ("B", "C", 72, 2, 20)], name="hi"
+    )
+    return lo, hi
+
+
+def toy_app(phases=None, transition=TRANSITION):
+    lo, hi = _graphs()
+    schedule = ModeSchedule(
+        phases=phases
+        or (ModePhase("lo", 2), ModePhase("hi", 1), ModePhase("lo", 1)),
+        transition=transition,
+    )
+    return MultiModeApplication(
+        name="toy2", modes={"lo": lo, "hi": hi}, schedule=schedule
+    )
+
+
+def toy_spec():
+    lo, _ = _graphs()
+    psm = map_application(
+        lo,
+        Allocation.from_groups([("A", "B"), ("C",)]),
+        segment_frequencies_mhz=(100.0, 100.0),
+        ca_frequency_mhz=120.0,
+        package_size=36,
+        name="Toy2",
+    )
+    return PlatformSpec.from_platform(psm.platform)
+
+
+class TestTransitionDelay:
+    def test_delay_is_ca_ticks_times_bu_count(self):
+        app = toy_app()
+        spec = toy_spec()
+        _, ca_clock = platform_clocks(spec)
+        # two segments -> one BU: 12 + 3 * 1 = 15 CA ticks
+        assert transition_delay_fs(app, spec) == ca_clock.ticks_to_fs(15)
+
+    def test_zero_spec_charges_nothing(self):
+        app = toy_app(transition=TransitionSpec())
+        assert transition_delay_fs(app, toy_spec()) == 0
+
+
+class TestAnalyticComposition:
+    def test_same_mode_phases_scale_linearly(self):
+        app = toy_app(
+            phases=(ModePhase("lo", 2), ModePhase("lo", 3)),
+            transition=TRANSITION,
+        )
+        spec = toy_spec()
+        single = analytic_estimate(app.modes["lo"], spec)
+        composed = analytic_estimate_multimode(app, spec)
+        # no mode change -> no transition charge, pure linear scaling
+        assert composed.transition_total_fs == 0
+        assert composed.execution_time_fs == 5 * single.execution_time_fs
+
+    def test_switches_charge_transition_total(self):
+        app = toy_app()
+        spec = toy_spec()
+        composed = analytic_estimate_multimode(app, spec)
+        per_mode = mode_analytic_estimates(app, spec)
+        switch_fs = transition_delay_fs(app, spec)
+        assert composed.switch_count == 2
+        assert composed.transition_total_fs == 2 * switch_fs
+        assert composed.execution_time_fs == (
+            3 * per_mode["lo"].execution_time_fs
+            + per_mode["hi"].execution_time_fs
+            + 2 * switch_fs
+        )
+
+    def test_dwell_resolution_matches_covering_count(self):
+        spec = toy_spec()
+        lo, _ = _graphs()
+        single = analytic_estimate(lo, spec)
+        _, ca_clock = platform_clocks(spec)
+        # a dwell of three iterations' worth of CA ticks resolves to 3
+        dwell_ticks = -(
+            -3 * single.execution_time_fs // ca_clock.period_fs
+        )
+        app = toy_app(
+            phases=(ModePhase("lo", 1, min_dwell_ticks=int(dwell_ticks)),),
+            transition=TransitionSpec(),
+        )
+        assert resolved_phase_iterations(app, spec) == (3,)
+
+    def test_composition_matches_emulated_structure(self):
+        # the analytic composition law is the emulator's: same iteration
+        # counts, same switch charges, per-mode analytic <= per-mode emulated
+        app = toy_app()
+        spec = toy_spec()
+        composed = run_multimode(app, spec)
+        estimate = analytic_estimate_multimode(app, spec)
+        assert [
+            (p.mode, p.iterations) for p in composed.phases
+        ] == list(estimate.phases)
+        assert composed.transition_total_fs == estimate.transition_total_fs
+
+
+class TestStochasticComposition:
+    def test_composes_per_mode_estimates_exactly(self):
+        app = toy_app()
+        spec = toy_spec()
+        estimate = stochastic_estimate_multimode(app, spec)
+        expected = estimate.analytic.transition_total_fs + sum(
+            count * stochastic_estimate(app.modes[mode], spec).execution_time_fs
+            for mode, count in estimate.analytic.phases
+        )
+        assert estimate.execution_time_fs == expected
+        assert estimate.contention_fs == (
+            estimate.execution_time_fs - estimate.analytic.execution_time_fs
+        )
+
+    def test_stochastic_at_least_analytic(self):
+        app = toy_app()
+        spec = toy_spec()
+        estimate = stochastic_estimate_multimode(app, spec)
+        assert estimate.execution_time_fs >= estimate.analytic_fs
+        assert estimate.contention_fs >= 0
+
+    def test_near_emulation_on_the_toy(self):
+        app = toy_app()
+        spec = toy_spec()
+        emulated = run_multimode(app, spec).execution_time_fs
+        estimated = stochastic_estimate_multimode(app, spec).execution_time_fs
+        assert abs(estimated - emulated) / emulated < 0.15

@@ -35,3 +35,75 @@ def test_deterministic():
 def test_unknown_name_lists_available():
     with pytest.raises(SegBusError, match="chain4"):
         named_workload("nope")
+
+
+class TestScenarioCatalog:
+    def test_catalog_names(self):
+        from repro.apps.workloads import scenario_catalog
+
+        names = scenario_catalog()
+        assert list(names) == sorted(names)
+        assert set(names) == {
+            "bursty",
+            "adversarial_hot_segment",
+            "long_tail",
+            "pipelined_streaming",
+            "mp3_jpeg_multimode",
+        }
+
+    def test_adversarial_graphs_registered_in_workload_catalog(self):
+        for name in (
+            "bursty",
+            "adversarial_hot_segment",
+            "long_tail",
+            "pipelined_streaming",
+        ):
+            assert name in workload_catalog()
+            named_workload(name).topological_order()
+
+    def test_every_scenario_is_lint_clean(self):
+        from repro.apps.workloads import workload_model
+        from repro.lint import lint_models, lint_multimode
+
+        for name in (
+            "bursty",
+            "adversarial_hot_segment",
+            "long_tail",
+            "pipelined_streaming",
+            "mp3_jpeg_multimode",
+        ):
+            scenario = workload_model(name)
+            if scenario.is_multimode:
+                report = lint_multimode(
+                    scenario.application, platform=scenario.platform
+                )
+            else:
+                report = lint_models(
+                    application=scenario.application,
+                    platform=scenario.platform,
+                )
+            assert report.exit_code == 0, (name, report.findings)
+
+    def test_multimode_flag(self):
+        from repro.apps.workloads import workload_model
+
+        assert workload_model("mp3_jpeg_multimode").is_multimode
+        assert not workload_model("bursty").is_multimode
+
+    def test_mp3_jpeg_structure(self):
+        from repro.apps.workloads import workload_model
+
+        scenario = workload_model("mp3_jpeg_multimode")
+        app = scenario.application
+        assert app.mode_names == ("jpeg", "mp3")
+        assert app.schedule.switch_count() == 1
+        assert not app.schedule.transition.is_zero
+        # the shared platform places the union of both decoders
+        placed = set(scenario.platform.process_placement())
+        assert set(app.process_names()) <= placed
+
+    def test_unknown_scenario_lists_available(self):
+        from repro.apps.workloads import workload_model
+
+        with pytest.raises(SegBusError, match="mp3_jpeg_multimode"):
+            workload_model("nope")

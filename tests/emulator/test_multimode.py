@@ -1,0 +1,156 @@
+"""Multi-mode composition: per-mode runs, switch charges, engine lift."""
+
+import pytest
+
+from repro.analysis.analytic import transition_delay_fs
+from repro.emulator.fastkernel import ENGINE_NAMES
+from repro.emulator.kernel import PlatformSpec
+from repro.emulator.multimode import run_multimode, run_multimode_detailed
+from repro.errors import ModeError
+from repro.model.mapping import Allocation, map_application
+from repro.psdf.graph import PSDFGraph
+from repro.psdf.modes import (
+    ModePhase,
+    ModeSchedule,
+    MultiModeApplication,
+    TransitionSpec,
+)
+
+TRANSITION = TransitionSpec(reconfig_ticks=10, flush_ticks_per_bu=2)
+
+
+def _graphs():
+    lo = PSDFGraph.from_edges(
+        [("A", "B", 36, 1, 10), ("B", "C", 36, 2, 10)], name="lo"
+    )
+    hi = PSDFGraph.from_edges(
+        [("A", "B", 72, 1, 20), ("B", "C", 72, 2, 20)], name="hi"
+    )
+    return lo, hi
+
+
+def toy_app(phases=None, transition=TRANSITION):
+    lo, hi = _graphs()
+    schedule = ModeSchedule(
+        phases=phases
+        or (ModePhase("lo", 2), ModePhase("hi", 1), ModePhase("lo", 1)),
+        transition=transition,
+    )
+    return MultiModeApplication(
+        name="toy2", modes={"lo": lo, "hi": hi}, schedule=schedule
+    )
+
+
+def toy_spec():
+    lo, _ = _graphs()
+    psm = map_application(
+        lo,
+        Allocation.from_groups([("A", "B"), ("C",)]),
+        segment_frequencies_mhz=(100.0, 100.0),
+        ca_frequency_mhz=120.0,
+        package_size=36,
+        name="Toy2",
+    )
+    return PlatformSpec.from_platform(psm.platform)
+
+
+class TestComposition:
+    def test_total_time_is_phase_sum_plus_switch_charges(self):
+        app = toy_app()
+        spec = toy_spec()
+        composed = run_multimode(app, spec)
+        lo = composed.mode_runs["lo"].iteration_fs
+        hi = composed.mode_runs["hi"].iteration_fs
+        switch_fs = transition_delay_fs(app, spec)
+        assert switch_fs > 0
+        # lo x2, switch, hi x1, switch, lo x1
+        assert composed.execution_time_fs == 3 * lo + hi + 2 * switch_fs
+        assert composed.transition_total_fs == 2 * switch_fs
+        assert composed.switch_count == 2
+
+    def test_zero_transition_degenerates_to_back_to_back(self):
+        app = toy_app(transition=TransitionSpec())
+        composed = run_multimode(app, toy_spec())
+        lo = composed.mode_runs["lo"].iteration_fs
+        hi = composed.mode_runs["hi"].iteration_fs
+        assert composed.transition_total_fs == 0
+        assert composed.execution_time_fs == 3 * lo + hi
+
+    def test_same_mode_neighbours_charge_no_switch(self):
+        app = toy_app(phases=(ModePhase("lo", 1), ModePhase("lo", 2)))
+        composed = run_multimode(app, toy_spec())
+        assert composed.switch_count == 0
+        assert composed.transition_total_fs == 0
+
+    def test_phase_timeline_is_cumulative(self):
+        composed = run_multimode(toy_app(), toy_spec())
+        cursor = 0
+        for phase in composed.phases:
+            assert phase.start_fs == cursor
+            cursor += phase.phase_fs + phase.transition_after_fs
+        assert cursor == composed.execution_time_fs
+
+    def test_events_scale_with_iterations(self):
+        composed = run_multimode(toy_app(), toy_spec())
+        lo = composed.mode_runs["lo"]
+        hi = composed.mode_runs["hi"]
+        assert composed.total_events == 3 * lo.events + hi.events
+        assert composed.executed_events == 3 * lo.executed + hi.executed
+        assert sum(composed.kind_counts().values()) == composed.total_events
+
+    def test_detailed_returns_one_measurement_per_mode(self):
+        report, measurements = run_multimode_detailed(toy_app(), toy_spec())
+        assert set(measurements) == {"lo", "hi"}
+        for name, measurement in measurements.items():
+            assert measurement.sim.execution_time_fs() == \
+                report.mode_runs[name].iteration_fs
+
+
+class TestEngineLift:
+    def test_three_engines_compose_identically(self):
+        app = toy_app()
+        spec = toy_spec()
+        observed = {
+            engine: run_multimode(app, spec, engine=engine)
+            for engine in ENGINE_NAMES
+        }
+        reference = observed["stepped"]
+        for engine, composed in observed.items():
+            assert composed.engine == engine
+            assert composed.trace_digest() == reference.trace_digest()
+            assert composed.timeline_digest() == reference.timeline_digest()
+            assert composed.report_digest() == reference.report_digest()
+            assert composed.execution_time_fs == reference.execution_time_fs
+            assert composed.total_events == reference.total_events
+
+
+class TestValidation:
+    def test_unplaced_mode_process_raises(self):
+        lo, _ = _graphs()
+        ghost = PSDFGraph.from_edges([("A", "Z", 36, 1, 10)], name="ghost")
+        app = MultiModeApplication(
+            name="bad",
+            modes={"lo": lo, "ghost": ghost},
+            schedule=ModeSchedule(
+                phases=(ModePhase("lo"), ModePhase("ghost"))
+            ),
+        )
+        with pytest.raises(ModeError, match="unplaced"):
+            run_multimode(app, toy_spec())
+
+    def test_ill_formed_schedule_raises_before_running(self):
+        app = toy_app(phases=(ModePhase("lo", iterations=0),))
+        with pytest.raises(ModeError, match="degenerate"):
+            run_multimode(app, toy_spec())
+
+
+class TestPresentation:
+    def test_listing_and_dict_round_trip_the_structure(self):
+        composed = run_multimode(toy_app(), toy_spec())
+        listing = composed.format_listing()
+        assert "toy2" in listing
+        assert "2 switch(es)" in listing
+        data = composed.to_dict()
+        assert data["switches"] == 2
+        assert len(data["phases"]) == 3
+        assert data["trace_digest"] == composed.trace_digest()

@@ -1,0 +1,85 @@
+"""Mode-switch trace determinism: double runs and hash-seed independence.
+
+The composed multi-mode digests hash per-phase structure plus per-mode
+trace/timeline/report digests, so they inherit every ordering guarantee
+of the single-mode kernels — pinned here the same way as
+``test_determinism.py``: byte-identical digests across two in-process
+runs and across fresh interpreters with different ``PYTHONHASHSEED``.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.apps.workloads import workload_model
+from repro.emulator.multimode import run_multimode
+from repro.testing.generators import generate_multimode_model
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_DIGEST_SCRIPT = """
+from repro.apps.workloads import workload_model
+from repro.emulator.multimode import run_multimode
+from repro.testing.generators import generate_multimode_model
+
+scenario = workload_model("mp3_jpeg_multimode")
+composed = run_multimode(scenario.application, scenario.platform)
+print(composed.trace_digest())
+print(composed.timeline_digest())
+print(composed.report_digest())
+
+model = generate_multimode_model(5)
+composed = run_multimode(model.application, model.platform)
+print(composed.trace_digest())
+print(composed.timeline_digest())
+print(composed.report_digest())
+"""
+
+
+def _composed_digests(application, platform):
+    composed = run_multimode(application, platform)
+    return (
+        composed.trace_digest(),
+        composed.timeline_digest(),
+        composed.report_digest(),
+    )
+
+
+class TestSameProcess:
+    def test_scenario_double_run_identical_digests(self):
+        scenario = workload_model("mp3_jpeg_multimode")
+        first = _composed_digests(scenario.application, scenario.platform)
+        second = _composed_digests(scenario.application, scenario.platform)
+        assert first == second
+
+    def test_generated_multimode_double_run_identical_digests(self):
+        a = generate_multimode_model(5)
+        b = generate_multimode_model(5)
+        assert a.application.name == b.application.name
+        assert _composed_digests(
+            a.application, a.platform
+        ) == _composed_digests(b.application, b.platform)
+
+
+class TestAcrossInterpreters:
+    def _digests_under_hashseed(self, hashseed: str):
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = hashseed
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        result = subprocess.run(
+            [sys.executable, "-c", _DIGEST_SCRIPT],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=REPO_ROOT,
+            check=True,
+        )
+        lines = result.stdout.split()
+        assert len(lines) == 6
+        return lines
+
+    def test_mode_switch_digests_stable_across_hash_randomization(self):
+        assert self._digests_under_hashseed(
+            "1"
+        ) == self._digests_under_hashseed("4242")

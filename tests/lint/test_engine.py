@@ -18,7 +18,7 @@ def registry():
 
 class TestDefaultRegistry:
     def test_catalogue_size(self, registry):
-        assert len(registry) == 44
+        assert len(registry) == 49
 
     def test_every_band_is_present(self, registry):
         bands = {rule.id[:3] for rule in registry}

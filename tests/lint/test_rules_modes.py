@@ -1,0 +1,171 @@
+"""SB23x: mode-consistency rules and the lint_multimode orchestration."""
+
+import pytest
+
+from repro.lint import (
+    LintContext,
+    default_registry,
+    lint_multimode,
+    run_rules,
+)
+from repro.psdf.graph import PSDFGraph
+from repro.psdf.modes import (
+    ModePhase,
+    ModeSchedule,
+    MultiModeApplication,
+    TransitionSpec,
+)
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return default_registry()
+
+
+def graph(name="lo", cost=10):
+    return PSDFGraph.from_edges(
+        [("A", "B", 36, 1, cost), ("B", "C", 36, 2, cost)], name=name
+    )
+
+
+def app(modes=None, phases=None, transition=TransitionSpec()):
+    return MultiModeApplication(
+        name="toy",
+        modes=modes if modes is not None else {"lo": graph()},
+        schedule=ModeSchedule(
+            phases=phases or (ModePhase("lo", 2),), transition=transition
+        ),
+    )
+
+
+def lint(multimode, registry):
+    ctx = LintContext(multimode=multimode)
+    return run_rules(ctx, registry=registry)
+
+
+class TestRules:
+    def test_clean_app_fires_nothing(self, registry):
+        report = lint(app(), registry)
+        assert not [f for f in report.findings if f.rule_id.startswith("SB23")]
+
+    def test_sb230_undefined_mode_reference(self, registry):
+        report = lint(
+            app(phases=(ModePhase("lo"), ModePhase("ghost"))), registry
+        )
+        fired = [f for f in report.errors if f.rule_id == "SB230"]
+        assert len(fired) == 1
+        assert "ghost" in fired[0].message
+
+    def test_sb231_scheduled_empty_flow_set(self, registry):
+        empty = PSDFGraph((), (), name="idle")
+        report = lint(
+            app(
+                modes={"lo": graph(), "idle": empty},
+                phases=(ModePhase("lo"), ModePhase("idle")),
+            ),
+            registry,
+        )
+        assert [f.rule_id for f in report.errors] == ["SB231"]
+
+    def test_sb231_quiet_for_unscheduled_empty_mode(self, registry):
+        empty = PSDFGraph((), (), name="idle")
+        report = lint(
+            app(modes={"lo": graph(), "idle": empty}), registry
+        )
+        assert "SB231" not in report.rule_ids()
+        # ... but SB232 flags it as unreachable instead
+        assert "SB232" in report.rule_ids()
+
+    def test_sb232_unreachable_mode(self, registry):
+        report = lint(
+            app(modes={"lo": graph(), "hi": graph("hi")}), registry
+        )
+        fired = [f for f in report.warnings if f.rule_id == "SB232"]
+        assert len(fired) == 1
+        assert "'hi'" in fired[0].message
+
+    def test_sb233_transition_dwarfing_iteration_work(self, registry):
+        report = lint(
+            app(
+                modes={"lo": graph(), "hi": graph("hi")},
+                phases=(ModePhase("lo"), ModePhase("hi")),
+                transition=TransitionSpec(reconfig_ticks=10**6),
+            ),
+            registry,
+        )
+        assert "SB233" in report.rule_ids()
+
+    def test_sb233_quiet_without_switches(self, registry):
+        report = lint(
+            app(
+                phases=(ModePhase("lo"), ModePhase("lo")),
+                transition=TransitionSpec(reconfig_ticks=10**6),
+            ),
+            registry,
+        )
+        assert "SB233" not in report.rule_ids()
+
+    def test_sb233_quiet_for_zero_cost(self, registry):
+        report = lint(
+            app(
+                modes={"lo": graph(), "hi": graph("hi")},
+                phases=(ModePhase("lo"), ModePhase("hi")),
+            ),
+            registry,
+        )
+        assert "SB233" not in report.rule_ids()
+
+    def test_sb234_empty_schedule(self, registry):
+        mm = MultiModeApplication(
+            name="toy", modes={"lo": graph()},
+            schedule=ModeSchedule(phases=()),
+        )
+        fired = [f for f in lint(mm, registry).errors if f.rule_id == "SB234"]
+        assert len(fired) == 1
+        assert "no phases" in fired[0].message
+
+    def test_sb234_degenerate_phase(self, registry):
+        report = lint(app(phases=(ModePhase("lo", iterations=0),)), registry)
+        assert "SB234" in {f.rule_id for f in report.errors}
+
+    def test_rules_quiet_without_multimode_context(self, registry):
+        report = run_rules(LintContext(), registry=registry)
+        assert not [f for f in report.findings if f.rule_id.startswith("SB23")]
+
+
+class TestLintMultimode:
+    def test_clean_app_exits_zero(self):
+        report = lint_multimode(app())
+        assert report.exit_code == 0, [
+            (f.rule_id, f.message) for f in report.findings
+        ]
+
+    def test_per_mode_findings_are_folded_in(self):
+        # a transfer-order gap (SB209) inside one mode must surface
+        # through the orchestrated per-mode pass, not the composition pass
+        bad = PSDFGraph.from_edges(
+            [("A", "B", 36, 1, 10), ("B", "C", 36, 7, 10)], name="bad"
+        )
+        report = lint_multimode(
+            app(
+                modes={"lo": graph(), "bad": bad},
+                phases=(ModePhase("lo"), ModePhase("bad")),
+            )
+        )
+        assert report.exit_code != 0
+
+    def test_composition_findings_surface(self):
+        report = lint_multimode(app(phases=(ModePhase("ghost"),)))
+        assert "SB230" in report.rule_ids()
+        assert report.exit_code == 2
+
+    def test_scenario_catalog_multimode_is_clean(self):
+        from repro.apps.workloads import workload_model
+
+        scenario = workload_model("mp3_jpeg_multimode")
+        report = lint_multimode(
+            scenario.application, platform=scenario.platform
+        )
+        assert report.exit_code == 0, [
+            (f.rule_id, f.message) for f in report.findings
+        ]

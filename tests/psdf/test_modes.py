@@ -1,0 +1,209 @@
+"""Multi-mode PSDF data model: specs, schedules, applications."""
+
+import pytest
+
+from repro.errors import ModeError, PSDFError
+from repro.psdf.graph import PSDFGraph
+from repro.psdf.modes import (
+    ModePhase,
+    ModeSchedule,
+    MultiModeApplication,
+    TransitionSpec,
+    resolve_iterations,
+)
+
+
+def lo_graph():
+    return PSDFGraph.from_edges(
+        [("A", "B", 36, 1, 10), ("B", "C", 36, 2, 10)], name="lo"
+    )
+
+
+def hi_graph():
+    return PSDFGraph.from_edges(
+        [("A", "B", 72, 1, 20), ("B", "C", 72, 2, 20)], name="hi"
+    )
+
+
+def two_mode_app(phases=None, transition=TransitionSpec()):
+    schedule = ModeSchedule(
+        phases=phases
+        or (ModePhase("lo", 2), ModePhase("hi", 1), ModePhase("lo", 1)),
+        transition=transition,
+    )
+    return MultiModeApplication(
+        name="toy2", modes={"lo": lo_graph(), "hi": hi_graph()},
+        schedule=schedule,
+    )
+
+
+class TestTransitionSpec:
+    def test_zero_by_default(self):
+        assert TransitionSpec().is_zero
+        assert TransitionSpec().delay_ticks(4) == 0
+
+    def test_delay_linear_in_bu_count(self):
+        spec = TransitionSpec(reconfig_ticks=10, flush_ticks_per_bu=3)
+        assert not spec.is_zero
+        assert spec.delay_ticks(0) == 10
+        assert spec.delay_ticks(2) == 16
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"reconfig_ticks": -1}, {"flush_ticks_per_bu": -2}],
+    )
+    def test_negative_values_raise(self, kwargs):
+        with pytest.raises(ModeError, match="non-negative"):
+            TransitionSpec(**kwargs)
+
+    def test_negative_bu_count_raises(self):
+        with pytest.raises(ModeError, match="bu_count"):
+            TransitionSpec().delay_ticks(-1)
+
+
+class TestModePhase:
+    def test_default_single_iteration(self):
+        phase = ModePhase("lo")
+        assert phase.iterations == 1
+        assert not phase.is_degenerate
+
+    @pytest.mark.parametrize(
+        "phase",
+        [
+            ModePhase("lo", iterations=0),
+            ModePhase("lo", iterations=-1),
+            ModePhase("lo", iterations=1, min_dwell_ticks=-5),
+        ],
+    )
+    def test_degenerate_shapes(self, phase):
+        assert phase.is_degenerate
+
+    def test_zero_iterations_with_dwell_is_fine(self):
+        assert not ModePhase("lo", iterations=0, min_dwell_ticks=8).is_degenerate
+
+
+class TestResolveIterations:
+    def test_fixed_iterations_pass_through(self):
+        assert resolve_iterations(ModePhase("lo", 3), 1000, 10) == 3
+
+    def test_dwell_covers_with_ceiling(self):
+        # 25 ticks * 10 fs = 250 fs dwell over 100 fs iterations -> 3
+        phase = ModePhase("lo", iterations=1, min_dwell_ticks=25)
+        assert resolve_iterations(phase, 100, 10) == 3
+
+    def test_dwell_never_undercuts_iterations(self):
+        phase = ModePhase("lo", iterations=5, min_dwell_ticks=1)
+        assert resolve_iterations(phase, 100, 10) == 5
+
+    def test_degenerate_raises(self):
+        with pytest.raises(ModeError, match="degenerate"):
+            resolve_iterations(ModePhase("lo", 0), 100, 10)
+
+    def test_nonpositive_iteration_time_raises(self):
+        phase = ModePhase("lo", iterations=0, min_dwell_ticks=5)
+        with pytest.raises(ModeError, match="non-positive iteration time"):
+            resolve_iterations(phase, 0, 10)
+
+
+class TestModeSchedule:
+    def test_scheduled_modes_first_appearance_order(self):
+        schedule = ModeSchedule(
+            phases=(ModePhase("b"), ModePhase("a"), ModePhase("b"))
+        )
+        assert schedule.scheduled_modes() == ("b", "a")
+
+    def test_switch_count_ignores_same_mode_neighbours(self):
+        schedule = ModeSchedule(
+            phases=(
+                ModePhase("a"),
+                ModePhase("a"),
+                ModePhase("b"),
+                ModePhase("a"),
+            )
+        )
+        assert schedule.switch_count() == 2
+
+    def test_seeded_is_deterministic(self):
+        a = ModeSchedule.seeded(7, ("x", "y", "z"), phase_count=6)
+        b = ModeSchedule.seeded(7, ("x", "y", "z"), phase_count=6)
+        assert a == b
+        assert len(a.phases) == 6
+
+    def test_seeded_covers_every_mode(self):
+        for seed in range(20):
+            schedule = ModeSchedule.seeded(seed, ("x", "y", "z"))
+            assert set(schedule.scheduled_modes()) == {"x", "y", "z"}
+
+    def test_seeded_empty_mode_list_raises(self):
+        with pytest.raises(ModeError, match="at least one mode"):
+            ModeSchedule.seeded(1, ())
+
+    def test_seeded_dwell_probability(self):
+        schedule = ModeSchedule.seeded(
+            3, ("x", "y"), phase_count=40, dwell_probability=1.0
+        )
+        assert all(p.min_dwell_ticks is not None for p in schedule.phases)
+
+
+class TestMultiModeApplication:
+    def test_mode_lookup_and_names(self):
+        app = two_mode_app()
+        assert app.mode_names == ("hi", "lo")
+        assert app.mode("lo").name == "lo"
+        with pytest.raises(ModeError, match="no mode named"):
+            app.mode("ghost")
+
+    def test_process_names_union_sorted(self):
+        assert two_mode_app().process_names() == ("A", "B", "C")
+
+    def test_unreachable_modes(self):
+        app = two_mode_app(phases=(ModePhase("lo"),))
+        assert app.unreachable_modes() == ("hi",)
+        assert two_mode_app().unreachable_modes() == ()
+
+    def test_validate_for_run_accepts_well_formed(self):
+        two_mode_app().validate_for_run()
+
+    def test_validate_empty_schedule_raises(self):
+        app = MultiModeApplication(
+            name="empty", modes={"lo": lo_graph()},
+            schedule=ModeSchedule(phases=()),
+        )
+        with pytest.raises(ModeError, match="schedule is empty"):
+            app.validate_for_run()
+
+    def test_validate_undefined_mode_raises(self):
+        app = two_mode_app(phases=(ModePhase("lo"), ModePhase("ghost")))
+        with pytest.raises(ModeError, match="undefined mode"):
+            app.validate_for_run()
+
+    def test_validate_degenerate_phase_raises(self):
+        app = two_mode_app(phases=(ModePhase("lo", iterations=0),))
+        with pytest.raises(ModeError, match="degenerate"):
+            app.validate_for_run()
+
+    def test_validate_scheduled_empty_flow_set_raises(self):
+        empty = PSDFGraph((), (), name="void")
+        app = MultiModeApplication(
+            name="hollow", modes={"void": empty},
+            schedule=ModeSchedule(phases=(ModePhase("void"),)),
+        )
+        with pytest.raises(ModeError, match="empty flow set"):
+            app.validate_for_run()
+
+    def test_union_graph_rejects_overlapping_flow_keys(self):
+        # the toy modes share (source, target, order) keys, so the union
+        # must refuse — it is only defined for disjoint-enough flow sets
+        with pytest.raises(PSDFError):
+            two_mode_app().union_graph()
+
+    def test_union_graph_of_disjoint_modes(self):
+        left = PSDFGraph.from_edges([("A", "B", 36, 1, 10)], name="l")
+        right = PSDFGraph.from_edges([("C", "D", 36, 1, 10)], name="r")
+        app = MultiModeApplication(
+            name="disjoint", modes={"l": left, "r": right},
+            schedule=ModeSchedule(phases=(ModePhase("l"), ModePhase("r"))),
+        )
+        union = app.union_graph()
+        assert set(union.process_names) == {"A", "B", "C", "D"}
+        assert len(union.flows) == 2

@@ -372,3 +372,31 @@ class TestFormatting:
     def test_speedup_dash_for_engineless_scenarios(self):
         table = format_results(run_bench(names=[FAST], repeats=1))
         assert " - " in table.split("\n")[1] + " "
+
+
+class TestMultimodeScenario:
+    def test_registered_with_committed_baseline(self):
+        assert "multimode_switch" in SCENARIO_NAMES
+        baseline = load_baseline("multimode_switch", DEFAULT_BASELINE_DIR)
+        assert baseline.ticks["switches"] == 1
+        assert baseline.ticks["transition_ps"] > 0
+
+    def test_committed_ticks_match_reality(self):
+        results = run_bench(names=["multimode_switch"], repeats=1)
+        check = check_bench(
+            results, baseline_dir=DEFAULT_BASELINE_DIR, check_wall=False
+        )
+        assert check.ok, check.format()
+
+    def test_ticks_agree_with_the_composed_report(self):
+        from repro.apps.workloads import workload_model
+        from repro.emulator.multimode import run_multimode
+
+        result = run_scenario(scenario("multimode_switch"), repeats=1)
+        scenario_model = workload_model("mp3_jpeg_multimode")
+        composed = run_multimode(
+            scenario_model.application, scenario_model.platform
+        )
+        assert result.ticks["events"] == composed.total_events
+        assert result.ticks["execution_time_ps"] == \
+            composed.execution_time_ps

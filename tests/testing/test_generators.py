@@ -2,13 +2,17 @@
 
 import pytest
 
-from repro.lint import lint_models
+from repro.errors import SegBusError
+from repro.lint import lint_models, lint_multimode
 from repro.testing.generators import (
+    ADVERSARIAL_SHAPES,
     DEFAULT_PROFILE,
     GenerationError,
     GeneratorProfile,
+    generate_adversarial_model,
     generate_model,
     generate_models,
+    generate_multimode_model,
 )
 
 
@@ -91,3 +95,80 @@ class TestFailurePath:
     def test_default_profile_is_frozen(self):
         with pytest.raises(AttributeError):
             DEFAULT_PROFILE.max_attempts = 1
+
+
+class TestAdversarialShapes:
+    @pytest.mark.parametrize("shape", ADVERSARIAL_SHAPES)
+    def test_every_shape_is_lint_clean(self, shape):
+        for seed in (1, 2, 3):
+            model = generate_adversarial_model(seed, shape)
+            report = lint_models(
+                application=model.application, platform=model.platform
+            )
+            assert report.exit_code == 0, (shape, seed, report.findings)
+
+    @pytest.mark.parametrize("shape", ADVERSARIAL_SHAPES)
+    def test_deterministic_per_seed(self, shape):
+        a = generate_adversarial_model(9, shape)
+        b = generate_adversarial_model(9, shape)
+        assert a.application.flows == b.application.flows
+        assert a.platform.process_placement() == \
+            b.platform.process_placement()
+
+    def test_label_mentions_shape_and_seed(self):
+        model = generate_adversarial_model(4, "bursty")
+        assert "bursty" in model.label
+        assert "seed=4" in model.label
+
+    def test_unknown_shape_raises(self):
+        with pytest.raises(SegBusError, match="bursty"):
+            generate_adversarial_model(1, "zigzag")
+
+    def test_hot_segment_concentrates_fan_in(self):
+        model = generate_adversarial_model(2, "adversarial_hot_segment")
+        sinks = {f.target for f in model.application.flows}
+        fan_in = max(
+            sum(1 for f in model.application.flows if f.target == t)
+            for t in sinks
+        )
+        assert fan_in >= 2
+
+
+class TestMultiModeGeneration:
+    def test_generated_app_is_lint_clean(self):
+        for seed in (1, 2, 3):
+            model = generate_multimode_model(seed)
+            report = lint_multimode(
+                model.application, platform=model.platform
+            )
+            assert report.exit_code == 0, (seed, report.findings)
+
+    def test_mode_count_in_band(self):
+        for seed in range(1, 6):
+            model = generate_multimode_model(seed)
+            assert 2 <= len(model.application.modes) <= 4
+
+    def test_deterministic_per_seed(self):
+        a = generate_multimode_model(7)
+        b = generate_multimode_model(7)
+        assert a.application.name == b.application.name
+        assert a.application.schedule == b.application.schedule
+        for name in a.application.modes:
+            assert a.application.modes[name].flows == \
+                b.application.modes[name].flows
+
+    def test_schedule_covers_every_mode(self):
+        for seed in (1, 2, 3, 4):
+            model = generate_multimode_model(seed)
+            assert not model.application.unreachable_modes()
+
+    def test_every_mode_process_is_placed(self):
+        model = generate_multimode_model(2)
+        placement = model.platform.process_placement()
+        for name in model.application.process_names():
+            assert name in placement
+
+    def test_label_mentions_provenance(self):
+        model = generate_multimode_model(3)
+        assert "seed=3" in model.label
+        assert "modes=" in model.label

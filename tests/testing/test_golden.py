@@ -106,3 +106,72 @@ class TestDriftDetection:
         first = path.read_text()
         write_store(entries, path)
         assert path.read_text() == first
+
+
+class TestWorkloadGoldens:
+    def test_committed_workload_store_matches_reality(self):
+        from repro.testing.golden import (
+            DEFAULT_WORKLOAD_STORE,
+            check_workload_goldens,
+        )
+
+        check = check_workload_goldens(DEFAULT_WORKLOAD_STORE)
+        assert check.ok, check.format()
+        # two scenarios x three engines
+        assert check.checked == 6
+
+    def test_committed_store_pins_the_required_scenarios(self):
+        from repro.testing.golden import (
+            DEFAULT_WORKLOAD_STORE,
+            WORKLOAD_GOLDEN_NAMES,
+            load_store,
+        )
+
+        entries = load_store(DEFAULT_WORKLOAD_STORE)
+        assert set(entries) == set(WORKLOAD_GOLDEN_NAMES)
+        assert "mp3_jpeg_multimode" in entries
+        for entry in entries.values():
+            assert len(entry.trace_digest) == 64
+            assert entry.events > 0
+            assert entry.execution_time_ps > 0
+
+    def test_update_then_check_clean(self, tmp_path):
+        from repro.testing.golden import (
+            check_workload_goldens,
+            update_workload_goldens,
+        )
+
+        path = tmp_path / "workloads.json"
+        entries = update_workload_goldens(path)
+        assert set(entries) == {
+            "adversarial_hot_segment",
+            "mp3_jpeg_multimode",
+        }
+        assert check_workload_goldens(path).ok
+
+    def test_tampered_digest_reports_drift(self, tmp_path):
+        from repro.testing.golden import (
+            check_workload_goldens,
+            update_workload_goldens,
+        )
+
+        path = tmp_path / "workloads.json"
+        update_workload_goldens(path)
+        data = json.loads(path.read_text())
+        data["entries"]["mp3_jpeg_multimode"]["trace_digest"] = "f" * 64
+        path.write_text(json.dumps(data))
+        check = check_workload_goldens(path)
+        assert not check.ok
+        assert "mp3_jpeg_multimode" in check.format()
+
+    def test_multimode_entry_pins_composed_digests(self):
+        from repro.apps.workloads import workload_model
+        from repro.emulator.multimode import run_multimode
+        from repro.testing.golden import measure_workload
+
+        entry = measure_workload("mp3_jpeg_multimode")
+        scenario = workload_model("mp3_jpeg_multimode")
+        composed = run_multimode(scenario.application, scenario.platform)
+        assert entry.trace_digest == composed.trace_digest()
+        assert entry.events == composed.total_events
+        assert entry.execution_time_ps == composed.execution_time_ps

@@ -105,3 +105,56 @@ class TestGateTrips:
         assert report.ok
         assert report.contention_ratio == 2.0
         assert "ok" in report.format()
+
+
+class TestMultiModeOracle:
+    def test_scenario_conforms(self):
+        from repro.apps.workloads import workload_model
+        from repro.testing.oracles import run_multimode_oracle
+
+        scenario = workload_model("mp3_jpeg_multimode")
+        report = run_multimode_oracle(
+            scenario.application, scenario.platform
+        )
+        assert report.ok, report.format()
+        assert report.checked > 20
+        assert "MODE" not in "".join(report.violations)
+
+    def test_generated_multimode_batch_conforms(self):
+        from repro.testing.generators import generate_multimode_model
+        from repro.testing.oracles import run_multimode_oracle
+
+        for seed in (1, 2, 3):
+            model = generate_multimode_model(seed)
+            report = run_multimode_oracle(
+                model.application, model.platform, label=model.label
+            )
+            assert report.ok, report.format()
+
+    def test_per_mode_violations_are_prefixed(self):
+        from repro.apps.workloads import workload_model
+        from repro.testing.oracles import run_multimode_oracle
+
+        scenario = workload_model("mp3_jpeg_multimode")
+        report = run_multimode_oracle(
+            scenario.application,
+            scenario.platform,
+            tolerance=OracleTolerance(contention_ratio_max=0.01),
+        )
+        assert not report.ok
+        assert any(v.startswith("mode ") for v in report.violations)
+
+
+class TestAdversarialCorpus:
+    def test_every_shape_conforms(self):
+        from repro.testing.generators import (
+            ADVERSARIAL_SHAPES,
+            generate_adversarial_model,
+        )
+
+        for shape in ADVERSARIAL_SHAPES:
+            model = generate_adversarial_model(1, shape)
+            report = run_differential_oracle(
+                model.application, model.platform, label=model.label
+            )
+            assert report.ok, report.format()

@@ -67,3 +67,31 @@ class TestGoldenUpdate:
         assert store.is_file()
         assert report.golden is not None
         assert report.golden.ok
+
+
+class TestFamilyCycle:
+    def test_cycle_covers_every_family(self):
+        from repro.testing.generators import ADVERSARIAL_SHAPES
+        from repro.testing.selftest import FAMILY_CYCLE
+
+        assert len(FAMILY_CYCLE) == 10
+        assert FAMILY_CYCLE.count("random") == 5
+        for shape in ADVERSARIAL_SHAPES:
+            assert shape in FAMILY_CYCLE
+        assert "multimode" in FAMILY_CYCLE
+
+    def test_ten_seed_run_exercises_every_family(self):
+        # a ten-model run walks one full family cycle: adversarial shapes
+        # and the multi-mode MODE battery all conform
+        report = run_selftest(count=10, include_golden=False)
+        assert report.ok, report.format()
+        assert report.models == 10
+
+    def test_quick_count_still_covers_adversarial_and_multimode(self):
+        from repro.testing.selftest import FAMILY_CYCLE, QUICK_COUNT
+
+        families = {
+            FAMILY_CYCLE[offset % len(FAMILY_CYCLE)]
+            for offset in range(QUICK_COUNT)
+        }
+        assert families == set(FAMILY_CYCLE)
