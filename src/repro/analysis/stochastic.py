@@ -54,6 +54,13 @@ from repro.psdf.graph import PSDFGraph
 from repro.psdf.modes import MultiModeApplication
 from repro.units import fs_to_us
 
+#: version of the estimator's mathematics.  The serving result cache keys
+#: estimate responses on this constant (docs/SERVING.md): bump it whenever
+#: the queue model, the contention charge, or the critical-chain selection
+#: changes an observable number, so a long-lived ``segbus serve`` process
+#: can never replay an estimate produced by older math.
+ESTIMATOR_VERSION = 1
+
 #: utilizations are capped here before entering the 1/(1−ρ) pole, so an
 #: overloaded resource reports a large-but-finite expected wait
 RHO_CAP = 0.95

@@ -37,7 +37,15 @@ Subcommands mirror the design flow of Fig. 3:
     oracle plus golden-trace drift detection (see docs/TESTING.md);
 ``segbus bench``
     headless perf scenarios with deterministic tick counters;
-    ``--check`` gates against the committed ``BENCH_*.json`` baselines.
+    ``--check`` gates against the committed ``BENCH_*.json`` baselines;
+``segbus serve``
+    simulation-as-a-service: an HTTP front end with a digest-keyed
+    result cache, job batching and bounded-queue backpressure
+    (see docs/SERVING.md);
+``segbus loadgen``
+    seeded deterministic load generator against a running server;
+    ``--verify`` re-executes distinct payloads in-process and demands
+    byte-identical responses.
 
 Any :class:`~repro.errors.SegBusError` surfaces as a one-line message on
 stderr and exit code 2; pass ``--debug`` (before the subcommand) to get the
@@ -47,6 +55,7 @@ full traceback instead.
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -556,6 +565,56 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.server import create_server
+    from repro.serve.service import SegbusService, ServiceConfig
+
+    config = ServiceConfig(
+        engine=args.engine,
+        workers=args.serve_workers,
+        timeout_s=args.timeout,
+        retries=args.retries if args.retries is not None else 3,
+        queue_depth=args.queue_depth,
+        cache_entries=args.cache_entries,
+        cache_bytes=int(args.cache_mb * (1 << 20)),
+        batch_window_s=args.batch_window_ms / 1e3,
+        batch_max=args.batch_max,
+    )
+    service = SegbusService(config)
+    server = create_server(service, host=args.host, port=args.port)
+
+    # a `segbus serve … &` launched from a non-interactive shell inherits
+    # SIGINT as SIG_IGN (POSIX job control), and Python keeps an ignored
+    # disposition — reinstall both stop signals so `kill [-INT]` always
+    # shuts the server down instead of hanging a CI `wait`
+    def _request_stop(signum: int, frame: object) -> None:
+        raise KeyboardInterrupt
+
+    for stop_signal in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(stop_signal, _request_stop)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
+
+    # tests parse this line for the ephemeral port — keep it first & flushed
+    print(f"serving on {server.url}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.stop()
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.serve.loadgen import run_from_args
+
+    return run_from_args(args)
+
+
 def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
     """Flags for the supervised campaign executor (see docs/ROBUSTNESS.md)."""
     parser.add_argument(
@@ -931,6 +990,82 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_flag(bch)
     _add_executor_flags(bch)
     bch.set_defaults(func=_cmd_bench)
+
+    srv = sub.add_parser(
+        "serve",
+        help="HTTP simulation service with result cache and batching",
+    )
+    srv.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default loopback)"
+    )
+    srv.add_argument(
+        "--port",
+        type=int,
+        default=8337,
+        help="bind port; 0 picks an ephemeral one (default 8337)",
+    )
+    srv.add_argument(
+        "--serve-workers",
+        type=int,
+        default=1,
+        help="executor worker processes behind the service (default 1: "
+        "in-process serial; >= 2 enables per-job timeouts)",
+    )
+    srv.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job timeout (needs --serve-workers >= 2)",
+    )
+    srv.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="attempts per job including the first (default 3)",
+    )
+    srv.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        help="admission queue bound; excess jobs shed with 429 "
+        "(default 64)",
+    )
+    srv.add_argument(
+        "--cache-entries",
+        type=int,
+        default=1024,
+        help="result cache entry cap (default 1024)",
+    )
+    srv.add_argument(
+        "--cache-mb",
+        type=float,
+        default=64.0,
+        help="result cache byte cap in MiB (default 64)",
+    )
+    srv.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=5.0,
+        help="micro-batch gathering window in milliseconds (default 5)",
+    )
+    srv.add_argument(
+        "--batch-max",
+        type=int,
+        default=32,
+        help="max jobs per dispatcher micro-batch (default 32)",
+    )
+    _add_engine_flag(srv)
+    srv.set_defaults(func=_cmd_serve)
+
+    ldg = sub.add_parser(
+        "loadgen",
+        help="seeded load generator against a running segbus serve",
+    )
+    from repro.serve.loadgen import add_arguments as _loadgen_arguments
+
+    _loadgen_arguments(ldg)
+    ldg.set_defaults(func=_cmd_loadgen)
     return parser
 
 

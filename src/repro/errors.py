@@ -13,6 +13,9 @@ concrete subclasses preserve the failing subsystem:
 * :class:`EmulationError` -- runtime failures of the discrete-event emulator
   (deadlock, unroutable transfer, exhausted event budget).
 * :class:`PlacementError` -- infeasible allocation problems.
+* :class:`ServeError` -- simulation-service failures (:mod:`repro.serve`);
+  its subclasses :class:`JobValidationError` and :class:`AdmissionError`
+  map to the 400 and 429 HTTP statuses of ``segbus serve``.
 """
 
 from __future__ import annotations
@@ -190,3 +193,35 @@ class RoutingError(EmulationError):
 
 class PlacementError(SegBusError):
     """The placement problem is infeasible or the solver misbehaved."""
+
+
+class ServeError(SegBusError):
+    """Base class for simulation-service failures (:mod:`repro.serve`)."""
+
+
+class JobValidationError(ServeError):
+    """A submitted serve job failed schema or scheme-loader validation.
+
+    The HTTP layer maps this to ``400 Bad Request``; ``detail`` carries
+    the field-level message shown to the client.
+    """
+
+    def __init__(self, detail: str):
+        self.detail = detail
+        super().__init__(f"invalid serve job: {detail}")
+
+
+class AdmissionError(ServeError):
+    """The bounded admission queue is full and the request was shed.
+
+    The HTTP layer maps this to ``429 Too Many Requests`` with a
+    ``Retry-After`` header of ``retry_after_s`` seconds.
+    """
+
+    def __init__(self, depth: int, retry_after_s: float):
+        self.depth = depth
+        self.retry_after_s = retry_after_s
+        super().__init__(
+            f"admission queue full ({depth} job(s) queued); "
+            f"retry after {retry_after_s:g}s"
+        )

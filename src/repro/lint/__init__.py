@@ -29,6 +29,7 @@ from repro.lint.engine import (
     lint_models,
     lint_multimode,
     lint_paths,
+    registry_hash,
     run_rules,
 )
 from repro.lint.loader import classify_scheme, load_paths
@@ -71,6 +72,7 @@ __all__ = [
     "lint_paths",
     "load_paths",
     "merge_reports",
+    "registry_hash",
     "render",
     "run_rules",
 ]

@@ -12,6 +12,7 @@ emulator's strict mode), :func:`lint_paths` for XML scheme files (the CLI).
 
 from __future__ import annotations
 
+import hashlib
 from typing import Optional, Sequence
 
 from repro.lint.context import LintContext, SchemeFile
@@ -54,6 +55,26 @@ def default_registry() -> RuleRegistry:
         )
     )
     return registry
+
+
+def registry_hash(registry: Optional[RuleRegistry] = None) -> str:
+    """SHA-256 fingerprint of a registry's finding-shaping surface.
+
+    Hashes every rule's ``(id, name, severity, category, description)``
+    in id order — the fields that determine which findings a lint run can
+    produce and how they read.  The serving result cache keys lint and
+    strict-emulate responses on this hash (docs/SERVING.md), so adding,
+    removing, re-levelling or rewording a rule invalidates previously
+    cached findings instead of replaying them stale.
+    """
+    registry = registry if registry is not None else default_registry()
+    digest = hashlib.sha256()
+    for rule in registry:
+        digest.update(
+            f"{rule.id}|{rule.name}|{rule.severity.name}|"
+            f"{rule.category}|{rule.description}\n".encode("utf-8")
+        )
+    return digest.hexdigest()
 
 
 def run_rules(

@@ -1,0 +1,124 @@
+"""Coalesce queued emulate jobs into vectorized ``run_batch`` groups.
+
+When the dispatcher drains its micro-batch window and finds several
+batch-engine emulations waiting, running them one executor job at a time
+would waste exactly the lockstep advantage PR 7 built.  This module
+takes those jobs straight into :func:`repro.emulator.batchkernel.run_batch`,
+which groups compatible members by canonical digest, dedups identical
+plans, clones zero-hit members off one reference run, and drives the
+rest in lockstep — per-member failure isolation included.
+
+Eligibility (:func:`batchable`) is deliberately conservative:
+
+* ``kind == "emulate"`` with the ``batch`` engine — other engines gain
+  nothing from coalescing and keep their per-job executor path;
+* inline schemes only — workload jobs regenerate their models inside a
+  worker (generation is seeded but costs lint passes; the dispatcher
+  thread must not stall on it);
+* not ``strict`` — the strict path lints before simulating and its
+  failure shape (``LintError``) belongs to the per-job path.
+
+Equivalence: a member's report comes from the same ``build_report`` over
+the same batch kernel the per-job path would use with ``engine="batch"``,
+so coalescing is invisible in the response bytes — the serving
+equivalence suite pins this through real HTTP.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.executor import JobFailure
+from repro.serve.jobs import ServeJob
+
+
+def batchable(job: ServeJob) -> bool:
+    """True when ``job`` may ride a coalesced ``run_batch`` group."""
+    return (
+        job.kind == "emulate"
+        and job.engine == "batch"
+        and job.workload is None
+        and not job.strict
+        and job.psdf_xml is not None
+        and job.psm_xml is not None
+    )
+
+
+def run_emulate_batch(
+    jobs: Sequence[ServeJob],
+) -> List[Tuple[Optional[Dict[str, object]], Optional[JobFailure]]]:
+    """Execute eligible emulate jobs as one vectorized batch.
+
+    Returns one ``(body, failure)`` pair per job, in input order —
+    exactly one of the two is set.  A member that fails (deadlock, fault
+    exhaustion) becomes a structured :class:`JobFailure` without
+    poisoning its siblings, mirroring the executor's ledger shape.
+    """
+    from repro.emulator.batchkernel import BatchMember, run_batch
+    from repro.emulator.emulator import SegBusEmulator
+    from repro.errors import SegBusError
+    from repro.serve.jobs import RESPONSE_SCHEMA_VERSION, cache_key
+    from repro.xmlio.faults_xml import parse_fault_plan_xml
+
+    members: List[BatchMember] = []
+    for job in jobs:
+        emulator = SegBusEmulator(
+            job.psdf_xml or "",
+            job.psm_xml or "",
+            fault_plan=(
+                parse_fault_plan_xml(job.fault_plan_xml)
+                if job.fault_plan_xml is not None
+                else None
+            ),
+        )
+        members.append(
+            BatchMember(
+                label=job.label,
+                application=emulator.application,
+                spec=emulator.spec,
+                config=emulator.config,
+                fault_plan=emulator.fault_plan,
+            )
+        )
+    try:
+        run = run_batch(members)
+    except SegBusError as exc:
+        # a whole-batch failure (not per-member) fails every job alike
+        failure = lambda job: JobFailure(  # noqa: E731 - local shape helper
+            label=job.label,
+            attempts=1,
+            kind="error",
+            error=type(exc).__name__,
+            message=str(exc),
+        )
+        return [(None, failure(job)) for job in jobs]
+
+    out: List[Tuple[Optional[Dict[str, object]], Optional[JobFailure]]] = []
+    for job, outcome in zip(jobs, run.outcomes):
+        if outcome.error is not None or outcome.report is None:
+            error = outcome.error
+            out.append(
+                (
+                    None,
+                    JobFailure(
+                        label=job.label,
+                        attempts=1,
+                        kind="error",
+                        error=type(error).__name__ if error else "SegBusError",
+                        message=str(error) if error else "no report produced",
+                    ),
+                )
+            )
+            continue
+        report = outcome.report
+        body: Dict[str, object] = {
+            "kind": "emulate",
+            "engine": job.engine,
+            "multimode": False,
+            "result": report.to_dict(),
+            "digest": report.digest(),
+            "schema": RESPONSE_SCHEMA_VERSION,
+            "key": cache_key(job),
+        }
+        out.append((body, None))
+    return out

@@ -108,6 +108,15 @@ class BenchScenario:
     #: estimator-median, the harshest comparison available.
     prepare_estimator: Optional[Callable[[], Callable[[], Dict[str, int]]]] = None
     estimator_speedup_min: Optional[float] = None
+    #: serving scenarios: called per engine *after* the timed rounds with
+    #: the engine name, returns wall-side metrics of the last round
+    #: (throughput, latency percentiles, cache hit rate) for the
+    #: baseline's ``service`` block — recorded, not tick-gated
+    service_metrics: Optional[Callable[[str], Dict[str, float]]] = None
+    #: minimum cache hit rate (``reused``/``requests`` ticks), enforced by
+    #: :func:`check_bench` even under ``--no-wall`` — the ratio is
+    #: deterministic, not a wall measurement
+    cache_hit_rate_min: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -140,6 +149,9 @@ class BenchResult:
     #: the batch-median / estimator-median per-round ratio
     estimator_wall_ms: Optional[float] = None
     estimator_speedup: Optional[float] = None
+    #: serving scenarios only: per-engine wall-side metrics of the last
+    #: timed round (throughput_rps, latency p50/p90/p99 ms, hit_rate)
+    service: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -179,6 +191,13 @@ class BenchResult:
                 if self.estimator_speedup is not None
                 else None
             ),
+            "service": {
+                engine: {
+                    metric: round(value, 3)
+                    for metric, value in sorted(metrics.items())
+                }
+                for engine, metrics in sorted(self.service.items())
+            },
         }
 
 
@@ -448,6 +467,32 @@ def _random_oracle_batch() -> Dict[str, int]:
     return {"events": events, "violations": violations}
 
 
+def _serve_run() -> Dict[str, int]:
+    from repro.serve.bench import serve_round
+
+    return serve_round(resolve_engine(None))
+
+
+def _serve_prepare(engine: str) -> Callable[[], Dict[str, int]]:
+    # lazy: the serving harness boots real HTTP servers; keep
+    # `segbus bench --list` and non-serving runs free of that cost
+    from repro.serve.bench import serve_prepare
+
+    return serve_prepare(engine)
+
+
+def _serve_metrics(engine: str) -> Dict[str, float]:
+    from repro.serve.bench import service_metrics
+
+    return service_metrics(engine)
+
+
+#: requests per serve_throughput round — mirrors
+#: repro.serve.bench.BENCH_REQUESTS (pinned equal by a unit test; kept
+#: literal here so the registry stays import-lazy)
+_SERVE_BENCH_REQUESTS = 120
+
+
 SCENARIOS: Tuple[BenchScenario, ...] = (
     BenchScenario(
         "mp3_1seg_emulate",
@@ -520,6 +565,16 @@ SCENARIOS: Tuple[BenchScenario, ...] = (
         "random_oracle_batch",
         "20 generated models through the differential oracle",
         _random_oracle_batch,
+    ),
+    BenchScenario(
+        "serve_throughput",
+        "HTTP serving: 120 seeded repeat-heavy requests over real sockets "
+        "against the digest-keyed result cache",
+        _serve_run,
+        prepare=_serve_prepare,
+        models_per_round=_SERVE_BENCH_REQUESTS,
+        service_metrics=_serve_metrics,
+        cache_hit_rate_min=0.9,
     ),
 )
 
@@ -679,6 +734,12 @@ def run_scenario(
             )
             if ratios:
                 estimator_speedup = ratios[len(ratios) // 2]
+    service: Dict[str, Dict[str, float]] = {}
+    if item.service_metrics is not None:
+        # wall-side serving metrics of each engine's *last* timed round
+        service = {
+            name: dict(item.service_metrics(name)) for name in engines
+        }
     return BenchResult(
         name=item.name,
         ticks=ticks,
@@ -700,6 +761,7 @@ def run_scenario(
         peak_mem_kb=peak_mem_kb,
         estimator_wall_ms=estimator_wall_ms,
         estimator_speedup=estimator_speedup,
+        service=service,
     )
 
 
@@ -854,6 +916,10 @@ def load_baseline(name: str, baseline_dir: Union[str, Path]) -> BenchResult:
             if data.get("estimator_speedup") is not None
             else None
         ),
+        service={
+            str(engine): {str(m): float(v) for m, v in dict(metrics).items()}
+            for engine, metrics in dict(data.get("service", {})).items()
+        },
     )
 
 
@@ -888,8 +954,10 @@ def check_bench(
             speedup_min = item.speedup_min
             speedup_min_batch = item.speedup_min_batch
             estimator_min = item.estimator_speedup_min
+            hit_rate_min = item.cache_hit_rate_min
         except SegBusError:  # pragma: no cover - results come from the registry
             speedup_min = speedup_min_batch = estimator_min = None
+            hit_rate_min = None
         for gate_min, measured, kernel in (
             (speedup_min, result.speedup, "fast"),
             (speedup_min_batch, result.batch_speedup, "batch"),
@@ -920,6 +988,24 @@ def check_bench(
                     f"{result.estimator_speedup:.2f}x faster than the batch "
                     f"engine, below the pinned minimum {estimator_min}x "
                     "(estimator perf regression)"
+                )
+        if hit_rate_min is not None:
+            # from the ticks, not the wall side: reused/requests is
+            # deterministic (request coalescing pins computations per
+            # cache epoch), so this gate holds even under --no-wall
+            requests = result.ticks.get("requests", 0)
+            reused = result.ticks.get("reused", 0)
+            if requests <= 0:
+                check.notes.append(
+                    f"{result.name}: cache hit-rate gate "
+                    f"(≥{hit_rate_min:.0%}) skipped — no 'requests' tick"
+                )
+            elif reused / requests < hit_rate_min:
+                check.failures.append(
+                    f"{result.name}: cache hit rate "
+                    f"{reused / requests:.1%} ({reused}/{requests}) below "
+                    f"the pinned minimum {hit_rate_min:.0%} "
+                    "(result-cache regression)"
                 )
         if not check_wall:
             continue

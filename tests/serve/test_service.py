@@ -1,0 +1,161 @@
+"""Service core: dispositions, coalescing, batching, stats, lifecycle."""
+
+from __future__ import annotations
+
+import json
+
+from repro.serve.jobs import execute_job, parse_job, response_bytes
+
+
+def _emulate_payload(schemes, **extra):
+    psdf_xml, psm_xml = schemes
+    return {"kind": "emulate", "psdf_xml": psdf_xml, "psm_xml": psm_xml, **extra}
+
+
+class TestDispositions:
+    def test_miss_then_hit_serves_identical_bytes(
+        self, service_factory, inline_schemes
+    ):
+        service = service_factory()
+        payload = _emulate_payload(inline_schemes)
+        first = service.submit(payload)
+        second = service.submit(payload)
+        assert (first.status, first.cache) == (200, "miss")
+        assert (second.status, second.cache) == (200, "hit")
+        assert first.body == second.body
+        assert first.body == response_bytes(execute_job(parse_job(payload)))
+
+    def test_rejected_schema_is_a_400(self, service_factory):
+        service = service_factory()
+        response = service.submit({"kind": "warp"})
+        assert (response.status, response.cache) == (400, "rejected")
+        error = json.loads(response.body)["error"]
+        assert error["kind"] == "invalid"
+
+    def test_rejected_deep_validation_names_the_scheme(
+        self, service_factory, inline_schemes
+    ):
+        service = service_factory()
+        _, psm_xml = inline_schemes
+        response = service.submit(
+            {"kind": "emulate", "psdf_xml": "<broken/>", "psm_xml": psm_xml}
+        )
+        assert (response.status, response.cache) == (400, "rejected")
+        assert "psdf_xml" in json.loads(response.body)["error"]["message"]
+
+    def test_timeout_is_a_504(self, service_factory, inline_schemes):
+        # no dispatcher running: the wait budget expires
+        service = service_factory(auto_start=False)
+        response = service.submit(
+            _emulate_payload(inline_schemes), timeout_s=0.05
+        )
+        assert (response.status, response.cache) == (504, "timeout")
+        service.start()  # let teardown drain the queued ticket
+
+    def test_counters_track_dispositions(
+        self, service_factory, inline_schemes
+    ):
+        service = service_factory()
+        payload = _emulate_payload(inline_schemes)
+        service.submit(payload)
+        service.submit(payload)
+        service.submit({"kind": "warp"})
+        stats = service.stats()
+        assert stats["requests"] == 3
+        assert stats["by_disposition"]["miss"] == 1
+        assert stats["by_disposition"]["hit"] == 1
+        assert stats["by_disposition"]["rejected"] == 1
+        assert stats["cache"]["entries"] == 1
+        assert stats["latency_ms"]["p50"] >= 0.0
+
+
+class TestCoalescing:
+    def test_concurrent_same_key_computes_once(
+        self, service_factory, inline_schemes
+    ):
+        service = service_factory(auto_start=False)
+        payload = _emulate_payload(inline_schemes)
+        owner = service.submit_async(payload)
+        follower = service.submit_async(payload)
+        assert owner.role == "miss"
+        assert follower.role == "coalesced"
+        service.start()
+        assert owner.event.wait(30)
+        assert follower.event.wait(30)
+        assert owner.body == follower.body
+        # exactly one computation: one miss recorded, nothing queued
+        assert service.cache.stats().entries == 1
+
+
+class TestBatching:
+    def test_batch_engine_jobs_coalesce_into_one_group(
+        self, service_factory, inline_schemes, inline_schemes_1seg
+    ):
+        service = service_factory(auto_start=False, batch_window_s=0.01)
+        payloads = [
+            _emulate_payload(inline_schemes, engine="batch"),
+            _emulate_payload(inline_schemes_1seg, engine="batch"),
+        ]
+        tickets = [service.submit_async(p) for p in payloads]
+        service.start()
+        for ticket in tickets:
+            assert ticket.event.wait(60)
+        stats = service.stats()
+        assert stats["vectorized_groups"] >= 1
+        # coalesced vectorized responses stay byte-identical to the
+        # direct per-job path
+        for payload, ticket in zip(payloads, tickets):
+            assert ticket.body == response_bytes(
+                execute_job(parse_job(payload))
+            )
+
+    def test_mixed_batch_keeps_per_job_path_for_the_rest(
+        self, service_factory, inline_schemes, inline_schemes_1seg
+    ):
+        service = service_factory(auto_start=False, batch_window_s=0.01)
+        vector = _emulate_payload(inline_schemes, engine="batch")
+        plain = _emulate_payload(inline_schemes_1seg, engine="fast")
+        tickets = [service.submit_async(vector), service.submit_async(plain)]
+        service.start()
+        for ticket in tickets:
+            assert ticket.event.wait(60)
+        assert all(t.body is not None for t in tickets)
+        assert service.stats()["executor"].get("attempts", 0) >= 1
+
+
+class TestLifecycle:
+    def test_stop_fails_queued_tickets_with_503(
+        self, service_factory, inline_schemes
+    ):
+        service = service_factory(auto_start=False)
+        ticket = service.submit_async(_emulate_payload(inline_schemes))
+        service.stop()
+        assert ticket.event.wait(5)
+        assert ticket.failure_status == 503
+        assert json.loads(ticket.failure_body)["error"]["kind"] == "shutdown"
+
+    def test_reset_clears_counters_and_cache(
+        self, service_factory, inline_schemes
+    ):
+        service = service_factory()
+        payload = _emulate_payload(inline_schemes)
+        service.submit(payload)
+        service.submit(payload)
+        service.reset()
+        stats = service.stats()
+        assert stats["requests"] == 0
+        assert stats["cache"]["entries"] == 0
+        # the next submission recomputes from scratch
+        assert service.submit(payload).cache == "miss"
+
+    def test_start_is_idempotent(self, service_factory, inline_schemes):
+        service = service_factory()
+        service.start()
+        response = service.submit(_emulate_payload(inline_schemes))
+        assert response.status == 200
+
+    def test_stats_echo_the_config(self, service_factory):
+        service = service_factory(queue_depth=7, batch_max=5)
+        config = service.stats()["config"]
+        assert config["queue_depth"] == 7
+        assert config["batch_max"] == 5
